@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the NPU simulator and the hardware cost model
+//! (they are analytical, so this doubles as a regression guard on their
+//! complexity).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnlut_npu::{simulate, transformer_workload, ModelShape, NonlinearImpl, NpuConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let npu = NpuConfig::mobile_soc();
+    let shape = ModelShape::roberta_base();
+    let mut g = c.benchmark_group("npu");
+    g.bench_function("simulate_seq512", |b| {
+        let w = transformer_workload(&shape, 512);
+        b.iter(|| simulate(black_box(&npu), black_box(&w), NonlinearImpl::NnLut))
+    });
+    g.bench_function("table5_full_sweep", |b| b.iter(nnlut_npu::table5));
+    g.bench_function("table4_cost_model", |b| b.iter(nnlut_hw::report::table4));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the scalar non-linear kernels: exact FP32
+//! math vs NN-LUT lookup vs I-BERT integer algorithms.
+//!
+//! These are the software analogue of Table 4's latency column: the LUT
+//! evaluates every function through the same two-step lookup+MAC, while
+//! I-BERT walks operation-specific multi-step code.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnlut_core::funcs::TargetFunction;
+use nnlut_core::train::TrainConfig;
+use nnlut_core::NnLutKit;
+use nnlut_ibert::fixed::{scale_16bit, Quantized};
+use nnlut_ibert::{i_exp, i_gelu, i_sqrt};
+
+fn bench_gelu(c: &mut Criterion) {
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    let xs: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) / 32.0).collect();
+    let scale = scale_16bit(5.0);
+    let mut g = c.benchmark_group("gelu_scalar");
+    g.bench_function("exact_fp32", |b| {
+        b.iter(|| xs.iter().map(|&x| nnlut_core::funcs::gelu(black_box(x))).sum::<f32>())
+    });
+    g.bench_function("nn_lut", |b| {
+        b.iter(|| xs.iter().map(|&x| kit.gelu(black_box(x))).sum::<f32>())
+    });
+    g.bench_function("ibert_int", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| i_gelu(Quantized::quantize(black_box(x), scale)).real())
+                .sum::<f32>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_exp(c: &mut Criterion) {
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    let xs: Vec<f32> = (0..256).map(|i| -(i as f32) / 16.0).collect();
+    let scale = scale_16bit(256.0);
+    let mut g = c.benchmark_group("exp_scalar");
+    g.bench_function("exact_fp32", |b| {
+        b.iter(|| xs.iter().map(|&x| (black_box(x) as f64).exp() as f32).sum::<f32>())
+    });
+    g.bench_function("nn_lut", |b| {
+        b.iter(|| xs.iter().map(|&x| kit.exp(black_box(x))).sum::<f32>())
+    });
+    g.bench_function("ibert_int", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| i_exp(Quantized::quantize(black_box(x), scale)).real())
+                .sum::<f32>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_rsqrt(c: &mut Criterion) {
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    let xs: Vec<f32> = (1..257).map(|i| i as f32 * 0.37).collect();
+    let mut g = c.benchmark_group("rsqrt_scalar");
+    g.bench_function("exact_fp32", |b| {
+        b.iter(|| xs.iter().map(|&x| 1.0 / black_box(x).sqrt()).sum::<f32>())
+    });
+    g.bench_function("nn_lut_scaled", |b| {
+        b.iter(|| xs.iter().map(|&x| kit.inv_sqrt(black_box(x))).sum::<f32>())
+    });
+    g.bench_function("ibert_newton", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| i_sqrt(black_box((x * 1e4) as u64)) as f32)
+                .sum::<f32>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_lut_eval_by_entries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_eval_entries");
+    for entries in [8usize, 16, 64] {
+        let net = nnlut_core::recipe::train_for_fast(TargetFunction::Gelu, entries, 3);
+        let lut = nnlut_core::nn_to_lut(&net);
+        g.bench_function(format!("entries_{entries}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..256 {
+                    acc += lut.eval(black_box(i as f32 * 0.03 - 4.0));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gelu, bench_exp, bench_rsqrt, bench_lut_eval_by_entries
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the composed row kernels (Softmax, LayerNorm)
+//! across implementations and row lengths — the software view of the
+//! Table-5 SFU workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnlut_core::train::TrainConfig;
+use nnlut_core::NnLutKit;
+use nnlut_ibert::layernorm::i_layernorm_f32;
+use nnlut_ibert::softmax::i_softmax_f32;
+
+fn make_row(len: usize) -> Vec<f32> {
+    (0..len).map(|i| ((i * 37) % 97) as f32 * 0.1 - 4.0).collect()
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    let mut g = c.benchmark_group("softmax_row");
+    for len in [64usize, 256, 1024] {
+        let row = make_row(len);
+        g.bench_function(format!("exact_{len}"), |b| {
+            b.iter(|| {
+                let mut r = row.clone();
+                nnlut_transformer::backend::exact_softmax(black_box(&mut r));
+                r[0]
+            })
+        });
+        g.bench_function(format!("nn_lut_{len}"), |b| {
+            b.iter(|| {
+                let mut r = row.clone();
+                kit.softmax(black_box(&mut r));
+                r[0]
+            })
+        });
+        g.bench_function(format!("ibert_{len}"), |b| {
+            b.iter(|| {
+                let mut r = row.clone();
+                i_softmax_f32(black_box(&mut r));
+                r[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_layernorm(c: &mut Criterion) {
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    let mut g = c.benchmark_group("layernorm_row");
+    for len in [256usize, 768] {
+        let row = make_row(len);
+        g.bench_function(format!("exact_{len}"), |b| {
+            b.iter(|| {
+                let mut r = row.clone();
+                nnlut_transformer::backend::exact_layer_norm(black_box(&mut r), 1e-5)
+            })
+        });
+        g.bench_function(format!("nn_lut_{len}"), |b| {
+            b.iter(|| {
+                let mut r = row.clone();
+                kit.layer_norm(black_box(&mut r), 1e-5)
+            })
+        });
+        g.bench_function(format!("ibert_{len}"), |b| {
+            b.iter(|| {
+                let mut r = row.clone();
+                i_layernorm_f32(black_box(&mut r));
+                r[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_softmax, bench_layernorm
+}
+criterion_main!(benches);

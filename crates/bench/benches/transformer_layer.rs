@@ -1,0 +1,79 @@
+//! Criterion benchmarks of whole-encoder inference under the different
+//! non-linearity backends and matmul modes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnlut_core::train::TrainConfig;
+use nnlut_core::NnLutKit;
+use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
+
+fn bench_encoder(c: &mut Criterion) {
+    let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 11);
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    let tokens: Vec<usize> = (0..32).map(|i| (i * 13) % 128).collect();
+    let mut g = c.benchmark_group("encoder_forward");
+    g.bench_function("exact_fp32", |b| {
+        b.iter(|| {
+            model.encode(
+                black_box(&tokens),
+                &Nonlinearity::exact(),
+                MatmulMode::F32,
+                None,
+            )
+        })
+    });
+    g.bench_function("nn_lut_fp32", |b| {
+        b.iter(|| {
+            model.encode(
+                black_box(&tokens),
+                &Nonlinearity::all_lut(&kit),
+                MatmulMode::F32,
+                None,
+            )
+        })
+    });
+    g.bench_function("ibert_fp32_body", |b| {
+        b.iter(|| {
+            model.encode(
+                black_box(&tokens),
+                &Nonlinearity::all_ibert(),
+                MatmulMode::F32,
+                None,
+            )
+        })
+    });
+    g.bench_function("exact_int8_body", |b| {
+        b.iter(|| {
+            model.encode(
+                black_box(&tokens),
+                &Nonlinearity::exact(),
+                MatmulMode::Int8,
+                None,
+            )
+        })
+    });
+    g.bench_function("exact_fp16_body", |b| {
+        b.iter(|| {
+            model.encode(
+                black_box(&tokens),
+                &Nonlinearity::exact(),
+                MatmulMode::F16,
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_encoder
+}
+criterion_main!(benches);

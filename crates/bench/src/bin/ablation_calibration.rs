@@ -1,0 +1,83 @@
+//! **AB-CAL** — calibration-budget ablation (extension).
+//!
+//! The paper uses "only one-tenth of the training dataset … without
+//! labels" for §3.3.3 calibration. This ablation starts from the
+//! paper-*literal* kit — Table-1 recipes with **uniform** input sampling,
+//! whose `1/√x` knee is weakly trained (the configuration in which the
+//! paper's own direct approximation loses accuracy) — and sweeps the
+//! number of unlabeled examples whose captured LayerNorm variances feed
+//! the calibration.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin ablation_calibration`
+
+use nnlut_core::calibrate::CalibrationConfig;
+use nnlut_core::funcs::TargetFunction;
+use nnlut_core::train::{SamplingMode, TrainConfig};
+use nnlut_core::NnLutKit;
+use nnlut_transformer::eval::{BenchConfig, TaskBench};
+use nnlut_transformer::tasks::GlueTask;
+use nnlut_transformer::Nonlinearity;
+
+fn main() {
+    println!("== Ablation: calibration sample budget (LayerNorm 1/sqrt) ==");
+    println!("   starting kit: paper-literal uniform sampling (weak knee)\n");
+    eprintln!("building frozen model …");
+    let bench = TaskBench::new(GlueTask::Mrpc, &BenchConfig::default());
+    let base_kit = NnLutKit::train_with_sampling(
+        16,
+        nnlut_bench::KIT_SEED,
+        &TrainConfig::paper(),
+        SamplingMode::Uniform,
+    );
+    let direct = bench.score(&Nonlinearity::all_lut(&base_kit));
+
+    // A held-out empirical variance set: the distribution the LayerNorms
+    // actually produce (errors are scored *on this distribution* — what
+    // the model experiences, not a uniform grid).
+    let holdout = bench.capture_layernorm(&Nonlinearity::all_lut(&base_kit), 8192, 64);
+    let empirical_err = |kit: &NnLutKit| {
+        let mut acc = 0.0f64;
+        for &v in holdout.samples() {
+            let exact = 1.0 / v.sqrt();
+            acc += ((kit.inv_sqrt(v) - exact).abs() / exact) as f64;
+        }
+        acc as f32 / holdout.len() as f32
+    };
+
+    println!(
+        "{:>12} {:>20} {:>12}",
+        "examples", "empirical rel. err", "task score"
+    );
+    println!(
+        "{:>12} {:>20.6} {direct:>12.1}",
+        "0 (direct)",
+        empirical_err(&base_kit)
+    );
+    for examples in [2usize, 8, 32, 64] {
+        let mut kit = base_kit.clone();
+        let cap = bench.capture_layernorm(&Nonlinearity::all_lut(&kit), 8192, examples);
+        kit.calibrate(
+            TargetFunction::Rsqrt,
+            cap.samples(),
+            &CalibrationConfig::default(),
+            11,
+        )
+        .expect("non-empty capture");
+        let score = bench.score(&Nonlinearity::all_lut(&kit));
+        println!("{examples:>12} {:>20.6} {score:>12.1}", empirical_err(&kit));
+    }
+
+    // For reference: the log-uniform kit needs no calibration.
+    let tuned = NnLutKit::train_with(16, nnlut_bench::KIT_SEED, &TrainConfig::paper());
+    println!(
+        "{:>12} {:>20.6} {:>12.1}",
+        "(log-unif)",
+        empirical_err(&tuned),
+        bench.score(&Nonlinearity::all_lut(&tuned))
+    );
+
+    println!("\nShape to check: a handful of unlabeled examples repairs the");
+    println!("weakly-trained knee (error falls toward the log-uniform kit's),");
+    println!("and the budget saturates quickly — calibration is cheap, as the");
+    println!("paper claims (<5% of fine-tuning time).");
+}

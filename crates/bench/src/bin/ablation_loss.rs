@@ -1,0 +1,42 @@
+//! **AB-LOSS** — training-loss ablation: "we found that L1 loss slightly
+//! outperforms the other choices, partially due to modest penalization for
+//! the outliers" (paper §4.1).
+//!
+//! Trains each Table-1 approximator under L1 and L2 losses and compares
+//! the resulting LUTs' L1 approximation error.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin ablation_loss`
+
+use nnlut_core::convert::nn_to_lut;
+use nnlut_core::funcs::TargetFunction;
+use nnlut_core::metrics::mean_abs_error;
+use nnlut_core::recipe::{recipe_for, train_recipe};
+use nnlut_core::train::{Loss, TrainConfig};
+
+fn main() {
+    println!("== Ablation: L1 vs L2 training loss (L1 approximation error) ==\n");
+    println!("{:<10}{:>14}{:>14}{:>10}", "function", "L1-trained", "L2-trained", "winner");
+    for func in TargetFunction::TABLE1 {
+        let recipe = recipe_for(func);
+        let mut errs = [0.0f32; 2];
+        for (i, loss) in [Loss::L1, Loss::L2].into_iter().enumerate() {
+            let cfg = TrainConfig {
+                loss,
+                ..TrainConfig::paper()
+            };
+            let (net, _) = train_recipe(&recipe, 16, &cfg, 0x1055);
+            let lut = nn_to_lut(&net);
+            errs[i] = mean_abs_error(|x| lut.eval(x), |x| func.eval(x), recipe.domain, 8_000);
+        }
+        let winner = if errs[0] <= errs[1] { "L1" } else { "L2" };
+        println!(
+            "{:<10}{:>14.6}{:>14.6}{:>10}",
+            func.name(),
+            errs[0],
+            errs[1],
+            winner
+        );
+    }
+    println!("\nShape to check: L1 wins or ties on most functions (the paper");
+    println!("reports a slight L1 advantage).");
+}

@@ -1,0 +1,47 @@
+//! **AB-SAMP** — training-sampling ablation: uniform (the paper's text)
+//! versus log-uniform (this reproduction's default for exp/1/x/1/√x)
+//! training-input sampling.
+//!
+//! This quantifies the deviation documented in `recipe_for`: with 16
+//! entries and a uniformly weighted L1 loss, the knee of `exp` near 0 and
+//! of `1/x`, `1/√x` near 1 receives almost no training signal, which
+//! breaks Softmax (the max element must map to ≈1).
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin ablation_sampling`
+
+use nnlut_core::convert::nn_to_lut;
+use nnlut_core::funcs::TargetFunction;
+use nnlut_core::metrics::mean_abs_error;
+use nnlut_core::recipe::{recipe_for, train_recipe, Recipe};
+use nnlut_core::train::{SamplingMode, TrainConfig};
+
+fn main() {
+    println!("== Ablation: uniform vs log-uniform training-input sampling ==\n");
+    println!(
+        "{:<10}{:>26}{:>26}",
+        "function", "uniform (knee L1 err)", "log-uniform (knee L1 err)"
+    );
+    // The "knee" ranges are where the composed Softmax/LayerNorm kernels
+    // actually evaluate these functions.
+    let knees = [
+        (TargetFunction::Exp, (-8.0f32, 0.0f32)),
+        (TargetFunction::Recip, (1.0, 32.0)),
+        (TargetFunction::Rsqrt, (1.0, 32.0)),
+    ];
+    for (func, knee) in knees {
+        let base = recipe_for(func);
+        let mut errs = [0.0f32; 2];
+        for (i, sampling) in [SamplingMode::Uniform, SamplingMode::LogUniform]
+            .into_iter()
+            .enumerate()
+        {
+            let recipe = Recipe { sampling, ..base };
+            let (net, _) = train_recipe(&recipe, 16, &TrainConfig::paper(), 0x5a);
+            let lut = nn_to_lut(&net);
+            errs[i] = mean_abs_error(|x| lut.eval(x), |x| func.eval(x), knee, 8_000);
+        }
+        println!("{:<10}{:>26.6}{:>26.6}", func.name(), errs[0], errs[1]);
+    }
+    println!("\nShape to check: log-uniform sampling cuts the knee-region error");
+    println!("several-fold, justifying the documented deviation.");
+}

@@ -1,0 +1,59 @@
+//! **EXT-DEC** — extension experiment: GPT-style decoder steps.
+//!
+//! The paper's introduction motivates efficient Transformer inference with
+//! GPT-3; its evaluation covers encoder mode only. This extension applies
+//! the same Fig. 3c NPU model to single-token decoder steps with a KV
+//! cache, where the GEMMs collapse to matrix–vector products while Softmax
+//! still scans the whole context — so the non-linear share, and therefore
+//! NN-LUT's advantage, is even larger than in Table 5.
+//!
+//! Also prints the SFU throughput-matching analysis: how many SFU lanes
+//! each implementation needs before the non-linear ops hide behind the
+//! MAC arrays.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin ext_decoder`
+
+use nnlut_npu::{
+    decoder_step_workload, sfu_lanes_for_throughput_match, simulate, transformer_workload,
+    ModelShape, NonlinearImpl, NpuConfig,
+};
+
+fn main() {
+    let npu = NpuConfig::mobile_soc();
+    let shape = ModelShape::roberta_base();
+
+    println!("== Extension: decoder-step (KV-cached generation) breakdown ==\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9} {:>24}",
+        "context", "I-BERT cyc", "NN-LUT cyc", "speedup", "non-linear share"
+    );
+    for context in [64usize, 256, 1024, 4096] {
+        let w = decoder_step_workload(&shape, context);
+        let ib = simulate(&npu, &w, NonlinearImpl::IBert);
+        let nn = simulate(&npu, &w, NonlinearImpl::NnLut);
+        let ib_nl = (ib.gelu + ib.layernorm + ib.softmax) / ib.total() * 100.0;
+        let nn_nl = (nn.gelu + nn.layernorm + nn.softmax) / nn.total() * 100.0;
+        println!(
+            "{context:>8} {:>14.0} {:>14.0} {:>8.2}x {:>12.1}% -> {:>5.1}%",
+            ib.total(),
+            nn.total(),
+            ib.total() / nn.total(),
+            ib_nl,
+            nn_nl
+        );
+    }
+
+    println!("\n== SFU throughput matching (encoder, SL = 512) ==");
+    let w = transformer_workload(&shape, 512);
+    for implementation in [NonlinearImpl::NnLut, NonlinearImpl::IBert] {
+        match sfu_lanes_for_throughput_match(&npu, &w, implementation) {
+            Some(lanes) => println!(
+                "{implementation}: {lanes} SFU lanes hide the non-linear ops behind the GEMMs"
+            ),
+            None => println!("{implementation}: cannot match within 4096 lanes"),
+        }
+    }
+
+    println!("\nShape to check: decoder speedups exceed the encoder-mode Table 5,");
+    println!("and NN-LUT reaches throughput parity with fewer SFU lanes.");
+}

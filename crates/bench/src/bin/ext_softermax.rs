@@ -1,0 +1,85 @@
+//! **EXT-SM** — extension experiment: three-way softmax baseline
+//! comparison including **Softermax** (Stevens et al., DAC 2021), the
+//! paper's reference \[19\].
+//!
+//! Softermax is designed to be *fine-tuned into* the model (base-2
+//! softmax in the training loop); used drop-in — the NN-LUT paper's
+//! setting — its temperature shift costs accuracy, illustrating the
+//! paper's point that [12, 19] depend on approximation-aware fine-tuning
+//! while NN-LUT does not.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin ext_softermax`
+
+use nnlut_bench::paper_kit;
+use nnlut_core::metrics::mean_abs_error;
+use nnlut_transformer::backend::exact_softmax;
+use nnlut_transformer::eval::{BenchConfig, TaskBench};
+use nnlut_transformer::softermax::softermax;
+use nnlut_transformer::tasks::GlueTask;
+use nnlut_transformer::Nonlinearity;
+
+fn main() {
+    println!("== Extension: softmax baselines, operator level ==\n");
+    // Row-level error vs exact softmax, on representative logit rows.
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|r| {
+            (0..128)
+                .map(|i| (((i * 37 + r * 13) % 97) as f32) * 0.12 - 5.0)
+                .collect()
+        })
+        .collect();
+    let kit = paper_kit();
+    let mut err_nn = 0.0f32;
+    let mut err_sm = 0.0f32;
+    let mut n = 0usize;
+    for row in &rows {
+        let mut exact = row.clone();
+        exact_softmax(&mut exact);
+        let mut nn = row.clone();
+        kit.softmax(&mut nn);
+        let mut sm = row.clone();
+        softermax(&mut sm);
+        for i in 0..row.len() {
+            err_nn += (nn[i] - exact[i]).abs();
+            err_sm += (sm[i] - exact[i]).abs();
+            n += 1;
+        }
+    }
+    println!("mean |Δp| vs exact softmax over {n} attention weights:");
+    println!("  NN-LUT     {:.6}", err_nn / n as f32);
+    println!("  Softermax  {:.6}  (base-2 temperature shift, by design)", err_sm / n as f32);
+
+    println!("\n== Extension: softmax baselines, task level (Softmax site only) ==\n");
+    let mut labels_scores = Vec::new();
+    for task in [GlueTask::Sst2, GlueTask::Qqp, GlueTask::StsB] {
+        eprintln!("building frozen model for {task} …");
+        let bench = TaskBench::new(task, &BenchConfig::default());
+        labels_scores.push((
+            task.name(),
+            bench.score(&Nonlinearity::exact()),
+            bench.score(&Nonlinearity::softmax_only(&kit)),
+            bench.score(&Nonlinearity::softermax_only()),
+        ));
+    }
+    println!(
+        "{:<8}{:>10}{:>10}{:>12}",
+        "task", "baseline", "NN-LUT", "Softermax"
+    );
+    for (name, base, nn, sm) in labels_scores {
+        println!("{name:<8}{base:>10.1}{nn:>10.1}{sm:>12.1}");
+    }
+
+    // And the underlying kernel quality for reference.
+    let e = mean_abs_error(
+        nnlut_transformer::softermax::exp2_linear,
+        |x| (x as f64).exp2() as f32,
+        (-8.0, 0.0),
+        4000,
+    );
+    println!("\n(exp2 piecewise-linear kernel L1 error on (-8,0): {e:.5})");
+    println!("\nShape to check: at the operator level NN-LUT tracks exact softmax");
+    println!("~7x more closely than drop-in Softermax (whose base-2 temperature");
+    println!("shift is meant to be absorbed by fine-tuning). At the task level the");
+    println!("synthetic substrate is tolerant of temperature changes, so both");
+    println!("survive — the operator-level gap is the reproducible signal here.");
+}

@@ -1,0 +1,117 @@
+//! **FIG2** — Figure 2 reproduction: approximation accuracy of NN-LUT vs
+//! Linear-LUT for GELU, Softmax (exp/div), and LayerNorm (1/√x).
+//!
+//! Prints, per operator: the L1 error of both methods over the evaluation
+//! range (the figure's bottom row), plus a coarse ASCII overlay of the
+//! approximated curves (the figure's top row) and a TSV block suitable for
+//! replotting.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin fig2_approx_accuracy`
+
+#![allow(clippy::needless_range_loop)]
+
+use nnlut_bench::{linear_kit, paper_kit};
+use nnlut_core::funcs::TargetFunction;
+use nnlut_core::metrics::{max_abs_error, mean_abs_error};
+use nnlut_core::NnLutKit;
+
+struct Panel {
+    name: &'static str,
+    exact: fn(f32) -> f32,
+    range: (f32, f32),
+}
+
+fn kit_eval(kit: &NnLutKit, panel: &'static str, x: f32) -> f32 {
+    match panel {
+        "GELU" => kit.gelu(x),
+        "Softmax(exp)" => kit.exp(x),
+        "Softmax(div)" => kit.recip(x),
+        "LayerNorm(1/sqrt)" => kit.inv_sqrt(x),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    println!("== Figure 2: approximation accuracy, 16-entry LUTs ==\n");
+    let nn = paper_kit();
+    let lin = linear_kit();
+
+    let panels = [
+        Panel {
+            name: "GELU",
+            exact: |x| TargetFunction::Gelu.eval(x),
+            range: (-5.0, 5.0),
+        },
+        Panel {
+            name: "Softmax(exp)",
+            exact: |x| TargetFunction::Exp.eval(x),
+            range: (-12.0, 0.0),
+        },
+        Panel {
+            name: "Softmax(div)",
+            exact: |x| TargetFunction::Recip.eval(x),
+            range: (1.0, 64.0),
+        },
+        Panel {
+            name: "LayerNorm(1/sqrt)",
+            exact: |x| TargetFunction::Rsqrt.eval(x),
+            range: (0.01, 64.0),
+        },
+    ];
+
+    println!("L1 / max error over evaluation range (paper Fig. 2 bottom row):");
+    println!(
+        "{:<20}{:>12}{:>12}{:>12}{:>12}",
+        "operator", "NN-LUT L1", "Linear L1", "NN-LUT max", "Linear max"
+    );
+    for p in &panels {
+        let l1_nn = mean_abs_error(|x| kit_eval(&nn, p.name, x), p.exact, p.range, 8000);
+        let l1_li = mean_abs_error(|x| kit_eval(&lin, p.name, x), p.exact, p.range, 8000);
+        let mx_nn = max_abs_error(|x| kit_eval(&nn, p.name, x), p.exact, p.range, 8000);
+        let mx_li = max_abs_error(|x| kit_eval(&lin, p.name, x), p.exact, p.range, 8000);
+        println!(
+            "{:<20}{:>12.5}{:>12.5}{:>12.5}{:>12.5}",
+            p.name, l1_nn, l1_li, mx_nn, mx_li
+        );
+    }
+
+    println!("\nTSV samples for replotting (x, exact, nn_lut, linear_lut):");
+    for p in &panels {
+        println!("# {}", p.name);
+        for i in 0..=32 {
+            let x = p.range.0 + (p.range.1 - p.range.0) * i as f32 / 32.0;
+            println!(
+                "{x:.4}\t{:.5}\t{:.5}\t{:.5}",
+                (p.exact)(x),
+                kit_eval(&nn, p.name, x),
+                kit_eval(&lin, p.name, x)
+            );
+        }
+    }
+
+    // ASCII overlay of the most telling panel: 1/sqrt near the origin,
+    // where fixed breakpoints fail (paper Fig. 2c).
+    println!("\nLayerNorm 1/sqrt near the origin ('.' exact, 'n' NN-LUT, 'L' Linear-LUT):");
+    let (lo, hi) = (0.05f32, 4.0f32);
+    let rows = 16;
+    let cols = 64;
+    let mut grid = vec![vec![b' '; cols]; rows];
+    let ymax = 1.0 / lo.sqrt();
+    for c in 0..cols {
+        let x = lo + (hi - lo) * c as f32 / (cols - 1) as f32;
+        let mut plot = |y: f32, ch: u8| {
+            let t = (y / ymax).clamp(0.0, 1.0);
+            let r = ((1.0 - t) * (rows - 1) as f32).round() as usize;
+            let cell = &mut grid[r][c];
+            if *cell == b' ' || ch == b'.' {
+                *cell = ch;
+            }
+        };
+        plot(lin.inv_sqrt(x), b'L');
+        plot(nn.inv_sqrt(x), b'n');
+        plot(1.0 / x.sqrt(), b'.');
+    }
+    for row in grid {
+        println!("{}", String::from_utf8_lossy(&row));
+    }
+}

@@ -1,0 +1,39 @@
+//! Runs every table/figure reproduction binary in sequence (the full
+//! paper regeneration). Equivalent to invoking each binary separately;
+//! this is the one-command version referenced by the README.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin run_all`
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "fig2_approx_accuracy",
+        "table2a_glue_direct",
+        "table2b_int8",
+        "table3_mobilebert",
+        "table4_hw",
+        "table5_system",
+        "ablation_entries",
+        "ablation_loss",
+        "ablation_breakpoints",
+        "ablation_sampling",
+        "ablation_calibration",
+        "ext_decoder",
+        "ext_softermax",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("binary directory");
+    for bin in binaries {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! **T2B** — Table 2(b) reproduction: the INT8-body RoBERTa-like model.
+//!
+//! Rows: FP32-nonlinear baseline, I-BERT (INT32 integer kernels), and
+//! NN-LUT at {FP32, FP32+C, INT32, INT32+C}, where "+C" is §3.3.3
+//! calibration of the LayerNorm (1/√x) table on captured unlabeled
+//! activations.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin table2b_int8`
+
+use nnlut_bench::{fmt_header, fmt_row, mean, paper_kit};
+use nnlut_core::calibrate::CalibrationConfig;
+use nnlut_core::funcs::TargetFunction;
+use nnlut_core::precision::Precision;
+use nnlut_transformer::eval::{BenchConfig, TaskBench};
+use nnlut_transformer::tasks::GlueTask;
+use nnlut_transformer::{MatmulMode, Nonlinearity};
+
+fn main() {
+    println!("== Table 2(b): INT8 RoBERTa-like body (non-linear ops as labelled) ==\n");
+
+    let cfg = BenchConfig {
+        body_mode: MatmulMode::Int8,
+        ..BenchConfig::default()
+    };
+    let benches: Vec<TaskBench> = GlueTask::ALL
+        .iter()
+        .map(|&t| {
+            eprintln!("building frozen INT8 model for {t} …");
+            TaskBench::new(t, &cfg)
+        })
+        .collect();
+
+    // Direct kit plus a calibrated copy (LayerNorm 1/sqrt only, as in the
+    // paper: "a calibration only for NN-LUT on the LayerNorm operations").
+    let kit = paper_kit();
+    let mut kit_cal = kit.clone();
+    {
+        // Unlabeled activation capture with the NN-LUT backend in place.
+        let mut samples = Vec::new();
+        for b in &benches {
+            let cap = b.capture_layernorm(&Nonlinearity::all_lut(&kit), 2048, 16);
+            samples.extend_from_slice(cap.samples());
+        }
+        eprintln!("calibrating on {} captured LayerNorm variances …", samples.len());
+        kit_cal
+            .calibrate(
+                TargetFunction::Rsqrt,
+                &samples,
+                &CalibrationConfig::default(),
+                nnlut_bench::KIT_SEED,
+            )
+            .expect("calibration with non-empty capture succeeds");
+    }
+    let kit_i32 = kit.with_precision(Precision::Int32).expect("int32 kit");
+    let kit_i32_cal = kit_cal.with_precision(Precision::Int32).expect("int32 kit");
+
+    let names: Vec<&str> = GlueTask::ALL.iter().map(|t| t.name()).collect();
+    let mut header_names = names.clone();
+    header_names.push("Avg");
+    println!("{}", fmt_header("Method / Precision", &header_names));
+
+    let emit = |label: &str, nl: &Nonlinearity| {
+        let scores: Vec<f32> = benches.iter().map(|b| b.score(nl)).collect();
+        let mut cells = scores.clone();
+        cells.push(mean(&scores));
+        println!("{}", fmt_row(label, &cells));
+    };
+
+    emit("Baseline (FP32 ops)", &Nonlinearity::exact());
+    emit("I-BERT (INT32)", &Nonlinearity::all_ibert());
+    emit("NN-LUT FP32", &Nonlinearity::all_lut(&kit));
+    emit("NN-LUT FP32+C", &Nonlinearity::all_lut(&kit_cal));
+    emit("NN-LUT INT32", &Nonlinearity::all_lut(&kit_i32));
+    emit("NN-LUT INT32+C", &Nonlinearity::all_lut(&kit_i32_cal));
+
+    println!("\nPaper shape to check: NN-LUT FP32 on par with I-BERT; INT32 slightly");
+    println!("below FP32; calibration (+C) lifts both, surpassing I-BERT on average.");
+}

@@ -1,0 +1,52 @@
+//! **T3** — Table 3 reproduction: direct approximation of Softmax in the
+//! MobileBERT-like span model on the SQuAD-like task.
+//!
+//! MobileBERT uses NoNorm + ReLU, so Softmax is the only non-linear
+//! operation in the transformer layer; MatMul runs in FP16. Rows compare
+//! Baseline vs Linear-LUT vs NN-LUT with the softmax tables deployed in
+//! FP32 and FP16.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin table3_mobilebert`
+
+use nnlut_bench::{linear_kit, paper_kit};
+use nnlut_core::precision::Precision;
+use nnlut_transformer::eval::{BenchConfig, SquadBench};
+use nnlut_transformer::{MatmulMode, Nonlinearity, TransformerConfig};
+
+fn main() {
+    println!("== Table 3: MobileBERT-like SQuAD-like span task, Softmax approximation ==");
+    println!("   (MatMul computed in FP16 in all cases)\n");
+
+    let cfg = BenchConfig {
+        config: TransformerConfig::mobilebert_tiny(),
+        seq_len: 32,
+        n_train: 256,
+        n_eval: 128,
+        body_mode: MatmulMode::F16,
+        ..BenchConfig::default()
+    };
+    eprintln!("building frozen MobileBERT-like span model …");
+    let bench = SquadBench::new(&cfg);
+
+    let nn = paper_kit();
+    let nn16 = nn.with_precision(Precision::F16).expect("fp16 kit");
+    let lin = linear_kit();
+    let lin16 = lin.with_precision(Precision::F16).expect("fp16 kit");
+
+    let baseline = bench.f1(&Nonlinearity::exact());
+    let rows = [
+        ("Baseline (FP32 softmax)", baseline),
+        ("Linear-LUT FP32", bench.f1(&Nonlinearity::softmax_only(&lin))),
+        ("Linear-LUT FP16", bench.f1(&Nonlinearity::softmax_only(&lin16))),
+        ("NN-LUT FP32", bench.f1(&Nonlinearity::softmax_only(&nn))),
+        ("NN-LUT FP16", bench.f1(&Nonlinearity::softmax_only(&nn16))),
+    ];
+
+    println!("{:<26}{:>10}{:>10}", "Approx. type", "F1", "(loss)");
+    for (label, f1) in rows {
+        println!("{label:<26}{f1:>10.1}{:>10.1}", f1 - baseline);
+    }
+
+    println!("\nPaper shape to check: NN-LUT matches the baseline in both");
+    println!("precisions; Linear-LUT loses F1 in both.");
+}

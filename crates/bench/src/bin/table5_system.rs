@@ -1,0 +1,16 @@
+//! **T5** — Table 5 reproduction: system-level cycle breakdown of
+//! RoBERTa-base inference on the Fig. 3c mobile NPU, sweeping sequence
+//! length 16 … 1024, with the NN-LUT-over-I-BERT speedup row.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin table5_system`
+
+use nnlut_npu::render_table5;
+
+fn main() {
+    println!("== Table 5: system-level performance comparison ==\n");
+    print!("{}", render_table5());
+    println!();
+    println!("Paper shape to check: I-BERT non-linear share grows to ~38% at");
+    println!("SL=1024 (softmax is quadratic in SL); NN-LUT cuts it roughly in");
+    println!("half, yielding up to ~1.26x end-to-end speedup.");
+}

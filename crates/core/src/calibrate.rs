@@ -1,0 +1,307 @@
+//! Dataset-free calibration of NN-LUT parameters (paper §3.3.3).
+//!
+//! After a Transformer's non-linear ops are replaced by offline-trained
+//! NN-LUTs ("direct approximation"), residual accuracy loss can be recovered
+//! by *calibration*: run a small amount of unlabeled data through the model,
+//! capture the actual inputs each non-linear op sees, and re-regress each
+//! approximator against its full-precision reference **on that empirical
+//! input distribution**. All Transformer parameters stay frozen, so this is
+//! cheap (the paper reports < 5 % of fine-tuning time, five epochs).
+//!
+//! The mechanism here: [`ActivationCapture`] reservoir-samples op inputs
+//! during inference; [`calibrate`] fine-tunes the approximator on those
+//! samples (optionally mixed with synthetic uniform samples so coverage of
+//! the full domain is not lost) and returns the updated network, which is
+//! then re-converted to LUT form via [`crate::nn_to_lut`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::CoreError;
+use crate::funcs::validate_domain;
+use crate::nn::ApproxNet;
+use crate::train::{train, Dataset, Loss, TrainConfig};
+
+/// Reservoir sampler for op-input activations.
+///
+/// Keeps a uniform random subset of everything recorded, in O(cap) memory,
+/// so a whole evaluation pass can be captured without blowing up.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::calibrate::ActivationCapture;
+///
+/// let mut cap = ActivationCapture::new(128, 7);
+/// for i in 0..10_000 {
+///     cap.record(i as f32);
+/// }
+/// assert_eq!(cap.len(), 128);
+/// assert_eq!(cap.seen(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActivationCapture {
+    samples: Vec<f32>,
+    cap: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl ActivationCapture {
+    /// Creates a capture buffer holding at most `cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "capture capacity must be positive");
+        Self {
+            samples: Vec::with_capacity(cap),
+            cap,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Records one activation value (reservoir sampling).
+    pub fn record(&mut self, x: f32) {
+        if !x.is_finite() {
+            return;
+        }
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(x);
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Records a batch of activations.
+    pub fn record_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// The retained samples.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Number of retained samples (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total number of values offered to the reservoir.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Calibration hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationConfig {
+    /// Fine-tuning epochs over the captured samples (paper: five).
+    pub epochs: usize,
+    /// Adam learning rate (smaller than training: the net is already good).
+    pub learning_rate: f32,
+    /// Fraction of additional synthetic uniform-domain samples mixed in so
+    /// the LUT does not forget the rest of its range (0.0 disables).
+    pub uniform_mix: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            learning_rate: 2e-4,
+            uniform_mix: 0.25,
+            batch_size: 128,
+        }
+    }
+}
+
+/// Re-regresses a trained approximator against its full-precision reference
+/// on captured activation inputs (paper §3.3.3).
+///
+/// `net` must be in raw input coordinates over `domain` (the output of
+/// [`crate::recipe::train_recipe`]); the returned network is too.
+///
+/// # Errors
+///
+/// * [`CoreError::NoCalibrationSamples`] if `captured` is empty.
+/// * [`CoreError::InvalidDomain`] for a malformed domain.
+pub fn calibrate<F: Fn(f32) -> f32>(
+    net: &ApproxNet,
+    reference: F,
+    domain: (f32, f32),
+    captured: &[f32],
+    cfg: &CalibrationConfig,
+    seed: u64,
+) -> Result<ApproxNet, CoreError> {
+    validate_domain(domain)?;
+    if captured.is_empty() {
+        return Err(CoreError::NoCalibrationSamples);
+    }
+    let (lo, hi) = domain;
+
+    // Build the calibration input set: captured activations plus an optional
+    // uniform tail for domain coverage.
+    let mut raw: Vec<f32> = captured.to_vec();
+    let extra = (captured.len() as f32 * cfg.uniform_mix) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de);
+    for _ in 0..extra {
+        raw.push(lo + (hi - lo) * rng.gen::<f32>());
+    }
+    let data = Dataset::from_raw_samples(&reference, domain, &raw)?;
+
+    // Move the net into normalized coordinates, fine-tune, move back.
+    let mut net_z = normalized(net, lo, hi);
+    let train_cfg = TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        learning_rate: cfg.learning_rate,
+        milestones: vec![],
+        gamma: 1.0,
+        samples: data.len(),
+        loss: Loss::L1,
+        // Re-solving the readout on the *empirical* distribution is the
+        // "regressed with its full-precision reference" step of §3.3.3.
+        ls_init: true,
+    };
+    train(&mut net_z, &data, &train_cfg, seed);
+    Ok(net_z.denormalized(lo, hi))
+}
+
+/// Inverse of [`ApproxNet::denormalized`]: maps a raw-space network into
+/// `z = (x − lo)/(hi − lo)` coordinates.
+fn normalized(net: &ApproxNet, lo: f32, hi: f32) -> ApproxNet {
+    let w = hi - lo;
+    let n: Vec<f32> = net.first_layer_weights().iter().map(|&nx| nx * w).collect();
+    let b: Vec<f32> = net
+        .first_layer_biases()
+        .iter()
+        .zip(net.first_layer_weights())
+        .map(|(&bx, &nx)| bx + nx * lo)
+        .collect();
+    ApproxNet::from_params(net.second_layer().to_vec(), n, b, net.output_bias())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcs::TargetFunction;
+    use crate::metrics::mean_abs_error;
+    use crate::recipe::{recipe_for, train_recipe};
+
+    #[test]
+    fn reservoir_keeps_capacity_and_counts() {
+        let mut cap = ActivationCapture::new(10, 1);
+        cap.record_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(cap.len(), 3);
+        for i in 0..1000 {
+            cap.record(i as f32);
+        }
+        assert_eq!(cap.len(), 10);
+        assert_eq!(cap.seen(), 1003);
+    }
+
+    #[test]
+    fn reservoir_ignores_non_finite() {
+        let mut cap = ActivationCapture::new(4, 1);
+        cap.record(f32::NAN);
+        cap.record(f32::INFINITY);
+        assert!(cap.is_empty());
+        assert_eq!(cap.seen(), 0);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Record 0..10_000; the kept samples' mean should be near 5000.
+        let mut cap = ActivationCapture::new(500, 9);
+        for i in 0..10_000 {
+            cap.record(i as f32);
+        }
+        let mean: f32 = cap.samples().iter().sum::<f32>() / cap.len() as f32;
+        assert!((mean - 5000.0).abs() < 600.0, "reservoir mean {mean}");
+    }
+
+    #[test]
+    fn calibration_improves_error_on_the_empirical_distribution() {
+        // Train rsqrt on its wide domain, then calibrate toward a narrow
+        // empirical band (what a LayerNorm actually sees).
+        let recipe = recipe_for(TargetFunction::Rsqrt);
+        let (net, _) = train_recipe(&recipe, 16, &crate::train::TrainConfig::fast(), 21);
+        let band = (0.5f32, 4.0f32);
+        let captured: Vec<f32> = (0..800)
+            .map(|i| band.0 + (band.1 - band.0) * (i as f32 + 0.5) / 800.0)
+            .collect();
+        let calibrated = calibrate(
+            &net,
+            |x| TargetFunction::Rsqrt.eval(x),
+            recipe.domain,
+            &captured,
+            &CalibrationConfig::default(),
+            5,
+        )
+        .unwrap();
+        let before = mean_abs_error(
+            |x| net.eval(x),
+            |x| TargetFunction::Rsqrt.eval(x),
+            band,
+            1_000,
+        );
+        let after = mean_abs_error(
+            |x| calibrated.eval(x),
+            |x| TargetFunction::Rsqrt.eval(x),
+            band,
+            1_000,
+        );
+        assert!(
+            after < before,
+            "calibration should reduce band error: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn calibrate_rejects_empty_samples() {
+        let net = ApproxNet::from_params(vec![1.0], vec![1.0], vec![0.0], 0.0);
+        let err = calibrate(
+            &net,
+            |x| x,
+            (0.0, 1.0),
+            &[],
+            &CalibrationConfig::default(),
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::NoCalibrationSamples);
+    }
+
+    #[test]
+    fn normalized_roundtrips_with_denormalized() {
+        let net = ApproxNet::from_params(
+            vec![0.5, -1.0],
+            vec![2.0, -0.01],
+            vec![-1.0, 3.0],
+            0.7,
+        );
+        let z = normalized(&net, -5.0, 5.0);
+        let back = z.denormalized(-5.0, 5.0);
+        for i in -10..=10 {
+            let x = i as f32 * 0.5;
+            assert!((net.eval(x) - back.eval(x)).abs() < 1e-4);
+        }
+    }
+}

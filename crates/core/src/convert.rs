@@ -1,0 +1,277 @@
+//! The exact NN → LUT transformation (paper Eq. 6–7, Fig. 1b).
+//!
+//! A one-hidden-layer ReLU network is piecewise linear between the sorted
+//! neuron breakpoints `d_j = -b_j/n_j`. On each interval the set of *active*
+//! neurons is constant: a neuron whose breakpoint lies left of the interval
+//! is active iff its input weight `n_j` is positive, and a neuron whose
+//! breakpoint lies right of the interval is active iff `n_j` is negative
+//! (paper Eq. 6). Summing `m_j·(n_j·x + b_j)` over the active set gives the
+//! interval's slope `sᵢ = Σ m_j·n_j` and intercept `tᵢ = Σ m_j·b_j` — the
+//! lookup-table parameters (paper Eq. 7).
+//!
+//! This module computes those sums in `f64` and emits an
+//! [`crate::LookupTable`], handling two cases the paper glosses over:
+//!
+//! * **dead neurons** (`n_j == 0`): contribute the constant `m_j·ReLU(b_j)`,
+//!   folded into every intercept;
+//! * **the output bias** `c` of [`crate::ApproxNet`]: likewise folded into
+//!   every intercept.
+
+use crate::lut::{LookupTable, Segment};
+use crate::nn::ApproxNet;
+
+/// Transforms a trained approximator network into its exactly equivalent
+/// lookup table.
+///
+/// For a network with `H` live (non-dead) neurons the resulting table has
+/// `H` breakpoints and `H + 1` entries; the paper's 16-entry LUT therefore
+/// corresponds to 15 hidden neurons.
+///
+/// The transformation is *exact*: `lut.eval(x) == net.eval(x)` for every
+/// `x`, up to `f32` rounding of the parameter sums (the paper's Fig. 1b).
+/// This invariant is property-tested in this module and in `tests/`.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::{nn_to_lut, ApproxNet};
+///
+/// // A 2-neuron hat function.
+/// let net = ApproxNet::from_params(
+///     vec![1.0, -2.0],
+///     vec![1.0, 1.0],
+///     vec![0.0, -1.0],
+///     0.0,
+/// );
+/// let lut = nn_to_lut(&net);
+/// assert_eq!(lut.entries(), 3);
+/// for i in -8..16 {
+///     let x = i as f32 * 0.25;
+///     assert!((lut.eval(x) - net.eval(x)).abs() < 1e-5);
+/// }
+/// ```
+pub fn nn_to_lut(net: &ApproxNet) -> LookupTable {
+    let h = net.hidden();
+    let m = net.second_layer();
+    let n = net.first_layer_weights();
+    let b = net.first_layer_biases();
+
+    // Constant contribution: output bias + dead neurons.
+    let mut constant = net.output_bias() as f64;
+    let mut live: Vec<usize> = Vec::with_capacity(h);
+    for j in 0..h {
+        if n[j] == 0.0 {
+            constant += m[j] as f64 * (b[j] as f64).max(0.0);
+        } else {
+            live.push(j);
+        }
+    }
+
+    // Sort live neurons by breakpoint position.
+    live.sort_by(|&a, &bj| {
+        let da = -(b[a] as f64) / (n[a] as f64);
+        let db = -(b[bj] as f64) / (n[bj] as f64);
+        da.partial_cmp(&db).expect("breakpoints are finite")
+    });
+    let breakpoints: Vec<f64> = live
+        .iter()
+        .map(|&j| -(b[j] as f64) / (n[j] as f64))
+        .collect();
+
+    // One segment per interval: (-inf, d0), [d0, d1), …, [d_last, +inf).
+    let num_segments = breakpoints.len() + 1;
+    let mut segments = Vec::with_capacity(num_segments);
+    for i in 0..num_segments {
+        // A probe point strictly inside the interval decides which neurons
+        // are active there. Zero-width intervals (coincident breakpoints)
+        // get the left endpoint itself; neurons whose pre-activation is
+        // exactly zero there contribute zero either way, so the emitted
+        // line still passes through the correct value at that point.
+        let probe = probe_point(&breakpoints, i);
+        let mut slope = 0.0f64;
+        let mut intercept = constant;
+        for &j in &live {
+            if n[j] as f64 * probe + b[j] as f64 > 0.0 {
+                slope += m[j] as f64 * n[j] as f64;
+                intercept += m[j] as f64 * b[j] as f64;
+            }
+        }
+        segments.push(Segment::new(slope as f32, intercept as f32));
+    }
+
+    let breakpoints_f32: Vec<f32> = breakpoints.iter().map(|&d| d as f32).collect();
+    LookupTable::new(breakpoints_f32, segments)
+        .expect("conversion of a finite network always yields a valid table")
+}
+
+/// A point strictly inside interval `i` of the sorted breakpoint list
+/// (or the left endpoint for zero-width intervals).
+fn probe_point(breakpoints: &[f64], i: usize) -> f64 {
+    match (i.checked_sub(1).map(|k| breakpoints[k]), breakpoints.get(i)) {
+        (None, None) => 0.0,                       // no breakpoints at all
+        (None, Some(&d)) => d - 1.0,               // leftmost open interval
+        (Some(d), None) => d + 1.0,                // rightmost open interval
+        (Some(dl), Some(&dr)) => {
+            if dr > dl {
+                dl + (dr - dl) * 0.5
+            } else {
+                dl // zero-width interval
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_lut_matches_net(net: &ApproxNet, lo: f32, hi: f32) {
+        let lut = nn_to_lut(net);
+        let steps = 400;
+        for i in 0..=steps {
+            let x = lo + (hi - lo) * i as f32 / steps as f32;
+            let want = net.eval_f64(x as f64);
+            let got = lut.eval(x) as f64;
+            let tol = 1e-4 * (1.0 + want.abs());
+            assert!(
+                (want - got).abs() <= tol,
+                "x={x}: net={want} lut={got}"
+            );
+        }
+        // Also probe exactly at the breakpoints (interval boundary semantics).
+        for &d in lut.breakpoints() {
+            let want = net.eval_f64(d as f64);
+            let got = lut.eval(d) as f64;
+            assert!(
+                (want - got).abs() <= 1e-3 * (1.0 + want.abs()),
+                "at breakpoint {d}: net={want} lut={got}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_converts_to_two_segments() {
+        let net = ApproxNet::from_params(vec![1.0], vec![1.0], vec![0.0], 0.0);
+        let lut = nn_to_lut(&net);
+        assert_eq!(lut.entries(), 2);
+        assert_eq!(lut.breakpoints(), &[0.0]);
+        assert_eq!(lut.segments()[0], Segment::new(0.0, 0.0));
+        assert_eq!(lut.segments()[1], Segment::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn negative_weight_neuron_activates_left() {
+        // ReLU(-x): active for x < 0.
+        let net = ApproxNet::from_params(vec![1.0], vec![-1.0], vec![0.0], 0.0);
+        let lut = nn_to_lut(&net);
+        assert_eq!(lut.segments()[0], Segment::new(-1.0, 0.0));
+        assert_eq!(lut.segments()[1], Segment::new(0.0, 0.0));
+        assert_lut_matches_net(&net, -5.0, 5.0);
+    }
+
+    #[test]
+    fn dead_neuron_folds_into_intercepts() {
+        let net = ApproxNet::from_params(vec![2.0, 1.0], vec![0.0, 1.0], vec![3.0, 0.0], 0.5);
+        let lut = nn_to_lut(&net);
+        // Dead neuron contributes 2*ReLU(3) = 6; output bias 0.5.
+        assert_eq!(lut.entries(), 2);
+        assert_eq!(lut.segments()[0].intercept, 6.5);
+        assert_lut_matches_net(&net, -4.0, 4.0);
+    }
+
+    #[test]
+    fn dead_neuron_with_negative_bias_is_dropped() {
+        let net = ApproxNet::from_params(vec![2.0], vec![0.0], vec![-3.0], 0.0);
+        let lut = nn_to_lut(&net);
+        assert_eq!(lut.eval(123.0), 0.0);
+    }
+
+    #[test]
+    fn hat_function_three_segments() {
+        let net =
+            ApproxNet::from_params(vec![1.0, -2.0], vec![1.0, 1.0], vec![0.0, -1.0], 0.0);
+        assert_lut_matches_net(&net, -3.0, 4.0);
+    }
+
+    #[test]
+    fn coincident_breakpoints_are_exact_at_the_point() {
+        // Two neurons with identical breakpoints at x = 1.
+        let net = ApproxNet::from_params(
+            vec![1.0, 0.5],
+            vec![2.0, -4.0],
+            vec![-2.0, 4.0],
+            0.1,
+        );
+        assert_lut_matches_net(&net, -2.0, 3.0);
+    }
+
+    #[test]
+    fn sixteen_entry_table_from_fifteen_neurons() {
+        let m: Vec<f32> = (0..15).map(|j| 0.1 * (j as f32 - 7.0)).collect();
+        let n: Vec<f32> = (0..15)
+            .map(|j| if j % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let b: Vec<f32> = (0..15).map(|j| 0.3 * j as f32 - 2.0).collect();
+        let net = ApproxNet::from_params(m, n, b, -0.2);
+        let lut = nn_to_lut(&net);
+        assert_eq!(lut.entries(), 16);
+        assert_lut_matches_net(&net, -10.0, 10.0);
+    }
+
+    proptest! {
+        /// The paper's central claim, property-tested: the LUT equals the
+        /// network everywhere, for arbitrary parameters.
+        #[test]
+        fn conversion_is_exact(
+            params in proptest::collection::vec(
+                (-2.0f32..2.0, -3.0f32..3.0, -3.0f32..3.0),
+                1..12
+            ),
+            c in -1.0f32..1.0,
+            xs in proptest::collection::vec(-20.0f32..20.0, 1..40),
+        ) {
+            let m: Vec<f32> = params.iter().map(|p| p.0).collect();
+            let n: Vec<f32> = params.iter().map(|p| p.1).collect();
+            let b: Vec<f32> = params.iter().map(|p| p.2).collect();
+            let net = ApproxNet::from_params(m, n, b, c);
+            let lut = nn_to_lut(&net);
+            for x in xs {
+                let want = net.eval_f64(x as f64);
+                let got = lut.eval(x) as f64;
+                prop_assert!(
+                    (want - got).abs() <= 2e-4 * (1.0 + want.abs()),
+                    "x={}: net={} lut={}", x, want, got
+                );
+            }
+        }
+
+        /// Conversion at the breakpoints themselves.
+        #[test]
+        fn conversion_exact_at_breakpoints(
+            params in proptest::collection::vec(
+                (-2.0f32..2.0, 0.1f32..3.0, -3.0f32..3.0),
+                1..10
+            ),
+        ) {
+            let m: Vec<f32> = params.iter().map(|p| p.0).collect();
+            // Alternate signs so both activation directions occur.
+            let n: Vec<f32> = params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| if i % 2 == 0 { p.1 } else { -p.1 })
+                .collect();
+            let b: Vec<f32> = params.iter().map(|p| p.2).collect();
+            let net = ApproxNet::from_params(m, n, b, 0.0);
+            let lut = nn_to_lut(&net);
+            for &d in lut.breakpoints() {
+                let want = net.eval_f64(d as f64);
+                let got = lut.eval(d) as f64;
+                prop_assert!(
+                    (want - got).abs() <= 1e-3 * (1.0 + want.abs()),
+                    "at breakpoint {}: net={} lut={}", d, want, got
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for LUT construction and training.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or training NN-LUT artifacts.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Breakpoints were not strictly finite or not sorted ascending.
+    UnsortedBreakpoints,
+    /// A LUT parameter (slope/intercept) was non-finite.
+    NonFiniteParameter,
+    /// Segment count does not equal breakpoint count + 1.
+    SegmentCountMismatch {
+        /// Number of segments supplied.
+        segments: usize,
+        /// Number of breakpoints supplied.
+        breakpoints: usize,
+    },
+    /// A LUT needs at least one segment.
+    EmptyTable,
+    /// The requested entry count cannot be represented (needs ≥ 2 entries).
+    TooFewEntries(usize),
+    /// An invalid training domain (lo ≥ hi, or non-finite bounds).
+    InvalidDomain(f32, f32),
+    /// The exponential breakpoint mode requires a strictly positive domain.
+    ExponentialModeNeedsPositiveDomain,
+    /// Calibration was given no samples.
+    NoCalibrationSamples,
+    /// A serialized table could not be parsed (message names the line).
+    ParseTable(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsortedBreakpoints => {
+                write!(f, "breakpoints must be finite and sorted ascending")
+            }
+            CoreError::NonFiniteParameter => write!(f, "LUT parameter is not finite"),
+            CoreError::SegmentCountMismatch {
+                segments,
+                breakpoints,
+            } => write!(
+                f,
+                "expected {} segments for {breakpoints} breakpoints, got {segments}",
+                breakpoints + 1
+            ),
+            CoreError::EmptyTable => write!(f, "a lookup table needs at least one segment"),
+            CoreError::TooFewEntries(n) => {
+                write!(f, "a lookup table needs at least 2 entries, got {n}")
+            }
+            CoreError::InvalidDomain(lo, hi) => {
+                write!(f, "invalid domain ({lo}, {hi}): bounds must be finite with lo < hi")
+            }
+            CoreError::ExponentialModeNeedsPositiveDomain => {
+                write!(f, "exponential breakpoint mode requires a strictly positive domain")
+            }
+            CoreError::NoCalibrationSamples => {
+                write!(f, "calibration requires at least one captured sample")
+            }
+            CoreError::ParseTable(msg) => write!(f, "cannot parse table: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CoreError::SegmentCountMismatch {
+            segments: 3,
+            breakpoints: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("expected 4 segments"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

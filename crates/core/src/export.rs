@@ -1,0 +1,227 @@
+//! LUT serialization: a line-oriented text format for storing trained
+//! tables, and `$readmemh`-style memory images for loading the hardware
+//! table of the NN-LUT unit.
+//!
+//! The text format is deliberately trivial (one record per line,
+//! whitespace-separated, `#` comments) so tables can be versioned, diffed
+//! and hand-inspected:
+//!
+//! ```text
+//! # nn-lut table v1
+//! entries 16
+//! breakpoint -4.9909
+//! …
+//! segment -0.34016 -1.69921
+//! …
+//! ```
+//!
+//! The memory image serializes the **quantized** table (an
+//! [`crate::precision::Int32Lut`]'s view of it) as hex words in hardware
+//! load order: breakpoints, then slopes, then intercepts — the layout the
+//! generated Verilog (see `nnlut-hw`) expects.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::error::CoreError;
+use crate::lut::{LookupTable, Segment};
+use crate::precision::Int32Lut;
+
+/// Serializes a table to the v1 text format.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::{LookupTable, Segment};
+/// use nnlut_core::export::{to_text, from_text};
+///
+/// let lut = LookupTable::new(
+///     vec![0.0],
+///     vec![Segment::new(-1.0, 0.0), Segment::new(1.0, 0.0)],
+/// )?;
+/// let text = to_text(&lut);
+/// let back = from_text(&text)?;
+/// assert_eq!(back, lut);
+/// # Ok::<(), nnlut_core::CoreError>(())
+/// ```
+pub fn to_text(lut: &LookupTable) -> String {
+    let mut out = String::from("# nn-lut table v1\n");
+    let _ = writeln!(out, "entries {}", lut.entries());
+    for d in lut.breakpoints() {
+        // `{:e}` round-trips f32 exactly through parse.
+        let _ = writeln!(out, "breakpoint {d:e}");
+    }
+    for s in lut.segments() {
+        let _ = writeln!(out, "segment {:e} {:e}", s.slope, s.intercept);
+    }
+    out
+}
+
+/// Parses the v1 text format back into a table.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ParseTable`] describing the offending line for any
+/// malformed input, and the usual construction errors if the parsed
+/// numbers do not form a valid table.
+pub fn from_text(text: &str) -> Result<LookupTable, CoreError> {
+    let mut entries: Option<usize> = None;
+    let mut breakpoints = Vec::new();
+    let mut segments = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("non-empty line has a first token");
+        let mut take = |what: &str| -> Result<f32, CoreError> {
+            let tok = parts.next().ok_or_else(|| {
+                CoreError::ParseTable(format!("line {}: missing {what}", lineno + 1))
+            })?;
+            f32::from_str(tok).map_err(|_| {
+                CoreError::ParseTable(format!("line {}: bad {what} `{tok}`", lineno + 1))
+            })
+        };
+        match key {
+            "entries" => {
+                let tok = parts.next().ok_or_else(|| {
+                    CoreError::ParseTable(format!("line {}: missing entry count", lineno + 1))
+                })?;
+                entries = Some(tok.parse().map_err(|_| {
+                    CoreError::ParseTable(format!("line {}: bad entry count `{tok}`", lineno + 1))
+                })?);
+            }
+            "breakpoint" => breakpoints.push(take("breakpoint")?),
+            "segment" => {
+                let slope = take("slope")?;
+                let intercept = take("intercept")?;
+                segments.push(Segment::new(slope, intercept));
+            }
+            other => {
+                return Err(CoreError::ParseTable(format!(
+                    "line {}: unknown record `{other}`",
+                    lineno + 1
+                )))
+            }
+        }
+        if parts.next().is_some() {
+            return Err(CoreError::ParseTable(format!(
+                "line {}: trailing tokens",
+                lineno + 1
+            )));
+        }
+    }
+    let lut = LookupTable::new(breakpoints, segments)?;
+    if let Some(e) = entries {
+        if e != lut.entries() {
+            return Err(CoreError::ParseTable(format!(
+                "declared {e} entries but found {}",
+                lut.entries()
+            )));
+        }
+    }
+    Ok(lut)
+}
+
+/// Emits a `$readmemh`-compatible memory image of a quantized table.
+///
+/// Word order: `entries − 1` breakpoints (32-bit two's complement), then
+/// `entries` slopes, then `entries` intercepts (low 32 bits). One word per
+/// line, as Verilog's `$readmemh` expects.
+pub fn to_memh(lut: &Int32Lut) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// nn-lut memory image: breakpoints, slopes, intercepts");
+    for q in lut.quantized_breakpoints() {
+        let _ = writeln!(out, "{:08x}", *q as u32);
+    }
+    for q in lut.quantized_slopes() {
+        let _ = writeln!(out, "{:08x}", *q as u32);
+    }
+    for q in lut.quantized_intercepts() {
+        let _ = writeln!(out, "{:08x}", (*q as i32) as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcs::TargetFunction;
+    use crate::precision::input_scale_for_domain;
+    use crate::recipe::train_for_fast;
+
+    fn trained_lut() -> LookupTable {
+        crate::convert::nn_to_lut(&train_for_fast(TargetFunction::Gelu, 16, 5))
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let lut = trained_lut();
+        let text = to_text(&lut);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, lut);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_eval_bit_exactly() {
+        let lut = trained_lut();
+        let back = from_text(&to_text(&lut)).unwrap();
+        for i in -100..=100 {
+            let x = i as f32 * 0.07;
+            assert_eq!(lut.eval(x).to_bits(), back.eval(x).to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored()  {
+        let text = "\n# comment\nsegment 2.0 1.0\n\n";
+        let lut = from_text(text).unwrap();
+        assert_eq!(lut.entries(), 1);
+        assert_eq!(lut.eval(1.0), 3.0);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_line_numbers() {
+        for (text, needle) in [
+            ("segment 1.0", "missing intercept"),
+            ("segment one 2.0", "bad slope"),
+            ("frobnicate 1", "unknown record"),
+            ("segment 1.0 2.0 3.0", "trailing tokens"),
+            ("entries 3\nsegment 1.0 2.0", "declared 3 entries"),
+        ] {
+            let err = from_text(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "`{text}` → `{msg}`");
+        }
+    }
+
+    #[test]
+    fn memh_has_expected_word_count_and_format() {
+        let lut = trained_lut();
+        let q = Int32Lut::from_lut(&lut, input_scale_for_domain((-5.0, 5.0)));
+        let memh = to_memh(&q);
+        let words: Vec<&str> = memh
+            .lines()
+            .filter(|l| !l.starts_with("//"))
+            .collect();
+        // 15 breakpoints + 16 slopes + 16 intercepts.
+        assert_eq!(words.len(), 15 + 16 + 16);
+        assert!(words.iter().all(|w| w.len() == 8
+            && w.chars().all(|c| c.is_ascii_hexdigit())));
+    }
+
+    #[test]
+    fn memh_encodes_negative_values_twos_complement() {
+        use crate::lut::Segment;
+        let lut = LookupTable::new(
+            vec![-1.0],
+            vec![Segment::new(-1.0, 0.5), Segment::new(1.0, -0.5)],
+        )
+        .unwrap();
+        let q = Int32Lut::from_lut(&lut, 0.001);
+        let memh = to_memh(&q);
+        // breakpoint -1.0 / 0.001 = -1000 → 0xfffffc18.
+        assert!(memh.contains("fffffc18"), "{memh}");
+    }
+}

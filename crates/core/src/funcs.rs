@@ -1,0 +1,269 @@
+//! Target non-linear functions and their reference implementations.
+//!
+//! These are the functions the paper approximates (Table 1): GELU for the
+//! feed-forward block, `exp` and `1/x` for Softmax, `1/√x` for LayerNorm —
+//! plus the extra functions the NN-LUT hardware slide lists as future targets
+//! (tanh, sigmoid, swish, h-swish), which this reproduction also supports.
+
+use crate::error::CoreError;
+
+/// Gauss error function, accurate to ~1.2e-7 over all of ℝ.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation evaluated in
+/// `f64`, which is more than enough headroom for `f32` consumers.
+///
+/// # Examples
+///
+/// ```
+/// assert!((nnlut_core::funcs::erf(0.0)).abs() < 1e-7);
+/// assert!((nnlut_core::funcs::erf(3.0) - 0.99997791).abs() < 1e-5);
+/// ```
+pub fn erf(x: f32) -> f32 {
+    let xf = x as f64;
+    let sign = if xf < 0.0 { -1.0 } else { 1.0 };
+    let ax = xf.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * ax);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-ax * ax).exp();
+    (sign * y) as f32
+}
+
+/// Exact GELU: `x/2 · (1 + erf(x/√2))` (paper Eq. 1).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + erf(x / std::f32::consts::SQRT_2))
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x as f64).exp() as f32)
+}
+
+/// Swish / SiLU: `x · sigmoid(x)`.
+pub fn swish(x: f32) -> f32 {
+    x * sigmoid(x)
+}
+
+/// Hard swish: `x · ReLU6(x + 3) / 6`.
+pub fn hswish(x: f32) -> f32 {
+    x * (x + 3.0).clamp(0.0, 6.0) / 6.0
+}
+
+/// The non-linear functions NN-LUT can approximate.
+///
+/// The first four rows are the paper's Table 1; the rest are the additional
+/// targets listed on the NN-LUT hardware block of Fig. 3(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TargetFunction {
+    /// GELU activation (feed-forward block).
+    Gelu,
+    /// `exp(x)` on the post-max-subtraction Softmax domain.
+    Exp,
+    /// `1/x` (the Softmax denominator division).
+    Recip,
+    /// `1/√x` (the LayerNorm standard-deviation reciprocal).
+    Rsqrt,
+    /// Gauss error function.
+    Erf,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Swish / SiLU.
+    Swish,
+    /// Hard swish.
+    HSwish,
+}
+
+impl TargetFunction {
+    /// All functions, in Table-1 order followed by the extension targets.
+    pub const ALL: [TargetFunction; 9] = [
+        TargetFunction::Gelu,
+        TargetFunction::Exp,
+        TargetFunction::Recip,
+        TargetFunction::Rsqrt,
+        TargetFunction::Erf,
+        TargetFunction::Tanh,
+        TargetFunction::Sigmoid,
+        TargetFunction::Swish,
+        TargetFunction::HSwish,
+    ];
+
+    /// The paper's Table-1 functions (GELU, Exp, Divide, 1/SQRT).
+    pub const TABLE1: [TargetFunction; 4] = [
+        TargetFunction::Gelu,
+        TargetFunction::Exp,
+        TargetFunction::Recip,
+        TargetFunction::Rsqrt,
+    ];
+
+    /// Evaluates the exact (reference, FP32) function.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nnlut_core::funcs::TargetFunction;
+    ///
+    /// assert_eq!(TargetFunction::Recip.eval(4.0), 0.25);
+    /// assert_eq!(TargetFunction::Rsqrt.eval(4.0), 0.5);
+    /// ```
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            TargetFunction::Gelu => gelu(x),
+            TargetFunction::Exp => ((x as f64).exp()) as f32,
+            TargetFunction::Recip => 1.0 / x,
+            TargetFunction::Rsqrt => 1.0 / x.sqrt(),
+            TargetFunction::Erf => erf(x),
+            TargetFunction::Tanh => x.tanh(),
+            TargetFunction::Sigmoid => sigmoid(x),
+            TargetFunction::Swish => swish(x),
+            TargetFunction::HSwish => hswish(x),
+        }
+    }
+
+    /// The Table-1 training input range for this function.
+    ///
+    /// * GELU: (−5, 5)
+    /// * Exp: (−256, 0) — Softmax logits after max-subtraction
+    /// * Divide: (1, 1024) — Softmax denominators for sequence lengths ≤ 1024
+    /// * 1/SQRT: (0.1, 1024) — LayerNorm variances
+    ///
+    /// Extension functions use (−8, 8), the saturating range of their
+    /// sigmoid-family shapes.
+    pub fn domain(self) -> (f32, f32) {
+        match self {
+            TargetFunction::Gelu => (-5.0, 5.0),
+            TargetFunction::Exp => (-256.0, 0.0),
+            TargetFunction::Recip => (1.0, 1024.0),
+            TargetFunction::Rsqrt => (0.1, 1024.0),
+            TargetFunction::Erf
+            | TargetFunction::Tanh
+            | TargetFunction::Sigmoid
+            | TargetFunction::Swish
+            | TargetFunction::HSwish => (-8.0, 8.0),
+        }
+    }
+
+    /// Short machine-readable name (used in reports and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetFunction::Gelu => "gelu",
+            TargetFunction::Exp => "exp",
+            TargetFunction::Recip => "recip",
+            TargetFunction::Rsqrt => "rsqrt",
+            TargetFunction::Erf => "erf",
+            TargetFunction::Tanh => "tanh",
+            TargetFunction::Sigmoid => "sigmoid",
+            TargetFunction::Swish => "swish",
+            TargetFunction::HSwish => "hswish",
+        }
+    }
+}
+
+impl std::fmt::Display for TargetFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Validates a `(lo, hi)` training domain.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidDomain`] unless both bounds are finite and
+/// `lo < hi`.
+pub fn validate_domain(domain: (f32, f32)) -> Result<(), CoreError> {
+    let (lo, hi) = domain;
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(CoreError::InvalidDomain(lo, hi));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_matches_known_values() {
+        // Reference values from tables of erf.
+        let cases = [
+            (0.0f32, 0.0f32),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (-1.0, -0.8427008),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-6, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = i as f32 * 0.1;
+            assert!((erf(x) + erf(-x)).abs() < 1e-6);
+            assert!(erf(x).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((gelu(-1.0) + 0.15865526).abs() < 1e-5);
+        // Far negative saturates to 0, far positive to identity.
+        assert!(gelu(-10.0).abs() < 1e-6);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_monotone_above_minus_one() {
+        let mut prev = gelu(-0.5);
+        for i in 1..200 {
+            let x = -0.5 + i as f32 * 0.05;
+            let y = gelu(x);
+            assert!(y >= prev, "gelu not monotone at {x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn sigmoid_swish_hswish_shapes() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert_eq!(swish(0.0), 0.0);
+        assert_eq!(hswish(-3.0), 0.0);
+        assert_eq!(hswish(3.0), 3.0);
+        assert!((hswish(6.0) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table1_domains_match_paper() {
+        assert_eq!(TargetFunction::Gelu.domain(), (-5.0, 5.0));
+        assert_eq!(TargetFunction::Exp.domain(), (-256.0, 0.0));
+        assert_eq!(TargetFunction::Recip.domain(), (1.0, 1024.0));
+        assert_eq!(TargetFunction::Rsqrt.domain(), (0.1, 1024.0));
+    }
+
+    #[test]
+    fn validate_domain_rejects_bad_ranges() {
+        assert!(validate_domain((0.0, 1.0)).is_ok());
+        assert!(validate_domain((1.0, 1.0)).is_err());
+        assert!(validate_domain((2.0, 1.0)).is_err());
+        assert!(validate_domain((f32::NAN, 1.0)).is_err());
+        assert!(validate_domain((0.0, f32::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for f in TargetFunction::ALL {
+            assert_eq!(f.to_string(), f.name());
+        }
+    }
+}

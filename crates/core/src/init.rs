@@ -1,0 +1,242 @@
+//! Parameter initialization strategies (paper Table 1, §3.3.1).
+//!
+//! Table 1 constrains the *signs* of the first-layer weights and biases per
+//! target function so that the initial breakpoints `-b_j/n_j` land inside
+//! the function's domain:
+//!
+//! | Function | Weight init `n_j` | Bias init `b_j` | resulting breakpoints |
+//! |---|---|---|---|
+//! | GELU  | random          | random          | anywhere in (−5, 5) |
+//! | Exp   | positive random | positive random | negative (domain (−256, 0)) |
+//! | Divide| negative random | positive random | positive (domain (1, 1024)) |
+//! | 1/SQRT| negative random | positive random | positive |
+//!
+//! We realize "random subject to a sign constraint" constructively: draw a
+//! random breakpoint *position* `p_j` inside the training domain, draw a
+//! random weight magnitude, apply the sign constraint, and set
+//! `b_j = -n_j·p_j` (which then automatically satisfies Table 1's bias sign
+//! for each row). For the heavily curved functions (exp, 1/x, 1/√x) the
+//! positions are drawn log-uniformly so early training starts with
+//! resolution where the curvature lives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::nn::ApproxNet;
+
+/// Sign constraint on an initialized parameter group (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SignConstraint {
+    /// Unconstrained ("Random" in Table 1).
+    #[default]
+    Any,
+    /// Strictly positive ("Positive Random").
+    Positive,
+    /// Strictly negative ("Negative Random").
+    Negative,
+}
+
+impl SignConstraint {
+    /// Applies the constraint to a positive magnitude.
+    fn apply<R: Rng + ?Sized>(self, magnitude: f32, rng: &mut R) -> f32 {
+        match self {
+            SignConstraint::Any => {
+                if rng.gen::<bool>() {
+                    magnitude
+                } else {
+                    -magnitude
+                }
+            }
+            SignConstraint::Positive => magnitude,
+            SignConstraint::Negative => -magnitude,
+        }
+    }
+}
+
+/// How initial breakpoint positions are spread over the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BreakpointSpread {
+    /// Uniformly at random over the domain (GELU-style targets).
+    #[default]
+    Uniform,
+    /// Log-uniform over distance from the domain edge nearest the
+    /// curvature (exp/recip/rsqrt-style targets).
+    LogUniform,
+}
+
+/// Initialization recipe for one approximator network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InitStrategy {
+    /// Sign constraint on first-layer weights `n_j` (Table 1 column 4).
+    pub weight_sign: SignConstraint,
+    /// Sign constraint on first-layer biases `b_j` (Table 1 column 5).
+    pub bias_sign: SignConstraint,
+    /// Breakpoint position distribution.
+    pub spread: BreakpointSpread,
+}
+
+impl InitStrategy {
+    /// Table-1 "Random / Random" (GELU row).
+    pub fn random() -> Self {
+        Self {
+            weight_sign: SignConstraint::Any,
+            bias_sign: SignConstraint::Any,
+            spread: BreakpointSpread::Uniform,
+        }
+    }
+
+    /// Table-1 "Positive / Positive" (Exp row).
+    pub fn positive_positive() -> Self {
+        Self {
+            weight_sign: SignConstraint::Positive,
+            bias_sign: SignConstraint::Positive,
+            spread: BreakpointSpread::LogUniform,
+        }
+    }
+
+    /// Table-1 "Negative / Positive" (Divide and 1/SQRT rows).
+    pub fn negative_positive() -> Self {
+        Self {
+            weight_sign: SignConstraint::Negative,
+            bias_sign: SignConstraint::Positive,
+            spread: BreakpointSpread::LogUniform,
+        }
+    }
+
+    /// Initializes a network of `neurons` hidden units whose breakpoints lie
+    /// in the **normalized** domain `[0, 1]` (training happens in normalized
+    /// coordinates; see [`crate::train`]).
+    ///
+    /// `curvature_at_hi` orients the log-uniform spread: `true` concentrates
+    /// breakpoints near `z = 1` (e.g. exp on (−256, 0], whose interesting
+    /// region is near 0 ⇒ near `z = 1`), `false` near `z = 0` (1/x and 1/√x
+    /// on (1, 1024)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neurons == 0`.
+    pub fn init_normalized<R: Rng + ?Sized>(
+        &self,
+        neurons: usize,
+        curvature_at_hi: bool,
+        rng: &mut R,
+    ) -> ApproxNet {
+        assert!(neurons > 0, "a network needs at least one neuron");
+        let mut m = Vec::with_capacity(neurons);
+        let mut n = Vec::with_capacity(neurons);
+        let mut b = Vec::with_capacity(neurons);
+        for j in 0..neurons {
+            // Stratified breakpoint positions: neuron j owns a slice of the
+            // domain, with jitter, so initial coverage has no gaps.
+            let u = (j as f32 + rng.gen::<f32>()) / neurons as f32;
+            let p = match self.spread {
+                BreakpointSpread::Uniform => u,
+                BreakpointSpread::LogUniform => {
+                    // Distances from the curvature edge span 1e-3 … 1.
+                    let d = 10f32.powf(-3.0 * (1.0 - u));
+                    if curvature_at_hi {
+                        1.0 - d
+                    } else {
+                        d
+                    }
+                }
+            };
+            let magnitude = 0.5 + rng.gen::<f32>(); // in [0.5, 1.5)
+            let w = self.weight_sign.apply(magnitude, rng);
+            // Placing the breakpoint at `p` fixes the bias: b = -w·p. The
+            // Table-1 *bias* sign constraint is a property of the raw input
+            // space (where e.g. the exp domain is negative); it emerges
+            // automatically after `denormalized()` and is asserted by the
+            // unit tests below rather than here in normalized space.
+            let bias = -w * p;
+            m.push(0.2 * crate::init::small_normal(rng) / (neurons as f32).sqrt());
+            n.push(w);
+            b.push(bias);
+        }
+        ApproxNet::from_params(m, n, b, 0.0)
+    }
+}
+
+/// A cheap standard-normal-ish sample (sum of uniforms, Irwin–Hall with 4
+/// terms, variance-corrected) — good enough for initialization noise.
+pub(crate) fn small_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let s: f32 = (0..4).map(|_| rng.gen::<f32>()).sum();
+    (s - 2.0) * (3.0f32).sqrt() // var of sum = 4/12 = 1/3 ⇒ scale by sqrt(3)
+}
+
+/// Convenience constructor used by [`crate::recipe`].
+pub fn init_for_seed(
+    strategy: InitStrategy,
+    neurons: usize,
+    curvature_at_hi: bool,
+    seed: u64,
+) -> ApproxNet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    strategy.init_normalized(neurons, curvature_at_hi, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_positive_yields_negative_breakpoints_after_denorm() {
+        // Exp domain (−256, 0): normalized breakpoints in [0,1] map to
+        // negative raw positions; weights stay positive.
+        let net = init_for_seed(InitStrategy::positive_positive(), 15, true, 3);
+        let raw = net.denormalized(-256.0, 0.0);
+        for j in 0..raw.hidden() {
+            assert!(raw.first_layer_weights()[j] > 0.0, "weight sign");
+            let d = raw.breakpoint(j).unwrap();
+            assert!((-256.0..=0.0).contains(&d), "breakpoint {d} outside domain");
+            assert!(raw.first_layer_biases()[j] >= 0.0, "bias sign");
+        }
+    }
+
+    #[test]
+    fn negative_positive_matches_table1_divide_row() {
+        let net = init_for_seed(InitStrategy::negative_positive(), 15, false, 4);
+        let raw = net.denormalized(1.0, 1024.0);
+        for j in 0..raw.hidden() {
+            assert!(raw.first_layer_weights()[j] < 0.0, "weight sign");
+            assert!(raw.first_layer_biases()[j] > 0.0, "bias sign");
+            let d = raw.breakpoint(j).unwrap();
+            assert!((1.0..=1024.0).contains(&d), "breakpoint {d} outside domain");
+        }
+    }
+
+    #[test]
+    fn uniform_spread_covers_domain() {
+        let net = init_for_seed(InitStrategy::random(), 16, false, 5);
+        let mut ds: Vec<f32> = (0..16).map(|j| net.breakpoint(j).unwrap()).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(ds[0] < 0.15, "first breakpoint too far right: {}", ds[0]);
+        assert!(ds[15] > 0.85, "last breakpoint too far left: {}", ds[15]);
+        // Stratification: no giant gaps.
+        for w in ds.windows(2) {
+            assert!(w[1] - w[0] < 0.3, "gap {} too large", w[1] - w[0]);
+        }
+    }
+
+    #[test]
+    fn loguniform_concentrates_near_curvature() {
+        let net = init_for_seed(InitStrategy::negative_positive(), 16, false, 6);
+        let near_zero = (0..16)
+            .filter(|&j| net.breakpoint(j).unwrap() < 0.1)
+            .count();
+        assert!(near_zero >= 8, "only {near_zero}/16 breakpoints near curvature");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = init_for_seed(InitStrategy::random(), 8, false, 42);
+        let b = init_for_seed(InitStrategy::random(), 8, false, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neuron")]
+    fn zero_neurons_panics() {
+        let _ = init_for_seed(InitStrategy::random(), 0, false, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! # nnlut-core
+//!
+//! The paper's primary contribution: **NN-LUT** (Yu et al., DAC 2022).
+//!
+//! A one-hidden-layer ReLU network
+//!
+//! ```text
+//! NN(x) = Σ_j m_j · ReLU(n_j·x + b_j) + c
+//! ```
+//!
+//! is a piecewise-linear function whose pieces are delimited by the neuron
+//! breakpoints `d_j = -b_j / n_j`. Training such a network against a costly
+//! non-linear target (GELU, exp, 1/x, 1/√x, …) and then reading the pieces
+//! off ([`convert::nn_to_lut`]) yields a first-order lookup table
+//! ([`lut::LookupTable`]) that evaluates with *one comparison tree, one
+//! multiply, and one add* — the NN-LUT hardware primitive.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`funcs`] — target non-linear functions and reference math (§2.1).
+//! * [`lut`] — the `N`-entry first-order LUT of Eq. 4 (§3.1).
+//! * [`nn`] — the approximator network of Eq. 5 (§3.2).
+//! * [`convert`] — the exact NN → LUT transformation of Eq. 6–7 (§3.2).
+//! * [`init`] + [`recipe`] — Table-1 training setup (§3.3.1).
+//! * [`train`] — Adam + L1 loss + multi-step LR (§4.1).
+//! * [`scaling`] — power-of-two input scaling for 1/√x (§3.3.2).
+//! * [`calibrate`] — dataset-free calibration on captured activations (§3.3.3).
+//! * [`linear_lut`] — the Linear-LUT curve-fitting baseline (§3.1, §4.1).
+//! * [`precision`] — bit-accurate FP16 and I-BERT-style INT32 LUT modes (§4.1).
+//! * [`ops`] — drop-in GELU / Softmax / LayerNorm kernels built from LUTs (§4.3).
+//! * [`metrics`] — approximation-error metrics used in Fig. 2.
+//!
+//! ## Example: the full NN-LUT pipeline
+//!
+//! ```
+//! use nnlut_core::convert::nn_to_lut;
+//! use nnlut_core::funcs::TargetFunction;
+//! use nnlut_core::recipe;
+//!
+//! // Train a 16-entry approximator for GELU with the paper's recipe.
+//! let net = recipe::train_for_fast(TargetFunction::Gelu, 16, 7);
+//! let lut = nn_to_lut(&net);
+//! assert_eq!(lut.entries(), 16);
+//!
+//! // The LUT is an exact transformation of the network…
+//! for i in -20..=20 {
+//!     let x = i as f32 * 0.25;
+//!     assert!((lut.eval(x) - net.eval(x)).abs() < 1e-4);
+//! }
+//! // …and a good approximation of GELU.
+//! let err = nnlut_core::metrics::mean_abs_error(
+//!     |x| lut.eval(x),
+//!     |x| TargetFunction::Gelu.eval(x),
+//!     (-5.0, 5.0),
+//!     2000,
+//! );
+//! assert!(err < 0.05);
+//! ```
+
+pub mod calibrate;
+pub mod convert;
+pub mod error;
+pub mod export;
+pub mod funcs;
+pub mod init;
+pub mod linear_lut;
+pub mod lut;
+pub mod metrics;
+pub mod nn;
+pub mod ops;
+pub mod precision;
+pub mod recipe;
+pub mod scaling;
+pub mod train;
+
+pub use convert::nn_to_lut;
+pub use error::CoreError;
+pub use funcs::TargetFunction;
+pub use lut::{LookupTable, Segment};
+pub use nn::ApproxNet;
+pub use ops::NnLutKit;

@@ -1,0 +1,235 @@
+//! The **Linear-LUT** baseline (paper §3.1, §4.1).
+//!
+//! Linear-LUT places breakpoints at *pre-determined* positions — equally
+//! spaced (Linear mode) or log-spaced (Exponential mode, shorter intervals
+//! on low range values) — and fits a first-order polynomial to each segment
+//! by least squares (the classic curve-fitting approach of Cantoni 1971).
+//! Fixed breakpoints simplify the index hardware, but, as the paper's
+//! Table 2(a) shows, they fail on functions with a large dynamic range such
+//! as `1/√x`: NN-LUT's *learned* breakpoints are the difference.
+
+use crate::error::CoreError;
+use crate::funcs::validate_domain;
+use crate::lut::{LookupTable, Segment};
+
+/// Pre-determined breakpoint placement policy (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BreakpointMode {
+    /// Equally spaced intervals over the fitting domain.
+    #[default]
+    Linear,
+    /// Log-spaced intervals: "shorter intervals on low range values and
+    /// longer intervals on high range values". Requires a strictly positive
+    /// domain.
+    Exponential,
+}
+
+/// Builder for a Linear-LUT over a target function.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::linear_lut::LinearLutBuilder;
+///
+/// let lut = LinearLutBuilder::new(16, (-5.0, 5.0)).fit(|x| x.tanh())?;
+/// assert_eq!(lut.entries(), 16);
+/// assert!((lut.eval(0.1) - 0.1f32.tanh()).abs() < 0.05);
+/// # Ok::<(), nnlut_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearLutBuilder {
+    entries: usize,
+    domain: (f32, f32),
+    mode: BreakpointMode,
+    samples_per_segment: usize,
+}
+
+impl LinearLutBuilder {
+    /// Creates a builder for an `entries`-entry LUT fit over `domain`.
+    pub fn new(entries: usize, domain: (f32, f32)) -> Self {
+        Self {
+            entries,
+            domain,
+            mode: BreakpointMode::Linear,
+            samples_per_segment: 64,
+        }
+    }
+
+    /// Selects the breakpoint placement mode.
+    pub fn mode(mut self, mode: BreakpointMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets how many fitting samples each segment's least squares uses.
+    pub fn samples_per_segment(mut self, n: usize) -> Self {
+        self.samples_per_segment = n.max(2);
+        self
+    }
+
+    /// Fits the LUT to `func`.
+    ///
+    /// The `entries` interior segments tile the domain; the two unbounded
+    /// outer pieces of Eq. 4 reuse the first/last interior fit (constant
+    /// extrapolation of the line), matching how fixed-breakpoint LUT
+    /// hardware clamps out-of-range inputs.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::TooFewEntries`] if `entries < 2`.
+    /// * [`CoreError::InvalidDomain`] for a malformed domain.
+    /// * [`CoreError::ExponentialModeNeedsPositiveDomain`] if Exponential
+    ///   mode is used on a domain containing 0 or negative values.
+    pub fn fit<F: Fn(f32) -> f32>(&self, func: F) -> Result<LookupTable, CoreError> {
+        if self.entries < 2 {
+            return Err(CoreError::TooFewEntries(self.entries));
+        }
+        validate_domain(self.domain)?;
+        let edges = self.segment_edges()?;
+        // edges has entries+1 values: domain lo, N-1 interior breakpoints, hi.
+        let mut segments = Vec::with_capacity(self.entries);
+        for w in edges.windows(2) {
+            segments.push(fit_segment(&func, w[0], w[1], self.samples_per_segment));
+        }
+        let breakpoints = edges[1..edges.len() - 1].to_vec();
+        LookupTable::new(breakpoints, segments)
+    }
+
+    /// The `entries + 1` segment edges, including both domain endpoints.
+    fn segment_edges(&self) -> Result<Vec<f32>, CoreError> {
+        let (lo, hi) = self.domain;
+        let n = self.entries;
+        let edges = match self.mode {
+            BreakpointMode::Linear => (0..=n)
+                .map(|i| lo + (hi - lo) * i as f32 / n as f32)
+                .collect(),
+            BreakpointMode::Exponential => {
+                if lo <= 0.0 {
+                    return Err(CoreError::ExponentialModeNeedsPositiveDomain);
+                }
+                let llo = lo.ln();
+                let lhi = hi.ln();
+                (0..=n)
+                    .map(|i| (llo + (lhi - llo) * i as f32 / n as f32).exp())
+                    .collect()
+            }
+        };
+        Ok(edges)
+    }
+}
+
+/// Least-squares first-order fit of `func` on `[lo, hi]`.
+fn fit_segment<F: Fn(f32) -> f32>(func: &F, lo: f32, hi: f32, samples: usize) -> Segment {
+    let n = samples.max(2);
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut sxx = 0.0f64;
+    let mut sxy = 0.0f64;
+    for i in 0..n {
+        let x = (lo + (hi - lo) * (i as f32 + 0.5) / n as f32) as f64;
+        let y = func(x as f32) as f64;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let nf = n as f64;
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-30 {
+        // Degenerate (zero-width) segment: constant fit.
+        return Segment::new(0.0, (sy / nf) as f32);
+    }
+    let slope = (nf * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / nf;
+    Segment::new(slope as f32, intercept as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{max_abs_error, mean_abs_error};
+
+    #[test]
+    fn fits_a_line_exactly() {
+        let lut = LinearLutBuilder::new(4, (0.0, 8.0))
+            .fit(|x| 3.0 * x - 1.0)
+            .unwrap();
+        for i in 0..=16 {
+            let x = i as f32 * 0.5;
+            assert!((lut.eval(x) - (3.0 * x - 1.0)).abs() < 1e-4, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sixteen_entries_fit_gelu_well() {
+        let lut = LinearLutBuilder::new(16, (-5.0, 5.0))
+            .fit(crate::funcs::gelu)
+            .unwrap();
+        let err = mean_abs_error(|x| lut.eval(x), crate::funcs::gelu, (-5.0, 5.0), 4_000);
+        // GELU is monotone and gentle; Linear-LUT handles it (paper Fig. 2a).
+        assert!(err < 0.02, "GELU Linear-LUT error {err}");
+    }
+
+    #[test]
+    fn linear_mode_struggles_with_rsqrt() {
+        // The paper's key observation: fixed equal-width breakpoints cannot
+        // track 1/sqrt(x) near the low end of (0.1, 1024).
+        let lut = LinearLutBuilder::new(16, (0.1, 1024.0))
+            .fit(|x| 1.0 / x.sqrt())
+            .unwrap();
+        let err = max_abs_error(|x| lut.eval(x), |x| 1.0 / x.sqrt(), (0.1, 2.0), 1_000);
+        assert!(err > 0.5, "expected large rsqrt error, got {err}");
+    }
+
+    #[test]
+    fn exponential_mode_improves_rsqrt() {
+        let lin = LinearLutBuilder::new(16, (0.1, 1024.0))
+            .fit(|x| 1.0 / x.sqrt())
+            .unwrap();
+        let exp = LinearLutBuilder::new(16, (0.1, 1024.0))
+            .mode(BreakpointMode::Exponential)
+            .fit(|x| 1.0 / x.sqrt())
+            .unwrap();
+        let err_lin = mean_abs_error(|x| lin.eval(x), |x| 1.0 / x.sqrt(), (0.1, 1024.0), 8_000);
+        let err_exp = mean_abs_error(|x| exp.eval(x), |x| 1.0 / x.sqrt(), (0.1, 1024.0), 8_000);
+        assert!(
+            err_exp < err_lin,
+            "exponential {err_exp} should beat linear {err_lin}"
+        );
+    }
+
+    #[test]
+    fn exponential_mode_rejects_nonpositive_domain() {
+        let err = LinearLutBuilder::new(8, (-1.0, 1.0))
+            .mode(BreakpointMode::Exponential)
+            .fit(|x| x)
+            .unwrap_err();
+        assert_eq!(err, CoreError::ExponentialModeNeedsPositiveDomain);
+    }
+
+    #[test]
+    fn too_few_entries_rejected() {
+        assert_eq!(
+            LinearLutBuilder::new(1, (0.0, 1.0)).fit(|x| x).unwrap_err(),
+            CoreError::TooFewEntries(1)
+        );
+    }
+
+    #[test]
+    fn breakpoints_are_equally_spaced_in_linear_mode() {
+        let lut = LinearLutBuilder::new(8, (0.0, 8.0)).fit(|x| x * x).unwrap();
+        let bps = lut.breakpoints();
+        assert_eq!(bps.len(), 7);
+        for (i, &d) in bps.iter().enumerate() {
+            assert!((d - (i + 1) as f32).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_inputs_extrapolate_outer_lines() {
+        let lut = LinearLutBuilder::new(4, (0.0, 4.0)).fit(|x| 2.0 * x).unwrap();
+        // Outside the domain the outer segments extend their lines.
+        assert!((lut.eval(-10.0) - (-20.0)).abs() < 1e-3);
+        assert!((lut.eval(10.0) - 20.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,421 @@
+//! The first-order lookup table of paper Eq. 4.
+//!
+//! ```text
+//!          ⎧ s₁·x + t₁   if x < d₁
+//! LUT(x) = ⎨ sᵢ·x + tᵢ   if dᵢ₋₁ ≤ x < dᵢ        (1 < i ≤ N−1)
+//!          ⎩ s_N·x + t_N if x ≥ d_{N−1}
+//! ```
+//!
+//! An `N`-entry table has `N` segments and `N−1` breakpoints. Hardware
+//! evaluates it with a comparator tree (segment select), one multiplier and
+//! one adder — see `nnlut-hw` for the cost model.
+
+use crate::error::CoreError;
+
+/// One first-order segment: `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Segment {
+    /// The multiplicative approximation parameter `sᵢ`.
+    pub slope: f32,
+    /// The additive approximation parameter `tᵢ`.
+    pub intercept: f32,
+}
+
+impl Segment {
+    /// Creates a segment from its slope and intercept.
+    pub fn new(slope: f32, intercept: f32) -> Self {
+        Self { slope, intercept }
+    }
+
+    /// Evaluates `slope·x + intercept`.
+    pub fn eval(&self, x: f32) -> f32 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// An `N`-entry first-order lookup table (paper Eq. 4).
+///
+/// Invariants (checked at construction):
+///
+/// * breakpoints are finite and sorted ascending (ties allowed — a trained
+///   network can produce coincident breakpoints, yielding zero-width
+///   segments that are never selected strictly inside),
+/// * every slope/intercept is finite,
+/// * `segments.len() == breakpoints.len() + 1 ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::{LookupTable, Segment};
+///
+/// // |x| as a 2-entry LUT with one breakpoint at 0.
+/// let lut = LookupTable::new(
+///     vec![0.0],
+///     vec![Segment::new(-1.0, 0.0), Segment::new(1.0, 0.0)],
+/// )?;
+/// assert_eq!(lut.eval(-3.0), 3.0);
+/// assert_eq!(lut.eval(4.0), 4.0);
+/// # Ok::<(), nnlut_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupTable {
+    breakpoints: Vec<f32>,
+    segments: Vec<Segment>,
+}
+
+impl LookupTable {
+    /// Builds a table from breakpoints `{dᵢ}` and segments `{(sᵢ, tᵢ)}`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyTable`] if `segments` is empty.
+    /// * [`CoreError::SegmentCountMismatch`] unless
+    ///   `segments.len() == breakpoints.len() + 1`.
+    /// * [`CoreError::UnsortedBreakpoints`] if any breakpoint is non-finite
+    ///   or the sequence decreases.
+    /// * [`CoreError::NonFiniteParameter`] if any slope or intercept is
+    ///   non-finite.
+    pub fn new(breakpoints: Vec<f32>, segments: Vec<Segment>) -> Result<Self, CoreError> {
+        if segments.is_empty() {
+            return Err(CoreError::EmptyTable);
+        }
+        if segments.len() != breakpoints.len() + 1 {
+            return Err(CoreError::SegmentCountMismatch {
+                segments: segments.len(),
+                breakpoints: breakpoints.len(),
+            });
+        }
+        if breakpoints.iter().any(|d| !d.is_finite())
+            || breakpoints.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(CoreError::UnsortedBreakpoints);
+        }
+        if segments
+            .iter()
+            .any(|s| !s.slope.is_finite() || !s.intercept.is_finite())
+        {
+            return Err(CoreError::NonFiniteParameter);
+        }
+        Ok(Self {
+            breakpoints,
+            segments,
+        })
+    }
+
+    /// Number of table entries `N` (= number of segments).
+    pub fn entries(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The sorted breakpoints `{dᵢ}` (length `N − 1`).
+    pub fn breakpoints(&self) -> &[f32] {
+        &self.breakpoints
+    }
+
+    /// The approximation parameters `{(sᵢ, tᵢ)}` (length `N`).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Index of the segment that handles `x` (Eq. 4 semantics: a point equal
+    /// to a breakpoint belongs to the segment on its right).
+    pub fn segment_index(&self, x: f32) -> usize {
+        // Number of breakpoints ≤ x. NaN compares false everywhere, so a NaN
+        // input selects segment 0; `eval` then propagates NaN through the MAC.
+        self.breakpoints.partition_point(|&d| d <= x)
+    }
+
+    /// Evaluates the table: segment select + one multiply + one add.
+    pub fn eval(&self, x: f32) -> f32 {
+        self.segments[self.segment_index(x)].eval(x)
+    }
+
+    /// Evaluates the table for every element of `xs` in place.
+    pub fn eval_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.eval(*x);
+        }
+    }
+
+    /// Maximum absolute value over all breakpoints and parameters — used to
+    /// derive quantization scales for the INT32 mode.
+    pub fn param_abs_max(&self) -> (f32, f32, f32) {
+        let bp = self.breakpoints.iter().fold(0.0f32, |m, d| m.max(d.abs()));
+        let s = self
+            .segments
+            .iter()
+            .fold(0.0f32, |m, seg| m.max(seg.slope.abs()));
+        let t = self
+            .segments
+            .iter()
+            .fold(0.0f32, |m, seg| m.max(seg.intercept.abs()));
+        (bp, s, t)
+    }
+
+    /// Returns a new table with every breakpoint and parameter transformed by
+    /// `f` (used by the FP16 precision mode to round all stored constants).
+    pub fn map_params<F: Fn(f32) -> f32>(&self, f: F) -> Result<Self, CoreError> {
+        let breakpoints = self.breakpoints.iter().map(|&d| f(d)).collect();
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| Segment::new(f(s.slope), f(s.intercept)))
+            .collect();
+        Self::new(breakpoints, segments)
+    }
+
+    /// Removes segments that can never be selected: zero-width intervals
+    /// (coincident breakpoints, which trained networks occasionally
+    /// produce). The returned table evaluates identically everywhere but
+    /// may need fewer hardware entries.
+    pub fn simplified(&self) -> Self {
+        let mut breakpoints = Vec::with_capacity(self.breakpoints.len());
+        let mut segments = Vec::with_capacity(self.segments.len());
+        segments.push(self.segments[0]);
+        for (i, &d) in self.breakpoints.iter().enumerate() {
+            let dead = self.breakpoints.get(i + 1) == Some(&d);
+            if !dead {
+                breakpoints.push(d);
+                segments.push(self.segments[i + 1]);
+            }
+        }
+        Self::new(breakpoints, segments)
+            .expect("dropping unreachable segments preserves validity")
+    }
+
+    /// Whether the piecewise function is non-decreasing over `[lo, hi]` —
+    /// a useful sanity property for tables approximating monotone targets
+    /// (exp, sigmoid, the softmax path). Checks every segment's slope on
+    /// its in-range portion and the jump at every in-range breakpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn is_monotone_nondecreasing(&self, lo: f32, hi: f32) -> bool {
+        assert!(lo <= hi, "is_monotone_nondecreasing requires lo <= hi");
+        // Segment slopes on the covered range.
+        for (i, seg) in self.segments.iter().enumerate() {
+            let left = if i == 0 {
+                f32::NEG_INFINITY
+            } else {
+                self.breakpoints[i - 1]
+            };
+            let right = self
+                .breakpoints
+                .get(i)
+                .copied()
+                .unwrap_or(f32::INFINITY);
+            let covered = left.max(lo) < right.min(hi);
+            if covered && seg.slope < 0.0 {
+                return false;
+            }
+        }
+        // Jumps at breakpoints: value from the left vs from the right.
+        for (i, &d) in self.breakpoints.iter().enumerate() {
+            if d <= lo || d >= hi {
+                continue;
+            }
+            let before = self.segments[i].eval(d);
+            let after = self.segments[i + 1].eval(d);
+            if after < before - 1e-6 * (1.0 + before.abs()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abs_lut() -> LookupTable {
+        LookupTable::new(
+            vec![0.0],
+            vec![Segment::new(-1.0, 0.0), Segment::new(1.0, 0.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eval_selects_correct_segment() {
+        let lut = abs_lut();
+        assert_eq!(lut.eval(-2.0), 2.0);
+        assert_eq!(lut.eval(2.0), 2.0);
+        // Boundary point belongs to the right segment (Eq. 4: x ≥ d).
+        assert_eq!(lut.segment_index(0.0), 1);
+        assert_eq!(lut.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn single_segment_table_is_a_line() {
+        let lut = LookupTable::new(vec![], vec![Segment::new(2.0, 1.0)]).unwrap();
+        assert_eq!(lut.entries(), 1);
+        assert_eq!(lut.eval(3.0), 7.0);
+        assert_eq!(lut.eval(-100.0), -199.0);
+    }
+
+    #[test]
+    fn three_segments_interval_semantics() {
+        // segment 0 for x < -1, segment 1 for -1 <= x < 1, segment 2 for x >= 1
+        let lut = LookupTable::new(
+            vec![-1.0, 1.0],
+            vec![
+                Segment::new(0.0, 10.0),
+                Segment::new(0.0, 20.0),
+                Segment::new(0.0, 30.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(lut.eval(-1.5), 10.0);
+        assert_eq!(lut.eval(-1.0), 20.0);
+        assert_eq!(lut.eval(0.0), 20.0);
+        assert_eq!(lut.eval(1.0), 30.0);
+        assert_eq!(lut.eval(5.0), 30.0);
+    }
+
+    #[test]
+    fn duplicate_breakpoints_are_allowed() {
+        let lut = LookupTable::new(
+            vec![0.0, 0.0],
+            vec![
+                Segment::new(0.0, 1.0),
+                Segment::new(0.0, 2.0),
+                Segment::new(0.0, 3.0),
+            ],
+        )
+        .unwrap();
+        // x == 0 skips past both duplicates.
+        assert_eq!(lut.eval(0.0), 3.0);
+        assert_eq!(lut.eval(-0.1), 1.0);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_input() {
+        assert_eq!(
+            LookupTable::new(vec![], vec![]).unwrap_err(),
+            CoreError::EmptyTable
+        );
+        assert!(matches!(
+            LookupTable::new(vec![0.0], vec![Segment::default()]).unwrap_err(),
+            CoreError::SegmentCountMismatch { .. }
+        ));
+        assert_eq!(
+            LookupTable::new(
+                vec![1.0, 0.0],
+                vec![Segment::default(), Segment::default(), Segment::default()]
+            )
+            .unwrap_err(),
+            CoreError::UnsortedBreakpoints
+        );
+        assert_eq!(
+            LookupTable::new(
+                vec![f32::NAN],
+                vec![Segment::default(), Segment::default()]
+            )
+            .unwrap_err(),
+            CoreError::UnsortedBreakpoints
+        );
+        assert_eq!(
+            LookupTable::new(
+                vec![0.0],
+                vec![Segment::new(f32::INFINITY, 0.0), Segment::default()]
+            )
+            .unwrap_err(),
+            CoreError::NonFiniteParameter
+        );
+    }
+
+    #[test]
+    fn eval_slice_matches_eval() {
+        let lut = abs_lut();
+        let mut xs = vec![-2.0, -0.5, 0.0, 3.0];
+        lut.eval_slice(&mut xs);
+        assert_eq!(xs, vec![2.0, 0.5, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn param_abs_max_reports_extremes() {
+        let lut = LookupTable::new(
+            vec![-4.0, 2.0],
+            vec![
+                Segment::new(0.5, -7.0),
+                Segment::new(-3.0, 1.0),
+                Segment::new(1.0, 0.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(lut.param_abs_max(), (4.0, 3.0, 7.0));
+    }
+
+    #[test]
+    fn map_params_applies_transform() {
+        let lut = abs_lut();
+        let doubled = lut.map_params(|v| v * 2.0).unwrap();
+        assert_eq!(doubled.segments()[0].slope, -2.0);
+        assert_eq!(doubled.eval(1.0), 2.0);
+    }
+
+    #[test]
+    fn nan_input_propagates() {
+        let lut = abs_lut();
+        assert!(lut.eval(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn simplified_drops_unreachable_segments() {
+        let lut = LookupTable::new(
+            vec![0.0, 0.0, 2.0],
+            vec![
+                Segment::new(0.0, 1.0),
+                Segment::new(0.0, 99.0), // zero-width, never selected
+                Segment::new(0.0, 2.0),
+                Segment::new(0.0, 3.0),
+            ],
+        )
+        .unwrap();
+        let s = lut.simplified();
+        assert_eq!(s.entries(), 3);
+        for x in [-1.0f32, 0.0, 1.0, 2.0, 5.0] {
+            assert_eq!(s.eval(x), lut.eval(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn simplified_is_identity_for_distinct_breakpoints() {
+        let lut = LookupTable::new(
+            vec![-1.0, 1.0],
+            vec![
+                Segment::new(1.0, 0.0),
+                Segment::new(2.0, 1.0),
+                Segment::new(0.5, 4.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(lut.simplified(), lut);
+    }
+
+    #[test]
+    fn monotonicity_analysis() {
+        // Increasing everywhere.
+        let inc = LookupTable::new(
+            vec![0.0],
+            vec![Segment::new(1.0, 0.0), Segment::new(2.0, 0.0)],
+        )
+        .unwrap();
+        assert!(inc.is_monotone_nondecreasing(-10.0, 10.0));
+        // |x| decreases left of zero…
+        let abs = abs_lut();
+        assert!(!abs.is_monotone_nondecreasing(-10.0, 10.0));
+        // …but is non-decreasing on the right half.
+        assert!(abs.is_monotone_nondecreasing(0.0, 10.0));
+        // A downward jump at a breakpoint breaks monotonicity even with
+        // non-negative slopes.
+        let jump = LookupTable::new(
+            vec![1.0],
+            vec![Segment::new(1.0, 0.0), Segment::new(1.0, -5.0)],
+        )
+        .unwrap();
+        assert!(!jump.is_monotone_nondecreasing(0.0, 2.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Approximation-error metrics (paper Fig. 2 bottom row reports L1 error).
+
+/// Mean absolute error between `approx` and `exact` over a uniform grid of
+/// `n` points on `domain`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the domain is not increasing.
+///
+/// # Examples
+///
+/// ```
+/// let err = nnlut_core::metrics::mean_abs_error(
+///     |x| x,
+///     |x| x + 0.5,
+///     (0.0, 1.0),
+///     100,
+/// );
+/// assert!((err - 0.5).abs() < 1e-6);
+/// ```
+pub fn mean_abs_error<A, E>(approx: A, exact: E, domain: (f32, f32), n: usize) -> f32
+where
+    A: Fn(f32) -> f32,
+    E: Fn(f32) -> f32,
+{
+    sum_errors(approx, exact, domain, n, |d, acc| acc + d as f64) / n as f32
+}
+
+/// Maximum absolute error over a uniform grid.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the domain is not increasing.
+pub fn max_abs_error<A, E>(approx: A, exact: E, domain: (f32, f32), n: usize) -> f32
+where
+    A: Fn(f32) -> f32,
+    E: Fn(f32) -> f32,
+{
+    sum_errors(approx, exact, domain, n, |d, acc| acc.max(d as f64))
+}
+
+/// Root-mean-square error over a uniform grid.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the domain is not increasing.
+pub fn rms_error<A, E>(approx: A, exact: E, domain: (f32, f32), n: usize) -> f32
+where
+    A: Fn(f32) -> f32,
+    E: Fn(f32) -> f32,
+{
+    let ss = sum_errors(approx, exact, domain, n, |d, acc| acc + (d * d) as f64);
+    (ss / n as f32).sqrt()
+}
+
+fn sum_errors<A, E, F>(approx: A, exact: E, domain: (f32, f32), n: usize, fold: F) -> f32
+where
+    A: Fn(f32) -> f32,
+    E: Fn(f32) -> f32,
+    F: Fn(f32, f64) -> f64,
+{
+    assert!(n > 0, "error metrics need at least one sample");
+    assert!(domain.0 < domain.1, "domain must be increasing");
+    let (lo, hi) = domain;
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let x = lo + (hi - lo) * (i as f32 + 0.5) / n as f32;
+        let d = (approx(x) - exact(x)).abs();
+        acc = fold(d, acc);
+    }
+    acc as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_functions_have_zero_error() {
+        assert_eq!(mean_abs_error(|x| x, |x| x, (0.0, 1.0), 64), 0.0);
+        assert_eq!(max_abs_error(|x| x, |x| x, (0.0, 1.0), 64), 0.0);
+        assert_eq!(rms_error(|x| x, |x| x, (0.0, 1.0), 64), 0.0);
+    }
+
+    #[test]
+    fn constant_offset_measured_exactly() {
+        let mae = mean_abs_error(|_| 1.0, |_| 0.0, (0.0, 2.0), 128);
+        let mxe = max_abs_error(|_| 1.0, |_| 0.0, (0.0, 2.0), 128);
+        let rms = rms_error(|_| 1.0, |_| 0.0, (0.0, 2.0), 128);
+        assert!((mae - 1.0).abs() < 1e-6);
+        assert!((mxe - 1.0).abs() < 1e-6);
+        assert!((rms - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rms_dominates_mae_for_spiky_errors() {
+        // error = x on [0,1]: MAE = 0.5, RMS = 1/sqrt(3) ≈ 0.577.
+        let mae = mean_abs_error(|x| x, |_| 0.0, (0.0, 1.0), 10_000);
+        let rms = rms_error(|x| x, |_| 0.0, (0.0, 1.0), 10_000);
+        assert!(rms > mae);
+        assert!((mae - 0.5).abs() < 1e-3);
+        assert!((rms - 0.57735).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let _ = mean_abs_error(|x| x, |x| x, (0.0, 1.0), 0);
+    }
+}

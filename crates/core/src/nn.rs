@@ -1,0 +1,206 @@
+//! The one-hidden-layer ReLU approximator network of paper Eq. 5.
+
+/// A one-hidden-layer ReLU network `NN(x) = Σ_j m_j·ReLU(n_j·x + b_j) + c`.
+///
+/// With `H` hidden neurons this is a continuous piecewise-linear function
+/// with at most `H` breakpoints at `d_j = -b_j / n_j`, which is exactly what
+/// [`crate::convert::nn_to_lut`] exploits. The output bias `c` is an
+/// extension over the paper's Eq. 5 (which has none); it folds into every
+/// LUT intercept during conversion, so it costs no extra hardware while
+/// strictly enlarging the function class. Construct with
+/// [`ApproxNet::from_params`] or train one via [`crate::train`].
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::ApproxNet;
+///
+/// // ReLU(x) itself: one neuron, m=1, n=1, b=0, c=0.
+/// let net = ApproxNet::from_params(vec![1.0], vec![1.0], vec![0.0], 0.0);
+/// assert_eq!(net.eval(-2.0), 0.0);
+/// assert_eq!(net.eval(3.0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxNet {
+    m: Vec<f32>,
+    n: Vec<f32>,
+    b: Vec<f32>,
+    c: f32,
+}
+
+impl ApproxNet {
+    /// Builds a network from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter vectors have different lengths or are empty.
+    pub fn from_params(m: Vec<f32>, n: Vec<f32>, b: Vec<f32>, c: f32) -> Self {
+        assert!(
+            !m.is_empty() && m.len() == n.len() && n.len() == b.len(),
+            "parameter vectors must be equal-length and non-empty"
+        );
+        Self { m, n, b, c }
+    }
+
+    /// Number of hidden neurons `H`.
+    pub fn hidden(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Second-layer weights `m_j`.
+    pub fn second_layer(&self) -> &[f32] {
+        &self.m
+    }
+
+    /// First-layer weights `n_j`.
+    pub fn first_layer_weights(&self) -> &[f32] {
+        &self.n
+    }
+
+    /// First-layer biases `b_j`.
+    pub fn first_layer_biases(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Output bias `c`.
+    pub fn output_bias(&self) -> f32 {
+        self.c
+    }
+
+    /// Forward pass.
+    pub fn eval(&self, x: f32) -> f32 {
+        let mut acc = self.c;
+        for j in 0..self.m.len() {
+            let z = self.n[j] * x + self.b[j];
+            if z > 0.0 {
+                acc += self.m[j] * z;
+            }
+        }
+        acc
+    }
+
+    /// Forward pass in `f64` (used when validating the exactness of the
+    /// LUT conversion, to separate algorithmic error from f32 rounding).
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        let mut acc = self.c as f64;
+        for j in 0..self.m.len() {
+            let z = self.n[j] as f64 * x + self.b[j] as f64;
+            if z > 0.0 {
+                acc += self.m[j] as f64 * z;
+            }
+        }
+        acc
+    }
+
+    /// The breakpoint `-b_j/n_j` of neuron `j`, or `None` for a dead neuron
+    /// (`n_j == 0`, which contributes a constant).
+    pub fn breakpoint(&self, j: usize) -> Option<f32> {
+        if self.n[j] == 0.0 {
+            None
+        } else {
+            Some(-self.b[j] / self.n[j])
+        }
+    }
+
+    /// Applies the affine input change-of-variables `z = (x − lo)/(hi − lo)`
+    /// in reverse: given a net trained on normalized inputs `z`, returns the
+    /// equivalent net over raw inputs `x`.
+    ///
+    /// `NN_z((x − lo)/w) == NN_x(x)` exactly (up to f32 rounding), because
+    /// `n_z·z + b_z = (n_z/w)·x + (b_z − n_z·lo/w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn denormalized(&self, lo: f32, hi: f32) -> Self {
+        assert!(lo < hi, "denormalized requires lo < hi");
+        let w = hi - lo;
+        let n: Vec<f32> = self.n.iter().map(|&nz| nz / w).collect();
+        let b: Vec<f32> = self
+            .b
+            .iter()
+            .zip(&self.n)
+            .map(|(&bz, &nz)| bz - nz * lo / w)
+            .collect();
+        Self {
+            m: self.m.clone(),
+            n,
+            b,
+            c: self.c,
+        }
+    }
+
+    pub(crate) fn params_mut(&mut self) -> (&mut [f32], &mut [f32], &mut [f32], &mut f32) {
+        (&mut self.m, &mut self.n, &mut self.b, &mut self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_relu_neuron() {
+        let net = ApproxNet::from_params(vec![2.0], vec![1.0], vec![-1.0], 0.5);
+        assert_eq!(net.eval(0.0), 0.5); // ReLU(-1) = 0
+        assert_eq!(net.eval(2.0), 2.5); // 2*ReLU(1) + 0.5
+        assert_eq!(net.breakpoint(0), Some(1.0));
+    }
+
+    #[test]
+    fn dead_neuron_contributes_constant() {
+        // n = 0, b = 3 ⇒ ReLU(3) = 3 always.
+        let net = ApproxNet::from_params(vec![0.5], vec![0.0], vec![3.0], 0.0);
+        assert_eq!(net.eval(-100.0), 1.5);
+        assert_eq!(net.eval(100.0), 1.5);
+        assert_eq!(net.breakpoint(0), None);
+    }
+
+    #[test]
+    fn eval_is_continuous_at_breakpoint() {
+        let net = ApproxNet::from_params(vec![1.0, -0.5], vec![1.0, -2.0], vec![0.0, 1.0], 0.1);
+        for j in 0..net.hidden() {
+            let d = net.breakpoint(j).unwrap();
+            let eps = 1e-4;
+            let gap = (net.eval(d - eps) - net.eval(d + eps)).abs();
+            assert!(gap < 1e-2, "discontinuity {gap} at breakpoint {d}");
+        }
+    }
+
+    #[test]
+    fn denormalized_matches_normalized_eval() {
+        let (lo, hi) = (-256.0f32, 0.0f32);
+        let net_z = ApproxNet::from_params(
+            vec![1.0, -2.0, 0.3],
+            vec![4.0, -1.5, 0.0],
+            vec![-1.0, 0.75, 2.0],
+            0.25,
+        );
+        let net_x = net_z.denormalized(lo, hi);
+        for i in 0..=32 {
+            let x = lo + (hi - lo) * i as f32 / 32.0;
+            let z = (x - lo) / (hi - lo);
+            let want = net_z.eval(z);
+            let got = net_x.eval(x);
+            assert!(
+                (want - got).abs() <= 1e-4 * (1.0 + want.abs()),
+                "x={x}: {want} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_params_panic() {
+        let _ = ApproxNet::from_params(vec![1.0], vec![1.0, 2.0], vec![0.0], 0.0);
+    }
+
+    #[test]
+    fn eval_f64_agrees_with_eval() {
+        let net = ApproxNet::from_params(vec![1.0, 2.0], vec![0.5, -0.25], vec![0.1, 0.2], -0.3);
+        for i in -10..10 {
+            let x = i as f32 * 0.7;
+            assert!((net.eval(x) as f64 - net.eval_f64(x as f64)).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Reduced-precision LUT deployment modes (paper §4.1, footnote 3).
+//!
+//! The paper evaluates three LUT precisions:
+//!
+//! * **FP32** — [`crate::LookupTable`] as-is.
+//! * **FP16** — "convert FP32 values of breakpoints and parameters into
+//!   FP16". [`F16Lut`] stores every constant rounded to binary16 and rounds
+//!   after each arithmetic step (bit-accurate software half precision,
+//!   round-to-nearest-even — implemented here from scratch, no `half` crate).
+//! * **INT32** — "adopt the scaling-factor calculation of I-BERT to quantize
+//!   FP32 values into INT32 directly". [`Int32Lut`] quantizes the input with
+//!   a 16-bit scale (the comparator width in the paper's Fig. 3a), slopes
+//!   with their own scale, and intercepts with the product scale so the MAC
+//!   is a pure integer multiply-add.
+
+use crate::error::CoreError;
+use crate::lut::LookupTable;
+
+/// LUT deployment precision (paper Table 2b / Table 3 / Table 4 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// IEEE 754 binary32.
+    #[default]
+    F32,
+    /// IEEE 754 binary16 (software emulated, bit-accurate).
+    F16,
+    /// I-BERT-style integer arithmetic with explicit scale factors.
+    Int32,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::F32 => "FP32",
+            Precision::F16 => "FP16",
+            Precision::Int32 => "INT32",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Software binary16
+// ---------------------------------------------------------------------------
+
+/// Converts `f32` to IEEE 754 binary16 bits with round-to-nearest-even.
+///
+/// Handles normals, subnormals, signed zero, infinities and NaN. Values
+/// whose magnitude exceeds the binary16 maximum (65504) round to infinity.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN (NaN payload collapses to a quiet NaN).
+        return if man == 0 { sign | 0x7c00 } else { sign | 0x7e00 };
+    }
+
+    let half_e = exp - 127 + 15;
+    if half_e >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if half_e <= 0 {
+        // Subnormal half (or zero). The 24-bit significand (implicit bit
+        // included) shifts right into a 10-bit subnormal field.
+        let shift = (1 - half_e) + 13;
+        if shift > 24 {
+            return sign; // underflow to ±0 (RNE cannot reach the halfway point)
+        }
+        let man24 = man | 0x0080_0000;
+        return sign | round_shift_rne(man24, shift as u32) as u16;
+    }
+    // Normal half: round the 23-bit fraction to 10 bits. A mantissa carry
+    // (r == 0x400) propagates into the exponent by plain addition.
+    let r = round_shift_rne(man, 13);
+    let out = ((half_e as u32) << 10) + r;
+    if out >= 0x7c00 {
+        return sign | 0x7c00;
+    }
+    sign | out as u16
+}
+
+/// Right-shifts with IEEE round-to-nearest-even.
+fn round_shift_rne(v: u32, shift: u32) -> u32 {
+    debug_assert!((1..=24).contains(&shift));
+    let r = v >> shift;
+    let rem = v & ((1u32 << shift) - 1);
+    let half = 1u32 << (shift - 1);
+    if rem > half || (rem == half && (r & 1) == 1) {
+        r + 1
+    } else {
+        r
+    }
+}
+
+/// Converts binary16 bits back to `f32` (exact — every half is
+/// representable in single precision).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let neg = h & 0x8000 != 0;
+    let exp = (h >> 10) & 0x1f;
+    let man = (h & 0x3ff) as f32;
+    let mag = match exp {
+        0 => man * 2.0f32.powi(-24),
+        0x1f => {
+            if man == 0.0 {
+                f32::INFINITY
+            } else {
+                f32::NAN
+            }
+        }
+        _ => (1.0 + man / 1024.0) * 2.0f32.powi(exp as i32 - 15),
+    };
+    if neg {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Rounds an `f32` to the nearest binary16 value (returned as `f32`).
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::precision::f16_round;
+///
+/// // 1/10 is not representable in binary16.
+/// let r = f16_round(0.1);
+/// assert!((r - 0.1).abs() < 1e-4 && r != 0.1);
+/// // Powers of two are exact.
+/// assert_eq!(f16_round(0.25), 0.25);
+/// ```
+pub fn f16_round(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// A lookup table deployed in binary16: all stored constants are
+/// f16-rounded and the `s·x + t` MAC rounds after each operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F16Lut {
+    table: LookupTable,
+}
+
+impl F16Lut {
+    /// Rounds `lut`'s breakpoints and parameters to binary16.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if rounding produces a non-finite parameter (a
+    /// breakpoint or slope beyond ±65504 overflows to infinity).
+    pub fn from_lut(lut: &LookupTable) -> Result<Self, CoreError> {
+        let table = lut.map_params(f16_round)?;
+        Ok(Self { table })
+    }
+
+    /// The rounded table.
+    pub fn table(&self) -> &LookupTable {
+        &self.table
+    }
+
+    /// Evaluates with binary16 semantics: input, product and sum are each
+    /// rounded to half precision.
+    pub fn eval(&self, x: f32) -> f32 {
+        let x16 = f16_round(x);
+        let seg = self.table.segments()[self.table.segment_index(x16)];
+        let prod = f16_round(seg.slope * x16);
+        f16_round(prod + seg.intercept)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// INT32 mode
+// ---------------------------------------------------------------------------
+
+/// Derives the 16-bit symmetric input scale for a domain (Fig. 3a's
+/// comparator is 16-bit wide).
+pub fn input_scale_for_domain(domain: (f32, f32)) -> f32 {
+    let max = domain.0.abs().max(domain.1.abs());
+    if max == 0.0 {
+        1.0
+    } else {
+        max / ((1 << 15) - 1) as f32
+    }
+}
+
+/// A lookup table deployed with I-BERT-style integer arithmetic.
+///
+/// The input is quantized as `q_x = round(x / S_x)`; breakpoints share
+/// `S_x` so the comparator works on raw integers; slopes are quantized with
+/// their own scale `S_s`; intercepts use `S_t = S_s·S_x`, making the output
+/// `(q_s·q_x + q_t) · S_s·S_x` a pure integer MAC followed by one
+/// de-quantization multiply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int32Lut {
+    q_breakpoints: Vec<i32>,
+    q_slopes: Vec<i32>,
+    q_intercepts: Vec<i64>,
+    in_scale: f32,
+    slope_scale: f32,
+}
+
+impl Int32Lut {
+    /// Quantizes `lut` for inputs arriving with scale `in_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_scale` is not finite and positive.
+    pub fn from_lut(lut: &LookupTable, in_scale: f32) -> Self {
+        assert!(
+            in_scale.is_finite() && in_scale > 0.0,
+            "input scale must be finite and positive"
+        );
+        let (_, smax, _) = lut.param_abs_max();
+        let slope_scale = if smax == 0.0 {
+            1.0
+        } else {
+            smax / ((1 << 15) - 1) as f32
+        };
+        let out_scale = (slope_scale as f64) * (in_scale as f64);
+        let q_breakpoints = lut
+            .breakpoints()
+            .iter()
+            .map(|&d| quant_i32(d, in_scale))
+            .collect();
+        let q_slopes = lut
+            .segments()
+            .iter()
+            .map(|s| quant_i32(s.slope, slope_scale))
+            .collect();
+        let q_intercepts = lut
+            .segments()
+            .iter()
+            .map(|s| (s.intercept as f64 / out_scale).round() as i64)
+            .collect();
+        Self {
+            q_breakpoints,
+            q_slopes,
+            q_intercepts,
+            in_scale,
+            slope_scale,
+        }
+    }
+
+    /// The input scale `S_x`.
+    pub fn input_scale(&self) -> f32 {
+        self.in_scale
+    }
+
+    /// The quantized breakpoints (input-scale grid) — the comparator
+    /// constants of the hardware table.
+    pub fn quantized_breakpoints(&self) -> &[i32] {
+        &self.q_breakpoints
+    }
+
+    /// The quantized slopes.
+    pub fn quantized_slopes(&self) -> &[i32] {
+        &self.q_slopes
+    }
+
+    /// The quantized intercepts (scale `S_s·S_x`).
+    pub fn quantized_intercepts(&self) -> &[i64] {
+        &self.q_intercepts
+    }
+
+    /// Integer-domain evaluation: takes a pre-quantized input, returns the
+    /// raw integer MAC result. The caller multiplies by
+    /// [`Int32Lut::output_scale`] to recover a real value — exactly the
+    /// dataflow of the INT32 NN-LUT arithmetic unit.
+    pub fn eval_quantized(&self, q_x: i32) -> i64 {
+        let idx = self.q_breakpoints.partition_point(|&d| d <= q_x);
+        self.q_slopes[idx] as i64 * q_x as i64 + self.q_intercepts[idx]
+    }
+
+    /// The output de-quantization scale `S_s·S_x`.
+    pub fn output_scale(&self) -> f32 {
+        self.slope_scale * self.in_scale
+    }
+
+    /// Convenience real-domain evaluation (quantize → integer MAC →
+    /// de-quantize).
+    pub fn eval(&self, x: f32) -> f32 {
+        let q_x = quant_i32(x, self.in_scale);
+        (self.eval_quantized(q_x) as f64 * self.output_scale() as f64) as f32
+    }
+}
+
+fn quant_i32(v: f32, scale: f32) -> i32 {
+    let q = (v as f64 / scale as f64).round();
+    q.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Segment;
+
+    // ---------------- binary16 ----------------
+
+    #[test]
+    fn f16_known_encodings() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // max normal half
+        assert_eq!(f32_to_f16_bits(65536.0), 0x7c00); // overflow → inf
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-24)), 0x0001); // min subnormal
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-25)), 0x0000); // halfway → even (0)
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-26)), 0x0000); // underflow
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_roundtrip_is_identity_for_all_half_values() {
+        // Every one of the 63488 non-NaN half patterns must survive
+        // half → f32 → half bit-exactly.
+        for h in 0..=u16::MAX {
+            let f = f16_bits_to_f32(h);
+            if f.is_nan() {
+                continue;
+            }
+            let back = f32_to_f16_bits(f);
+            assert_eq!(back, h, "roundtrip failed for {h:#06x} (value {f})");
+        }
+    }
+
+    #[test]
+    fn f16_rounding_is_nearest() {
+        // For random f32 in the half range, the rounded value must be at
+        // least as close as the neighbouring representable halves.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(20);
+        for _ in 0..20_000 {
+            let x: f32 = (rng.gen::<f32>() - 0.5) * 100.0;
+            let h = f32_to_f16_bits(x);
+            let v = f16_bits_to_f32(h);
+            // Neighbours in half-bit space (same sign region).
+            let up = f16_bits_to_f32(h.wrapping_add(1));
+            let down = f16_bits_to_f32(h.wrapping_sub(1));
+            let d = (v - x).abs();
+            if up.is_finite() && (up > v) == (x > 0.0) || up.is_finite() {
+                assert!(d <= (up - x).abs() + 1e-12, "x={x}: {v} vs up {up}");
+            }
+            if down.is_finite() {
+                assert!(d <= (down - x).abs() + 1e-12, "x={x}: {v} vs down {down}");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even_ties() {
+        // 2049 is exactly between 2048 and 2050 (half step = 2 there);
+        // RNE picks the even mantissa (2048).
+        assert_eq!(f16_round(2049.0), 2048.0);
+        // 2051 is between 2050 and 2052 → 2052 (even).
+        assert_eq!(f16_round(2051.0), 2052.0);
+    }
+
+    #[test]
+    fn f16_monotone_on_samples() {
+        let mut prev = f16_round(-70000.0);
+        for i in -700..700 {
+            let x = i as f32 * 100.0;
+            let r = f16_round(x);
+            assert!(r >= prev, "f16_round not monotone at {x}");
+            prev = r;
+        }
+    }
+
+    // ---------------- F16Lut ----------------
+
+    fn abs_lut() -> LookupTable {
+        LookupTable::new(
+            vec![0.0],
+            vec![Segment::new(-1.0, 0.0), Segment::new(1.0, 0.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn f16_lut_close_to_f32_lut() {
+        let lut = abs_lut();
+        let f16 = F16Lut::from_lut(&lut).unwrap();
+        for i in -50..50 {
+            let x = i as f32 * 0.13;
+            let want = lut.eval(x);
+            let got = f16.eval(x);
+            assert!(
+                (want - got).abs() <= 0.001 * (1.0 + want.abs()),
+                "x={x}: {want} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_lut_rejects_overflowing_params() {
+        let lut = LookupTable::new(vec![], vec![Segment::new(1e6, 0.0)]).unwrap();
+        assert!(F16Lut::from_lut(&lut).is_err());
+    }
+
+    // ---------------- Int32Lut ----------------
+
+    #[test]
+    fn int32_lut_close_to_f32_lut() {
+        let lut = abs_lut();
+        let q = Int32Lut::from_lut(&lut, input_scale_for_domain((-8.0, 8.0)));
+        for i in -50..=50 {
+            let x = i as f32 * 0.16;
+            let want = lut.eval(x);
+            let got = q.eval(x);
+            assert!(
+                (want - got).abs() < 0.002,
+                "x={x}: {want} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn int32_eval_quantized_is_pure_integer() {
+        let lut = abs_lut();
+        let q = Int32Lut::from_lut(&lut, 0.01);
+        // q_x = -250 (x = -2.5) → |x| = 2.5 → raw = q_s*q_x + q_t.
+        let raw = q.eval_quantized(-250);
+        let real = raw as f64 * q.output_scale() as f64;
+        assert!((real - 2.5).abs() < 0.01, "{real}");
+    }
+
+    #[test]
+    fn input_scale_covers_domain() {
+        let s = input_scale_for_domain((-256.0, 0.0));
+        assert!((s - 256.0 / 32767.0).abs() < 1e-7);
+        assert_eq!(input_scale_for_domain((0.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn int32_bad_scale_panics() {
+        let _ = Int32Lut::from_lut(&abs_lut(), 0.0);
+    }
+
+    #[test]
+    fn precision_display() {
+        assert_eq!(Precision::F32.to_string(), "FP32");
+        assert_eq!(Precision::F16.to_string(), "FP16");
+        assert_eq!(Precision::Int32.to_string(), "INT32");
+    }
+}

@@ -1,0 +1,240 @@
+//! Input scaling for wide-range approximation (paper §3.3.2).
+//!
+//! `1/√x` has a huge output dynamic range for `x < 1` — exactly the regime a
+//! LayerNorm hits when a layer's activations have small variance. Instead of
+//! forcing the approximator to learn steep slopes there, the paper proposes:
+//!
+//! 1. train the LUT on the *monotonous* wide range `(1, K)`, `K ≫ 1`;
+//! 2. at inference, when `0 < x < 1`, multiply the input by a large
+//!    power-of-two constant `S` (a bit-shift in hardware) so it lands in
+//!    `(1, K)`, then multiply the LUT output by `√S`, because
+//!    `1/√x = √S · 1/√(S·x)`.
+//!
+//! [`ScaledRsqrt`] implements this, applying the shift repeatedly so that
+//! arbitrarily small (and, symmetrically, arbitrarily large) inputs are
+//! folded into the trained range.
+
+use crate::lut::LookupTable;
+
+/// Evaluates `1/√x` through any `1/√·` approximator trained on `domain`,
+/// folding out-of-range inputs into the trained range with power-of-two
+/// shifts: `1/√x = √S · f(S·x)` going up, `1/√x = f(x/S)/√S` going down.
+///
+/// This is the shared core of [`ScaledRsqrt`] and
+/// [`crate::ops::NnLutKit::inv_sqrt`].
+///
+/// # Panics
+///
+/// Panics (debug) if `scale <= 1`.
+pub fn eval_with_input_scaling<F: Fn(f32) -> f32>(
+    eval: F,
+    domain: (f32, f32),
+    scale: f32,
+    x: f32,
+) -> f32 {
+    if x <= 0.0 {
+        return f32::INFINITY;
+    }
+    let (xs, out_scale) = fold_into_domain(domain, scale, x);
+    eval(xs) * out_scale
+}
+
+/// The input-scaling fold itself: returns the post-shift LUT operand and the
+/// `√S^±k` output multiplier for an input `x > 0`.
+///
+/// Calibration uses this to map captured raw activations onto the inputs the
+/// LUT actually sees at inference time.
+///
+/// # Panics
+///
+/// Panics (debug) if `scale <= 1`.
+pub fn fold_into_domain(domain: (f32, f32), scale: f32, x: f32) -> (f32, f32) {
+    debug_assert!(scale > 1.0, "scale must exceed 1");
+    let sqrt_s = scale.sqrt();
+    let mut xs = x;
+    let mut out_scale = 1.0f32;
+    let mut guard = 0;
+    while xs < domain.0 && guard < 16 {
+        xs *= scale;
+        out_scale *= sqrt_s;
+        guard += 1;
+    }
+    while xs > domain.1 && guard < 32 {
+        xs /= scale;
+        out_scale /= sqrt_s;
+        guard += 1;
+    }
+    (xs, out_scale)
+}
+
+/// Power-of-two input scaling for the `1/√x` LUT.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::funcs::TargetFunction;
+/// use nnlut_core::recipe::train_recipe_with_domain;
+/// use nnlut_core::scaling::ScaledRsqrt;
+/// use nnlut_core::train::TrainConfig;
+/// use nnlut_core::nn_to_lut;
+///
+/// let (net, _) = train_recipe_with_domain(
+///     TargetFunction::Rsqrt, (1.0, 1024.0), 16, &TrainConfig::fast(), 3);
+/// let scaled = ScaledRsqrt::new(nn_to_lut(&net), 10, (1.0, 1024.0));
+/// // 1/sqrt(0.0004) ≈ 50: far outside the trained range, handled by scaling.
+/// let approx = scaled.eval(4e-4);
+/// assert!((approx - 50.0).abs() / 50.0 < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledRsqrt {
+    lut: LookupTable,
+    shift_bits: u32,
+    domain: (f32, f32),
+}
+
+impl ScaledRsqrt {
+    /// Wraps a `1/√x` LUT trained on `domain = (lo, hi)` with a `2^shift_bits`
+    /// input scaler (the paper uses `S = 2^10`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift_bits == 0` or the domain is not positive-increasing.
+    pub fn new(lut: LookupTable, shift_bits: u32, domain: (f32, f32)) -> Self {
+        assert!(shift_bits > 0, "shift must move the input");
+        assert!(
+            domain.0 > 0.0 && domain.0 < domain.1,
+            "1/sqrt domain must be positive and increasing"
+        );
+        Self {
+            lut,
+            shift_bits,
+            domain,
+        }
+    }
+
+    /// The wrapped lookup table.
+    pub fn lut(&self) -> &LookupTable {
+        &self.lut
+    }
+
+    /// The scale constant `S = 2^shift_bits`.
+    pub fn scale(&self) -> f32 {
+        (1u64 << self.shift_bits) as f32
+    }
+
+    /// Approximates `1/√x` for any `x > 0`.
+    ///
+    /// Inputs below the trained range are shifted up by `S` (output × √S);
+    /// inputs above it are shifted down (output ÷ √S). Non-positive inputs
+    /// return `f32::INFINITY`, matching the exact function's pole.
+    pub fn eval(&self, x: f32) -> f32 {
+        eval_with_input_scaling(|v| self.lut.eval(v), self.domain, self.scale(), x)
+    }
+
+    /// Number of up-shifts a given input would need (0 when in range).
+    /// Exposed for the hardware latency model: each shift is one cycle of
+    /// pre-scaling in the NN-LUT unit.
+    pub fn shifts_for(&self, x: f32) -> u32 {
+        if x <= 0.0 {
+            return 0;
+        }
+        let s = self.scale();
+        let mut xs = x;
+        let mut count = 0;
+        while xs < self.domain.0 && count < 16 {
+            xs *= s;
+            count += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Segment;
+
+    /// An exact 1/sqrt "LUT" stand-in: y = 1/sqrt(x) sampled as a dense
+    /// piecewise-linear table over (1, 1024).
+    fn dense_rsqrt_lut() -> LookupTable {
+        let n = 512;
+        let mut edges = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let t = i as f32 / n as f32;
+            edges.push((1.0f32.ln() + t * (1024.0f32.ln() - 1.0f32.ln())).exp());
+        }
+        let mut segments = Vec::with_capacity(n + 2);
+        // Leftmost/rightmost extrapolation segments plus interior chords.
+        let chord = |a: f32, b: f32| {
+            let fa = 1.0 / a.sqrt();
+            let fb = 1.0 / b.sqrt();
+            let slope = (fb - fa) / (b - a);
+            Segment::new(slope, fa - slope * a)
+        };
+        segments.push(chord(edges[0], edges[1]));
+        for w in edges.windows(2) {
+            segments.push(chord(w[0], w[1]));
+        }
+        segments.push(chord(edges[n - 1], edges[n]));
+        LookupTable::new(edges, segments).unwrap()
+    }
+
+    #[test]
+    fn in_range_inputs_bypass_scaling() {
+        let s = ScaledRsqrt::new(dense_rsqrt_lut(), 10, (1.0, 1024.0));
+        for x in [1.5f32, 10.0, 100.0, 900.0] {
+            let want = 1.0 / x.sqrt();
+            assert!((s.eval(x) - want).abs() / want < 0.01, "x={x}");
+            assert_eq!(s.shifts_for(x), 0);
+        }
+    }
+
+    #[test]
+    fn small_inputs_are_scaled_up() {
+        let s = ScaledRsqrt::new(dense_rsqrt_lut(), 10, (1.0, 1024.0));
+        for x in [0.5f32, 0.01, 1e-4, 1e-7] {
+            let want = 1.0 / x.sqrt();
+            let got = s.eval(x);
+            assert!(
+                (got - want).abs() / want < 0.02,
+                "x={x}: want {want} got {got}"
+            );
+            assert!(s.shifts_for(x) >= 1);
+        }
+    }
+
+    #[test]
+    fn large_inputs_are_scaled_down() {
+        let s = ScaledRsqrt::new(dense_rsqrt_lut(), 10, (1.0, 1024.0));
+        for x in [2e3f32, 1e6, 1e9] {
+            let want = 1.0 / x.sqrt();
+            let got = s.eval(x);
+            assert!(
+                (got - want).abs() / want < 0.02,
+                "x={x}: want {want} got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_s_identity_holds() {
+        // 1/sqrt(x) == sqrt(S) / sqrt(S*x) exactly for the reference math.
+        let s = 1024.0f32;
+        for x in [0.25f32, 0.0625] {
+            assert!(((1.0 / x.sqrt()) - s.sqrt() / (s * x).sqrt()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn nonpositive_input_returns_infinity() {
+        let s = ScaledRsqrt::new(dense_rsqrt_lut(), 10, (1.0, 1024.0));
+        assert!(s.eval(0.0).is_infinite());
+        assert!(s.eval(-3.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "shift must move the input")]
+    fn zero_shift_panics() {
+        let _ = ScaledRsqrt::new(dense_rsqrt_lut(), 0, (1.0, 1024.0));
+    }
+}

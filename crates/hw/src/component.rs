@@ -1,0 +1,376 @@
+//! The 7 nm-class component cost library.
+//!
+//! Every constant lives in the [`lib7`] module so the whole calibration is
+//! auditable in one screen. Area includes a routing/overhead factor folded
+//! into the per-component coefficients (synthesized macro area, not raw
+//! standard-cell area).
+//!
+//! **Power model.** Dynamic power is `energy per cycle × clock frequency`.
+//! Per component we track *switched area* — area × activity, where
+//! activity captures how hard the component toggles per cycle: a
+//! read-mostly parameter table barely toggles, ordinary logic toggles about
+//! half its nodes, and an iterative array divider sweeps its whole array
+//! through ~`width` subtract-shift steps per operation, making it the power
+//! hog of the I-BERT unit. The datapath then converts switched area to mW
+//! at the unit's own maximum clock (`1/critical_path`), matching how the
+//! paper reports per-unit power.
+
+/// Aggregate cost of a component or datapath path segment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Silicon area in µm².
+    pub area_um2: f64,
+    /// Activity-weighted area in µm² (the energy-per-cycle proxy).
+    pub switched_um2: f64,
+    /// Combinational delay contribution in ns.
+    pub delay_ns: f64,
+}
+
+impl Cost {
+    /// Component-wise sum with `delay` accumulated **in series**.
+    pub fn in_series(self, rhs: Cost) -> Cost {
+        Cost {
+            area_um2: self.area_um2 + rhs.area_um2,
+            switched_um2: self.switched_um2 + rhs.switched_um2,
+            delay_ns: self.delay_ns + rhs.delay_ns,
+        }
+    }
+
+    /// Component-wise sum with `delay` combined **in parallel** (max).
+    pub fn in_parallel(self, rhs: Cost) -> Cost {
+        Cost {
+            area_um2: self.area_um2 + rhs.area_um2,
+            switched_um2: self.switched_um2 + rhs.switched_um2,
+            delay_ns: self.delay_ns.max(rhs.delay_ns),
+        }
+    }
+
+    /// Dynamic power in mW when clocked at `1/clock_ns` GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_ns <= 0`.
+    pub fn power_mw_at(&self, clock_ns: f64) -> f64 {
+        assert!(clock_ns > 0.0, "clock period must be positive");
+        self.switched_um2 * lib7::POWER_DENSITY / clock_ns
+    }
+}
+
+/// Calibrated 7 nm-class constants (single source of truth).
+pub mod lib7 {
+    /// mW·ns per µm² of switched area (energy density proxy).
+    pub const POWER_DENSITY: f64 = 2.28e-4;
+
+    /// Integer array multiplier: area per bit².
+    pub const INT_MULT_AREA: f64 = 0.085;
+    /// Integer multiplier delay per bit (carry-save array + final CPA).
+    pub const INT_MULT_DELAY: f64 = 0.013;
+
+    /// Carry-lookahead adder: area per bit.
+    pub const INT_ADD_AREA: f64 = 0.95;
+    /// Adder delay per bit (lookahead, approximated linearly).
+    pub const INT_ADD_DELAY: f64 = 0.008;
+
+    /// Magnitude comparator: area per bit.
+    pub const CMP_AREA: f64 = 0.55;
+    /// Comparator base delay.
+    pub const CMP_DELAY_BASE: f64 = 0.10;
+    /// Comparator per-bit delay term.
+    pub const CMP_DELAY_PER_BIT: f64 = 0.004;
+
+    /// Barrel shifter: area per bit.
+    pub const SHIFT_AREA: f64 = 1.1;
+    /// Barrel shifter delay (log stages, roughly constant at these widths).
+    pub const SHIFT_DELAY: f64 = 0.15;
+
+    /// Iterative array divider: area per bit².
+    pub const DIV_AREA: f64 = 0.14;
+    /// Divider combinational delay per bit (the I-BERT critical path;
+    /// sub-linear carry chains folded into the coefficient).
+    pub const DIV_DELAY: f64 = 0.036;
+    /// A restoring divider sweeps ~`width` subtract-shift iterations per
+    /// operation — its per-cycle toggle count dwarfs ordinary logic.
+    pub const DIV_ACTIVITY: f64 = 42.0;
+
+    /// Control/microcode store (FSM + decoder): area per bit.
+    pub const CTRL_AREA: f64 = 0.50;
+    /// Control store activity: decode logic toggles like ordinary logic.
+    pub const CTRL_ACTIVITY: f64 = 0.5;
+    /// Control decode delay.
+    pub const CTRL_DELAY: f64 = 0.10;
+
+    /// 2:1 mux leg: area per bit per way.
+    pub const MUX_AREA: f64 = 0.12;
+    /// Mux delay per select level.
+    pub const MUX_DELAY_PER_LEVEL: f64 = 0.02;
+
+    /// Flip-flop register: area per bit.
+    pub const REG_AREA: f64 = 0.38;
+    /// Register clk-to-q delay.
+    pub const REG_DELAY: f64 = 0.04;
+    /// Register activity (clock + data toggling).
+    pub const REG_ACTIVITY: f64 = 0.8;
+
+    /// Table storage (flip-flop based LUT macro): area per bit.
+    pub const TABLE_AREA: f64 = 0.50;
+    /// Table read (word-line + output mux) delay.
+    pub const TABLE_DELAY: f64 = 0.20;
+    /// Read-mostly activity: only the selected word's output path toggles.
+    pub const TABLE_ACTIVITY: f64 = 0.015;
+
+    /// Floating-point multiplier: area `a·b² + c` over format width `b`.
+    pub const FP_MULT_AREA_SQ: f64 = 0.070;
+    /// Floating-point multiplier fixed overhead (exponent path, rounding).
+    pub const FP_MULT_AREA_BASE: f64 = 12.0;
+    /// FP multiplier delay per bit.
+    pub const FP_MULT_DELAY: f64 = 0.012;
+    /// FP multiplier base delay (normalize + round stages).
+    pub const FP_MULT_DELAY_BASE: f64 = 0.50;
+
+    /// Floating-point adder area per bit (alignment + normalize shifters).
+    pub const FP_ADD_AREA: f64 = 2.4;
+    /// FP adder delay per bit.
+    pub const FP_ADD_DELAY: f64 = 0.008;
+    /// FP adder base delay.
+    pub const FP_ADD_DELAY_BASE: f64 = 0.45;
+
+    /// Generic logic activity.
+    pub const LOGIC_ACTIVITY: f64 = 0.5;
+}
+
+/// A hardware building block with parametric width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Integer array multiplier (`bits × bits`).
+    IntMultiplier {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Integer adder.
+    IntAdder {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Single magnitude comparator.
+    Comparator {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Parallel comparator tree + priority encoder selecting one of
+    /// `entries` LUT segments (Fig. 3a's 16-bit comparator block).
+    ComparatorTree {
+        /// Operand width.
+        bits: u32,
+        /// Number of table entries (`entries − 1` comparators).
+        entries: u32,
+    },
+    /// Barrel shifter (the `2^−z` of i-exp, the input scaler of NN-LUT).
+    BarrelShifter {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Iterative integer divider (I-BERT softmax/layernorm).
+    Divider {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Multiplexer.
+    Mux {
+        /// Data width.
+        bits: u32,
+        /// Number of inputs.
+        ways: u32,
+    },
+    /// Pipeline register.
+    Register {
+        /// Data width.
+        bits: u32,
+    },
+    /// Parameter table storage.
+    TableMemory {
+        /// Total stored bits.
+        bits_total: u32,
+    },
+    /// FSM/microcode control store — needed when one unit sequences several
+    /// multi-step algorithms (the I-BERT unit runs four).
+    ControlStore {
+        /// Total stored bits.
+        bits_total: u32,
+    },
+    /// Floating-point multiplier.
+    FpMultiplier {
+        /// Format width (16 or 32).
+        bits: u32,
+    },
+    /// Floating-point adder.
+    FpAdder {
+        /// Format width (16 or 32).
+        bits: u32,
+    },
+}
+
+impl Component {
+    /// The component's calibrated cost.
+    pub fn cost(&self) -> Cost {
+        use lib7::*;
+        match *self {
+            Component::IntMultiplier { bits } => make(
+                INT_MULT_AREA * (bits as f64).powi(2),
+                LOGIC_ACTIVITY,
+                INT_MULT_DELAY * bits as f64,
+            ),
+            Component::IntAdder { bits } => make(
+                INT_ADD_AREA * bits as f64,
+                LOGIC_ACTIVITY,
+                INT_ADD_DELAY * bits as f64,
+            ),
+            Component::Comparator { bits } => make(
+                CMP_AREA * bits as f64,
+                LOGIC_ACTIVITY,
+                CMP_DELAY_BASE + CMP_DELAY_PER_BIT * bits as f64,
+            ),
+            Component::ComparatorTree { bits, entries } => {
+                let comparators = entries.saturating_sub(1) as f64;
+                let encoder = entries as f64 * 0.30;
+                make(
+                    comparators * CMP_AREA * bits as f64 + encoder,
+                    LOGIC_ACTIVITY,
+                    CMP_DELAY_BASE
+                        + CMP_DELAY_PER_BIT * bits as f64
+                        + MUX_DELAY_PER_LEVEL * (entries as f64).log2(),
+                )
+            }
+            Component::BarrelShifter { bits } => {
+                make(SHIFT_AREA * bits as f64, LOGIC_ACTIVITY, SHIFT_DELAY)
+            }
+            Component::Divider { bits } => make(
+                DIV_AREA * (bits as f64).powi(2),
+                DIV_ACTIVITY,
+                DIV_DELAY * bits as f64,
+            ),
+            Component::Mux { bits, ways } => make(
+                MUX_AREA * bits as f64 * ways.saturating_sub(1) as f64,
+                LOGIC_ACTIVITY,
+                MUX_DELAY_PER_LEVEL * (ways as f64).log2().max(1.0),
+            ),
+            Component::Register { bits } => {
+                make(REG_AREA * bits as f64, REG_ACTIVITY, REG_DELAY)
+            }
+            Component::TableMemory { bits_total } => make(
+                TABLE_AREA * bits_total as f64,
+                TABLE_ACTIVITY,
+                TABLE_DELAY,
+            ),
+            Component::ControlStore { bits_total } => make(
+                CTRL_AREA * bits_total as f64,
+                CTRL_ACTIVITY,
+                CTRL_DELAY,
+            ),
+            Component::FpMultiplier { bits } => make(
+                FP_MULT_AREA_SQ * (bits as f64).powi(2) + FP_MULT_AREA_BASE,
+                LOGIC_ACTIVITY,
+                FP_MULT_DELAY_BASE + FP_MULT_DELAY * bits as f64,
+            ),
+            Component::FpAdder { bits } => make(
+                FP_ADD_AREA * bits as f64,
+                LOGIC_ACTIVITY,
+                FP_ADD_DELAY_BASE + FP_ADD_DELAY * bits as f64,
+            ),
+        }
+    }
+}
+
+fn make(area: f64, activity: f64, delay: f64) -> Cost {
+    Cost {
+        area_um2: area,
+        switched_um2: area * activity,
+        delay_ns: delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_components_cost_more() {
+        let m16 = Component::IntMultiplier { bits: 16 }.cost();
+        let m32 = Component::IntMultiplier { bits: 32 }.cost();
+        assert!(m32.area_um2 > m16.area_um2 * 3.5); // quadratic
+        assert!(m32.delay_ns > m16.delay_ns);
+        let a16 = Component::IntAdder { bits: 16 }.cost();
+        let a32 = Component::IntAdder { bits: 32 }.cost();
+        assert!((a32.area_um2 / a16.area_um2 - 2.0).abs() < 1e-9); // linear
+    }
+
+    #[test]
+    fn table_memory_is_cool() {
+        // Per unit of area, the read-mostly table switches far less than
+        // active logic — the root of NN-LUT's power advantage.
+        let table = Component::TableMemory { bits_total: 1600 }.cost();
+        let mult = Component::IntMultiplier { bits: 32 }.cost();
+        let table_density = table.switched_um2 / table.area_um2;
+        let mult_density = mult.switched_um2 / mult.area_um2;
+        assert!(table_density < mult_density * 0.1);
+    }
+
+    #[test]
+    fn divider_is_the_power_hog() {
+        let div = Component::Divider { bits: 32 }.cost();
+        let mult = Component::IntMultiplier { bits: 32 }.cost();
+        assert!(div.switched_um2 > 30.0 * mult.switched_um2);
+        assert!(div.delay_ns > mult.delay_ns);
+    }
+
+    #[test]
+    fn comparator_tree_scales_with_entries() {
+        let t16 = Component::ComparatorTree { bits: 16, entries: 16 }.cost();
+        let t32 = Component::ComparatorTree { bits: 16, entries: 32 }.cost();
+        assert!(t32.area_um2 > t16.area_um2 * 1.9);
+        // Delay grows only logarithmically.
+        assert!(t32.delay_ns - t16.delay_ns < 0.03);
+    }
+
+    #[test]
+    fn series_and_parallel_composition() {
+        let a = Cost {
+            area_um2: 1.0,
+            switched_um2: 0.5,
+            delay_ns: 0.5,
+        };
+        let b = Cost {
+            area_um2: 2.0,
+            switched_um2: 1.0,
+            delay_ns: 0.3,
+        };
+        let s = a.in_series(b);
+        assert_eq!(s.area_um2, 3.0);
+        assert!((s.delay_ns - 0.8).abs() < 1e-12);
+        let p = a.in_parallel(b);
+        assert_eq!(p.area_um2, 3.0);
+        assert_eq!(p.delay_ns, 0.5);
+        assert_eq!(p.switched_um2, 1.5);
+    }
+
+    #[test]
+    fn power_scales_with_clock() {
+        let c = Component::IntMultiplier { bits: 32 }.cost();
+        let fast = c.power_mw_at(0.5);
+        let slow = c.power_mw_at(2.0);
+        assert!((fast / slow - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_adder_slower_than_int_adder() {
+        let fp = Component::FpAdder { bits: 32 }.cost();
+        let int = Component::IntAdder { bits: 32 }.cost();
+        assert!(fp.delay_ns > int.delay_ns);
+        assert!(fp.area_um2 > int.area_um2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_panics() {
+        let _ = Cost::default().power_mw_at(0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pipeline composition: stages of components → unit totals.
+
+use crate::component::{Component, Cost};
+
+/// One pipeline stage: the listed components form the stage's critical
+/// path in series (parallel structures are modelled as single aggregate
+/// components, e.g. [`Component::ComparatorTree`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStage {
+    /// Human-readable stage name (matches Fig. 3 labels).
+    pub name: &'static str,
+    /// Components in series along the stage path.
+    pub components: Vec<Component>,
+}
+
+impl PipelineStage {
+    /// Creates a named stage.
+    pub fn new(name: &'static str, components: Vec<Component>) -> Self {
+        Self { name, components }
+    }
+
+    /// Total cost of the stage: area/power summed, delay in series.
+    pub fn cost(&self) -> Cost {
+        self.components
+            .iter()
+            .fold(Cost::default(), |acc, c| acc.in_series(c.cost()))
+    }
+}
+
+/// A complete arithmetic unit: pipeline stages plus shared (non-staged)
+/// resources such as parameter tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datapath {
+    /// Unit name (Table 4 column).
+    pub name: &'static str,
+    /// Pipeline stages.
+    pub stages: Vec<PipelineStage>,
+    /// Shared resources outside the per-stage critical paths (storage,
+    /// control): contribute area/power but not stage delay.
+    pub shared: Vec<Component>,
+}
+
+impl Datapath {
+    /// Total silicon area (µm²).
+    pub fn area_um2(&self) -> f64 {
+        self.total().area_um2
+    }
+
+    /// Total dynamic power (mW) with the unit clocked at its own maximum
+    /// frequency (`1/critical_path`), which is how the paper reports
+    /// per-unit power.
+    pub fn power_mw(&self) -> f64 {
+        self.total().power_mw_at(self.critical_path_ns())
+    }
+
+    /// Critical-path delay (ns): the slowest pipeline stage.
+    pub fn critical_path_ns(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.cost().delay_ns)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of pipeline stages.
+    pub fn pipeline_depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn total(&self) -> Cost {
+        let mut acc = Cost::default();
+        for s in &self.stages {
+            acc = acc.in_parallel(s.cost());
+        }
+        for c in &self.shared {
+            acc = acc.in_parallel(c.cost());
+        }
+        acc
+    }
+
+    /// A per-stage cost breakdown (for reports and debugging).
+    pub fn stage_breakdown(&self) -> Vec<(&'static str, Cost)> {
+        self.stages.iter().map(|s| (s.name, s.cost())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stage_unit() -> Datapath {
+        Datapath {
+            name: "test",
+            stages: vec![
+                PipelineStage::new(
+                    "select",
+                    vec![Component::ComparatorTree { bits: 16, entries: 16 }],
+                ),
+                PipelineStage::new(
+                    "mac",
+                    vec![
+                        Component::IntMultiplier { bits: 32 },
+                        Component::IntAdder { bits: 32 },
+                    ],
+                ),
+            ],
+            shared: vec![Component::TableMemory { bits_total: 1024 }],
+        }
+    }
+
+    #[test]
+    fn area_includes_all_parts() {
+        let u = two_stage_unit();
+        let sum: f64 = u
+            .stages
+            .iter()
+            .map(|s| s.cost().area_um2)
+            .chain(u.shared.iter().map(|c| c.cost().area_um2))
+            .sum();
+        assert!((u.area_um2() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_is_slowest_stage() {
+        let u = two_stage_unit();
+        let mac = u.stages[1].cost().delay_ns;
+        let sel = u.stages[0].cost().delay_ns;
+        assert!(mac > sel, "MAC should dominate: {mac} vs {sel}");
+        assert_eq!(u.critical_path_ns(), mac);
+    }
+
+    #[test]
+    fn shared_resources_do_not_affect_delay() {
+        let mut u = two_stage_unit();
+        let before = u.critical_path_ns();
+        u.shared.push(Component::TableMemory { bits_total: 100_000 });
+        assert_eq!(u.critical_path_ns(), before);
+        assert!(u.area_um2() > 50_000.0 * 0.4);
+    }
+
+    #[test]
+    fn pipeline_depth_counts_stages() {
+        assert_eq!(two_stage_unit().pipeline_depth(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! The two arithmetic-unit designs of paper Fig. 3(a) and Fig. 3(b).
+
+use crate::component::Component;
+use crate::datapath::{Datapath, PipelineStage};
+
+/// Deployment precision of the NN-LUT unit (Table 4 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitPrecision {
+    /// 32-bit integer datapath with 16-bit input/breakpoint grid.
+    Int32,
+    /// IEEE binary16 datapath.
+    Fp16,
+    /// IEEE binary32 datapath.
+    Fp32,
+}
+
+impl std::fmt::Display for UnitPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UnitPrecision::Int32 => "INT32",
+            UnitPrecision::Fp16 => "FP16",
+            UnitPrecision::Fp32 => "FP32",
+        })
+    }
+}
+
+/// Builds the NN-LUT arithmetic unit (Fig. 3a): comparator tree → table
+/// read (stage 1), multiply-accumulate (stage 2).
+///
+/// The table stores `entries − 1` breakpoints at the comparator width plus
+/// `entries` (slope, intercept) pairs at the datapath width. Latency is
+/// always [`nn_lut_latency`] cycles regardless of which non-linear function
+/// the table currently encodes — the paper's headline hardware property.
+pub fn nn_lut_unit(precision: UnitPrecision, entries: u32) -> Datapath {
+    // Comparator width: the INT32 unit compares pre-scaled 16-bit inputs
+    // (the paper's "Comparator (16bit)"); FP compares at format width
+    // (IEEE order matches integer order for finite same-sign values).
+    let (cmp_bits, word_bits) = match precision {
+        UnitPrecision::Int32 => (16, 32),
+        UnitPrecision::Fp16 => (16, 16),
+        UnitPrecision::Fp32 => (32, 32),
+    };
+    let table_bits = (entries - 1) * cmp_bits + entries * 2 * word_bits;
+    let mac: Vec<Component> = match precision {
+        UnitPrecision::Int32 => vec![
+            Component::IntMultiplier { bits: word_bits },
+            Component::IntAdder { bits: word_bits },
+        ],
+        UnitPrecision::Fp16 | UnitPrecision::Fp32 => vec![
+            Component::FpMultiplier { bits: word_bits },
+            Component::FpAdder { bits: word_bits },
+        ],
+    };
+    let mut stage2 = mac;
+    stage2.push(Component::Register { bits: word_bits }); // q_out
+    Datapath {
+        name: "NN-LUT",
+        stages: vec![
+            PipelineStage::new(
+                "select",
+                vec![
+                    Component::ComparatorTree {
+                        bits: cmp_bits,
+                        entries,
+                    },
+                    // s/t latches feeding the MAC.
+                    Component::Register { bits: 2 * word_bits },
+                ],
+            ),
+            PipelineStage::new("mac", stage2),
+        ],
+        shared: vec![
+            Component::TableMemory {
+                bits_total: table_bits,
+            },
+            Component::Register { bits: cmp_bits }, // input latch
+        ],
+    }
+}
+
+/// Cycles per non-linear operation on the NN-LUT unit: one table
+/// select/read cycle + one MAC cycle, for every target function.
+pub const fn nn_lut_latency() -> u32 {
+    2
+}
+
+/// The I-BERT operations with distinct datapath walks (Table 4 bottom row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IbertOp {
+    /// i-GELU (Algorithm 3): 3 cycles.
+    Gelu,
+    /// i-exp (Algorithm 2): 4 cycles.
+    Exp,
+    /// i-sqrt (Algorithm 4, iterative Newton): 5 cycles.
+    Sqrt,
+}
+
+/// Cycles per operation on the I-BERT unit (paper Table 4).
+pub const fn ibert_latency(op: IbertOp) -> u32 {
+    match op {
+        IbertOp::Gelu => 3,
+        IbertOp::Exp => 4,
+        IbertOp::Sqrt => 5,
+    }
+}
+
+/// Builds the I-BERT arithmetic unit (Fig. 3b): the union datapath able to
+/// execute i-GELU, i-exp, i-sqrt and the softmax/LayerNorm division.
+///
+/// Component inventory follows the figure: two multipliers (`mult0/1`),
+/// five adders (`add0..add4`), four shifters (`shft0..3`), one divider
+/// (`div0`), eight muxes + a demux, eleven pipeline/state registers
+/// (`reg0..reg10`), and the constant store (`q_ln2`, `q_b`, `q_c`, `q_1`).
+/// Products and accumulations run at 64-bit (INT32 operands, 64-bit
+/// intermediates), which is what the 2× width on adders/registers models.
+pub fn ibert_unit() -> Datapath {
+    Datapath {
+        name: "I-BERT",
+        stages: vec![
+            // Stage 1: operand select + range decomposition (z = -q/q_ln2).
+            PipelineStage::new(
+                "decompose",
+                vec![
+                    Component::Mux { bits: 32, ways: 4 },
+                    Component::IntAdder { bits: 32 },
+                    Component::BarrelShifter { bits: 32 },
+                    Component::Register { bits: 64 },
+                ],
+            ),
+            // Stage 2: polynomial square (q + q_b)² on mult0.
+            PipelineStage::new(
+                "poly-square",
+                vec![
+                    Component::IntAdder { bits: 32 },
+                    Component::IntMultiplier { bits: 32 },
+                    Component::IntAdder { bits: 64 },
+                    Component::Register { bits: 64 },
+                ],
+            ),
+            // Stage 3: output scaling multiply (mult1) + shift (2^-z).
+            PipelineStage::new(
+                "scale-shift",
+                vec![
+                    Component::IntMultiplier { bits: 32 },
+                    Component::BarrelShifter { bits: 64 },
+                    Component::IntAdder { bits: 64 },
+                    Component::Register { bits: 64 },
+                ],
+            ),
+            // Stage 4: the divider walk (softmax denominator / layernorm σ,
+            // also the sqrt Newton step n/x) — the critical path. The
+            // softmax reciprocal is ⌊2^62/sum⌋, a genuinely 64-bit divide.
+            PipelineStage::new(
+                "divide",
+                vec![
+                    Component::Divider { bits: 64 },
+                    Component::IntAdder { bits: 64 },
+                    Component::Mux { bits: 64, ways: 2 },
+                    Component::Register { bits: 64 },
+                ],
+            ),
+        ],
+        shared: vec![
+            // Remaining Fig. 3b inventory outside the four stage paths:
+            // shifters 2–3, adders 3–4 (already counted per stage where they
+            // sit), muxes 2..7, demux0, registers reg4..reg10, constants.
+            Component::BarrelShifter { bits: 32 },
+            Component::BarrelShifter { bits: 32 },
+            Component::IntAdder { bits: 32 },
+            Component::Mux { bits: 32, ways: 2 },
+            Component::Mux { bits: 32, ways: 2 },
+            Component::Mux { bits: 32, ways: 2 },
+            Component::Mux { bits: 32, ways: 2 },
+            Component::Mux { bits: 32, ways: 2 },
+            Component::Mux { bits: 32, ways: 2 },
+            Component::Mux { bits: 64, ways: 4 }, // demux0
+            Component::Register { bits: 64 },
+            Component::Register { bits: 64 },
+            Component::Register { bits: 64 },
+            Component::Register { bits: 64 },
+            Component::Register { bits: 64 },
+            Component::Register { bits: 64 },
+            Component::Register { bits: 64 },
+            Component::TableMemory { bits_total: 4 * 32 }, // q_ln2, q_b, q_c, q_1
+            // Sequencing FSM + microcode for the four distinct multi-step
+            // algorithm walks (i-GELU / i-exp / i-sqrt / divide): ~32 steps
+            // of 64-bit control words.
+            Component::ControlStore { bits_total: 2048 },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nn_lut_unit_has_two_stages() {
+        let u = nn_lut_unit(UnitPrecision::Int32, 16);
+        assert_eq!(u.pipeline_depth(), 2);
+        assert_eq!(nn_lut_latency(), 2);
+    }
+
+    #[test]
+    fn ibert_latencies_match_table4() {
+        assert_eq!(ibert_latency(IbertOp::Gelu), 3);
+        assert_eq!(ibert_latency(IbertOp::Exp), 4);
+        assert_eq!(ibert_latency(IbertOp::Sqrt), 5);
+    }
+
+    #[test]
+    fn ibert_is_bigger_hotter_slower_than_nn_lut() {
+        let nn = nn_lut_unit(UnitPrecision::Int32, 16);
+        let ib = ibert_unit();
+        assert!(ib.area_um2() > nn.area_um2() * 1.5);
+        assert!(ib.power_mw() > nn.power_mw() * 10.0);
+        assert!(ib.critical_path_ns() > nn.critical_path_ns() * 2.0);
+    }
+
+    #[test]
+    fn more_entries_grow_table_area_not_delay_much() {
+        let small = nn_lut_unit(UnitPrecision::Int32, 16);
+        let big = nn_lut_unit(UnitPrecision::Int32, 64);
+        assert!(big.area_um2() > small.area_um2() * 2.0);
+        assert!(big.critical_path_ns() < small.critical_path_ns() * 1.2);
+    }
+
+    #[test]
+    fn fp16_is_smallest_nn_lut_variant() {
+        let i32u = nn_lut_unit(UnitPrecision::Int32, 16);
+        let f16 = nn_lut_unit(UnitPrecision::Fp16, 16);
+        let f32u = nn_lut_unit(UnitPrecision::Fp32, 16);
+        assert!(f16.area_um2() < i32u.area_um2());
+        assert!(f16.area_um2() < f32u.area_um2());
+        // FP paths are slower than the integer MAC (paper Table 4).
+        assert!(f16.critical_path_ns() > i32u.critical_path_ns());
+        assert!(f32u.critical_path_ns() > f16.critical_path_ns());
+    }
+}

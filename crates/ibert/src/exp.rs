@@ -1,0 +1,112 @@
+//! Integer-only exponential (I-BERT Algorithm 2).
+//!
+//! For `x ≤ 0`, decompose `x = −z·ln2 + p` with `z ∈ ℕ`, `p ∈ (−ln2, 0]`,
+//! then `exp(x) = 2^−z · exp(p)` where `exp(p)` is approximated by the
+//! second-order polynomial `0.3585·(p + 1.353)² + 0.344`. The `2^−z` is a
+//! right-shift — hence the shifter in the I-BERT datapath (paper Fig. 3b).
+
+use crate::fixed::Quantized;
+use crate::poly::i_poly;
+
+/// The I-BERT exp-polynomial constants for `p ∈ (−ln2, 0]`.
+pub const EXP_POLY: (f32, f32, f32) = (0.358_151_47, 1.353, 0.344);
+
+/// Integer-only `exp(x)` for non-positive `x = v.q · v.scale`.
+///
+/// Inputs more negative than `−30·ln2` underflow to an exact zero (the
+/// shift exceeds the accumulator width), matching I-BERT's behaviour.
+///
+/// # Panics
+///
+/// Panics if `v.scale` is not small enough to resolve `ln2` (the algorithm
+/// needs `⌊ln2/S⌋ ≥ 1`).
+pub fn i_exp(v: Quantized) -> Quantized {
+    let q_ln2 = (std::f64::consts::LN_2 / v.scale as f64).floor() as i64;
+    assert!(
+        q_ln2 >= 1,
+        "input scale {} too coarse to resolve ln2",
+        v.scale
+    );
+    let q = v.q.min(0); // the kernel is defined on x ≤ 0
+    let z = (-q) / q_ln2;
+    let (a, b, c) = EXP_POLY;
+    if z >= 31 {
+        // exp underflows the shifted integer range.
+        let p = Quantized { q: 0, scale: v.scale };
+        let l = i_poly(p, a, b, c);
+        return Quantized { q: 0, scale: l.scale };
+    }
+    let q_p = q + z * q_ln2; // p ∈ (−ln2, 0] on the same grid
+    let l = i_poly(Quantized { q: q_p, scale: v.scale }, a, b, c);
+    Quantized {
+        q: l.q >> z,
+        scale: l.scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::scale_16bit;
+
+    #[test]
+    fn matches_exp_on_softmax_range() {
+        let s = scale_16bit(256.0);
+        for i in 0..=300 {
+            let x = -i as f32 * 0.05; // 0 … −15
+            let v = Quantized::quantize(x, s);
+            let out = i_exp(v);
+            let want = (x as f64).exp() as f32;
+            assert!(
+                (out.real() - want).abs() < 0.02,
+                "x={x}: {} vs {want}",
+                out.real()
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_small_near_zero() {
+        let s = 1e-4;
+        for i in 0..=100 {
+            let x = -i as f32 * 0.01;
+            let out = i_exp(Quantized::quantize(x, s));
+            let want = (x as f64).exp() as f32;
+            let rel = (out.real() - want).abs() / want;
+            assert!(rel < 0.02, "x={x}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn deep_negative_underflows_to_zero() {
+        let s = scale_16bit(256.0);
+        let out = i_exp(Quantized::quantize(-200.0, s));
+        assert_eq!(out.q, 0);
+        assert_eq!(out.real(), 0.0);
+    }
+
+    #[test]
+    fn positive_inputs_clamp_to_one() {
+        let s = scale_16bit(256.0);
+        let out = i_exp(Quantized::quantize(5.0, s));
+        assert!((out.real() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn monotone_non_decreasing() {
+        let s = scale_16bit(64.0);
+        let mut prev = -1.0f32;
+        for i in (0..=640).rev() {
+            let x = -i as f32 * 0.1;
+            let out = i_exp(Quantized::quantize(x, s)).real();
+            assert!(out >= prev - 1e-6, "non-monotone at {x}");
+            prev = out;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too coarse")]
+    fn coarse_scale_panics() {
+        let _ = i_exp(Quantized::quantize(-1.0, 10.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! The `(q, S)` fixed-point value representation shared by all I-BERT
+//! kernels: `real ≈ q · S`.
+
+/// A quantized scalar: integer payload plus its real-valued scale factor.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_ibert::Quantized;
+///
+/// let v = Quantized::quantize(1.5, 0.01);
+/// assert_eq!(v.q, 150);
+/// assert!((v.real() - 1.5).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantized {
+    /// Integer payload (held in i64; algorithmically an INT32 value with a
+    /// 64-bit accumulator for intermediates).
+    pub q: i64,
+    /// Scale factor: `real = q * scale`.
+    pub scale: f32,
+}
+
+impl Quantized {
+    /// Quantizes a real value onto the grid defined by `scale`
+    /// (round-to-nearest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn quantize(x: f32, scale: f32) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive"
+        );
+        Self {
+            q: (x as f64 / scale as f64).round() as i64,
+            scale,
+        }
+    }
+
+    /// The represented real value.
+    pub fn real(&self) -> f32 {
+        (self.q as f64 * self.scale as f64) as f32
+    }
+}
+
+/// The 16-bit symmetric input scale for a value range of `max_abs`
+/// (the NN-LUT paper pre-scales non-linear-op inputs to the bit-width of
+/// its 16-bit comparator; the I-BERT unit receives the same inputs).
+pub fn scale_16bit(max_abs: f32) -> f32 {
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / ((1 << 15) - 1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_below_half_step() {
+        for i in 0..100 {
+            let x = -5.0 + 0.1 * i as f32;
+            let v = Quantized::quantize(x, 0.001);
+            assert!((v.real() - x).abs() <= 0.0005 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn scale_16bit_maps_max_to_32767() {
+        let s = scale_16bit(8.0);
+        let v = Quantized::quantize(8.0, s);
+        assert_eq!(v.q, 32767);
+    }
+
+    #[test]
+    fn zero_range_gets_unit_scale() {
+        assert_eq!(scale_16bit(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn bad_scale_panics() {
+        let _ = Quantized::quantize(1.0, -1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Integer-only GELU via a polynomial erf (I-BERT Algorithm 3 / "i-GELU").
+//!
+//! `erf(x) ≈ sgn(x) · [a·(clip(|x|, max = −b) + b)² + c]` with
+//! `a = −0.2888, b = −1.769, c = 1`, and
+//! `GELU(x) = x · (1 + erf(x/√2)) / 2`.
+
+use crate::fixed::Quantized;
+use crate::poly::i_poly;
+
+/// The I-BERT erf-polynomial constants.
+pub const ERF_POLY: (f32, f32, f32) = (-0.2888, -1.769, 1.0);
+
+/// Integer-only `erf(x)` for `x = v.q · v.scale`.
+pub fn i_erf(v: Quantized) -> Quantized {
+    let (a, b, c) = ERF_POLY;
+    let q_clip_max = (-(b as f64) / v.scale as f64).floor() as i64;
+    let sign = if v.q < 0 { -1 } else { 1 };
+    let q_abs = v.q.abs().min(q_clip_max);
+    let l = i_poly(
+        Quantized {
+            q: q_abs,
+            scale: v.scale,
+        },
+        a,
+        b,
+        c,
+    );
+    Quantized {
+        q: sign * l.q,
+        scale: l.scale,
+    }
+}
+
+/// Integer-only GELU for `x = v.q · v.scale`.
+///
+/// The output scale is `v.scale · S_erf / 2`; the multiply `q·(q_erf + q_1)`
+/// is the second multiplier in the I-BERT datapath (paper Fig. 3b).
+pub fn i_gelu(v: Quantized) -> Quantized {
+    let sqrt2 = std::f32::consts::SQRT_2;
+    let erf_in = Quantized {
+        q: v.q,
+        scale: v.scale / sqrt2,
+    };
+    let erf = i_erf(erf_in);
+    let q_one = (1.0f64 / erf.scale as f64).floor() as i64;
+    Quantized {
+        q: v.q * (erf.q + q_one),
+        scale: v.scale * erf.scale / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::scale_16bit;
+
+    fn exact_erf(x: f32) -> f32 {
+        // A&S 7.1.26 reference (identical to nnlut-core's).
+        let xf = x as f64;
+        let sign = if xf < 0.0 { -1.0 } else { 1.0 };
+        let ax = xf.abs();
+        let t = 1.0 / (1.0 + 0.3275911 * ax);
+        let y = 1.0
+            - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+                + 0.254829592)
+                * t
+                * (-ax * ax).exp();
+        (sign * y) as f32
+    }
+
+    fn exact_gelu(x: f32) -> f32 {
+        0.5 * x * (1.0 + exact_erf(x / std::f32::consts::SQRT_2))
+    }
+
+    #[test]
+    fn i_erf_matches_reference_within_polynomial_error() {
+        // The I-BERT erf polynomial g(p) = a(p+b)²+c has an inherent error
+        // of up to ~0.1 near p = 0 (g(0) ≈ 0.096, erf(0) = 0); that error is
+        // annihilated in GELU by the multiplication with x. Away from zero
+        // it tracks erf closely.
+        let s = scale_16bit(4.0);
+        for i in -40..=40 {
+            let x = i as f32 * 0.1;
+            let out = i_erf(Quantized::quantize(x, s)).real();
+            let tol = if x.abs() < 1.0 { 0.11 } else { 0.02 };
+            assert!((out - exact_erf(x)).abs() < tol, "x={x}: {out}");
+        }
+    }
+
+    #[test]
+    fn i_erf_is_odd_away_from_zero() {
+        // sgn-based evaluation is exactly odd for x ≠ 0 (at x = 0 the
+        // polynomial's +0.096 offset shows, by construction).
+        let s = scale_16bit(4.0);
+        for i in 1..=40 {
+            let x = i as f32 * 0.1;
+            let pos = i_erf(Quantized::quantize(x, s)).real();
+            let neg = i_erf(Quantized::quantize(-x, s)).real();
+            assert!((pos + neg).abs() < 2e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn i_gelu_matches_reference() {
+        let s = scale_16bit(5.0);
+        for i in -50..=50 {
+            let x = i as f32 * 0.1;
+            let out = i_gelu(Quantized::quantize(x, s)).real();
+            let want = exact_gelu(x);
+            assert!(
+                (out - want).abs() < 0.02 * (1.0 + want.abs()),
+                "x={x}: {out} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn i_gelu_saturates_correctly() {
+        let s = scale_16bit(8.0);
+        // Far positive ≈ identity, far negative ≈ 0.
+        let hi = i_gelu(Quantized::quantize(6.0, s)).real();
+        assert!((hi - 6.0).abs() < 0.1, "gelu(6) = {hi}");
+        let lo = i_gelu(Quantized::quantize(-6.0, s)).real();
+        assert!(lo.abs() < 0.1, "gelu(-6) = {lo}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Integer-only LayerNorm (I-BERT §3.3).
+//!
+//! Mean and variance are exact integer reductions; the standard deviation
+//! uses [`crate::i_sqrt`]; the final normalization multiplies by a
+//! `⌊2^16/σ_q⌋` integer reciprocal. Because all quantities share the input
+//! scale, the scale cancels and the output is dimensionless, exactly like
+//! the real LayerNorm.
+
+use crate::fixed::{scale_16bit, Quantized};
+use crate::sqrt::i_sqrt;
+
+/// Fixed-point fraction bits of the LayerNorm output (`S_out = 2^−16`).
+pub const LAYERNORM_OUT_BITS: u32 = 16;
+
+/// Integer-only LayerNorm (no affine) over one row of quantized values
+/// sharing `scale`. Returns values with scale `2^−16`.
+pub fn i_layernorm(qs: &[i64]) -> Vec<Quantized> {
+    let out_scale = 2.0f32.powi(-(LAYERNORM_OUT_BITS as i32));
+    let n = qs.len() as i64;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = {
+        let sum: i64 = qs.iter().sum();
+        // Round-to-nearest integer mean.
+        (sum + n.signum() * n / 2) / n
+    };
+    let var: i64 = qs
+        .iter()
+        .map(|&q| {
+            let d = q - mean;
+            d * d
+        })
+        .sum::<i64>()
+        / n;
+    let std_q = i_sqrt(var.max(0) as u64).max(1) as i64;
+    // Per-element integer division (the `div0` block of Fig. 3b):
+    // q_out = ((q − μ) << 16) / σ_q, so the output scale is 2^−16 and the
+    // truncation error is bounded by 2^−16 per element.
+    qs.iter()
+        .map(|&q| Quantized {
+            q: ((q - mean) << LAYERNORM_OUT_BITS) / std_q,
+            scale: out_scale,
+        })
+        .collect()
+}
+
+/// Convenience wrapper: quantizes an `f32` row on a 16-bit grid, runs
+/// [`i_layernorm`], and de-quantizes.
+pub fn i_layernorm_f32(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max_abs = xs.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-6);
+    let scale = scale_16bit(max_abs);
+    let qs: Vec<i64> = xs
+        .iter()
+        .map(|&x| (x as f64 / scale as f64).round() as i64)
+        .collect();
+    for (x, v) in xs.iter_mut().zip(i_layernorm(&qs)) {
+        *x = v.real();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_layernorm(xs: &[f32]) -> Vec<f32> {
+        let n = xs.len() as f32;
+        let mean = xs.iter().sum::<f32>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let inv = 1.0 / var.sqrt().max(1e-12);
+        xs.iter().map(|&x| (x - mean) * inv).collect()
+    }
+
+    #[test]
+    fn matches_exact_layernorm() {
+        let xs: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 3.0 + 0.5).collect();
+        let mut approx = xs.clone();
+        i_layernorm_f32(&mut approx);
+        for (a, e) in approx.iter().zip(exact_layernorm(&xs)) {
+            assert!((a - e).abs() < 0.02, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn output_has_zero_mean_unit_variance() {
+        let mut xs: Vec<f32> = (0..128).map(|i| i as f32 * 0.01 - 2.0).collect();
+        i_layernorm_f32(&mut xs);
+        let n = xs.len() as f32;
+        let mean = xs.iter().sum::<f32>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn small_variance_rows_stay_finite() {
+        // A nearly constant row exercises the σ_q → 1 clamp.
+        let mut xs = vec![2.0f32; 16];
+        xs[0] = 2.0001;
+        i_layernorm_f32(&mut xs);
+        assert!(xs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn constant_row_maps_to_zero() {
+        let mut xs = vec![5.0f32; 8];
+        i_layernorm_f32(&mut xs);
+        assert!(xs.iter().all(|&v| v.abs() < 1e-3), "{xs:?}");
+    }
+
+    #[test]
+    fn empty_row_is_noop() {
+        let mut xs: Vec<f32> = vec![];
+        i_layernorm_f32(&mut xs);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn two_element_row_normalizes_to_plus_minus_one() {
+        // With realistic integer magnitudes (16-bit grid) the two-element
+        // row comes out at ±1.
+        let out = i_layernorm(&[0, 32_766]);
+        assert_eq!(out.len(), 2);
+        assert!((out[0].real() + 1.0).abs() < 0.01, "{}", out[0].real());
+        assert!((out[1].real() - 1.0).abs() < 0.01, "{}", out[1].real());
+    }
+}

@@ -1,0 +1,41 @@
+//! # nnlut-ibert
+//!
+//! The **I-BERT** integer-only approximation kernels (Kim et al., ICML 2021)
+//! — the state-of-the-art baseline the NN-LUT paper compares against in its
+//! Tables 2(b), 4 and 5.
+//!
+//! I-BERT replaces each transcendental function with an operation-specific
+//! integer algorithm operating on `(q, S)` pairs (`real ≈ q·S`):
+//!
+//! * [`poly::i_poly`] — second-order integer polynomial, the shared kernel;
+//! * [`exp::i_exp`] — range decomposition `x = −z·ln2 + p` plus an integer
+//!   polynomial on `p ∈ (−ln2, 0]`, then a right-shift by `z`;
+//! * [`gelu::i_gelu`] — a sigmoid-style polynomial approximation of `erf`;
+//! * [`sqrt::i_sqrt`] — exact integer Newton iteration for `⌊√n⌋`;
+//! * [`softmax::i_softmax`] and [`layernorm::i_layernorm`] — the composed
+//!   row kernels.
+//!
+//! These are *multi-step, operation-specific* datapaths — the very property
+//! NN-LUT's single LUT primitive removes (paper §2.3). The corresponding
+//! hardware cost asymmetry is modelled in `nnlut-hw`.
+//!
+//! Values are held in `i64` during intermediate arithmetic (a hardware
+//! accumulator register); inputs and the algorithmic structure follow the
+//! INT32 setting of the paper, with inputs pre-scaled to 16-bit integer
+//! grids exactly as the NN-LUT paper assumes for its own INT32 unit.
+
+pub mod exp;
+pub mod fixed;
+pub mod gelu;
+pub mod layernorm;
+pub mod poly;
+pub mod softmax;
+pub mod sqrt;
+
+pub use exp::i_exp;
+pub use fixed::Quantized;
+pub use gelu::{i_erf, i_gelu};
+pub use layernorm::i_layernorm;
+pub use poly::i_poly;
+pub use softmax::i_softmax;
+pub use sqrt::i_sqrt;

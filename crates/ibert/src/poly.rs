@@ -1,0 +1,75 @@
+//! Integer-only second-order polynomial (I-BERT Algorithm 1).
+//!
+//! Evaluates `a·(x + b)² + c` for `x = q·S` entirely in integers:
+//!
+//! ```text
+//! q_b = ⌊b / S⌋             (pre-computed constant)
+//! q_c = ⌊c / (a·S²)⌋        (pre-computed constant)
+//! q_out = (q + q_b)² + q_c,  S_out = a·S²
+//! ```
+//!
+//! Both `i_exp` and `i_erf` are built on this kernel with different
+//! `(a, b, c)` constants.
+
+use crate::fixed::Quantized;
+
+/// Integer evaluation of `a·(x + b)² + c` at `x = v.q · v.scale`.
+///
+/// # Panics
+///
+/// Panics if `a == 0` (the quadratic coefficient defines the output scale).
+pub fn i_poly(v: Quantized, a: f32, b: f32, c: f32) -> Quantized {
+    assert!(a != 0.0, "i_poly requires a non-zero quadratic coefficient");
+    let s = v.scale as f64;
+    let q_b = (b as f64 / s).floor() as i64;
+    let s_out = a as f64 * s * s;
+    let q_c = (c as f64 / s_out).floor() as i64;
+    let t = v.q + q_b;
+    Quantized {
+        q: t * t + q_c,
+        scale: s_out as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_float_polynomial() {
+        let (a, b, c) = (0.35815147f32, 1.353, 0.344);
+        for i in -70..=0 {
+            let x = i as f32 * 0.01; // p ∈ (−0.7, 0]
+            let v = Quantized::quantize(x, 1e-4);
+            let out = i_poly(v, a, b, c);
+            let want = a * (x + b) * (x + b) + c;
+            assert!(
+                (out.real() - want).abs() < 1e-3,
+                "x={x}: {} vs {want}",
+                out.real()
+            );
+        }
+    }
+
+    #[test]
+    fn negative_quadratic_coefficient() {
+        let (a, b, c) = (-0.2888f32, -1.769, 1.0);
+        for i in 0..=17 {
+            let x = i as f32 * 0.1; // |x| ≤ 1.769 (the erf clip range)
+            let v = Quantized::quantize(x, 1e-4);
+            let out = i_poly(v, a, b, c);
+            let want = a * (x + b) * (x + b) + c;
+            assert!(
+                (out.real() - want).abs() < 1e-3,
+                "x={x}: {} vs {want}",
+                out.real()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero quadratic")]
+    fn zero_a_panics() {
+        let _ = i_poly(Quantized::quantize(0.0, 0.1), 0.0, 1.0, 1.0);
+    }
+}

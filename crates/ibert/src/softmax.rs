@@ -1,0 +1,134 @@
+//! Integer-only Softmax (I-BERT §3.2).
+//!
+//! Max-subtract in integers, [`crate::i_exp`] per element (all outputs share
+//! one scale), integer sum, then a single integer division realized as a
+//! `⌊2^62/sum⌋` reciprocal multiply — the divider block of the I-BERT
+//! datapath (paper Fig. 3b).
+
+use crate::exp::i_exp;
+use crate::fixed::{scale_16bit, Quantized};
+
+/// Fixed-point fraction bits of the softmax output (`S_out = 2^−30`).
+pub const SOFTMAX_OUT_BITS: u32 = 30;
+
+/// Integer-only softmax over one row of quantized logits (shared scale).
+///
+/// Returns the probabilities as quantized values with scale `2^−30`.
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and positive.
+pub fn i_softmax(qs: &[i64], scale: f32) -> Vec<Quantized> {
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "softmax scale must be finite and positive"
+    );
+    let out_scale = 2.0f32.powi(-(SOFTMAX_OUT_BITS as i32));
+    if qs.is_empty() {
+        return Vec::new();
+    }
+    let max = qs.iter().copied().max().expect("non-empty");
+    let exps: Vec<Quantized> = qs
+        .iter()
+        .map(|&q| i_exp(Quantized { q: q - max, scale }))
+        .collect();
+    let sum: i64 = exps.iter().map(|e| e.q).sum();
+    if sum <= 0 {
+        // All-underflow row: return a uniform distribution, as I-BERT's
+        // implementation effectively does for degenerate rows.
+        let uniform = (1i64 << SOFTMAX_OUT_BITS) / qs.len() as i64;
+        return qs
+            .iter()
+            .map(|_| Quantized {
+                q: uniform,
+                scale: out_scale,
+            })
+            .collect();
+    }
+    // factor = ⌊2^62 / sum⌋; q_out = (q_exp · factor) >> 32 → q_exp/sum · 2^30.
+    let factor = (1i64 << 62) / sum;
+    exps.into_iter()
+        .map(|e| Quantized {
+            q: (e.q.saturating_mul(factor)) >> 32,
+            scale: out_scale,
+        })
+        .collect()
+}
+
+/// Convenience wrapper: quantizes an `f32` logit row on a 16-bit grid,
+/// runs [`i_softmax`], and de-quantizes.
+pub fn i_softmax_f32(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max_abs = xs.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+    let scale = scale_16bit(max_abs);
+    let qs: Vec<i64> = xs
+        .iter()
+        .map(|&x| (x as f64 / scale as f64).round() as i64)
+        .collect();
+    for (x, p) in xs.iter_mut().zip(i_softmax(&qs, scale)) {
+        *x = p.real();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_softmax(xs: &[f32]) -> Vec<f32> {
+        let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let e: Vec<f64> = xs.iter().map(|&x| ((x - max) as f64).exp()).collect();
+        let s: f64 = e.iter().sum();
+        e.iter().map(|&v| (v / s) as f32).collect()
+    }
+
+    #[test]
+    fn matches_exact_softmax() {
+        let logits = [0.5f32, -2.0, 1.5, 0.0, -0.7, 2.2];
+        let mut approx = logits;
+        i_softmax_f32(&mut approx);
+        for (a, e) in approx.iter().zip(exact_softmax(&logits)) {
+            assert!((a - e).abs() < 0.01, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn output_sums_to_one() {
+        let mut row = [3.0f32, 1.0, 0.2, -1.0, 5.5, 2.2, 0.0, -3.3];
+        i_softmax_f32(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 0.01, "sum {sum}");
+    }
+
+    #[test]
+    fn handles_wide_dynamic_range() {
+        let mut row = [0.0f32, -50.0, -100.0, -200.0];
+        i_softmax_f32(&mut row);
+        assert!((row[0] - 1.0).abs() < 0.01);
+        assert!(row[1].abs() < 0.01);
+    }
+
+    #[test]
+    fn long_rows_stay_normalized() {
+        let mut row: Vec<f32> = (0..1024).map(|i| (i % 17) as f32 * 0.3 - 2.0).collect();
+        i_softmax_f32(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 0.02, "sum {sum}");
+        assert!(row.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn empty_row_is_noop() {
+        let mut row: Vec<f32> = vec![];
+        i_softmax_f32(&mut row);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn order_preserved() {
+        let mut row = [-1.0f32, 0.3, 2.0, 0.29];
+        i_softmax_f32(&mut row);
+        assert!(row[2] > row[1] && row[1] >= row[3] && row[3] > row[0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Accelerator-core configuration (paper Fig. 3c).
+
+/// The accelerator core shape.
+///
+/// # Examples
+///
+/// ```
+/// let npu = nnlut_npu::NpuConfig::mobile_soc();
+/// assert_eq!(npu.macs_per_cycle(), 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpuConfig {
+    /// Number of compute engines (paper: 2).
+    pub engines: usize,
+    /// Dot products per engine per cycle (paper: 64).
+    pub dots_per_cycle: usize,
+    /// Dot-product vector width (paper: 16).
+    pub dot_width: usize,
+    /// Total SFU lanes across engines (vector special-function units,
+    /// "for the throughput matching calculation of activation functions").
+    pub sfu_lanes: usize,
+    /// Shared scratchpad capacity in bytes (paper: 1 MB).
+    pub scratchpad_bytes: usize,
+    /// Sustained MAC-array utilization (tiling and bank-conflict losses).
+    pub mac_utilization: f64,
+}
+
+impl NpuConfig {
+    /// The mobile-SoC configuration of the paper (Fig. 3c, after [11, 18]).
+    pub fn mobile_soc() -> Self {
+        Self {
+            engines: 2,
+            dots_per_cycle: 64,
+            dot_width: 16,
+            sfu_lanes: 32,
+            scratchpad_bytes: 1 << 20,
+            mac_utilization: 1.0,
+        }
+    }
+
+    /// Peak multiply-accumulates per cycle across all engines.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.engines * self.dots_per_cycle * self.dot_width
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resource count is zero or utilization is outside
+    /// `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.engines > 0 && self.dots_per_cycle > 0 && self.dot_width > 0,
+            "zero compute resources"
+        );
+        assert!(self.sfu_lanes > 0, "need at least one SFU lane");
+        assert!(
+            self.mac_utilization > 0.0 && self.mac_utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        Self::mobile_soc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_soc_matches_paper() {
+        let c = NpuConfig::mobile_soc();
+        c.validate();
+        assert_eq!(c.engines, 2);
+        // 32x32 MAC array = 64 × 16 = 1024 MACs per engine.
+        assert_eq!(c.dots_per_cycle * c.dot_width, 1024);
+        assert_eq!(c.scratchpad_bytes, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        let c = NpuConfig {
+            mac_utilization: 1.5,
+            ..NpuConfig::mobile_soc()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,196 @@
+//! Transformer workload extraction: shapes → operation counts.
+
+/// A transformer encoder shape (dimension subset needed for op counting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelShape {
+    /// Encoder layer count.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner dimension.
+    pub ffn: usize,
+}
+
+impl ModelShape {
+    /// RoBERTa-base: 12 layers × 768 hidden × 12 heads, FFN 3072 — the
+    /// model of the paper's Table 5.
+    pub fn roberta_base() -> Self {
+        Self {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+        }
+    }
+}
+
+/// Operation counts of one encoder layer at a given sequence length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerWorkload {
+    /// Total multiply-accumulates of all GEMMs (QKV/O projections,
+    /// QKᵀ, AV, FFN).
+    pub matmul_macs: u64,
+    /// GELU activations (tokens × ffn).
+    pub gelu_elems: u64,
+    /// Softmax rows (heads × tokens).
+    pub softmax_rows: u64,
+    /// Softmax row length (tokens).
+    pub softmax_row_len: u64,
+    /// LayerNorm rows (2 norms × tokens).
+    pub layernorm_rows: u64,
+    /// LayerNorm row width (hidden).
+    pub layernorm_width: u64,
+    /// Tokens in flight (for fixed per-layer overhead modelling).
+    pub tokens: u64,
+}
+
+impl LayerWorkload {
+    /// Softmax element count.
+    pub fn softmax_elems(&self) -> u64 {
+        self.softmax_rows * self.softmax_row_len
+    }
+
+    /// LayerNorm element count.
+    pub fn layernorm_elems(&self) -> u64 {
+        self.layernorm_rows * self.layernorm_width
+    }
+}
+
+/// The whole-model workload: identical layers, counted once and scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// Per-layer operation counts.
+    pub layer: LayerWorkload,
+    /// Number of identical encoder layers.
+    pub layers: u64,
+}
+
+/// Derives the encoder workload for `shape` at sequence length `seq`.
+///
+/// Per layer:
+///
+/// * QKV + output projections: `4·S·d²` MACs,
+/// * attention score and context GEMMs: `2·S²·d` MACs,
+/// * feed-forward: `2·S·d·ffn` MACs,
+/// * GELU: `S·ffn` elements,
+/// * Softmax: `heads·S` rows of length `S` (the only quadratic-in-S
+///   non-linear term — why its share explodes at long sequence lengths),
+/// * LayerNorm: `2·S` rows of width `d`.
+///
+/// # Panics
+///
+/// Panics if `seq == 0`.
+pub fn transformer_workload(shape: &ModelShape, seq: usize) -> Workload {
+    assert!(seq > 0, "sequence length must be positive");
+    let s = seq as u64;
+    let d = shape.hidden as u64;
+    let ffn = shape.ffn as u64;
+    let heads = shape.heads as u64;
+    let projections = 4 * s * d * d;
+    let attention = 2 * s * s * d;
+    let feed_forward = 2 * s * d * ffn;
+    Workload {
+        layer: LayerWorkload {
+            matmul_macs: projections + attention + feed_forward,
+            gelu_elems: s * ffn,
+            softmax_rows: heads * s,
+            softmax_row_len: s,
+            layernorm_rows: 2 * s,
+            layernorm_width: d,
+            tokens: s,
+        },
+        layers: shape.layers as u64,
+    }
+}
+
+/// Derives the workload of one **decoder step**: a single new token
+/// attending over `context` KV-cached positions (GPT-style generation —
+/// the paper's introduction motivates Transformer efficiency with GPT-3).
+///
+/// Per layer: projections `4·d²`, attention `2·context·d`, feed-forward
+/// `2·d·ffn` MACs; one softmax row of length `context`; two LayerNorm rows;
+/// `ffn` GELU elements. Because the GEMMs collapse to matrix–vector
+/// products while softmax still scans the whole context, the non-linear
+/// share is even larger than in encoder mode.
+///
+/// # Panics
+///
+/// Panics if `context == 0`.
+pub fn decoder_step_workload(shape: &ModelShape, context: usize) -> Workload {
+    assert!(context > 0, "context length must be positive");
+    let s = context as u64;
+    let d = shape.hidden as u64;
+    let ffn = shape.ffn as u64;
+    let heads = shape.heads as u64;
+    Workload {
+        layer: LayerWorkload {
+            matmul_macs: 4 * d * d + 2 * s * d + 2 * d * ffn,
+            gelu_elems: ffn,
+            softmax_rows: heads,
+            softmax_row_len: s,
+            layernorm_rows: 2,
+            layernorm_width: d,
+            tokens: 1,
+        },
+        layers: shape.layers as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roberta_base_counts_at_seq16() {
+        let w = transformer_workload(&ModelShape::roberta_base(), 16);
+        let l = w.layer;
+        // 4·16·768² + 2·16²·768 + 2·16·768·3072
+        assert_eq!(
+            l.matmul_macs,
+            4 * 16 * 768 * 768 + 2 * 256 * 768 + 2 * 16 * 768 * 3072
+        );
+        assert_eq!(l.gelu_elems, 16 * 3072);
+        assert_eq!(l.softmax_rows, 12 * 16);
+        assert_eq!(l.softmax_row_len, 16);
+        assert_eq!(l.layernorm_elems(), 2 * 16 * 768);
+        assert_eq!(w.layers, 12);
+    }
+
+    #[test]
+    fn softmax_is_the_quadratic_term() {
+        let shape = ModelShape::roberta_base();
+        let w16 = transformer_workload(&shape, 16);
+        let w1024 = transformer_workload(&shape, 1024);
+        let sm_growth = w1024.layer.softmax_elems() as f64 / w16.layer.softmax_elems() as f64;
+        let gelu_growth = w1024.layer.gelu_elems as f64 / w16.layer.gelu_elems as f64;
+        assert_eq!(gelu_growth, 64.0); // linear in S
+        assert_eq!(sm_growth, 64.0 * 64.0); // quadratic in S
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_seq_panics() {
+        let _ = transformer_workload(&ModelShape::roberta_base(), 0);
+    }
+
+    #[test]
+    fn decoder_step_is_matrix_vector() {
+        let shape = ModelShape::roberta_base();
+        let w = decoder_step_workload(&shape, 512);
+        // Projections are context-independent; only attention scales.
+        let w2 = decoder_step_workload(&shape, 1024);
+        let diff = w2.layer.matmul_macs - w.layer.matmul_macs;
+        assert_eq!(diff, 2 * 512 * 768);
+        assert_eq!(w.layer.softmax_rows, 12);
+        assert_eq!(w.layer.softmax_row_len, 512);
+        assert_eq!(w.layer.layernorm_rows, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_context_panics() {
+        let _ = decoder_step_workload(&ModelShape::roberta_base(), 0);
+    }
+}

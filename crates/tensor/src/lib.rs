@@ -1,0 +1,25 @@
+//! Minimal dense linear-algebra substrate for the NN-LUT reproduction.
+//!
+//! The NN-LUT paper evaluates its approximation framework inside BERT-class
+//! transformer models. This crate provides exactly the tensor machinery those
+//! models need — no more:
+//!
+//! * [`Matrix`] — an owned, row-major `f32` matrix with blocked matrix
+//!   multiplication, transposition, and row/column iteration.
+//! * [`quant`] — symmetric INT8 quantization with i32 accumulation, mirroring
+//!   the I-BERT-style quantized matmul used in the paper's Table 2(b).
+//! * [`init`] — deterministic, seedable weight initializers (uniform, normal
+//!   via Box–Muller, Xavier).
+//! * [`stats`] — the reductions the evaluation harness needs (mean, variance,
+//!   argmax, correlation coefficients).
+//!
+//! Everything is deterministic given a seed; no threading, no SIMD intrinsics
+//! — the goal is auditable reference semantics, not peak FLOPS.
+
+pub mod init;
+pub mod matrix;
+pub mod quant;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use quant::{QuantizedMatrix, Quantizer};

@@ -1,0 +1,191 @@
+//! Reductions and statistics used by the evaluation harness.
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance (0.0 for an empty slice).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Index of the maximum element.
+///
+/// Ties resolve to the first occurrence, matching classifier-head argmax
+/// conventions.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns 0.0 when either side has zero variance (degenerate predictions),
+/// mirroring common GLUE evaluation-script behaviour.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0f64;
+    let mut dx = 0.0f64;
+    let mut dy = 0.0f64;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let a = (x - mx) as f64;
+        let b = (y - my) as f64;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 0.0;
+    }
+    (num / (dx.sqrt() * dy.sqrt())) as f32
+}
+
+/// Spearman rank correlation: Pearson on fractional ranks.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "spearman length mismatch");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Fractional ranks (average rank for ties), 1-based.
+fn ranks(xs: &[f32]) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f32; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 tie; assign their average.
+        let avg = (i + 1 + j + 1) as f32 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Matthews correlation coefficient for binary labels (the CoLA metric).
+///
+/// Inputs are 0/1 class ids. Returns 0.0 for degenerate confusion matrices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn matthews_corr(pred: &[usize], truth: &[usize]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "matthews length mismatch");
+    let (mut tp, mut tn, mut fp, mut fne) = (0f64, 0f64, 0f64, 0f64);
+    for (&p, &t) in pred.iter().zip(truth) {
+        match (p, t) {
+            (1, 1) => tp += 1.0,
+            (0, 0) => tn += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fne += 1.0,
+            _ => panic!("matthews_corr expects binary labels, got ({p},{t})"),
+        }
+    }
+    let denom = ((tp + fp) * (tp + fne) * (tn + fp) * (tn + fne)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    ((tp * tn - fp * fne) / denom) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(variance(&xs), 1.25);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-6);
+        let neg = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 8.0, 27.0, 64.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0];
+        let ys = [5.0, 5.0, 9.0];
+        let s = spearman(&xs, &ys);
+        assert!(s > 0.99, "tied spearman {s}");
+    }
+
+    #[test]
+    fn matthews_perfect_and_inverted() {
+        let t = [0, 1, 0, 1];
+        assert!((matthews_corr(&t, &t) - 1.0).abs() < 1e-6);
+        let inv = [1, 0, 1, 0];
+        assert!((matthews_corr(&inv, &t) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matthews_degenerate_is_zero() {
+        assert_eq!(matthews_corr(&[1, 1], &[1, 0]), 0.0);
+    }
+}

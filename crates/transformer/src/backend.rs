@@ -1,0 +1,317 @@
+//! Pluggable non-linearity backends (the paper's replacement axis).
+//!
+//! Each of the three non-linear operation *sites* in the encoder — GELU,
+//! Softmax, LayerNorm — can independently run on:
+//!
+//! * [`OpImpl::Exact`] — reference FP32 math (the paper's "Baseline");
+//! * [`OpImpl::Lut`] — a [`nnlut_core::NnLutKit`], whose contents are
+//!   either trained NN-LUT tables or curve-fit Linear-LUT tables (same
+//!   hardware, different contents — paper Table 2a);
+//! * [`OpImpl::IBert`] — the integer-only kernels of `nnlut-ibert`
+//!   (paper Table 2b).
+//!
+//! This per-site independence is exactly what the "GELU only / Softmax
+//! only / LayerNorm only / Altogether" rows of Table 2(a) vary.
+
+use nnlut_core::calibrate::ActivationCapture;
+use nnlut_core::NnLutKit;
+use nnlut_ibert::layernorm::i_layernorm_f32;
+use nnlut_ibert::softmax::i_softmax_f32;
+use nnlut_ibert::{fixed::scale_16bit, fixed::Quantized, i_gelu};
+use nnlut_tensor::Matrix;
+
+/// Implementation choice for one non-linear operation site.
+// The kit variant inlines four tables (~a few hundred bytes); OpImpl values
+// are created per model, not per op, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Default)]
+pub enum OpImpl {
+    /// Exact FP32 reference math.
+    #[default]
+    Exact,
+    /// LUT kit (NN-LUT trained contents or Linear-LUT baseline contents).
+    Lut(NnLutKit),
+    /// I-BERT integer-only kernel.
+    IBert,
+    /// Softermax base-2 online softmax (softmax site only; falls back to
+    /// exact math at the GELU/LayerNorm sites, which Softermax does not
+    /// define).
+    Softermax,
+}
+
+/// Per-site non-linearity selection for a whole model.
+#[derive(Debug, Clone, Default)]
+pub struct Nonlinearity {
+    /// Feed-forward activation site.
+    pub gelu: OpImpl,
+    /// Attention softmax site.
+    pub softmax: OpImpl,
+    /// Block normalization site.
+    pub layernorm: OpImpl,
+}
+
+impl Nonlinearity {
+    /// All-exact FP32 (the paper's baseline row).
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// The same kit on all three sites ("Altogether" rows).
+    pub fn all_lut(kit: &NnLutKit) -> Self {
+        Self {
+            gelu: OpImpl::Lut(kit.clone()),
+            softmax: OpImpl::Lut(kit.clone()),
+            layernorm: OpImpl::Lut(kit.clone()),
+        }
+    }
+
+    /// I-BERT on all three sites (Table 2b's I-BERT row).
+    pub fn all_ibert() -> Self {
+        Self {
+            gelu: OpImpl::IBert,
+            softmax: OpImpl::IBert,
+            layernorm: OpImpl::IBert,
+        }
+    }
+
+    /// Replaces only the GELU site ("GELU only" row).
+    pub fn gelu_only(kit: &NnLutKit) -> Self {
+        Self {
+            gelu: OpImpl::Lut(kit.clone()),
+            ..Self::exact()
+        }
+    }
+
+    /// Replaces only the Softmax site ("Softmax only" row).
+    pub fn softmax_only(kit: &NnLutKit) -> Self {
+        Self {
+            softmax: OpImpl::Lut(kit.clone()),
+            ..Self::exact()
+        }
+    }
+
+    /// Softermax at the softmax site, everything else exact (the extension
+    /// baseline comparison).
+    pub fn softermax_only() -> Self {
+        Self {
+            softmax: OpImpl::Softermax,
+            ..Self::exact()
+        }
+    }
+
+    /// Replaces only the LayerNorm site ("LayerNorm only" row).
+    pub fn layernorm_only(kit: &NnLutKit) -> Self {
+        Self {
+            layernorm: OpImpl::Lut(kit.clone()),
+            ..Self::exact()
+        }
+    }
+
+    /// Applies the activation-site op (GELU) to every element.
+    pub fn apply_gelu(&self, m: &mut Matrix) {
+        match &self.gelu {
+            OpImpl::Exact | OpImpl::Softermax => m.map_inplace(nnlut_core::funcs::gelu),
+            OpImpl::Lut(kit) => kit.gelu_slice(m.as_mut_slice()),
+            OpImpl::IBert => {
+                let max_abs = m.abs_max().max(1.0);
+                let scale = scale_16bit(max_abs);
+                m.map_inplace(|x| i_gelu(Quantized::quantize(x, scale)).real());
+            }
+        }
+    }
+
+    /// Applies the softmax-site op to every row of `m`.
+    pub fn apply_softmax_rows(&self, m: &mut Matrix) {
+        match &self.softmax {
+            OpImpl::Exact => {
+                for row in m.rows_iter_mut() {
+                    exact_softmax(row);
+                }
+            }
+            OpImpl::Lut(kit) => {
+                for row in m.rows_iter_mut() {
+                    kit.softmax(row);
+                }
+            }
+            OpImpl::IBert => {
+                for row in m.rows_iter_mut() {
+                    i_softmax_f32(row);
+                }
+            }
+            OpImpl::Softermax => {
+                for row in m.rows_iter_mut() {
+                    crate::softermax::softermax(row);
+                }
+            }
+        }
+    }
+
+    /// Applies the layernorm-site op to every row, then the affine
+    /// `γ∘x + β`. When `capture` is provided, the variance fed to the
+    /// 1/√x computation of each row is recorded (the §3.3.3 calibration
+    /// signal).
+    pub fn apply_layer_norm_rows(
+        &self,
+        m: &mut Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+        mut capture: Option<&mut ActivationCapture>,
+    ) {
+        assert_eq!(gamma.len(), m.cols(), "gamma length mismatch");
+        assert_eq!(beta.len(), m.cols(), "beta length mismatch");
+        for row in m.rows_iter_mut() {
+            match &self.layernorm {
+                OpImpl::Exact | OpImpl::Softermax => {
+                    let var = exact_layer_norm(row, eps);
+                    if let Some(cap) = capture.as_deref_mut() {
+                        cap.record(var);
+                    }
+                }
+                OpImpl::Lut(kit) => {
+                    let var = kit.layer_norm(row, eps);
+                    if let Some(cap) = capture.as_deref_mut() {
+                        cap.record(var);
+                    }
+                }
+                OpImpl::IBert => {
+                    if let Some(cap) = capture.as_deref_mut() {
+                        // Record the same signal for parity even though the
+                        // I-BERT path is not calibratable.
+                        let n = row.len() as f32;
+                        let mean = row.iter().sum::<f32>() / n;
+                        let var =
+                            row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+                        cap.record(var + eps);
+                    }
+                    i_layernorm_f32(row);
+                }
+            }
+            for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+                *v = *v * g + b;
+            }
+        }
+    }
+}
+
+/// Reference FP32 softmax (in place).
+pub fn exact_softmax(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = ((*v - max) as f64).exp() as f32;
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Reference FP32 LayerNorm (no affine, in place); returns the variance+eps
+/// fed to the reciprocal square root.
+pub fn exact_layer_norm(row: &mut [f32], eps: f32) -> f32 {
+    if row.is_empty() {
+        return 0.0;
+    }
+    let n = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    for v in row.iter_mut() {
+        *v = (*v - mean) * inv;
+    }
+    var + eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlut_core::train::TrainConfig;
+
+    fn kit() -> NnLutKit {
+        NnLutKit::train_with(16, 77, &TrainConfig::fast())
+    }
+
+    #[test]
+    fn exact_softmax_reference() {
+        let mut row = [1.0f32, 2.0, 3.0];
+        exact_softmax(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[1]);
+    }
+
+    #[test]
+    fn all_backends_agree_on_softmax_rows() {
+        let base = Matrix::from_rows(&[&[0.1, -0.4, 1.2, 0.0], &[2.0, 1.0, -1.0, 0.5]]);
+        let mut exact = base.clone();
+        Nonlinearity::exact().apply_softmax_rows(&mut exact);
+        for nl in [
+            Nonlinearity::all_lut(&kit()),
+            Nonlinearity::all_ibert(),
+        ] {
+            let mut m = base.clone();
+            nl.apply_softmax_rows(&mut m);
+            for (a, e) in m.as_slice().iter().zip(exact.as_slice()) {
+                // Fast-config kit tolerance; the paper-config bound is
+                // checked in tests/approximation.rs.
+                assert!((a - e).abs() < 0.09, "{a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_gelu() {
+        let base = Matrix::from_rows(&[&[-3.0, -1.0, 0.0, 0.5, 2.0, 4.0]]);
+        let mut exact = base.clone();
+        Nonlinearity::exact().apply_gelu(&mut exact);
+        for nl in [Nonlinearity::all_lut(&kit()), Nonlinearity::all_ibert()] {
+            let mut m = base.clone();
+            nl.apply_gelu(&mut m);
+            for (a, e) in m.as_slice().iter().zip(exact.as_slice()) {
+                assert!((a - e).abs() < 0.06, "{a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_norm_applies_affine_and_captures() {
+        let gamma = vec![2.0f32; 8];
+        let beta = vec![0.5f32; 8];
+        let base = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]]);
+        let mut cap = ActivationCapture::new(8, 0);
+        let mut m = base.clone();
+        Nonlinearity::exact().apply_layer_norm_rows(&mut m, &gamma, &beta, 1e-5, Some(&mut cap));
+        assert_eq!(cap.len(), 1);
+        // Variance of 1..8 is 5.25.
+        assert!((cap.samples()[0] - 5.25).abs() < 0.01);
+        // Post-affine mean = beta (normalized mean is 0).
+        let mean: f32 = m.row(0).iter().sum::<f32>() / 8.0;
+        assert!((mean - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lut_layernorm_close_to_exact() {
+        let gamma = vec![1.0f32; 16];
+        let beta = vec![0.0f32; 16];
+        let base =
+            Matrix::from_vec(1, 16, (0..16).map(|i| (i as f32 * 0.7).sin() * 2.0).collect());
+        let mut exact = base.clone();
+        Nonlinearity::exact().apply_layer_norm_rows(&mut exact, &gamma, &beta, 1e-5, None);
+        let mut lut = base.clone();
+        Nonlinearity::all_lut(&kit()).apply_layer_norm_rows(&mut lut, &gamma, &beta, 1e-5, None);
+        for (a, e) in lut.as_slice().iter().zip(exact.as_slice()) {
+            assert!((a - e).abs() < 0.1, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length mismatch")]
+    fn wrong_gamma_length_panics() {
+        let mut m = Matrix::zeros(1, 4);
+        Nonlinearity::exact().apply_layer_norm_rows(&mut m, &[1.0], &[0.0], 1e-5, None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Model shape configuration and presets.
+
+/// Which normalization the encoder blocks use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NormKind {
+    /// Standard LayerNorm (RoBERTa/BERT): mean/variance/1/√x — the op the
+    /// paper finds most approximation-sensitive.
+    #[default]
+    LayerNorm,
+    /// MobileBERT's NoNorm: a per-channel affine `γ∘x + β` with **no**
+    /// mean/variance computation, hence no non-linearity.
+    NoNorm,
+}
+
+/// Which feed-forward activation the encoder blocks use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// GELU (RoBERTa/BERT).
+    #[default]
+    Gelu,
+    /// ReLU (MobileBERT) — piecewise linear, needs no approximation.
+    Relu,
+}
+
+/// Transformer encoder shape.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_transformer::TransformerConfig;
+///
+/// let cfg = TransformerConfig::roberta_tiny();
+/// assert_eq!(cfg.hidden % cfg.heads, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Hidden (model) dimension `d`.
+    pub hidden: usize,
+    /// Number of attention heads (must divide `hidden`).
+    pub heads: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Feed-forward inner dimension.
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_seq: usize,
+    /// Normalization kind.
+    pub norm: NormKind,
+    /// Feed-forward activation.
+    pub activation: Activation,
+}
+
+impl TransformerConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `hidden` or any dimension is zero.
+    pub fn validate(&self) {
+        assert!(self.hidden > 0 && self.heads > 0 && self.layers > 0, "zero dimension");
+        assert!(self.ffn > 0 && self.vocab > 0 && self.max_seq > 0, "zero dimension");
+        assert_eq!(
+            self.hidden % self.heads,
+            0,
+            "heads ({}) must divide hidden ({})",
+            self.heads,
+            self.hidden
+        );
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// A laptop-scale RoBERTa-like body used by the accuracy experiments:
+    /// LayerNorm + GELU, 4 layers × 64 hidden × 4 heads.
+    ///
+    /// The *shape class* (which non-linear ops appear where) matches
+    /// RoBERTa-base; dimensions are scaled down so the full Table-2 sweep
+    /// runs in seconds. The NPU simulation (Table 5) uses
+    /// [`TransformerConfig::roberta_base`] dimensions, where only operation
+    /// *counts* matter.
+    pub fn roberta_tiny() -> Self {
+        Self {
+            hidden: 64,
+            heads: 4,
+            layers: 4,
+            ffn: 256,
+            vocab: 128,
+            max_seq: 64,
+            norm: NormKind::LayerNorm,
+            activation: Activation::Gelu,
+        }
+    }
+
+    /// RoBERTa-base dimensions (12 × 768 × 12, FFN 3072) — used for
+    /// workload modelling.
+    pub fn roberta_base() -> Self {
+        Self {
+            hidden: 768,
+            heads: 12,
+            layers: 12,
+            ffn: 3072,
+            vocab: 50_265,
+            max_seq: 1024,
+            norm: NormKind::LayerNorm,
+            activation: Activation::Gelu,
+        }
+    }
+
+    /// A laptop-scale MobileBERT-like body: NoNorm + ReLU, so Softmax is
+    /// the only non-linear operation in the transformer layer (paper §4.3).
+    pub fn mobilebert_tiny() -> Self {
+        Self {
+            hidden: 64,
+            heads: 4,
+            layers: 3,
+            ffn: 128,
+            vocab: 128,
+            max_seq: 64,
+            norm: NormKind::NoNorm,
+            activation: Activation::Relu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TransformerConfig::roberta_tiny().validate();
+        TransformerConfig::roberta_base().validate();
+        TransformerConfig::mobilebert_tiny().validate();
+    }
+
+    #[test]
+    fn mobilebert_has_no_layernorm_and_no_gelu() {
+        let cfg = TransformerConfig::mobilebert_tiny();
+        assert_eq!(cfg.norm, NormKind::NoNorm);
+        assert_eq!(cfg.activation, Activation::Relu);
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        assert_eq!(TransformerConfig::roberta_base().head_dim(), 64);
+        assert_eq!(TransformerConfig::roberta_tiny().head_dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn invalid_heads_panics() {
+        let cfg = TransformerConfig {
+            heads: 5,
+            ..TransformerConfig::roberta_tiny()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end evaluation pipeline for the Table 2 / Table 3 reproductions.
+//!
+//! A [`TaskBench`] is the analogue of one fine-tuned downstream model:
+//! a frozen synthetic body + a head trained once on that body's features
+//! (under the chosen matmul precision, with exact non-linear ops — exactly
+//! the paper's baselines). [`TaskBench::score`] then re-evaluates the
+//! *same* frozen model with different non-linearity backends plugged in,
+//! which is precisely the experiment grid of Tables 2(a), 2(b) and 3.
+
+use nnlut_core::calibrate::ActivationCapture;
+use nnlut_tensor::Matrix;
+
+use crate::backend::Nonlinearity;
+use crate::config::TransformerConfig;
+use crate::head::{RidgeHead, SoftmaxHead, SpanHead};
+use crate::metrics::{glue_score, mean_span_f1};
+use crate::model::BertModel;
+use crate::quant::MatmulMode;
+use crate::tasks::{generate_glue, generate_squad, GlueTask, SpanData, TaskData, TaskKind};
+
+/// Configuration of one benchmark instance.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Body architecture.
+    pub config: TransformerConfig,
+    /// Body weight seed (the "pre-training" identity).
+    pub model_seed: u64,
+    /// Example sequence length.
+    pub seq_len: usize,
+    /// Head-training examples.
+    pub n_train: usize,
+    /// Evaluation examples.
+    pub n_eval: usize,
+    /// Matmul precision of the body (paper Table 2(b): INT8; Table 3: FP16).
+    pub body_mode: MatmulMode,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            config: TransformerConfig::roberta_tiny(),
+            model_seed: 0xbe27,
+            seq_len: 32,
+            n_train: 192,
+            n_eval: 192,
+            body_mode: MatmulMode::F32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HeadKind {
+    Classifier(SoftmaxHead),
+    Regressor(RidgeHead),
+}
+
+/// One frozen fine-tuned GLUE-like model: body + task data + trained head.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nnlut_transformer::eval::{BenchConfig, TaskBench};
+/// use nnlut_transformer::tasks::GlueTask;
+/// use nnlut_transformer::Nonlinearity;
+///
+/// let bench = TaskBench::new(GlueTask::Sst2, &BenchConfig::default());
+/// let baseline = bench.score(&Nonlinearity::exact());
+/// assert!(baseline > 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskBench {
+    model: BertModel,
+    task: GlueTask,
+    data: TaskData,
+    head: HeadKind,
+    body_mode: MatmulMode,
+}
+
+impl TaskBench {
+    /// Builds the frozen model: generates data, extracts features with
+    /// exact non-linear ops under `cfg.body_mode`, trains the head.
+    pub fn new(task: GlueTask, cfg: &BenchConfig) -> Self {
+        let model = BertModel::new_synthetic(cfg.config.clone(), cfg.model_seed);
+        let data = generate_glue(task, cfg.config.vocab, cfg.seq_len, cfg.n_train, cfg.n_eval);
+        let exact = Nonlinearity::exact();
+        let mut feats = Matrix::zeros(data.train.len(), cfg.config.hidden);
+        for (i, ex) in data.train.iter().enumerate() {
+            let f = model.pooled_features(&ex.tokens, &exact, cfg.body_mode);
+            feats.row_mut(i).copy_from_slice(&f);
+        }
+        let head = match task.kind() {
+            TaskKind::Regression => {
+                let targets: Vec<f32> = data.train.iter().map(|e| e.label).collect();
+                HeadKind::Regressor(RidgeHead::fit(&feats, &targets, 1.0))
+            }
+            _ => {
+                let labels: Vec<usize> = data.train.iter().map(|e| e.label as usize).collect();
+                HeadKind::Classifier(SoftmaxHead::train(&feats, &labels, data.classes, 7))
+            }
+        };
+        Self {
+            model,
+            task,
+            data,
+            head,
+            body_mode: cfg.body_mode,
+        }
+    }
+
+    /// The benchmark's task.
+    pub fn task(&self) -> GlueTask {
+        self.task
+    }
+
+    /// The frozen body (e.g. for direct feature inspection).
+    pub fn model(&self) -> &BertModel {
+        &self.model
+    }
+
+    /// Evaluates the frozen model with the given non-linearity backend,
+    /// returning the task score (×100, per the paper's tables).
+    pub fn score(&self, nl: &Nonlinearity) -> f32 {
+        let mut preds = Vec::with_capacity(self.data.eval.len());
+        let mut truth = Vec::with_capacity(self.data.eval.len());
+        for ex in &self.data.eval {
+            let f = self.model.pooled_features(&ex.tokens, nl, self.body_mode);
+            let pred = match &self.head {
+                HeadKind::Classifier(h) => h.predict(&f) as f32,
+                HeadKind::Regressor(h) => h.predict(&f),
+            };
+            preds.push(pred);
+            truth.push(ex.label);
+        }
+        glue_score(self.task, &preds, &truth)
+    }
+
+    /// Runs up to `n_examples` *unlabeled* evaluation inputs through the
+    /// model with backend `nl`, capturing every LayerNorm variance — the
+    /// paper's §3.3.3 calibration signal ("only one-tenth of the training
+    /// dataset was used without labels").
+    pub fn capture_layernorm(
+        &self,
+        nl: &Nonlinearity,
+        capacity: usize,
+        n_examples: usize,
+    ) -> ActivationCapture {
+        let mut cap = ActivationCapture::new(capacity, 0x9a9a);
+        for ex in self.data.eval.iter().take(n_examples) {
+            self.model
+                .encode(&ex.tokens, nl, self.body_mode, Some(&mut cap));
+        }
+        cap
+    }
+}
+
+/// One frozen MobileBERT-like span model (paper Table 3).
+#[derive(Debug, Clone)]
+pub struct SquadBench {
+    model: BertModel,
+    data: SpanData,
+    head: SpanHead,
+    body_mode: MatmulMode,
+}
+
+impl SquadBench {
+    /// Builds the frozen span model with exact ops under `cfg.body_mode`.
+    pub fn new(cfg: &BenchConfig) -> Self {
+        let model = BertModel::new_synthetic(cfg.config.clone(), cfg.model_seed);
+        let data = generate_squad(cfg.config.vocab, cfg.seq_len, cfg.n_train, cfg.n_eval);
+        let exact = Nonlinearity::exact();
+        let examples: Vec<(Matrix, usize, usize)> = data
+            .train
+            .iter()
+            .map(|ex| {
+                let feat = model.encode(&ex.tokens, &exact, cfg.body_mode, None);
+                (feat, ex.start, ex.end)
+            })
+            .collect();
+        let head = SpanHead::train(&examples, 11);
+        Self {
+            model,
+            data,
+            head,
+            body_mode: cfg.body_mode,
+        }
+    }
+
+    /// The frozen body.
+    pub fn model(&self) -> &BertModel {
+        &self.model
+    }
+
+    /// Mean span F1 (×100) with the given non-linearity backend.
+    pub fn f1(&self, nl: &Nonlinearity) -> f32 {
+        let mut preds = Vec::with_capacity(self.data.eval.len());
+        let mut golds = Vec::with_capacity(self.data.eval.len());
+        for ex in &self.data.eval {
+            let feat = self.model.encode(&ex.tokens, nl, self.body_mode, None);
+            preds.push(self.head.predict(&feat));
+            golds.push((ex.start, ex.end));
+        }
+        mean_span_f1(&preds, &golds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlut_core::train::TrainConfig;
+    use nnlut_core::NnLutKit;
+
+    fn small_cfg() -> BenchConfig {
+        BenchConfig {
+            seq_len: 16,
+            n_train: 96,
+            n_eval: 96,
+            ..BenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn sst2_baseline_is_strong() {
+        // The small test config (seq 16, 96 examples) scores lower than the
+        // default bench config (~89); this guards against regressions, not
+        // absolute quality.
+        let bench = TaskBench::new(GlueTask::Sst2, &small_cfg());
+        let score = bench.score(&Nonlinearity::exact());
+        assert!(score > 72.0, "SST-2 baseline {score}");
+    }
+
+    #[test]
+    fn stsb_baseline_correlates() {
+        // The small test config halves sequence length and data; the bench
+        // binaries use the default config, where correlation is higher.
+        let bench = TaskBench::new(GlueTask::StsB, &small_cfg());
+        let score = bench.score(&Nonlinearity::exact());
+        assert!(score > 45.0, "STS-B baseline {score}");
+    }
+
+    #[test]
+    fn nn_lut_tracks_baseline_and_linear_lut_falls_behind() {
+        // The paper's Table 2(a) shape: NN-LUT "Altogether" stays near the
+        // baseline while Linear-LUT degrades clearly.
+        let bench = TaskBench::new(GlueTask::Sst2, &small_cfg());
+        let baseline = bench.score(&Nonlinearity::exact());
+        let kit = NnLutKit::train_with(16, 3, &TrainConfig::fast());
+        let nn = bench.score(&Nonlinearity::all_lut(&kit));
+        assert!(
+            baseline - nn < 8.0,
+            "NN-LUT drop too large: {baseline} -> {nn}"
+        );
+        let lin = NnLutKit::linear_baseline(16);
+        let lin_all = bench.score(&Nonlinearity::all_lut(&lin));
+        assert!(
+            nn - lin_all > 4.0,
+            "Linear-LUT ({lin_all}) should trail NN-LUT ({nn}) clearly"
+        );
+    }
+
+    #[test]
+    fn capture_collects_layernorm_variances() {
+        let bench = TaskBench::new(GlueTask::Mrpc, &small_cfg());
+        let cap = bench.capture_layernorm(&Nonlinearity::exact(), 512, 4);
+        // 4 examples × 4 layers × 2 norms × 16 rows = 512 records.
+        assert_eq!(cap.seen(), 512);
+        assert!(!cap.is_empty());
+    }
+
+    #[test]
+    fn squad_baseline_f1_is_strong() {
+        let cfg = BenchConfig {
+            config: TransformerConfig::mobilebert_tiny(),
+            seq_len: 24,
+            n_train: 96,
+            n_eval: 64,
+            body_mode: MatmulMode::F16,
+            ..BenchConfig::default()
+        };
+        let bench = SquadBench::new(&cfg);
+        let f1 = bench.f1(&Nonlinearity::exact());
+        // The small config trades absolute F1 for test speed; the Table-3
+        // bench config reaches ~73.
+        assert!(f1 > 55.0, "SQuAD baseline F1 {f1}");
+    }
+}

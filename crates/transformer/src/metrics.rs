@@ -1,0 +1,132 @@
+//! Task metrics matching the GLUE/SQuAD evaluation conventions.
+
+use nnlut_tensor::stats::{matthews_corr, pearson, spearman};
+
+use crate::tasks::{GlueTask, TaskKind};
+
+/// Scores predictions against ground truth with the task's official metric,
+/// scaled ×100 like the paper's tables:
+///
+/// * CoLA → Matthews correlation,
+/// * STS-B → mean of Pearson and Spearman,
+/// * everything else → accuracy.
+///
+/// For classification, `preds`/`truth` hold class ids as `f32`; for
+/// regression, the raw scalar values.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn glue_score(task: GlueTask, preds: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(preds.len(), truth.len(), "prediction/truth length mismatch");
+    assert!(!preds.is_empty(), "cannot score zero predictions");
+    match (task, task.kind()) {
+        (GlueTask::Cola, _) => {
+            let p: Vec<usize> = preds.iter().map(|&v| v as usize).collect();
+            let t: Vec<usize> = truth.iter().map(|&v| v as usize).collect();
+            matthews_corr(&p, &t) * 100.0
+        }
+        (_, TaskKind::Regression) => {
+            (pearson(preds, truth) + spearman(preds, truth)) / 2.0 * 100.0
+        }
+        _ => accuracy(preds, truth) * 100.0,
+    }
+}
+
+/// Fraction of exact matches.
+pub fn accuracy(preds: &[f32], truth: &[f32]) -> f32 {
+    let hits = preds
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| (**p - **t).abs() < 0.5)
+        .count();
+    hits as f32 / preds.len() as f32
+}
+
+/// Token-overlap F1 of one predicted span against the gold span (the SQuAD
+/// metric restricted to single-answer spans).
+pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f32 {
+    let (ps, pe) = pred;
+    let (gs, ge) = gold;
+    if ps > pe || gs > ge {
+        return 0.0;
+    }
+    let overlap_lo = ps.max(gs);
+    let overlap_hi = pe.min(ge);
+    if overlap_lo > overlap_hi {
+        return 0.0;
+    }
+    let overlap = (overlap_hi - overlap_lo + 1) as f32;
+    let precision = overlap / (pe - ps + 1) as f32;
+    let recall = overlap / (ge - gs + 1) as f32;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Mean span F1 over a batch, scaled ×100 like the paper's Table 3.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_span_f1(preds: &[(usize, usize)], golds: &[(usize, usize)]) -> f32 {
+    assert_eq!(preds.len(), golds.len(), "prediction/gold length mismatch");
+    assert!(!preds.is_empty(), "cannot score zero spans");
+    let sum: f32 = preds
+        .iter()
+        .zip(golds)
+        .map(|(&p, &g)| span_f1(p, g))
+        .sum();
+    sum / preds.len() as f32 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn cola_uses_matthews() {
+        // Perfect binary predictions → MCC 100.
+        let p = [0.0f32, 1.0, 0.0, 1.0];
+        assert!((glue_score(GlueTask::Cola, &p, &p) - 100.0).abs() < 1e-4);
+        // Majority-class predictions → MCC 0 even though accuracy is 75%.
+        let constant = [1.0f32, 1.0, 1.0, 1.0];
+        let truth = [1.0f32, 1.0, 1.0, 0.0];
+        assert_eq!(glue_score(GlueTask::Cola, &constant, &truth), 0.0);
+    }
+
+    #[test]
+    fn stsb_uses_correlation() {
+        let preds = [1.0f32, 2.0, 3.0, 4.0];
+        let truth = [2.0f32, 4.0, 6.0, 8.0];
+        assert!((glue_score(GlueTask::StsB, &preds, &truth) - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn span_f1_exact_and_disjoint() {
+        assert_eq!(span_f1((3, 5), (3, 5)), 1.0);
+        assert_eq!(span_f1((0, 1), (5, 6)), 0.0);
+    }
+
+    #[test]
+    fn span_f1_partial_overlap() {
+        // pred [2,4], gold [3,5]: overlap 2, precision 2/3, recall 2/3.
+        let f1 = span_f1((2, 4), (3, 5));
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_span_f1_scales_to_100() {
+        let f1 = mean_span_f1(&[(0, 1), (4, 6)], &[(0, 1), (0, 2)]);
+        assert!((f1 - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = glue_score(GlueTask::Mrpc, &[1.0], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,389 @@
+//! The Transformer encoder and synthetic "pre-trained" bodies.
+//!
+//! The accuracy experiments need a frozen Transformer whose non-linear ops
+//! see realistic input distributions. [`BertModel::new_synthetic`] builds a
+//! deterministic random body with Xavier-initialized projections and — key
+//! for the LayerNorm experiments — per-layer output gains spread
+//! log-uniformly, so the variances feeding 1/√x span from ≪1 to ≫1
+//! (the regime paper §3.3.2 motivates input scaling with).
+
+use nnlut_core::calibrate::ActivationCapture;
+use nnlut_tensor::init::{normal_matrix, xavier_matrix};
+use nnlut_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::backend::Nonlinearity;
+use crate::config::{Activation, NormKind, TransformerConfig};
+use crate::quant::{Linear, MatmulMode};
+
+/// Per-channel affine parameters of a normalization site (`γ`, `β`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affine {
+    /// Scale `γ`.
+    pub gamma: Vec<f32>,
+    /// Shift `β`.
+    pub beta: Vec<f32>,
+}
+
+impl Affine {
+    /// Applies `γ∘x + β` to every row (used directly for MobileBERT's
+    /// NoNorm, and after normalization for LayerNorm).
+    pub fn apply_rows(&self, m: &mut Matrix) {
+        for row in m.rows_iter_mut() {
+            for (v, (&g, &b)) in row.iter_mut().zip(self.gamma.iter().zip(&self.beta)) {
+                *v = *v * g + b;
+            }
+        }
+    }
+}
+
+/// One encoder block: multi-head self-attention + feed-forward, with
+/// post-norm residuals (BERT layout).
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    ff1: Linear,
+    ff2: Linear,
+    norm1: Affine,
+    norm2: Affine,
+}
+
+/// A BERT-style encoder with embeddings.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
+///
+/// let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 42);
+/// let tokens = vec![1usize, 5, 9, 2];
+/// let h = model.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, None);
+/// assert_eq!(h.shape(), (4, 64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BertModel {
+    config: TransformerConfig,
+    token_embedding: Matrix,
+    pos_embedding: Matrix,
+    layers: Vec<EncoderLayer>,
+    eps: f32,
+}
+
+impl BertModel {
+    /// Builds a deterministic synthetic pre-trained body.
+    ///
+    /// The per-layer normalization gains `γ` are scaled by factors spread
+    /// log-uniformly over `[0.07, 3.0]` across layers, which makes the
+    /// LayerNorm input variances span roughly four orders of magnitude —
+    /// the distribution shape reported for BERT-family models and the
+    /// reason the paper's input scaling exists.
+    pub fn new_synthetic(config: TransformerConfig, seed: u64) -> Self {
+        config.validate();
+        let d = config.hidden;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut salt = 0u64;
+        let mut next_seed = |rng: &mut StdRng| {
+            salt += 1;
+            rng.gen::<u64>() ^ salt
+        };
+        // MobileBERT's bottleneck structure keeps each block's contribution
+        // to the residual stream small; without LayerNorm re-mixing, an
+        // undamped random block would bury the token-identity signal after
+        // a few layers. Damp the block *output* projections for NoNorm.
+        let out_damp = match config.norm {
+            NormKind::LayerNorm => 1.0f32,
+            NormKind::NoNorm => 0.2,
+        };
+        let mut linear = |rng: &mut StdRng, rows: usize, cols: usize, damp: f32| {
+            let mut w = xavier_matrix(rows, cols, next_seed(rng));
+            if damp != 1.0 {
+                w.scale(damp);
+            }
+            let b = normal_matrix(1, cols, 0.02, next_seed(rng)).into_vec();
+            Linear::new(w, b)
+        };
+        let layers = (0..config.layers)
+            .map(|l| {
+                // Log-spaced gain: layer 0 ≈ 0.3 … last ≈ 3.0. Only safe
+                // under LayerNorm, which re-normalizes every block; NoNorm
+                // bodies (MobileBERT) keep γ ≈ 1 like the real model.
+                // Combined with the token-embedding norm spread below, the
+                // LayerNorm input variances still span ~4 orders of
+                // magnitude, without shrinking GELU inputs so far that the
+                // activation sits entirely inside one LUT segment (which
+                // would be an artifact, not a property of BERT bodies).
+                let t = if config.layers > 1 {
+                    l as f32 / (config.layers - 1) as f32
+                } else {
+                    0.5
+                };
+                let gain = match config.norm {
+                    NormKind::LayerNorm => 0.3f32 * (3.0f32 / 0.3).powf(t),
+                    NormKind::NoNorm => 1.0,
+                };
+                let affine = |rng: &mut StdRng, gain: f32| {
+                    let gamma: Vec<f32> = (0..d)
+                        .map(|_| gain * (0.9 + 0.2 * rng.gen::<f32>()))
+                        .collect();
+                    let beta: Vec<f32> =
+                        (0..d).map(|_| 0.05 * (rng.gen::<f32>() - 0.5)).collect();
+                    Affine { gamma, beta }
+                };
+                EncoderLayer {
+                    wq: linear(&mut rng, d, d, 1.0),
+                    wk: linear(&mut rng, d, d, 1.0),
+                    wv: linear(&mut rng, d, d, 1.0),
+                    wo: linear(&mut rng, d, d, out_damp),
+                    ff1: linear(&mut rng, d, config.ffn, 1.0),
+                    ff2: linear(&mut rng, config.ffn, d, out_damp),
+                    norm1: affine(&mut rng, gain),
+                    norm2: affine(&mut rng, gain),
+                }
+            })
+            .collect();
+        // Token-embedding norms vary widely in real BERT vocabularies
+        // (frequent vs rare tokens); spread them log-uniformly over
+        // [0.3, 3.0] so different positions feed LayerNorm with different
+        // variances — the per-row diversity that makes LayerNorm the most
+        // approximation-sensitive op (paper Table 2a). NoNorm bodies keep
+        // uniform norms: without per-block renormalization the spread would
+        // just drown quiet tokens.
+        let mut token_embedding = normal_matrix(config.vocab, d, 1.0, seed ^ 0xe0e0);
+        if config.norm == NormKind::LayerNorm {
+            for (t, row) in token_embedding.rows_iter_mut().enumerate() {
+                let u = (t % 16) as f32 / 15.0;
+                let scale = 0.12f32 * (4.0f32 / 0.12).powf(u);
+                for v in row {
+                    *v *= scale;
+                }
+            }
+        }
+        Self {
+            token_embedding,
+            pos_embedding: normal_matrix(config.max_seq, d, 0.3, seed ^ 0xf0f0),
+            config,
+            layers,
+            eps: 1e-5,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// Runs the encoder over a token sequence, returning the `(seq × d)`
+    /// final hidden states.
+    ///
+    /// `capture`, when provided, records the variance input of every
+    /// LayerNorm invocation (for §3.3.3 calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, longer than `max_seq`, or contains an
+    /// id outside the vocabulary.
+    pub fn encode(
+        &self,
+        tokens: &[usize],
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        mut capture: Option<&mut ActivationCapture>,
+    ) -> Matrix {
+        let seq = tokens.len();
+        assert!(seq > 0, "cannot encode an empty sequence");
+        assert!(
+            seq <= self.config.max_seq,
+            "sequence length {seq} exceeds max_seq {}",
+            self.config.max_seq
+        );
+        let d = self.config.hidden;
+        let mut x = Matrix::zeros(seq, d);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.config.vocab, "token id {t} out of vocabulary");
+            for c in 0..d {
+                x[(i, c)] = self.token_embedding[(t, c)] + self.pos_embedding[(i, c)];
+            }
+        }
+        for layer in &self.layers {
+            x = self.encode_layer(layer, &x, nl, mode, capture.as_deref_mut());
+        }
+        x
+    }
+
+    fn encode_layer(
+        &self,
+        layer: &EncoderLayer,
+        x: &Matrix,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        mut capture: Option<&mut ActivationCapture>,
+    ) -> Matrix {
+        let heads = self.config.heads;
+        let dh = self.config.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Multi-head self-attention.
+        let q = layer.wq.apply(x, mode);
+        let k = layer.wk.apply(x, mode);
+        let v = layer.wv.apply(x, mode);
+        let mut ctx = Matrix::zeros(0, 0);
+        for h in 0..heads {
+            let (lo, hi) = (h * dh, (h + 1) * dh);
+            let qh = q.col_slice(lo, hi);
+            let kh = k.col_slice(lo, hi);
+            let vh = v.col_slice(lo, hi);
+            let mut scores = qh.matmul_transpose(&kh);
+            scores.scale(scale);
+            nl.apply_softmax_rows(&mut scores);
+            let ctx_h = crate::quant::matmul(&scores, &vh, mode);
+            ctx = if h == 0 { ctx_h } else { ctx.hcat(&ctx_h) };
+        }
+        let attn_out = layer.wo.apply(&ctx, mode);
+        let mut x1 = x + &attn_out;
+        self.apply_norm(&layer.norm1, &mut x1, nl, capture.as_deref_mut());
+
+        // Feed-forward.
+        let mut hmid = layer.ff1.apply(&x1, mode);
+        match self.config.activation {
+            Activation::Gelu => nl.apply_gelu(&mut hmid),
+            // ReLU is piecewise linear — computed exactly on any hardware.
+            Activation::Relu => hmid.map_inplace(|v| v.max(0.0)),
+        }
+        let ff_out = layer.ff2.apply(&hmid, mode);
+        let mut x2 = &x1 + &ff_out;
+        self.apply_norm(&layer.norm2, &mut x2, nl, capture);
+        x2
+    }
+
+    fn apply_norm(
+        &self,
+        affine: &Affine,
+        m: &mut Matrix,
+        nl: &Nonlinearity,
+        capture: Option<&mut ActivationCapture>,
+    ) {
+        match self.config.norm {
+            NormKind::LayerNorm => {
+                nl.apply_layer_norm_rows(m, &affine.gamma, &affine.beta, self.eps, capture)
+            }
+            // MobileBERT NoNorm: pure affine, no mean/variance, nothing to
+            // approximate (and nothing to capture).
+            NormKind::NoNorm => affine.apply_rows(m),
+        }
+    }
+
+    /// Mean-pooled final hidden states — the sentence feature used by the
+    /// classification heads (mean pooling is the standard robust choice
+    /// for frozen-body sentence classification).
+    pub fn pooled_features(
+        &self,
+        tokens: &[usize],
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+    ) -> Vec<f32> {
+        let h = self.encode(tokens, nl, mode, None);
+        let (rows, cols) = h.shape();
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (o, &v) in out.iter_mut().zip(h.row(r)) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= rows as f32;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlut_core::train::TrainConfig;
+    use nnlut_core::NnLutKit;
+
+    fn tiny_model() -> BertModel {
+        BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9)
+    }
+
+    #[test]
+    fn encode_shape_and_determinism() {
+        let m = tiny_model();
+        let tokens = vec![3usize, 1, 4, 1, 5];
+        let a = m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, None);
+        let b = m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, None);
+        assert_eq!(a.shape(), (5, 64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_tokens_give_different_features() {
+        let m = tiny_model();
+        let a = m.pooled_features(&[1, 2, 3], &Nonlinearity::exact(), MatmulMode::F32);
+        let b = m.pooled_features(&[4, 5, 6], &Nonlinearity::exact(), MatmulMode::F32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nn_lut_encoding_tracks_exact() {
+        let m = tiny_model();
+        let kit = NnLutKit::train_with(16, 5, &TrainConfig::fast());
+        let tokens: Vec<usize> = (0..16).map(|i| (i * 7) % 128).collect();
+        let exact = m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, None);
+        let approx = m.encode(&tokens, &Nonlinearity::all_lut(&kit), MatmulMode::F32, None);
+        // Raw feature-space deviation compounds over layers; what the
+        // paper's experiments show is that *task decisions* survive, which
+        // eval.rs tests. Here we only require the encoding to stay in the
+        // same ballpark rather than diverge.
+        let rel = (&exact - &approx).frobenius_norm() / exact.frobenius_norm();
+        assert!(rel < 0.8, "NN-LUT encoding relative deviation {rel}");
+    }
+
+    #[test]
+    fn layernorm_variances_span_wide_range() {
+        let m = tiny_model();
+        let mut cap = ActivationCapture::new(4096, 3);
+        let tokens: Vec<usize> = (0..32).map(|i| (i * 11) % 128).collect();
+        m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, Some(&mut cap));
+        // 4 layers × 2 norms × 32 rows = 256 variance samples.
+        assert_eq!(cap.len(), 256);
+        let min = cap.samples().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = cap.samples().iter().cloned().fold(0.0f32, f32::max);
+        assert!(min < 0.5, "smallest LN variance {min} not ≪ 1");
+        assert!(max > 2.0, "largest LN variance {max} not ≫ 1");
+    }
+
+    #[test]
+    fn mobilebert_records_no_layernorm_activity() {
+        let m = BertModel::new_synthetic(TransformerConfig::mobilebert_tiny(), 9);
+        let mut cap = ActivationCapture::new(128, 3);
+        m.encode(&[1, 2, 3, 4], &Nonlinearity::exact(), MatmulMode::F32, Some(&mut cap));
+        assert!(cap.is_empty(), "NoNorm must not feed the 1/sqrt capture");
+    }
+
+    #[test]
+    fn int8_body_stays_close_to_fp32() {
+        let m = tiny_model();
+        let tokens: Vec<usize> = (0..12).map(|i| (i * 5) % 128).collect();
+        let f32_out = m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, None);
+        let i8_out = m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::Int8, None);
+        let rel = (&f32_out - &i8_out).frobenius_norm() / f32_out.frobenius_norm();
+        assert!(rel < 0.35, "INT8 body relative deviation {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        tiny_model().encode(&[], &Nonlinearity::exact(), MatmulMode::F32, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn bad_token_panics() {
+        tiny_model().encode(&[9999], &Nonlinearity::exact(), MatmulMode::F32, None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Matrix-multiply precision modes for the transformer body.
+//!
+//! * Table 2(a): FP32 body.
+//! * Table 2(b): INT8 body ("the model is fine-tuned with INT8 matrix
+//!   multiplication and FP32 non-linear operations").
+//! * Table 3: FP16 body ("in all the cases, MatMul is computed in FP16").
+
+use nnlut_core::precision::f16_round;
+use nnlut_tensor::quant::quantized_matmul;
+use nnlut_tensor::Matrix;
+
+/// The GEMM precision of the transformer body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatmulMode {
+    /// FP32 reference GEMM.
+    #[default]
+    F32,
+    /// Symmetric per-tensor INT8 GEMM with INT32 accumulation (I-BERT
+    /// style fake quantization at every layer boundary).
+    Int8,
+    /// Binary16 GEMM: operands rounded to half, FP32 accumulation, result
+    /// rounded to half (tensor-core semantics).
+    F16,
+}
+
+impl std::fmt::Display for MatmulMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MatmulMode::F32 => "FP32",
+            MatmulMode::Int8 => "INT8",
+            MatmulMode::F16 => "FP16",
+        })
+    }
+}
+
+/// `a × b` under the selected precision mode.
+pub fn matmul(a: &Matrix, b: &Matrix, mode: MatmulMode) -> Matrix {
+    match mode {
+        MatmulMode::F32 => a.matmul(b),
+        MatmulMode::Int8 => quantized_matmul(a, b),
+        MatmulMode::F16 => {
+            let ah = a.map(f16_round);
+            let bh = b.map(f16_round);
+            let mut out = ah.matmul(&bh);
+            out.map_inplace(f16_round);
+            out
+        }
+    }
+}
+
+/// A dense layer `y = x·W + b` evaluated under a precision mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer from a `(in × out)` weight and a length-`out` bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weight.cols()`.
+    pub fn new(weight: Matrix, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), weight.cols(), "bias/weight shape mismatch");
+        Self { weight, bias }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Applies the layer to a `(seq × in)` activation matrix.
+    pub fn apply(&self, x: &Matrix, mode: MatmulMode) -> Matrix {
+        let mut out = matmul(x, &self.weight, mode);
+        out.add_row_bias(&self.bias);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlut_tensor::init::normal_matrix;
+
+    #[test]
+    fn f32_mode_is_exact() {
+        let a = normal_matrix(4, 6, 1.0, 1);
+        let b = normal_matrix(6, 3, 1.0, 2);
+        assert_eq!(matmul(&a, &b, MatmulMode::F32), a.matmul(&b));
+    }
+
+    #[test]
+    fn int8_mode_is_close() {
+        let a = normal_matrix(8, 16, 1.0, 3);
+        let b = normal_matrix(16, 8, 1.0, 4);
+        let exact = a.matmul(&b);
+        let got = matmul(&a, &b, MatmulMode::Int8);
+        let rel = (&exact - &got).frobenius_norm() / exact.frobenius_norm();
+        assert!(rel < 0.05, "INT8 relative error {rel}");
+    }
+
+    #[test]
+    fn f16_mode_is_close_and_rounded() {
+        let a = normal_matrix(8, 16, 1.0, 5);
+        let b = normal_matrix(16, 8, 1.0, 6);
+        let exact = a.matmul(&b);
+        let got = matmul(&a, &b, MatmulMode::F16);
+        let rel = (&exact - &got).frobenius_norm() / exact.frobenius_norm();
+        assert!(rel < 0.01, "FP16 relative error {rel}");
+        // Every output must be representable in binary16.
+        for &v in got.as_slice() {
+            assert_eq!(v, f16_round(v));
+        }
+    }
+
+    #[test]
+    fn linear_applies_bias() {
+        let w = Matrix::identity(3);
+        let l = Linear::new(w, vec![1.0, 2.0, 3.0]);
+        let x = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]);
+        let y = l.apply(&x, MatmulMode::F32);
+        assert_eq!(y.row(0), &[2.0, 3.0, 4.0]);
+        assert_eq!(l.in_dim(), 3);
+        assert_eq!(l.out_dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn linear_bad_bias_panics() {
+        let _ = Linear::new(Matrix::zeros(2, 3), vec![0.0; 2]);
+    }
+}

@@ -1,0 +1,155 @@
+//! **Softermax** (Stevens et al., DAC 2021) — the paper's other cited
+//! state-of-the-art softmax baseline (the paper's reference \[19\]).
+//!
+//! Softermax replaces `e^x` with `2^x` (a shift-friendly base) computed by
+//! low-order piecewise-linear interpolation, and normalizes with an
+//! *online* running max/denominator so the row is processed in one pass.
+//! In the original work the Transformer is **fine-tuned with the base-2
+//! softmax in the loop**; used as a drop-in replacement (no fine-tuning,
+//! the setting of the NN-LUT paper's Table 2a) it distorts the attention
+//! temperature — exactly the "approximation-aware fine-tuning required"
+//! contrast the NN-LUT paper draws against [12, 19].
+//!
+//! The reproduction includes it for a three-way softmax comparison
+//! (exact / NN-LUT / I-BERT / Softermax) in the extension bench.
+
+/// `2^x` by piecewise-linear interpolation between adjacent powers of two:
+/// `2^(n+f) ≈ (1 + f)·2^n` for integer `n`, `f ∈ [0, 1)`.
+///
+/// This is Softermax's hardware-friendly kernel: the `2^n` is a shift, the
+/// `1 + f` an add. Worst-case relative error ≈ 6.1 % (at `f ≈ 0.53`).
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_transformer::softermax::exp2_linear;
+///
+/// assert_eq!(exp2_linear(0.0), 1.0);
+/// assert_eq!(exp2_linear(-1.0), 0.5);
+/// // Mid-segment: (1 + 0.5) * 2^-1 = 0.75 vs exact 2^-0.5 ≈ 0.7071.
+/// assert!((exp2_linear(-0.5) - 0.75).abs() < 1e-6);
+/// ```
+pub fn exp2_linear(x: f32) -> f32 {
+    let n = x.floor();
+    let f = x - n;
+    if n < -126.0 {
+        return 0.0; // underflow: the shifter runs out of bits
+    }
+    (1.0 + f) * 2.0f32.powi(n as i32)
+}
+
+/// In-place Softermax over one row: online max/denominator tracking with
+/// base-2 piecewise-linear exponentials.
+pub fn softermax(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    // Online pass: running max m and running denominator s, with the
+    // denominator rescaled by a power of two whenever the max moves
+    // (a shift in hardware).
+    let mut m = f32::NEG_INFINITY;
+    let mut s = 0.0f32;
+    for &x in row.iter() {
+        if x > m {
+            if m.is_finite() {
+                s *= exp2_linear(m - x);
+            }
+            m = x;
+        }
+        s += exp2_linear(x - m);
+    }
+    if s <= 0.0 {
+        let uniform = 1.0 / row.len() as f32;
+        row.fill(uniform);
+        return;
+    }
+    let inv = 1.0 / s;
+    for x in row.iter_mut() {
+        *x = exp2_linear(*x - m) * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2_linear_exact_at_integers() {
+        for n in -10..=4 {
+            let want = 2.0f32.powi(n);
+            assert_eq!(exp2_linear(n as f32), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exp2_linear_relative_error_bounded() {
+        for i in 0..1000 {
+            let x = -10.0 + i as f32 * 0.01;
+            let exact = (x as f64).exp2() as f32;
+            let rel = (exp2_linear(x) - exact).abs() / exact;
+            assert!(rel < 0.062, "x={x}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn softermax_sums_near_one() {
+        // The online denominator is rescaled through the piecewise-linear
+        // exp2, which is not exactly multiplicative — real Softermax
+        // hardware accepts the same ~1-2% normalization slack.
+        let mut row = vec![0.5f32, -2.0, 1.5, 0.0, -0.7, 2.2];
+        softermax(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 0.02, "sum {sum}");
+        assert!(row.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn softermax_preserves_order_but_changes_temperature() {
+        let logits = [0.0f32, 1.0, 2.0, 4.0];
+        let mut base2 = logits;
+        softermax(&mut base2);
+        // Order preserved.
+        for w in base2.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Base-2 is flatter than base-e: the max element gets less mass.
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let exact_top = exps[3] / sum;
+        assert!(
+            base2[3] < exact_top - 0.03,
+            "base-2 top {} should be flatter than base-e {}",
+            base2[3],
+            exact_top
+        );
+    }
+
+    #[test]
+    fn online_pass_matches_two_pass() {
+        // The online rescaling must agree with a naive two-pass base-2
+        // softmax using the same exp2 kernel.
+        let logits: Vec<f32> = (0..64).map(|i| ((i * 31) % 47) as f32 * 0.17 - 3.0).collect();
+        let mut online = logits.clone();
+        softermax(&mut online);
+        let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&x| exp2_linear(x - m)).collect();
+        let sum: f32 = exps.iter().sum();
+        // Online rescaling through the non-multiplicative linear exp2
+        // introduces up to ~2% denominator drift vs the two-pass form.
+        for (a, e) in online.iter().zip(exps.iter().map(|e| e / sum)) {
+            assert!((a - e).abs() < 0.02 * (0.05 + e), "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_rows() {
+        let mut empty: Vec<f32> = vec![];
+        softermax(&mut empty);
+        assert!(empty.is_empty());
+        let mut deep = vec![-500.0f32, -900.0];
+        softermax(&mut deep);
+        let sum: f32 = deep.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "degenerate row sum {sum}");
+    }
+}

@@ -1,0 +1,54 @@
+//! NN-LUT as a *universal* approximator: the same pipeline handles any
+//! scalar non-linearity — here the extension targets listed on the paper's
+//! Fig. 3(a) hardware block (swish, h-swish, tanh, sigmoid, erf), plus a
+//! fully custom function supplied as a closure.
+//!
+//! Run: `cargo run --release --example custom_function`
+
+use nn_lut::core::convert::nn_to_lut;
+use nn_lut::core::funcs::TargetFunction;
+use nn_lut::core::init::InitStrategy;
+use nn_lut::core::metrics::mean_abs_error;
+use nn_lut::core::recipe::{recipe_for, train_recipe};
+use nn_lut::core::train::{train, Dataset, SamplingMode, TrainConfig};
+
+fn main() {
+    // The built-in extension targets: one call each.
+    println!("built-in extension targets (16-entry LUTs, paper training config):");
+    println!("{:<10}{:>14}", "function", "L1 error");
+    for func in [
+        TargetFunction::Swish,
+        TargetFunction::HSwish,
+        TargetFunction::Tanh,
+        TargetFunction::Sigmoid,
+        TargetFunction::Erf,
+    ] {
+        let recipe = recipe_for(func);
+        let (net, _) = train_recipe(&recipe, 16, &TrainConfig::paper(), 5);
+        let lut = nn_to_lut(&net);
+        let err = mean_abs_error(|x| lut.eval(x), |x| func.eval(x), recipe.domain, 8000);
+        println!("{:<10}{err:>14.6}", func.name());
+    }
+
+    // A fully custom function: the Mish activation, x·tanh(ln(1 + e^x)).
+    println!("\ncustom function: mish(x) = x * tanh(softplus(x)) on (-6, 6)");
+    let mish = |x: f32| x * ((1.0 + (x as f64).exp()).ln() as f32).tanh();
+    let domain = (-6.0f32, 6.0f32);
+    let data = Dataset::generate(mish, domain, 100_000, SamplingMode::Uniform, false, 1)
+        .expect("valid domain");
+    let mut net = nn_lut::core::init::init_for_seed(InitStrategy::random(), 15, false, 2);
+    let report = train(&mut net, &data, &TrainConfig::paper(), 3);
+    let net = net.denormalized(domain.0, domain.1);
+    let lut = nn_to_lut(&net);
+    let err = mean_abs_error(|x| lut.eval(x), mish, domain, 8000);
+    println!("training loss {:.6} -> {:.6}; deployed LUT L1 error {err:.6}",
+        report.initial_loss, report.final_loss);
+
+    println!("\nsample points:");
+    for x in [-4.0f32, -1.0, 0.0, 1.0, 4.0] {
+        println!("  mish({x:>5.1}) exact {:>8.4}   nn-lut {:>8.4}", mish(x), lut.eval(x));
+    }
+
+    println!("\nSame 16-entry hardware, five different activation functions —");
+    println!("only the table contents change (the paper's key deployment story).");
+}

@@ -1,0 +1,69 @@
+//! From trained table to silicon artifacts: serialize a trained NN-LUT to
+//! the text format, quantize it, emit a `$readmemh` memory image, and
+//! generate the behavioral Verilog of the NN-LUT arithmetic unit loaded
+//! with it.
+//!
+//! Run: `cargo run --release --example export_rtl`
+
+use nn_lut::core::export::{from_text, to_memh, to_text};
+use nn_lut::core::funcs::TargetFunction;
+use nn_lut::core::precision::{input_scale_for_domain, Int32Lut};
+use nn_lut::core::{nn_to_lut, recipe};
+use nn_lut::hw::verilog::generate_nn_lut_module;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train and convert.
+    let net = recipe::train_for(TargetFunction::Gelu, 16, 42);
+    let lut = nn_to_lut(&net);
+
+    // 1. Text serialization (diffable, hand-inspectable).
+    let text = to_text(&lut);
+    println!("--- table text format (first lines) ---");
+    for line in text.lines().take(6) {
+        println!("{line}");
+    }
+    let roundtrip = from_text(&text)?;
+    assert_eq!(roundtrip, lut);
+    println!("(round-trips exactly)\n");
+
+    // 2. Quantize for the INT32 hardware unit and emit its memory image.
+    let q = Int32Lut::from_lut(&lut, input_scale_for_domain(TargetFunction::Gelu.domain()));
+    let memh = to_memh(&q);
+    println!("--- $readmemh image (first words) ---");
+    for line in memh.lines().take(5) {
+        println!("{line}");
+    }
+    println!("({} words total)\n", memh.lines().count() - 1);
+
+    // 3. Generate the Verilog module with the constants inlined. Training
+    //    may park a hinge slightly outside the (−5, 5) domain; such a
+    //    breakpoint quantizes beyond the 16-bit comparator grid, and since
+    //    no representable input can ever reach it, clamping it to the grid
+    //    edge is semantics-preserving.
+    let breakpoints: Vec<i32> = q
+        .quantized_breakpoints()
+        .iter()
+        .map(|&d| d.clamp(i16::MIN as i32, i16::MAX as i32))
+        .collect();
+    let slopes: Vec<i32> = q.quantized_slopes().to_vec();
+    let intercepts: Vec<i64> = q.quantized_intercepts().to_vec();
+    let verilog = generate_nn_lut_module("nn_lut_gelu", &breakpoints, &slopes, &intercepts)?;
+    println!("--- generated RTL ({} lines) ---", verilog.lines().count());
+    for line in verilog.lines().take(14) {
+        println!("{line}");
+    }
+    println!("…");
+
+    // 4. Sanity: the RTL reference model agrees with the quantized table.
+    let mut worst = 0i64;
+    for i in -500..=500 {
+        let q_x = i * 60; // spans the 16-bit input grid
+        let sw = q.eval_quantized(q_x);
+        let rtl =
+            nn_lut::hw::verilog::reference_eval(&breakpoints, &slopes, &intercepts, q_x as i16);
+        worst = worst.max((sw - rtl).abs());
+    }
+    println!("\nmax |software − RTL reference| over the input grid: {worst}");
+    assert_eq!(worst, 0, "the RTL reference must match Int32Lut bit-exactly");
+    Ok(())
+}

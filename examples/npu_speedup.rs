@@ -1,0 +1,56 @@
+//! System-level deployment: how much faster does a mobile NPU run
+//! RoBERTa-base when its special-function unit holds NN-LUT hardware
+//! instead of the I-BERT integer pipelines?
+//!
+//! Combines the arithmetic-unit cost model (paper Table 4) with the
+//! cycle-level NPU simulation (paper Table 5).
+//!
+//! Run: `cargo run --release --example npu_speedup`
+
+use nn_lut::hw::report::{table4_ratios, units};
+use nn_lut::npu::{simulate, transformer_workload, ModelShape, NonlinearImpl, NpuConfig};
+
+fn main() {
+    // The arithmetic units themselves.
+    let (nn_unit, ibert_unit) = units();
+    println!("arithmetic units (7nm-class cost model):");
+    for u in [&nn_unit, &ibert_unit] {
+        println!(
+            "  {:<8} area {:>8.1} um2   power {:>7.4} mW   critical path {:>5.2} ns",
+            u.name,
+            u.area_um2(),
+            u.power_mw(),
+            u.critical_path_ns()
+        );
+    }
+    let (a, p, d) = table4_ratios();
+    println!("  I-BERT/NN-LUT: {a:.2}x area, {p:.1}x power, {d:.2}x delay\n");
+
+    // System-level effect on RoBERTa-base inference.
+    let npu = NpuConfig::mobile_soc();
+    let shape = ModelShape::roberta_base();
+    println!("RoBERTa-base on the 2-engine mobile NPU (cycles in millions):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>22}",
+        "seq", "I-BERT", "NN-LUT", "speedup", "non-linear share"
+    );
+    for seq in [16usize, 64, 256, 1024] {
+        let w = transformer_workload(&shape, seq);
+        let ib = simulate(&npu, &w, NonlinearImpl::IBert);
+        let nn = simulate(&npu, &w, NonlinearImpl::NnLut);
+        let ib_nl = (ib.gelu + ib.layernorm + ib.softmax) / ib.total() * 100.0;
+        let nn_nl = (nn.gelu + nn.layernorm + nn.softmax) / nn.total() * 100.0;
+        println!(
+            "{seq:>8} {:>12.2} {:>12.2} {:>8.2}x {:>10.1}% -> {:>5.1}%",
+            ib.total() / 1e6,
+            nn.total() / 1e6,
+            ib.total() / nn.total(),
+            ib_nl,
+            nn_nl
+        );
+    }
+
+    println!("\nThe softmax share grows quadratically with sequence length,");
+    println!("so NN-LUT's advantage compounds — up to ~26% end-to-end, from");
+    println!("changing nothing but the non-linear-operation hardware.");
+}

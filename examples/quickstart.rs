@@ -1,0 +1,72 @@
+//! Quickstart: train an NN-LUT for GELU, convert it to a lookup table, and
+//! use it as a drop-in replacement.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use nn_lut::core::funcs::TargetFunction;
+use nn_lut::core::metrics::{max_abs_error, mean_abs_error};
+use nn_lut::core::recipe;
+use nn_lut::core::{nn_to_lut, ApproxNet, LookupTable};
+
+fn main() {
+    // 1. Train a one-hidden-layer ReLU network against GELU with the
+    //    paper's Table-1 recipe (domain (−5, 5), Adam, L1 loss).
+    //    16 LUT entries ⇒ 15 hidden neurons.
+    println!("training a 16-entry NN-LUT approximator for GELU …");
+    let net: ApproxNet = recipe::train_for(TargetFunction::Gelu, 16, 42);
+
+    // 2. Convert it *exactly* into a first-order lookup table (paper Eq. 7).
+    let lut: LookupTable = nn_to_lut(&net);
+    println!(
+        "network with {} neurons  →  LUT with {} segments / {} breakpoints",
+        net.hidden(),
+        lut.entries(),
+        lut.breakpoints().len()
+    );
+
+    // 3. The transformation is exact: LUT(x) == NN(x) everywhere.
+    let max_gap = (0..=1000)
+        .map(|i| {
+            let x = -8.0 + i as f32 * 0.016;
+            (lut.eval(x) - net.eval(x)).abs()
+        })
+        .fold(0.0f32, f32::max);
+    println!("max |LUT − NN| over (−8, 8): {max_gap:.2e}  (f32 rounding only)");
+
+    // 4. And it approximates GELU to a few milli-units of L1 error.
+    let l1 = mean_abs_error(
+        |x| lut.eval(x),
+        |x| TargetFunction::Gelu.eval(x),
+        (-5.0, 5.0),
+        8000,
+    );
+    let linf = max_abs_error(
+        |x| lut.eval(x),
+        |x| TargetFunction::Gelu.eval(x),
+        (-5.0, 5.0),
+        8000,
+    );
+    println!("approximation error vs exact GELU: L1 = {l1:.5}, max = {linf:.5}");
+
+    // 5. Inspect the learned table — this is exactly what would be loaded
+    //    into the NN-LUT hardware unit.
+    println!("\nlearned table (x < d1 uses segment 0, x >= d15 uses segment 15):");
+    println!("{:>4} {:>12} {:>12} {:>12}", "seg", "breakpoint", "slope", "intercept");
+    for (i, seg) in lut.segments().iter().enumerate() {
+        let d = if i == 0 {
+            "-inf".to_string()
+        } else {
+            format!("{:.4}", lut.breakpoints()[i - 1])
+        };
+        println!("{i:>4} {d:>12} {:>12.5} {:>12.5}", seg.slope, seg.intercept);
+    }
+
+    println!("\nsample points:");
+    for x in [-4.0f32, -1.0, 0.0, 0.5, 2.0, 4.0] {
+        println!(
+            "  gelu({x:>5.1}) exact {:>8.4}   nn-lut {:>8.4}",
+            TargetFunction::Gelu.eval(x),
+            lut.eval(x)
+        );
+    }
+}

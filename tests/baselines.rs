@@ -1,0 +1,110 @@
+//! Integration tests pitting the three implementations of each non-linear
+//! operation against each other — all must agree with the exact math, with
+//! the accuracy ordering the paper reports.
+
+use nn_lut::core::funcs;
+use nn_lut::core::metrics::mean_abs_error;
+use nn_lut::core::train::TrainConfig;
+use nn_lut::core::NnLutKit;
+use nn_lut::ibert::fixed::{scale_16bit, Quantized};
+use nn_lut::ibert::layernorm::i_layernorm_f32;
+use nn_lut::ibert::softmax::i_softmax_f32;
+use nn_lut::ibert::{i_exp, i_gelu};
+use nn_lut::tensor::stats::variance;
+
+fn paper_kit() -> NnLutKit {
+    NnLutKit::train_with(16, 314, &TrainConfig::paper())
+}
+
+/// GELU: all three approximations within 2e-2 of exact over (−5, 5).
+#[test]
+fn gelu_three_way_agreement() {
+    let kit = paper_kit();
+    let scale = scale_16bit(5.0);
+    let nn_err = mean_abs_error(|x| kit.gelu(x), funcs::gelu, (-5.0, 5.0), 4000);
+    let ib_err = mean_abs_error(
+        |x| i_gelu(Quantized::quantize(x, scale)).real(),
+        funcs::gelu,
+        (-5.0, 5.0),
+        4000,
+    );
+    assert!(nn_err < 0.01, "NN-LUT GELU err {nn_err}");
+    assert!(ib_err < 0.02, "I-BERT GELU err {ib_err}");
+}
+
+/// exp: NN-LUT (trained log-uniform) and i-exp both track exact exp on the
+/// softmax-relevant range.
+#[test]
+fn exp_three_way_agreement() {
+    let kit = paper_kit();
+    let scale = scale_16bit(256.0);
+    let exact = |x: f32| (x as f64).exp() as f32;
+    let nn_err = mean_abs_error(|x| kit.exp(x), exact, (-12.0, 0.0), 4000);
+    let ib_err = mean_abs_error(
+        |x| i_exp(Quantized::quantize(x, scale)).real(),
+        exact,
+        (-12.0, 0.0),
+        4000,
+    );
+    assert!(nn_err < 0.01, "NN-LUT exp err {nn_err}");
+    assert!(ib_err < 0.01, "I-BERT exp err {ib_err}");
+}
+
+/// Softmax rows: both approximations sum to ≈1 and match exact values.
+#[test]
+fn softmax_rows_agree() {
+    let kit = paper_kit();
+    let logits: Vec<f32> = (0..64).map(|i| ((i * 29) % 41) as f32 * 0.2 - 4.0).collect();
+    let exact = {
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let e: Vec<f64> = logits.iter().map(|&x| ((x - max) as f64).exp()).collect();
+        let s: f64 = e.iter().sum();
+        e.iter().map(|&v| (v / s) as f32).collect::<Vec<_>>()
+    };
+    let mut nn = logits.clone();
+    kit.softmax(&mut nn);
+    let mut ib = logits.clone();
+    i_softmax_f32(&mut ib);
+    for i in 0..logits.len() {
+        assert!((nn[i] - exact[i]).abs() < 0.01, "NN-LUT softmax[{i}]");
+        assert!((ib[i] - exact[i]).abs() < 0.01, "I-BERT softmax[{i}]");
+    }
+    assert!((nn.iter().sum::<f32>() - 1.0).abs() < 0.02);
+    assert!((ib.iter().sum::<f32>() - 1.0).abs() < 0.01);
+}
+
+/// LayerNorm rows: both produce ≈unit variance for inputs whose variance
+/// spans several decades.
+#[test]
+fn layernorm_rows_agree() {
+    let kit = paper_kit();
+    for scale in [0.02f32, 0.5, 4.0, 40.0] {
+        let base: Vec<f32> = (0..96).map(|i| (i as f32 * 0.41).cos() * scale).collect();
+        let mut nn = base.clone();
+        kit.layer_norm(&mut nn, 1e-7);
+        let mut ib = base.clone();
+        i_layernorm_f32(&mut ib);
+        assert!((variance(&nn) - 1.0).abs() < 0.05, "NN-LUT LN at scale {scale}");
+        assert!((variance(&ib) - 1.0).abs() < 0.05, "I-BERT LN at scale {scale}");
+    }
+}
+
+/// The Linear-LUT baseline is dramatically worse than NN-LUT exactly where
+/// the paper says: the large-dynamic-range functions (operator level,
+/// paper Fig. 2).
+#[test]
+fn linear_lut_loses_on_dynamic_range() {
+    let nn = paper_kit();
+    let lin = NnLutKit::linear_baseline(16);
+    let exact_rsqrt = |x: f32| 1.0 / x.sqrt();
+    let nn_err = mean_abs_error(|x| nn.inv_sqrt(x), exact_rsqrt, (1.0, 64.0), 4000);
+    let lin_err = mean_abs_error(|x| lin.inv_sqrt(x), exact_rsqrt, (1.0, 64.0), 4000);
+    assert!(
+        lin_err > 10.0 * nn_err,
+        "Linear-LUT ({lin_err}) should be ≥10x worse than NN-LUT ({nn_err})"
+    );
+    // …while on gentle GELU both are fine (paper Fig. 2a).
+    let nn_g = mean_abs_error(|x| nn.gelu(x), funcs::gelu, (-5.0, 5.0), 4000);
+    let lin_g = mean_abs_error(|x| lin.gelu(x), funcs::gelu, (-5.0, 5.0), 4000);
+    assert!(nn_g < 0.01 && lin_g < 0.01, "GELU: nn {nn_g}, lin {lin_g}");
+}

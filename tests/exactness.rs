@@ -1,0 +1,117 @@
+//! Cross-crate integration tests of the paper's central theorem — the
+//! NN → LUT transformation is exact — and of paper-config approximation
+//! quality (the tight bounds the unit tests' fast configs cannot check).
+
+use nn_lut::core::convert::nn_to_lut;
+use nn_lut::core::funcs::TargetFunction;
+use nn_lut::core::metrics::mean_abs_error;
+use nn_lut::core::recipe;
+use nn_lut::core::train::TrainConfig;
+use nn_lut::core::{ApproxNet, NnLutKit};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactness over random networks and random probe points, including
+    /// degenerate parameters (zero weights = dead neurons).
+    #[test]
+    fn lut_equals_network_everywhere(
+        params in proptest::collection::vec(
+            (-3.0f32..3.0, -4.0f32..4.0, -4.0f32..4.0),
+            1..20
+        ),
+        c in -2.0f32..2.0,
+        xs in proptest::collection::vec(-100.0f32..100.0, 1..64),
+    ) {
+        let m: Vec<f32> = params.iter().map(|p| p.0).collect();
+        // Quantize weights so some become exactly zero (dead neurons).
+        let n: Vec<f32> = params.iter().map(|p| (p.1 * 2.0).round() / 2.0).collect();
+        let b: Vec<f32> = params.iter().map(|p| p.2).collect();
+        let net = ApproxNet::from_params(m, n, b, c);
+        let lut = nn_to_lut(&net);
+        for x in xs {
+            let want = net.eval_f64(x as f64);
+            let got = lut.eval(x) as f64;
+            prop_assert!(
+                (want - got).abs() <= 3e-4 * (1.0 + want.abs()),
+                "x={}: net={} lut={}", x, want, got
+            );
+        }
+    }
+}
+
+/// Paper-config approximation quality for every Table-1 function: the L1
+/// error of a trained 16-entry LUT over its training domain must be small
+/// (paper Fig. 2 shows errors at the 1e-3 level).
+#[test]
+fn paper_config_table1_quality() {
+    for (func, bound) in [
+        (TargetFunction::Gelu, 0.01),
+        (TargetFunction::Exp, 0.005),
+        (TargetFunction::Recip, 0.005),
+        (TargetFunction::Rsqrt, 0.02),
+    ] {
+        let recipe = recipe::recipe_for(func);
+        let (net, _) = recipe::train_recipe(&recipe, 16, &TrainConfig::paper(), 1);
+        let lut = nn_to_lut(&net);
+        let err = mean_abs_error(|x| lut.eval(x), |x| func.eval(x), recipe.domain, 8000);
+        assert!(err < bound, "{}: L1 error {err} over {:?}", func.name(), recipe.domain);
+    }
+}
+
+/// Paper-config kit: composed softmax within a few percent of exact on
+/// typical attention rows. (A 16-entry DIV table carries a worst-case
+/// ~5% relative error where the denominator lands mid-segment; the
+/// Table-2 reproductions confirm this does not move task accuracy.)
+#[test]
+fn paper_config_softmax_is_tight() {
+    let kit = NnLutKit::train_with(16, 77, &TrainConfig::paper());
+    let rows: [&[f32]; 3] = [
+        &[1.0, 2.0, 3.0, 4.0],
+        &[0.0, -3.0, 2.5, 0.7, -1.2, 0.4, 1.9, -0.8],
+        &[5.0, 4.9, 4.8, -10.0],
+    ];
+    for logits in rows {
+        let mut approx = logits.to_vec();
+        kit.softmax(&mut approx);
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = logits.iter().map(|&x| ((x - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        for (a, e) in approx.iter().zip(exps.iter().map(|e| (e / sum) as f32)) {
+            assert!((a - e).abs() < 0.05, "row {logits:?}: {a} vs {e}");
+        }
+    }
+}
+
+/// Paper-config kit: LayerNorm output variance within 3% of 1 across five
+/// orders of magnitude of input variance (the §3.3.2 input-scaling claim).
+#[test]
+fn paper_config_layer_norm_handles_wide_variance() {
+    let kit = NnLutKit::train_with(16, 77, &TrainConfig::paper());
+    for scale in [1e-3f32, 1e-2, 0.1, 1.0, 10.0, 100.0] {
+        let mut xs: Vec<f32> = (0..64).map(|i| (i as f32 * 0.7).sin() * scale).collect();
+        kit.layer_norm(&mut xs, 1e-9);
+        let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!(
+            (var - 1.0).abs() < 0.03,
+            "input scale {scale}: output variance {var}"
+        );
+    }
+}
+
+/// Converting the kit between precisions preserves table semantics: FP16
+/// within half-epsilon-scale error, INT32 within quantization-step error.
+#[test]
+fn precision_modes_stay_close_to_fp32() {
+    let kit = NnLutKit::train_with(16, 77, &TrainConfig::paper());
+    let f16 = kit.with_precision(nn_lut::core::precision::Precision::F16).unwrap();
+    let i32k = kit.with_precision(nn_lut::core::precision::Precision::Int32).unwrap();
+    for i in 0..200 {
+        let x = -5.0 + i as f32 * 0.05;
+        let base = kit.gelu(x);
+        assert!((f16.gelu(x) - base).abs() < 8e-3, "f16 at {x}");
+        assert!((i32k.gelu(x) - base).abs() < 8e-3, "int32 at {x}");
+    }
+}

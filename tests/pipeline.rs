@@ -1,0 +1,124 @@
+//! End-to-end pipeline integration tests: kit training → transformer
+//! inference → task scoring, reproducing the orderings of paper Tables
+//! 2 and 3 at test scale.
+
+use nn_lut::core::calibrate::CalibrationConfig;
+use nn_lut::core::funcs::TargetFunction;
+use nn_lut::core::train::TrainConfig;
+use nn_lut::core::NnLutKit;
+use nn_lut::transformer::eval::{BenchConfig, SquadBench, TaskBench};
+use nn_lut::transformer::tasks::GlueTask;
+use nn_lut::transformer::{MatmulMode, Nonlinearity, TransformerConfig};
+
+fn small_cfg() -> BenchConfig {
+    BenchConfig {
+        seq_len: 24,
+        n_train: 128,
+        n_eval: 128,
+        ..BenchConfig::default()
+    }
+}
+
+fn kit() -> NnLutKit {
+    NnLutKit::train_with(16, 4242, &TrainConfig::fast())
+}
+
+/// Table 2(a) ordering at test scale: NN-LUT "Altogether" within a few
+/// points of baseline, Linear-LUT "Altogether" clearly behind.
+#[test]
+fn table2a_ordering_holds() {
+    let nn = kit();
+    let lin = NnLutKit::linear_baseline(16);
+    let mut nn_drops = Vec::new();
+    let mut gap_sum = 0.0f32;
+    for task in [GlueTask::Sst2, GlueTask::Qnli] {
+        let bench = TaskBench::new(task, &small_cfg());
+        let base = bench.score(&Nonlinearity::exact());
+        let nn_all = bench.score(&Nonlinearity::all_lut(&nn));
+        let lin_all = bench.score(&Nonlinearity::all_lut(&lin));
+        nn_drops.push(base - nn_all);
+        gap_sum += nn_all - lin_all;
+    }
+    let mean_drop = nn_drops.iter().sum::<f32>() / nn_drops.len() as f32;
+    assert!(mean_drop < 5.0, "NN-LUT mean drop {mean_drop}");
+    assert!(gap_sum / 2.0 > 2.0, "NN-LUT vs Linear-LUT mean gap {}", gap_sum / 2.0);
+}
+
+/// Table 2(b) machinery: the INT8-body benchmark accepts every backend
+/// and calibration improves (or at least does not hurt) the NN-LUT score.
+#[test]
+fn table2b_int8_body_with_calibration() {
+    let cfg = BenchConfig {
+        body_mode: MatmulMode::Int8,
+        ..small_cfg()
+    };
+    let bench = TaskBench::new(GlueTask::Sst2, &cfg);
+    let base = bench.score(&Nonlinearity::exact());
+    let ibert = bench.score(&Nonlinearity::all_ibert());
+    let mut k = kit();
+    let direct = bench.score(&Nonlinearity::all_lut(&k));
+    let cap = bench.capture_layernorm(&Nonlinearity::all_lut(&k), 2048, 12);
+    k.calibrate(
+        TargetFunction::Rsqrt,
+        cap.samples(),
+        &CalibrationConfig::default(),
+        3,
+    )
+    .expect("non-empty capture");
+    let calibrated = bench.score(&Nonlinearity::all_lut(&k));
+    assert!(base - ibert < 8.0, "I-BERT drop too large: {base} -> {ibert}");
+    assert!(base - direct < 8.0, "NN-LUT drop too large: {base} -> {direct}");
+    assert!(
+        calibrated >= direct - 2.0,
+        "calibration regressed: {direct} -> {calibrated}"
+    );
+}
+
+/// Table 3 ordering: on the MobileBERT-like span task (FP16 body, Softmax
+/// the only non-linearity), NN-LUT tracks the baseline and beats
+/// Linear-LUT, in both FP32 and FP16 table precisions.
+#[test]
+fn table3_ordering_holds() {
+    // The full Table-3 bench configuration: smaller eval sets are too noisy
+    // to resolve the ~4-point NN-LUT-vs-Linear-LUT gap.
+    let cfg = BenchConfig {
+        config: TransformerConfig::mobilebert_tiny(),
+        seq_len: 32,
+        n_train: 256,
+        n_eval: 128,
+        body_mode: MatmulMode::F16,
+        ..BenchConfig::default()
+    };
+    let bench = SquadBench::new(&cfg);
+    let base = bench.f1(&Nonlinearity::exact());
+    let nn = kit();
+    let nn16 = nn.with_precision(nn_lut::core::precision::Precision::F16).unwrap();
+    let lin = NnLutKit::linear_baseline(16);
+    let f1_nn = bench.f1(&Nonlinearity::softmax_only(&nn));
+    let f1_nn16 = bench.f1(&Nonlinearity::softmax_only(&nn16));
+    let f1_lin = bench.f1(&Nonlinearity::softmax_only(&lin));
+    assert!(base - f1_nn < 3.0, "NN-LUT FP32 drop: {base} -> {f1_nn}");
+    assert!(base - f1_nn16 < 3.5, "NN-LUT FP16 drop: {base} -> {f1_nn16}");
+    assert!(
+        f1_nn > f1_lin + 1.0,
+        "NN-LUT ({f1_nn}) should beat Linear-LUT ({f1_lin})"
+    );
+}
+
+/// The same kit object is reused across every op site and both model
+/// families — the "single hardware, many functions" deployment property.
+#[test]
+fn one_kit_serves_both_model_families() {
+    let k = kit();
+    let roberta = TaskBench::new(GlueTask::Mrpc, &small_cfg());
+    let score = roberta.score(&Nonlinearity::all_lut(&k));
+    assert!(score > 50.0, "RoBERTa-like score {score}");
+    let cfg = BenchConfig {
+        config: TransformerConfig::mobilebert_tiny(),
+        body_mode: MatmulMode::F16,
+        ..small_cfg()
+    };
+    let mobile = SquadBench::new(&cfg);
+    let f1 = mobile.f1(&Nonlinearity::softmax_only(&k));
+    assert!(f1 > 40.0, "MobileBERT-like F1 {f1}");
+}

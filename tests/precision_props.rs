@@ -1,0 +1,96 @@
+//! Property tests of the reduced-precision machinery: the software
+//! binary16, the INT32 LUT quantization, and table serialization.
+
+use nn_lut::core::export::{from_text, to_text};
+use nn_lut::core::lut::{LookupTable, Segment};
+use nn_lut::core::precision::{f16_bits_to_f32, f16_round, f32_to_f16_bits, Int32Lut};
+use proptest::prelude::*;
+
+/// Builds a valid random LUT from proptest-generated raw material.
+fn arb_lut() -> impl Strategy<Value = LookupTable> {
+    (
+        proptest::collection::vec(-100.0f32..100.0, 0..12),
+        proptest::collection::vec((-8.0f32..8.0, -50.0f32..50.0), 1..13),
+    )
+        .prop_filter_map("segment count must be breakpoints + 1", |(mut bps, segs)| {
+            bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            if segs.len() != bps.len() + 1 {
+                return None;
+            }
+            let segments = segs
+                .into_iter()
+                .map(|(s, t)| Segment::new(s, t))
+                .collect();
+            LookupTable::new(bps, segments).ok()
+        })
+}
+
+proptest! {
+    /// binary16 round-trip through f32 is the identity on the half grid.
+    #[test]
+    fn f16_round_is_idempotent(x in -70000.0f32..70000.0) {
+        let once = f16_round(x);
+        prop_assert_eq!(once.to_bits(), f16_round(once).to_bits());
+    }
+
+    /// f32→f16 conversion is monotone (order-preserving).
+    #[test]
+    fn f16_conversion_is_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16_round(lo) <= f16_round(hi));
+    }
+
+    /// Rounding error is bounded by half a ULP of the target format
+    /// (2^-11 relative for normals).
+    #[test]
+    fn f16_round_error_bounded(x in -60000.0f32..60000.0) {
+        let r = f16_round(x);
+        prop_assert!((r - x).abs() <= x.abs() * (1.0 / 2048.0) + 6e-8);
+    }
+
+    /// bits → f32 → bits round-trips for every non-NaN half pattern.
+    #[test]
+    fn f16_bits_roundtrip(h in 0u16..=u16::MAX) {
+        let f = f16_bits_to_f32(h);
+        if !f.is_nan() {
+            prop_assert_eq!(f32_to_f16_bits(f), h);
+        }
+    }
+
+    /// Serialization round-trips arbitrary valid tables bit-exactly.
+    #[test]
+    fn text_roundtrip_arbitrary_tables(lut in arb_lut()) {
+        let back = from_text(&to_text(&lut)).expect("serialized tables parse");
+        prop_assert_eq!(back, lut);
+    }
+
+    /// INT32 quantization preserves table values within one combined
+    /// quantization step everywhere on its input grid.
+    #[test]
+    fn int32_lut_error_bounded(lut in arb_lut(), xs in proptest::collection::vec(-120.0f32..120.0, 1..32)) {
+        let in_scale = 120.0 / 32767.0;
+        let q = Int32Lut::from_lut(&lut, in_scale);
+        let (_, smax, _) = lut.param_abs_max();
+        for x in xs {
+            let exact = lut.eval(x);
+            let approx = q.eval(x);
+            // Error sources: input step × |slope| + output step, plus
+            // segment-boundary reassignment of at most one input step
+            // (breakpoints round to the same grid as inputs).
+            let boundary_slack = {
+                let seg = lut.segments();
+                let max_jump = seg
+                    .windows(2)
+                    .map(|w| ((w[0].slope - w[1].slope).abs() * x.abs()
+                        + (w[0].intercept - w[1].intercept).abs()))
+                    .fold(0.0f32, f32::max);
+                max_jump.min(2.0 * smax * x.abs() + 100.0)
+            };
+            let tol = in_scale * smax + q.output_scale() + boundary_slack.max(1e-3) + 1e-3;
+            prop_assert!(
+                (exact - approx).abs() <= tol,
+                "x={}: exact {} vs int32 {} (tol {})", x, exact, approx, tol
+            );
+        }
+    }
+}

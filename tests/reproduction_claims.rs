@@ -1,0 +1,99 @@
+//! The paper's headline *textual* claims, encoded as executable assertions
+//! — the reproduction's contract in one file.
+
+use nn_lut::core::convert::nn_to_lut;
+use nn_lut::core::funcs::TargetFunction;
+use nn_lut::core::recipe;
+use nn_lut::core::train::TrainConfig;
+use nn_lut::core::NnLutKit;
+use nn_lut::hw::designs::{ibert_latency, nn_lut_latency, IbertOp, UnitPrecision};
+use nn_lut::hw::nn_lut_unit;
+use nn_lut::npu::table5;
+
+/// "We propose a novel transformation of one-hidden-layer ReLU neural
+/// network into LUT-based approximation" — and 16 entries come from 15
+/// neurons.
+#[test]
+fn claim_transformation_shape() {
+    let net = recipe::train_for_fast(TargetFunction::Gelu, 16, 1);
+    assert_eq!(net.hidden(), 15);
+    let lut = nn_to_lut(&net);
+    assert_eq!(lut.entries(), 16);
+    assert_eq!(lut.breakpoints().len(), 15);
+}
+
+/// "The same NN-LUT hardware can approximate various non-linear operations
+/// by simply updating the LUT contents": one unit design, four functions,
+/// constant latency.
+#[test]
+fn claim_one_hardware_many_functions() {
+    let unit = nn_lut_unit(UnitPrecision::Int32, 16);
+    // The unit is function-agnostic: its cost does not depend on which
+    // function the table encodes, and its latency is always 2.
+    assert_eq!(unit.pipeline_depth(), 2);
+    assert_eq!(nn_lut_latency(), 2);
+    // While I-BERT's latency is operation-specific.
+    assert_ne!(
+        ibert_latency(IbertOp::Gelu),
+        ibert_latency(IbertOp::Sqrt)
+    );
+}
+
+/// "The area/resource overhead of NN-LUT does not grow no matter how many
+/// non-linear operations it targets": a kit covering GELU + Softmax +
+/// LayerNorm reuses one table shape; adding target functions changes
+/// contents, not the unit.
+#[test]
+fn claim_area_independent_of_function_count() {
+    let kit = NnLutKit::train_with(16, 5, &TrainConfig::fast());
+    // All four tables share the same entry count = the same hardware.
+    let t = kit.tables();
+    assert_eq!(t.gelu.entries(), 16);
+    assert_eq!(t.exp.entries(), 16);
+    assert_eq!(t.recip.entries(), 16);
+    assert_eq!(t.rsqrt.entries(), 16);
+}
+
+/// "Up to 26% system speedup solely thanks to NN-LUT's hardware efficient
+/// approximation of non-linear operations."
+#[test]
+fn claim_system_speedup() {
+    let best = table5()
+        .iter()
+        .map(|e| e.speedup)
+        .fold(1.0f64, f64::max);
+    assert!(
+        (1.20..1.35).contains(&best),
+        "peak system speedup {best} should be ~1.26x"
+    );
+}
+
+/// "NN-LUT training is straightforward and quick" — the full paper-config
+/// pipeline for one function must run in seconds on a CPU.
+#[test]
+fn claim_training_is_quick() {
+    let start = std::time::Instant::now();
+    let _ = recipe::train_for(TargetFunction::Exp, 16, 9);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(secs < 30.0, "paper-config training took {secs:.1}s");
+}
+
+/// "Dataset-free lightweight NN-LUT calibration": calibration needs no
+/// labels, only captured activations, and runs in a fraction of training
+/// time.
+#[test]
+fn claim_calibration_is_lightweight() {
+    use nn_lut::core::calibrate::CalibrationConfig;
+    let mut kit = NnLutKit::train_with(16, 5, &TrainConfig::fast());
+    let samples: Vec<f32> = (0..500).map(|i| 0.5 + i as f32 * 0.01).collect();
+    let start = std::time::Instant::now();
+    kit.calibrate(
+        TargetFunction::Rsqrt,
+        &samples,
+        &CalibrationConfig::default(),
+        3,
+    )
+    .expect("calibration succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    assert!(secs < 5.0, "calibration took {secs:.1}s");
+}
