@@ -1,0 +1,83 @@
+//! Scalar-vs-baked LUT evaluation: the permanent benchmark behind the
+//! two-tier evaluation model (reference `LookupTable` = paper Eq. 4
+//! semantics; `BakedLut` = deployment kernel).
+//!
+//! For the paper's 16-entry GELU and EXP tables, compares the branchy
+//! per-element binary-search loop (`LookupTable::eval_slice`) against the
+//! baked SoA + uniform-grid batch kernel (`BakedLut::eval_slice`) at
+//! 256 / 4 Ki / 64 Ki elements, plus the kit-level softmax row kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nnlut_bench::{exp_inputs, gelu_inputs};
+use nnlut_core::engine::BakedLut;
+use nnlut_core::train::TrainConfig;
+use nnlut_core::NnLutKit;
+
+const SIZES: [usize; 3] = [256, 4096, 65536];
+
+fn bench_table(c: &mut Criterion, name: &str, lut: &nnlut_core::LookupTable, xs: &[f32]) {
+    let baked = BakedLut::new(lut.clone());
+    let mut g = c.benchmark_group(name);
+    g.bench_function("scalar", |b| {
+        let mut buf = xs.to_vec();
+        b.iter(|| {
+            buf.copy_from_slice(xs);
+            lut.eval_slice(black_box(&mut buf));
+        })
+    });
+    g.bench_function("baked", |b| {
+        let mut buf = xs.to_vec();
+        b.iter(|| {
+            buf.copy_from_slice(xs);
+            baked.eval_slice(black_box(&mut buf));
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_eval(c: &mut Criterion) {
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    for n in SIZES {
+        bench_table(
+            c,
+            &format!("lut_eval_gelu/{n}"),
+            &kit.tables().gelu,
+            &gelu_inputs(n),
+        );
+        bench_table(
+            c,
+            &format!("lut_eval_exp/{n}"),
+            &kit.tables().exp,
+            &exp_inputs(n),
+        );
+    }
+}
+
+fn bench_softmax_row(c: &mut Criterion) {
+    let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+    for n in [128usize, 1024] {
+        let row: Vec<f32> = (0..n).map(|i| ((i * 29) % 64) as f32 / 8.0 - 4.0).collect();
+        let mut g = c.benchmark_group(format!("softmax_row/{n}"));
+        g.bench_function("kit_batched", |b| {
+            let mut buf = row.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&row);
+                kit.softmax(black_box(&mut buf));
+            })
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_batch_eval, bench_softmax_row
+}
+criterion_main!(benches);

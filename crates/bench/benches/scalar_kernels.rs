@@ -18,7 +18,11 @@ fn bench_gelu(c: &mut Criterion) {
     let scale = scale_16bit(5.0);
     let mut g = c.benchmark_group("gelu_scalar");
     g.bench_function("exact_fp32", |b| {
-        b.iter(|| xs.iter().map(|&x| nnlut_core::funcs::gelu(black_box(x))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| nnlut_core::funcs::gelu(black_box(x)))
+                .sum::<f32>()
+        })
     });
     g.bench_function("nn_lut", |b| {
         b.iter(|| xs.iter().map(|&x| kit.gelu(black_box(x))).sum::<f32>())
@@ -39,7 +43,11 @@ fn bench_exp(c: &mut Criterion) {
     let scale = scale_16bit(256.0);
     let mut g = c.benchmark_group("exp_scalar");
     g.bench_function("exact_fp32", |b| {
-        b.iter(|| xs.iter().map(|&x| (black_box(x) as f64).exp() as f32).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| (black_box(x) as f64).exp() as f32)
+                .sum::<f32>()
+        })
     });
     g.bench_function("nn_lut", |b| {
         b.iter(|| xs.iter().map(|&x| kit.exp(black_box(x))).sum::<f32>())

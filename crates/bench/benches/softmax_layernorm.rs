@@ -9,7 +9,9 @@ use nnlut_ibert::layernorm::i_layernorm_f32;
 use nnlut_ibert::softmax::i_softmax_f32;
 
 fn make_row(len: usize) -> Vec<f32> {
-    (0..len).map(|i| ((i * 37) % 97) as f32 * 0.1 - 4.0).collect()
+    (0..len)
+        .map(|i| ((i * 37) % 97) as f32 * 0.1 - 4.0)
+        .collect()
 }
 
 fn bench_softmax(c: &mut Criterion) {

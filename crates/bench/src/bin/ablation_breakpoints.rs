@@ -14,11 +14,31 @@ fn main() {
     let lin = linear_kit();
     let exp = exponential_kit();
 
-    let panels: [(&str, fn(&nnlut_core::NnLutKit, f32) -> f32, fn(f32) -> f32, (f32, f32)); 4] = [
-        ("gelu", |k, x| k.gelu(x), |x| nnlut_core::funcs::gelu(x), (-5.0, 5.0)),
-        ("exp", |k, x| k.exp(x), |x| (x as f64).exp() as f32, (-12.0, 0.0)),
+    let panels: [(
+        &str,
+        fn(&nnlut_core::NnLutKit, f32) -> f32,
+        fn(f32) -> f32,
+        (f32, f32),
+    ); 4] = [
+        (
+            "gelu",
+            |k, x| k.gelu(x),
+            |x| nnlut_core::funcs::gelu(x),
+            (-5.0, 5.0),
+        ),
+        (
+            "exp",
+            |k, x| k.exp(x),
+            |x| (x as f64).exp() as f32,
+            (-12.0, 0.0),
+        ),
         ("recip", |k, x| k.recip(x), |x| 1.0 / x, (1.0, 1024.0)),
-        ("rsqrt", |k, x| k.inv_sqrt(x), |x| 1.0 / x.sqrt(), (0.01, 1024.0)),
+        (
+            "rsqrt",
+            |k, x| k.inv_sqrt(x),
+            |x| 1.0 / x.sqrt(),
+            (0.01, 1024.0),
+        ),
     ];
 
     println!(

@@ -27,12 +27,7 @@ fn main() {
         for e in entries {
             let (net, _) = train_recipe(&recipe, e, &TrainConfig::paper(), 0xab ^ e as u64);
             let lut = nn_to_lut(&net);
-            let err = mean_abs_error(
-                |x| lut.eval(x),
-                |x| func.eval(x),
-                recipe.domain,
-                8_000,
-            );
+            let err = mean_abs_error(|x| lut.eval(x), |x| func.eval(x), recipe.domain, 8_000);
             print!("{err:>12.6}");
         }
         println!();

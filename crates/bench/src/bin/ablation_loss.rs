@@ -15,7 +15,10 @@ use nnlut_core::train::{Loss, TrainConfig};
 
 fn main() {
     println!("== Ablation: L1 vs L2 training loss (L1 approximation error) ==\n");
-    println!("{:<10}{:>14}{:>14}{:>10}", "function", "L1-trained", "L2-trained", "winner");
+    println!(
+        "{:<10}{:>14}{:>14}{:>10}",
+        "function", "L1-trained", "L2-trained", "winner"
+    );
     for func in TargetFunction::TABLE1 {
         let recipe = recipe_for(func);
         let mut errs = [0.0f32; 2];

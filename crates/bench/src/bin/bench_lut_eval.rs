@@ -1,0 +1,132 @@
+//! LUT-evaluation throughput trajectory: times the scalar reference loop
+//! (`LookupTable::eval_slice`) against the baked batch engine
+//! (`BakedLut::eval_slice`) on the paper's 16-entry GELU and EXP tables,
+//! at fixed power-of-two sizes *and* at the batch shapes a real encoder
+//! layer produces (derived from the `nnlut-npu` RoBERTa-base workload),
+//! then writes the measurements to `BENCH_lut_eval.json` so the perf
+//! trajectory of the repo is recorded run over run.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin bench_lut_eval`
+
+use std::time::Instant;
+
+use nnlut_bench::{exp_inputs, gelu_inputs, paper_kit};
+use nnlut_core::engine::BakedLut;
+use nnlut_core::LookupTable;
+use nnlut_npu::{transformer_workload, ModelShape};
+
+/// Median ns/element of `f` applied to a fresh copy of `xs`, over
+/// `samples` timed repetitions (each long enough to dominate timer noise).
+fn time_ns_per_elem<F: FnMut(&mut [f32])>(xs: &[f32], samples: usize, mut f: F) -> f64 {
+    let mut buf = xs.to_vec();
+    // Warm-up + calibration: target ~2 ms per sample.
+    let start = Instant::now();
+    f(&mut buf);
+    let once = start.elapsed().as_nanos().max(1) as f64;
+    let reps = ((2e6 / once) as usize).clamp(1, 1_000_000);
+    let mut results: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                buf.copy_from_slice(xs);
+                f(std::hint::black_box(&mut buf));
+            }
+            start.elapsed().as_nanos() as f64 / (reps * xs.len()) as f64
+        })
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    results[results.len() / 2]
+}
+
+struct Row {
+    table: &'static str,
+    n: usize,
+    scalar_ns: f64,
+    baked_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.baked_ns
+    }
+}
+
+fn measure(table: &'static str, lut: &LookupTable, xs: &[f32]) -> Row {
+    let baked = BakedLut::new(lut.clone());
+    let scalar_ns = time_ns_per_elem(xs, 7, |buf| lut.eval_slice(buf));
+    let baked_ns = time_ns_per_elem(xs, 7, |buf| baked.eval_slice(buf));
+    Row {
+        table,
+        n: xs.len(),
+        scalar_ns,
+        baked_ns,
+    }
+}
+
+fn main() {
+    println!("training the paper-config 16-entry kit …");
+    let kit = paper_kit();
+    let gelu = &kit.tables().gelu;
+    let exp = &kit.tables().exp;
+
+    // Fixed sizes for the trajectory, plus the per-layer batch shapes an
+    // encoder actually evaluates (RoBERTa-base at seq 128): every GELU
+    // element of one layer, and one attention softmax row.
+    let shape = ModelShape::roberta_base();
+    let layer = transformer_workload(&shape, 128).layer;
+    let gelu_layer_elems = layer.gelu_elems as usize;
+    let softmax_row_len = layer.softmax_row_len as usize;
+
+    let mut rows = Vec::new();
+    for n in [256usize, 4096, 65536] {
+        rows.push(measure("gelu", gelu, &gelu_inputs(n)));
+        rows.push(measure("exp", exp, &exp_inputs(n)));
+    }
+    rows.push(measure("gelu_layer", gelu, &gelu_inputs(gelu_layer_elems)));
+    rows.push(measure(
+        "exp_softmax_row",
+        exp,
+        &exp_inputs(softmax_row_len),
+    ));
+
+    println!(
+        "\n{:<18}{:>10}{:>16}{:>16}{:>10}",
+        "table", "elems", "scalar ns/el", "baked ns/el", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<18}{:>10}{:>16.3}{:>16.3}{:>9.2}x",
+            r.table,
+            r.n,
+            r.scalar_ns,
+            r.baked_ns,
+            r.speedup()
+        );
+    }
+
+    // Hand-rolled JSON: the offline workspace has no serde, and the schema
+    // is flat enough that formatting it directly is clearer anyway.
+    let mut json =
+        String::from("{\n  \"bench\": \"lut_eval\",\n  \"entries\": 16,\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"table\": \"{}\", \"elems\": {}, \"scalar_ns_per_elem\": {:.4}, \"baked_ns_per_elem\": {:.4}, \"speedup\": {:.4}}}{}\n",
+            r.table,
+            r.n,
+            r.scalar_ns,
+            r.baked_ns,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
+    println!("\nwrote BENCH_lut_eval.json");
+
+    let big = rows
+        .iter()
+        .filter(|r| r.n >= 4096)
+        .map(Row::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum speedup at >=4k elements: {big:.2}x");
+}

@@ -47,7 +47,10 @@ fn main() {
     }
     println!("mean |Δp| vs exact softmax over {n} attention weights:");
     println!("  NN-LUT     {:.6}", err_nn / n as f32);
-    println!("  Softermax  {:.6}  (base-2 temperature shift, by design)", err_sm / n as f32);
+    println!(
+        "  Softermax  {:.6}  (base-2 temperature shift, by design)",
+        err_sm / n as f32
+    );
 
     println!("\n== Extension: softmax baselines, task level (Softmax site only) ==\n");
     let mut labels_scores = Vec::new();

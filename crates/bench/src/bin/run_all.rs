@@ -21,6 +21,7 @@ fn main() {
         "ablation_calibration",
         "ext_decoder",
         "ext_softermax",
+        "bench_lut_eval",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("binary directory");

@@ -41,7 +41,10 @@ fn main() {
             let cap = b.capture_layernorm(&Nonlinearity::all_lut(&kit), 2048, 16);
             samples.extend_from_slice(cap.samples());
         }
-        eprintln!("calibrating on {} captured LayerNorm variances …", samples.len());
+        eprintln!(
+            "calibrating on {} captured LayerNorm variances …",
+            samples.len()
+        );
         kit_cal
             .calibrate(
                 TargetFunction::Rsqrt,

@@ -36,8 +36,14 @@ fn main() {
     let baseline = bench.f1(&Nonlinearity::exact());
     let rows = [
         ("Baseline (FP32 softmax)", baseline),
-        ("Linear-LUT FP32", bench.f1(&Nonlinearity::softmax_only(&lin))),
-        ("Linear-LUT FP16", bench.f1(&Nonlinearity::softmax_only(&lin16))),
+        (
+            "Linear-LUT FP32",
+            bench.f1(&Nonlinearity::softmax_only(&lin)),
+        ),
+        (
+            "Linear-LUT FP16",
+            bench.f1(&Nonlinearity::softmax_only(&lin16)),
+        ),
         ("NN-LUT FP32", bench.f1(&Nonlinearity::softmax_only(&nn))),
         ("NN-LUT FP16", bench.f1(&Nonlinearity::softmax_only(&nn16))),
     ];

@@ -46,6 +46,20 @@ pub fn fmt_header(label: &str, names: &[&str]) -> String {
     format!("{label:<28}{}", cells.join(" "))
 }
 
+/// Deterministic GELU-domain inputs shared by the `batch_eval` criterion
+/// bench and the `bench_lut_eval` trajectory bin, so the two measurement
+/// paths always time the same workload.
+pub fn gelu_inputs(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * 37) % 1024) as f32 / 64.0 - 8.0)
+        .collect()
+}
+
+/// Deterministic EXP-domain inputs; see [`gelu_inputs`].
+pub fn exp_inputs(n: usize) -> Vec<f32> {
+    (0..n).map(|i| -(((i * 53) % 4096) as f32) / 16.0).collect()
+}
+
 /// Mean of a slice (benchmark summary columns).
 pub fn mean(xs: &[f32]) -> f32 {
     if xs.is_empty() {

@@ -291,12 +291,7 @@ mod tests {
 
     #[test]
     fn normalized_roundtrips_with_denormalized() {
-        let net = ApproxNet::from_params(
-            vec![0.5, -1.0],
-            vec![2.0, -0.01],
-            vec![-1.0, 3.0],
-            0.7,
-        );
+        let net = ApproxNet::from_params(vec![0.5, -1.0], vec![2.0, -0.01], vec![-1.0, 3.0], 0.7);
         let z = normalized(&net, -5.0, 5.0);
         let back = z.denormalized(-5.0, 5.0);
         for i in -10..=10 {

@@ -108,9 +108,9 @@ pub fn nn_to_lut(net: &ApproxNet) -> LookupTable {
 /// (or the left endpoint for zero-width intervals).
 fn probe_point(breakpoints: &[f64], i: usize) -> f64 {
     match (i.checked_sub(1).map(|k| breakpoints[k]), breakpoints.get(i)) {
-        (None, None) => 0.0,                       // no breakpoints at all
-        (None, Some(&d)) => d - 1.0,               // leftmost open interval
-        (Some(d), None) => d + 1.0,                // rightmost open interval
+        (None, None) => 0.0,         // no breakpoints at all
+        (None, Some(&d)) => d - 1.0, // leftmost open interval
+        (Some(d), None) => d + 1.0,  // rightmost open interval
         (Some(dl), Some(&dr)) => {
             if dr > dl {
                 dl + (dr - dl) * 0.5
@@ -134,10 +134,7 @@ mod tests {
             let want = net.eval_f64(x as f64);
             let got = lut.eval(x) as f64;
             let tol = 1e-4 * (1.0 + want.abs());
-            assert!(
-                (want - got).abs() <= tol,
-                "x={x}: net={want} lut={got}"
-            );
+            assert!((want - got).abs() <= tol, "x={x}: net={want} lut={got}");
         }
         // Also probe exactly at the breakpoints (interval boundary semantics).
         for &d in lut.breakpoints() {
@@ -189,20 +186,14 @@ mod tests {
 
     #[test]
     fn hat_function_three_segments() {
-        let net =
-            ApproxNet::from_params(vec![1.0, -2.0], vec![1.0, 1.0], vec![0.0, -1.0], 0.0);
+        let net = ApproxNet::from_params(vec![1.0, -2.0], vec![1.0, 1.0], vec![0.0, -1.0], 0.0);
         assert_lut_matches_net(&net, -3.0, 4.0);
     }
 
     #[test]
     fn coincident_breakpoints_are_exact_at_the_point() {
         // Two neurons with identical breakpoints at x = 1.
-        let net = ApproxNet::from_params(
-            vec![1.0, 0.5],
-            vec![2.0, -4.0],
-            vec![-2.0, 4.0],
-            0.1,
-        );
+        let net = ApproxNet::from_params(vec![1.0, 0.5], vec![2.0, -4.0], vec![-2.0, 4.0], 0.1);
         assert_lut_matches_net(&net, -2.0, 3.0);
     }
 

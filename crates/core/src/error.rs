@@ -52,10 +52,16 @@ impl fmt::Display for CoreError {
                 write!(f, "a lookup table needs at least 2 entries, got {n}")
             }
             CoreError::InvalidDomain(lo, hi) => {
-                write!(f, "invalid domain ({lo}, {hi}): bounds must be finite with lo < hi")
+                write!(
+                    f,
+                    "invalid domain ({lo}, {hi}): bounds must be finite with lo < hi"
+                )
             }
             CoreError::ExponentialModeNeedsPositiveDomain => {
-                write!(f, "exponential breakpoint mode requires a strictly positive domain")
+                write!(
+                    f,
+                    "exponential breakpoint mode requires a strictly positive domain"
+                )
             }
             CoreError::NoCalibrationSamples => {
                 write!(f, "calibration requires at least one captured sample")

@@ -131,7 +131,10 @@ pub fn from_text(text: &str) -> Result<LookupTable, CoreError> {
 /// line, as Verilog's `$readmemh` expects.
 pub fn to_memh(lut: &Int32Lut) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// nn-lut memory image: breakpoints, slopes, intercepts");
+    let _ = writeln!(
+        out,
+        "// nn-lut memory image: breakpoints, slopes, intercepts"
+    );
     for q in lut.quantized_breakpoints() {
         let _ = writeln!(out, "{:08x}", *q as u32);
     }
@@ -174,7 +177,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "\n# comment\nsegment 2.0 1.0\n\n";
         let lut = from_text(text).unwrap();
         assert_eq!(lut.entries(), 1);
@@ -201,14 +204,12 @@ mod tests {
         let lut = trained_lut();
         let q = Int32Lut::from_lut(&lut, input_scale_for_domain((-5.0, 5.0)));
         let memh = to_memh(&q);
-        let words: Vec<&str> = memh
-            .lines()
-            .filter(|l| !l.starts_with("//"))
-            .collect();
+        let words: Vec<&str> = memh.lines().filter(|l| !l.starts_with("//")).collect();
         // 15 breakpoints + 16 slopes + 16 intercepts.
         assert_eq!(words.len(), 15 + 16 + 16);
-        assert!(words.iter().all(|w| w.len() == 8
-            && w.chars().all(|c| c.is_ascii_hexdigit())));
+        assert!(words
+            .iter()
+            .all(|w| w.len() == 8 && w.chars().all(|c| c.is_ascii_hexdigit())));
     }
 
     #[test]

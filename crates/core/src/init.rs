@@ -224,7 +224,10 @@ mod tests {
         let near_zero = (0..16)
             .filter(|&j| net.breakpoint(j).unwrap() < 0.1)
             .count();
-        assert!(near_zero >= 8, "only {near_zero}/16 breakpoints near curvature");
+        assert!(
+            near_zero >= 8,
+            "only {near_zero}/16 breakpoints near curvature"
+        );
     }
 
     #[test]

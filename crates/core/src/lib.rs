@@ -19,6 +19,7 @@
 //!
 //! * [`funcs`] — target non-linear functions and reference math (§2.1).
 //! * [`lut`] — the `N`-entry first-order LUT of Eq. 4 (§3.1).
+//! * [`engine`] — the baked, batched deployment kernels (see below).
 //! * [`nn`] — the approximator network of Eq. 5 (§3.2).
 //! * [`convert`] — the exact NN → LUT transformation of Eq. 6–7 (§3.2).
 //! * [`init`] + [`recipe`] — Table-1 training setup (§3.3.1).
@@ -29,6 +30,31 @@
 //! * [`precision`] — bit-accurate FP16 and I-BERT-style INT32 LUT modes (§4.1).
 //! * [`ops`] — drop-in GELU / Softmax / LayerNorm kernels built from LUTs (§4.3).
 //! * [`metrics`] — approximation-error metrics used in Fig. 2.
+//!
+//! ## The two-tier evaluation model
+//!
+//! Every table exists in two interchangeable forms:
+//!
+//! 1. **Reference** — [`LookupTable`] (and [`precision::F16Lut`] /
+//!    [`precision::Int32Lut`]): the literal Eq. 4 semantics, an AoS
+//!    segment list selected with a per-element binary search. This tier
+//!    defines *correctness*: training, conversion, serialization,
+//!    calibration and the hardware export all speak this form.
+//! 2. **Deployment** — [`engine::BakedLut`] (and [`engine::BakedF16Lut`] /
+//!    [`engine::BakedInt32Lut`]): the same table baked at construction
+//!    into structure-of-arrays parameters plus a uniform-grid segment
+//!    index. This tier defines *speed*: [`NnLutKit`] and everything
+//!    above it (the transformer backends, the benches) run on baked
+//!    engines. The FP32 engine has a vectorized, branchless batch
+//!    kernel (the measured 3–4× over the reference loop); the reduced
+//!    precisions share the grid index but spend their time in the
+//!    bit-accurate rounding/quantization steps.
+//!
+//! The two tiers are **bit-identical** on every input — NaN, infinities,
+//! breakpoint-exact values, all three precisions — a property enforced by
+//! `tests/engine_equivalence.rs`. Use the reference tier when inspecting
+//! or transforming tables; use the baked tier (or simply [`NnLutKit`],
+//! which bakes internally) when evaluating in bulk.
 //!
 //! ## Example: the full NN-LUT pipeline
 //!
@@ -59,6 +85,7 @@
 
 pub mod calibrate;
 pub mod convert;
+pub mod engine;
 pub mod error;
 pub mod export;
 pub mod funcs;
@@ -74,6 +101,7 @@ pub mod scaling;
 pub mod train;
 
 pub use convert::nn_to_lut;
+pub use engine::{BakedF16Lut, BakedInt32Lut, BakedLut};
 pub use error::CoreError;
 pub use funcs::TargetFunction;
 pub use lut::{LookupTable, Segment};

@@ -227,7 +227,9 @@ mod tests {
 
     #[test]
     fn out_of_domain_inputs_extrapolate_outer_lines() {
-        let lut = LinearLutBuilder::new(4, (0.0, 4.0)).fit(|x| 2.0 * x).unwrap();
+        let lut = LinearLutBuilder::new(4, (0.0, 4.0))
+            .fit(|x| 2.0 * x)
+            .unwrap();
         // Outside the domain the outer segments extend their lines.
         assert!((lut.eval(-10.0) - (-20.0)).abs() < 1e-3);
         assert!((lut.eval(10.0) - 20.0).abs() < 1e-3);

@@ -28,6 +28,7 @@ impl Segment {
     }
 
     /// Evaluates `slope·x + intercept`.
+    #[inline]
     pub fn eval(&self, x: f32) -> f32 {
         self.slope * x + self.intercept
     }
@@ -85,8 +86,7 @@ impl LookupTable {
                 breakpoints: breakpoints.len(),
             });
         }
-        if breakpoints.iter().any(|d| !d.is_finite())
-            || breakpoints.windows(2).any(|w| w[0] > w[1])
+        if breakpoints.iter().any(|d| !d.is_finite()) || breakpoints.windows(2).any(|w| w[0] > w[1])
         {
             return Err(CoreError::UnsortedBreakpoints);
         }
@@ -119,6 +119,7 @@ impl LookupTable {
 
     /// Index of the segment that handles `x` (Eq. 4 semantics: a point equal
     /// to a breakpoint belongs to the segment on its right).
+    #[inline]
     pub fn segment_index(&self, x: f32) -> usize {
         // Number of breakpoints ≤ x. NaN compares false everywhere, so a NaN
         // input selects segment 0; `eval` then propagates NaN through the MAC.
@@ -126,6 +127,7 @@ impl LookupTable {
     }
 
     /// Evaluates the table: segment select + one multiply + one add.
+    #[inline]
     pub fn eval(&self, x: f32) -> f32 {
         self.segments[self.segment_index(x)].eval(x)
     }
@@ -179,8 +181,7 @@ impl LookupTable {
                 segments.push(self.segments[i + 1]);
             }
         }
-        Self::new(breakpoints, segments)
-            .expect("dropping unreachable segments preserves validity")
+        Self::new(breakpoints, segments).expect("dropping unreachable segments preserves validity")
     }
 
     /// Whether the piecewise function is non-decreasing over `[lo, hi]` —
@@ -200,11 +201,7 @@ impl LookupTable {
             } else {
                 self.breakpoints[i - 1]
             };
-            let right = self
-                .breakpoints
-                .get(i)
-                .copied()
-                .unwrap_or(f32::INFINITY);
+            let right = self.breakpoints.get(i).copied().unwrap_or(f32::INFINITY);
             let covered = left.max(lo) < right.min(hi);
             if covered && seg.slope < 0.0 {
                 return false;
@@ -309,11 +306,8 @@ mod tests {
             CoreError::UnsortedBreakpoints
         );
         assert_eq!(
-            LookupTable::new(
-                vec![f32::NAN],
-                vec![Segment::default(), Segment::default()]
-            )
-            .unwrap_err(),
+            LookupTable::new(vec![f32::NAN], vec![Segment::default(), Segment::default()])
+                .unwrap_err(),
             CoreError::UnsortedBreakpoints
         );
         assert_eq!(

@@ -54,7 +54,11 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
 
     if exp == 0xff {
         // Infinity or NaN (NaN payload collapses to a quiet NaN).
-        return if man == 0 { sign | 0x7c00 } else { sign | 0x7e00 };
+        return if man == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00
+        };
     }
 
     let half_e = exp - 127 + 15;
@@ -285,7 +289,7 @@ impl Int32Lut {
     }
 }
 
-fn quant_i32(v: f32, scale: f32) -> i32 {
+pub(crate) fn quant_i32(v: f32, scale: f32) -> i32 {
     let q = (v as f64 / scale as f64).round();
     q.clamp(i32::MIN as f64, i32::MAX as f64) as i32
 }
@@ -410,10 +414,7 @@ mod tests {
             let x = i as f32 * 0.16;
             let want = lut.eval(x);
             let got = q.eval(x);
-            assert!(
-                (want - got).abs() < 0.002,
-                "x={x}: {want} vs {got}"
-            );
+            assert!((want - got).abs() < 0.002, "x={x}: {want} vs {got}");
         }
     }
 

@@ -81,7 +81,10 @@ pub fn train_recipe(
     cfg: &TrainConfig,
     seed: u64,
 ) -> (ApproxNet, TrainReport) {
-    assert!(entries >= 2, "a LUT needs at least 2 entries, got {entries}");
+    assert!(
+        entries >= 2,
+        "a LUT needs at least 2 entries, got {entries}"
+    );
     let neurons = entries - 1;
     let data = Dataset::generate(
         |x| recipe.func.eval(x),

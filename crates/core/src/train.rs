@@ -561,15 +561,8 @@ mod tests {
 
     #[test]
     fn dataset_generate_respects_domain() {
-        let d = Dataset::generate(
-            |x| x,
-            (2.0, 10.0),
-            500,
-            SamplingMode::Uniform,
-            false,
-            7,
-        )
-        .unwrap();
+        let d =
+            Dataset::generate(|x| x, (2.0, 10.0), 500, SamplingMode::Uniform, false, 7).unwrap();
         assert_eq!(d.len(), 500);
         assert_eq!(d.domain(), (2.0, 10.0));
         // Targets equal raw inputs for the identity function; raw inputs
@@ -597,8 +590,7 @@ mod tests {
 
     #[test]
     fn dataset_rejects_bad_inputs() {
-        assert!(Dataset::generate(|x| x, (1.0, 1.0), 10, SamplingMode::Uniform, false, 0)
-            .is_err());
+        assert!(Dataset::generate(|x| x, (1.0, 1.0), 10, SamplingMode::Uniform, false, 0).is_err());
         assert_eq!(
             Dataset::from_raw_samples(|x| x, (0.0, 1.0), &[]).unwrap_err(),
             CoreError::NoCalibrationSamples

@@ -253,19 +253,13 @@ impl Component {
                 LOGIC_ACTIVITY,
                 MUX_DELAY_PER_LEVEL * (ways as f64).log2().max(1.0),
             ),
-            Component::Register { bits } => {
-                make(REG_AREA * bits as f64, REG_ACTIVITY, REG_DELAY)
+            Component::Register { bits } => make(REG_AREA * bits as f64, REG_ACTIVITY, REG_DELAY),
+            Component::TableMemory { bits_total } => {
+                make(TABLE_AREA * bits_total as f64, TABLE_ACTIVITY, TABLE_DELAY)
             }
-            Component::TableMemory { bits_total } => make(
-                TABLE_AREA * bits_total as f64,
-                TABLE_ACTIVITY,
-                TABLE_DELAY,
-            ),
-            Component::ControlStore { bits_total } => make(
-                CTRL_AREA * bits_total as f64,
-                CTRL_ACTIVITY,
-                CTRL_DELAY,
-            ),
+            Component::ControlStore { bits_total } => {
+                make(CTRL_AREA * bits_total as f64, CTRL_ACTIVITY, CTRL_DELAY)
+            }
             Component::FpMultiplier { bits } => make(
                 FP_MULT_AREA_SQ * (bits as f64).powi(2) + FP_MULT_AREA_BASE,
                 LOGIC_ACTIVITY,
@@ -324,8 +318,16 @@ mod tests {
 
     #[test]
     fn comparator_tree_scales_with_entries() {
-        let t16 = Component::ComparatorTree { bits: 16, entries: 16 }.cost();
-        let t32 = Component::ComparatorTree { bits: 16, entries: 32 }.cost();
+        let t16 = Component::ComparatorTree {
+            bits: 16,
+            entries: 16,
+        }
+        .cost();
+        let t32 = Component::ComparatorTree {
+            bits: 16,
+            entries: 32,
+        }
+        .cost();
         assert!(t32.area_um2 > t16.area_um2 * 1.9);
         // Delay grows only logarithmically.
         assert!(t32.delay_ns - t16.delay_ns < 0.03);

@@ -93,7 +93,10 @@ mod tests {
             stages: vec![
                 PipelineStage::new(
                     "select",
-                    vec![Component::ComparatorTree { bits: 16, entries: 16 }],
+                    vec![Component::ComparatorTree {
+                        bits: 16,
+                        entries: 16,
+                    }],
                 ),
                 PipelineStage::new(
                     "mac",
@@ -132,7 +135,9 @@ mod tests {
     fn shared_resources_do_not_affect_delay() {
         let mut u = two_stage_unit();
         let before = u.critical_path_ns();
-        u.shared.push(Component::TableMemory { bits_total: 100_000 });
+        u.shared.push(Component::TableMemory {
+            bits_total: 100_000,
+        });
         assert_eq!(u.critical_path_ns(), before);
         assert!(u.area_um2() > 50_000.0 * 0.4);
     }

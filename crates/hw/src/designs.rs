@@ -64,7 +64,9 @@ pub fn nn_lut_unit(precision: UnitPrecision, entries: u32) -> Datapath {
                         entries,
                     },
                     // s/t latches feeding the MAC.
-                    Component::Register { bits: 2 * word_bits },
+                    Component::Register {
+                        bits: 2 * word_bits,
+                    },
                 ],
             ),
             PipelineStage::new("mac", stage2),

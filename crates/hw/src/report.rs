@@ -1,7 +1,9 @@
 //! Table-4 report generation.
 
 use crate::datapath::Datapath;
-use crate::designs::{ibert_latency, ibert_unit, nn_lut_latency, nn_lut_unit, IbertOp, UnitPrecision};
+use crate::designs::{
+    ibert_latency, ibert_unit, nn_lut_latency, nn_lut_unit, IbertOp, UnitPrecision,
+};
 
 /// One row of the Table-4 comparison.
 #[derive(Debug, Clone, PartialEq)]

@@ -32,12 +32,26 @@ pub fn i_exp(v: Quantized) -> Quantized {
     let (a, b, c) = EXP_POLY;
     if z >= 31 {
         // exp underflows the shifted integer range.
-        let p = Quantized { q: 0, scale: v.scale };
+        let p = Quantized {
+            q: 0,
+            scale: v.scale,
+        };
         let l = i_poly(p, a, b, c);
-        return Quantized { q: 0, scale: l.scale };
+        return Quantized {
+            q: 0,
+            scale: l.scale,
+        };
     }
     let q_p = q + z * q_ln2; // p ∈ (−ln2, 0] on the same grid
-    let l = i_poly(Quantized { q: q_p, scale: v.scale }, a, b, c);
+    let l = i_poly(
+        Quantized {
+            q: q_p,
+            scale: v.scale,
+        },
+        a,
+        b,
+        c,
+    );
     Quantized {
         q: l.q >> z,
         scale: l.scale,

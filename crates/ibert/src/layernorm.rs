@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn matches_exact_layernorm() {
-        let xs: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 3.0 + 0.5).collect();
+        let xs: Vec<f32> = (0..64)
+            .map(|i| (i as f32 * 0.37).sin() * 3.0 + 0.5)
+            .collect();
         let mut approx = xs.clone();
         i_layernorm_f32(&mut approx);
         for (a, e) in approx.iter().zip(exact_layernorm(&xs)) {

@@ -47,7 +47,10 @@ pub fn render_table5() -> String {
     let entries = table5();
     let mut out = String::new();
     out.push_str("RoBERTa relative computation cycles (%)\n");
-    let header: Vec<String> = entries.iter().map(|e| format!("{:>7}", e.seq_len)).collect();
+    let header: Vec<String> = entries
+        .iter()
+        .map(|e| format!("{:>7}", e.seq_len))
+        .collect();
     out.push_str(&format!("{:<22}{}\n", "Ops / Seq-Length", header.join(" ")));
 
     let mut emit = |label: &str, f: &dyn Fn(&Table5Entry) -> f64| {

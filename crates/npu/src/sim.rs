@@ -112,15 +112,18 @@ impl CycleBreakdown {
 /// # Panics
 ///
 /// Panics if the NPU configuration is invalid.
-pub fn simulate(npu: &NpuConfig, workload: &Workload, implementation: NonlinearImpl) -> CycleBreakdown {
+pub fn simulate(
+    npu: &NpuConfig,
+    workload: &Workload,
+    implementation: NonlinearImpl,
+) -> CycleBreakdown {
     npu.validate();
     let c = costs(implementation);
     let lanes = npu.sfu_lanes as f64;
     let engines = npu.engines as f64;
     let l = workload.layer;
 
-    let matmul =
-        l.matmul_macs as f64 / (npu.macs_per_cycle() as f64 * npu.mac_utilization);
+    let matmul = l.matmul_macs as f64 / (npu.macs_per_cycle() as f64 * npu.mac_utilization);
     let gelu = l.gelu_elems as f64 * c.gelu_per_elem / lanes;
     let softmax = l.softmax_elems() as f64 * c.softmax_per_elem / lanes
         + l.softmax_rows as f64 * c.softmax_per_row / engines
@@ -269,10 +272,10 @@ mod tests {
     fn nn_lut_needs_fewer_lanes_to_match_throughput() {
         let npu = NpuConfig::mobile_soc();
         let w = transformer_workload(&ModelShape::roberta_base(), 512);
-        let nn = sfu_lanes_for_throughput_match(&npu, &w, NonlinearImpl::NnLut)
-            .expect("NN-LUT matches");
-        let ib = sfu_lanes_for_throughput_match(&npu, &w, NonlinearImpl::IBert)
-            .expect("I-BERT matches");
+        let nn =
+            sfu_lanes_for_throughput_match(&npu, &w, NonlinearImpl::NnLut).expect("NN-LUT matches");
+        let ib =
+            sfu_lanes_for_throughput_match(&npu, &w, NonlinearImpl::IBert).expect("I-BERT matches");
         assert!(
             nn < ib,
             "NN-LUT should need fewer SFU lanes ({nn}) than I-BERT ({ib})"
@@ -293,7 +296,10 @@ mod tests {
                 NonlinearImpl::IBert,
             );
             let s = share(&b);
-            assert!(s > prev, "softmax share must grow: {s} at context {context}");
+            assert!(
+                s > prev,
+                "softmax share must grow: {s} at context {context}"
+            );
             prev = s;
         }
         // At long contexts the attention scan dominates the matrix-vector

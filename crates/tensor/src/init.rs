@@ -81,7 +81,12 @@ mod tests {
         let m = normal_matrix(200, 200, 2.0, 3);
         let n = (m.rows() * m.cols()) as f32;
         let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
-        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 4.0).abs() < 0.2, "variance {var} too far from 4");
     }

@@ -70,7 +70,11 @@ impl Quantizer {
 
     /// Quantizes a whole matrix.
     pub fn quantize(&self, m: &Matrix) -> QuantizedMatrix {
-        let data = m.as_slice().iter().map(|&v| self.quantize_value(v)).collect();
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&v| self.quantize_value(v))
+            .collect();
         QuantizedMatrix {
             rows: m.rows(),
             cols: m.cols(),

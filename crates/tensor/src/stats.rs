@@ -80,7 +80,11 @@ pub fn spearman(xs: &[f32], ys: &[f32]) -> f32 {
 /// Fractional ranks (average rank for ties), 1-based.
 fn ranks(xs: &[f32]) -> Vec<f32> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0f32; xs.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -160,37 +160,50 @@ impl Nonlinearity {
     ) {
         assert_eq!(gamma.len(), m.cols(), "gamma length mismatch");
         assert_eq!(beta.len(), m.cols(), "beta length mismatch");
-        for row in m.rows_iter_mut() {
-            match &self.layernorm {
-                OpImpl::Exact | OpImpl::Softermax => {
+        // Resolve the backend once, not per row: the row loop then runs
+        // the selected batch kernel back-to-back over the matrix buffer.
+        match &self.layernorm {
+            OpImpl::Exact | OpImpl::Softermax => {
+                for row in m.rows_iter_mut() {
                     let var = exact_layer_norm(row, eps);
                     if let Some(cap) = capture.as_deref_mut() {
                         cap.record(var);
                     }
+                    affine_row(row, gamma, beta);
                 }
-                OpImpl::Lut(kit) => {
+            }
+            OpImpl::Lut(kit) => {
+                for row in m.rows_iter_mut() {
                     let var = kit.layer_norm(row, eps);
                     if let Some(cap) = capture.as_deref_mut() {
                         cap.record(var);
                     }
+                    affine_row(row, gamma, beta);
                 }
-                OpImpl::IBert => {
+            }
+            OpImpl::IBert => {
+                for row in m.rows_iter_mut() {
                     if let Some(cap) = capture.as_deref_mut() {
                         // Record the same signal for parity even though the
                         // I-BERT path is not calibratable.
                         let n = row.len() as f32;
                         let mean = row.iter().sum::<f32>() / n;
-                        let var =
-                            row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+                        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
                         cap.record(var + eps);
                     }
                     i_layernorm_f32(row);
+                    affine_row(row, gamma, beta);
                 }
             }
-            for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
-                *v = *v * g + b;
-            }
         }
+    }
+}
+
+/// The post-norm affine `γ∘x + β` over one row.
+#[inline]
+fn affine_row(row: &mut [f32], gamma: &[f32], beta: &[f32]) {
+    for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+        *v = *v * g + b;
     }
 }
 
@@ -249,10 +262,7 @@ mod tests {
         let base = Matrix::from_rows(&[&[0.1, -0.4, 1.2, 0.0], &[2.0, 1.0, -1.0, 0.5]]);
         let mut exact = base.clone();
         Nonlinearity::exact().apply_softmax_rows(&mut exact);
-        for nl in [
-            Nonlinearity::all_lut(&kit()),
-            Nonlinearity::all_ibert(),
-        ] {
+        for nl in [Nonlinearity::all_lut(&kit()), Nonlinearity::all_ibert()] {
             let mut m = base.clone();
             nl.apply_softmax_rows(&mut m);
             for (a, e) in m.as_slice().iter().zip(exact.as_slice()) {
@@ -297,8 +307,11 @@ mod tests {
     fn lut_layernorm_close_to_exact() {
         let gamma = vec![1.0f32; 16];
         let beta = vec![0.0f32; 16];
-        let base =
-            Matrix::from_vec(1, 16, (0..16).map(|i| (i as f32 * 0.7).sin() * 2.0).collect());
+        let base = Matrix::from_vec(
+            1,
+            16,
+            (0..16).map(|i| (i as f32 * 0.7).sin() * 2.0).collect(),
+        );
         let mut exact = base.clone();
         Nonlinearity::exact().apply_layer_norm_rows(&mut exact, &gamma, &beta, 1e-5, None);
         let mut lut = base.clone();

@@ -59,8 +59,14 @@ impl TransformerConfig {
     ///
     /// Panics if `heads` does not divide `hidden` or any dimension is zero.
     pub fn validate(&self) {
-        assert!(self.hidden > 0 && self.heads > 0 && self.layers > 0, "zero dimension");
-        assert!(self.ffn > 0 && self.vocab > 0 && self.max_seq > 0, "zero dimension");
+        assert!(
+            self.hidden > 0 && self.heads > 0 && self.layers > 0,
+            "zero dimension"
+        );
+        assert!(
+            self.ffn > 0 && self.vocab > 0 && self.max_seq > 0,
+            "zero dimension"
+        );
         assert_eq!(
             self.hidden % self.heads,
             0,

@@ -25,12 +25,13 @@ impl SoftmaxHead {
     ///
     /// Panics if shapes disagree, `classes < 2`, or a label is out of range.
     pub fn train(features: &Matrix, labels: &[usize], classes: usize, seed: u64) -> Self {
-        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
-        assert!(classes >= 2, "need at least two classes");
-        assert!(
-            labels.iter().all(|&l| l < classes),
-            "label out of range"
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature/label count mismatch"
         );
+        assert!(classes >= 2, "need at least two classes");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
         let d = features.cols();
         let n = features.rows();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -146,7 +147,11 @@ impl RidgeHead {
     ///
     /// Panics if shapes disagree or `lambda < 0`.
     pub fn fit(features: &Matrix, targets: &[f32], lambda: f32) -> Self {
-        assert_eq!(features.rows(), targets.len(), "feature/target count mismatch");
+        assert_eq!(
+            features.rows(),
+            targets.len(),
+            "feature/target count mismatch"
+        );
         assert!(lambda >= 0.0, "lambda must be non-negative");
         let d = features.cols();
         let k = d + 1;
@@ -277,7 +282,14 @@ impl SpanHead {
             let mut g_we = vec![0.0f32; d];
             let mut g_be = 0.0f32;
             for (feat, start, _) in &start_examples {
-                accumulate_position_ce(feat, *start, &head.w_start, head.b_start, &mut g_ws, &mut g_bs);
+                accumulate_position_ce(
+                    feat,
+                    *start,
+                    &head.w_start,
+                    head.b_start,
+                    &mut g_ws,
+                    &mut g_bs,
+                );
             }
             for (feat, _, end) in &end_examples {
                 accumulate_position_ce(feat, *end, &head.w_end, head.b_end, &mut g_we, &mut g_be);

@@ -26,9 +26,7 @@ pub fn glue_score(task: GlueTask, preds: &[f32], truth: &[f32]) -> f32 {
             let t: Vec<usize> = truth.iter().map(|&v| v as usize).collect();
             matthews_corr(&p, &t) * 100.0
         }
-        (_, TaskKind::Regression) => {
-            (pearson(preds, truth) + spearman(preds, truth)) / 2.0 * 100.0
-        }
+        (_, TaskKind::Regression) => (pearson(preds, truth) + spearman(preds, truth)) / 2.0 * 100.0,
         _ => accuracy(preds, truth) * 100.0,
     }
 }
@@ -70,11 +68,7 @@ pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f32 {
 pub fn mean_span_f1(preds: &[(usize, usize)], golds: &[(usize, usize)]) -> f32 {
     assert_eq!(preds.len(), golds.len(), "prediction/gold length mismatch");
     assert!(!preds.is_empty(), "cannot score zero spans");
-    let sum: f32 = preds
-        .iter()
-        .zip(golds)
-        .map(|(&p, &g)| span_f1(p, g))
-        .sum();
+    let sum: f32 = preds.iter().zip(golds).map(|(&p, &g)| span_f1(p, g)).sum();
     sum / preds.len() as f32 * 100.0
 }
 

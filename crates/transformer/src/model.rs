@@ -129,8 +129,7 @@ impl BertModel {
                     let gamma: Vec<f32> = (0..d)
                         .map(|_| gain * (0.9 + 0.2 * rng.gen::<f32>()))
                         .collect();
-                    let beta: Vec<f32> =
-                        (0..d).map(|_| 0.05 * (rng.gen::<f32>() - 0.5)).collect();
+                    let beta: Vec<f32> = (0..d).map(|_| 0.05 * (rng.gen::<f32>() - 0.5)).collect();
                     Affine { gamma, beta }
                 };
                 EncoderLayer {
@@ -348,7 +347,12 @@ mod tests {
         let m = tiny_model();
         let mut cap = ActivationCapture::new(4096, 3);
         let tokens: Vec<usize> = (0..32).map(|i| (i * 11) % 128).collect();
-        m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, Some(&mut cap));
+        m.encode(
+            &tokens,
+            &Nonlinearity::exact(),
+            MatmulMode::F32,
+            Some(&mut cap),
+        );
         // 4 layers × 2 norms × 32 rows = 256 variance samples.
         assert_eq!(cap.len(), 256);
         let min = cap.samples().iter().cloned().fold(f32::INFINITY, f32::min);
@@ -361,7 +365,12 @@ mod tests {
     fn mobilebert_records_no_layernorm_activity() {
         let m = BertModel::new_synthetic(TransformerConfig::mobilebert_tiny(), 9);
         let mut cap = ActivationCapture::new(128, 3);
-        m.encode(&[1, 2, 3, 4], &Nonlinearity::exact(), MatmulMode::F32, Some(&mut cap));
+        m.encode(
+            &[1, 2, 3, 4],
+            &Nonlinearity::exact(),
+            MatmulMode::F32,
+            Some(&mut cap),
+        );
         assert!(cap.is_empty(), "NoNorm must not feed the 1/sqrt capture");
     }
 

@@ -129,7 +129,9 @@ mod tests {
     fn online_pass_matches_two_pass() {
         // The online rescaling must agree with a naive two-pass base-2
         // softmax using the same exp2 kernel.
-        let logits: Vec<f32> = (0..64).map(|i| ((i * 31) % 47) as f32 * 0.17 - 3.0).collect();
+        let logits: Vec<f32> = (0..64)
+            .map(|i| ((i * 31) % 47) as f32 * 0.17 - 3.0)
+            .collect();
         let mut online = logits.clone();
         softermax(&mut online);
         let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);

@@ -284,8 +284,7 @@ pub fn generate_squad(vocab: usize, seq_len: usize, n_train: usize, n_eval: usiz
                         // distractor probability (short-circuit keeps the
                         // RNG call sequence identical to the two-branch
                         // form, preserving generated datasets).
-                        let answer_token =
-                            (i >= start && i <= end) || rng.gen::<f32>() < 0.02;
+                        let answer_token = (i >= start && i <= end) || rng.gen::<f32>() < 0.02;
                         if answer_token {
                             rng.gen_range(answer_lo..vocab)
                         } else {
@@ -372,9 +371,19 @@ mod tests {
         let frac0 = |e: &Example| {
             e.tokens.iter().filter(|&&t| t % 2 == 0).count() as f32 / e.tokens.len() as f32
         };
-        let mean0: f32 = d.train.iter().filter(|e| e.label == 0.0).map(frac0).sum::<f32>()
+        let mean0: f32 = d
+            .train
+            .iter()
+            .filter(|e| e.label == 0.0)
+            .map(frac0)
+            .sum::<f32>()
             / d.train.iter().filter(|e| e.label == 0.0).count() as f32;
-        let mean1: f32 = d.train.iter().filter(|e| e.label == 1.0).map(frac0).sum::<f32>()
+        let mean1: f32 = d
+            .train
+            .iter()
+            .filter(|e| e.label == 1.0)
+            .map(frac0)
+            .sum::<f32>()
             / d.train.iter().filter(|e| e.label == 1.0).count() as f32;
         assert!(
             mean0 > mean1 + 0.2,

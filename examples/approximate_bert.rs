@@ -26,7 +26,10 @@ fn main() {
         ("baseline (exact FP32 ops)", Nonlinearity::exact()),
         ("NN-LUT: GELU only", Nonlinearity::gelu_only(&nn_kit)),
         ("NN-LUT: Softmax only", Nonlinearity::softmax_only(&nn_kit)),
-        ("NN-LUT: LayerNorm only", Nonlinearity::layernorm_only(&nn_kit)),
+        (
+            "NN-LUT: LayerNorm only",
+            Nonlinearity::layernorm_only(&nn_kit),
+        ),
         ("NN-LUT: all ops", Nonlinearity::all_lut(&nn_kit)),
         ("Linear-LUT: all ops", Nonlinearity::all_lut(&linear_kit)),
         ("I-BERT: all ops", Nonlinearity::all_ibert()),

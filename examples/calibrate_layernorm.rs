@@ -61,5 +61,8 @@ fn main() {
     let calibrated_score = bench.score(&Nonlinearity::all_lut(&kit));
     println!("\ntask accuracy, direct approximation:   {direct_score:.1}");
     println!("task accuracy, after calibration (+C): {calibrated_score:.1}");
-    println!("baseline (exact FP32 ops):             {:.1}", bench.score(&Nonlinearity::exact()));
+    println!(
+        "baseline (exact FP32 ops):             {:.1}",
+        bench.score(&Nonlinearity::exact())
+    );
 }

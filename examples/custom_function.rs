@@ -41,12 +41,18 @@ fn main() {
     let net = net.denormalized(domain.0, domain.1);
     let lut = nn_to_lut(&net);
     let err = mean_abs_error(|x| lut.eval(x), mish, domain, 8000);
-    println!("training loss {:.6} -> {:.6}; deployed LUT L1 error {err:.6}",
-        report.initial_loss, report.final_loss);
+    println!(
+        "training loss {:.6} -> {:.6}; deployed LUT L1 error {err:.6}",
+        report.initial_loss, report.final_loss
+    );
 
     println!("\nsample points:");
     for x in [-4.0f32, -1.0, 0.0, 1.0, 4.0] {
-        println!("  mish({x:>5.1}) exact {:>8.4}   nn-lut {:>8.4}", mish(x), lut.eval(x));
+        println!(
+            "  mish({x:>5.1}) exact {:>8.4}   nn-lut {:>8.4}",
+            mish(x),
+            lut.eval(x)
+        );
     }
 
     println!("\nSame 16-entry hardware, five different activation functions —");

@@ -64,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst = worst.max((sw - rtl).abs());
     }
     println!("\nmax |software − RTL reference| over the input grid: {worst}");
-    assert_eq!(worst, 0, "the RTL reference must match Int32Lut bit-exactly");
+    assert_eq!(
+        worst, 0,
+        "the RTL reference must match Int32Lut bit-exactly"
+    );
     Ok(())
 }

@@ -51,7 +51,10 @@ fn main() {
     // 5. Inspect the learned table — this is exactly what would be loaded
     //    into the NN-LUT hardware unit.
     println!("\nlearned table (x < d1 uses segment 0, x >= d15 uses segment 15):");
-    println!("{:>4} {:>12} {:>12} {:>12}", "seg", "breakpoint", "slope", "intercept");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "seg", "breakpoint", "slope", "intercept"
+    );
     for (i, seg) in lut.segments().iter().enumerate() {
         let d = if i == 0 {
             "-inf".to_string()

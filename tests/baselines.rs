@@ -54,7 +54,9 @@ fn exp_three_way_agreement() {
 #[test]
 fn softmax_rows_agree() {
     let kit = paper_kit();
-    let logits: Vec<f32> = (0..64).map(|i| ((i * 29) % 41) as f32 * 0.2 - 4.0).collect();
+    let logits: Vec<f32> = (0..64)
+        .map(|i| ((i * 29) % 41) as f32 * 0.2 - 4.0)
+        .collect();
     let exact = {
         let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let e: Vec<f64> = logits.iter().map(|&x| ((x - max) as f64).exp()).collect();
@@ -84,8 +86,14 @@ fn layernorm_rows_agree() {
         kit.layer_norm(&mut nn, 1e-7);
         let mut ib = base.clone();
         i_layernorm_f32(&mut ib);
-        assert!((variance(&nn) - 1.0).abs() < 0.05, "NN-LUT LN at scale {scale}");
-        assert!((variance(&ib) - 1.0).abs() < 0.05, "I-BERT LN at scale {scale}");
+        assert!(
+            (variance(&nn) - 1.0).abs() < 0.05,
+            "NN-LUT LN at scale {scale}"
+        );
+        assert!(
+            (variance(&ib) - 1.0).abs() < 0.05,
+            "I-BERT LN at scale {scale}"
+        );
     }
 }
 

@@ -31,9 +31,15 @@ fn latency_row_matches_paper() {
 #[test]
 fn nn_lut_precision_ordering() {
     let rows = table4();
-    let int32 = rows.iter().find(|r| r.unit == "NN-LUT" && r.precision == "INT32").unwrap();
+    let int32 = rows
+        .iter()
+        .find(|r| r.unit == "NN-LUT" && r.precision == "INT32")
+        .unwrap();
     let fp16 = rows.iter().find(|r| r.precision == "FP16").unwrap();
-    let fp32 = rows.iter().find(|r| r.unit == "NN-LUT" && r.precision == "FP32").unwrap();
+    let fp32 = rows
+        .iter()
+        .find(|r| r.unit == "NN-LUT" && r.precision == "FP32")
+        .unwrap();
     assert!(fp16.area_um2 < int32.area_um2 && fp16.area_um2 < fp32.area_um2);
     assert!(fp16.power_mw < int32.power_mw && fp16.power_mw < fp32.power_mw);
     assert!(int32.delay_ns < fp16.delay_ns && fp16.delay_ns < fp32.delay_ns);
@@ -88,9 +94,17 @@ fn structural_cost_attribution() {
     use nn_lut::hw::Component;
     let div = Component::Divider { bits: 64 }.cost();
     let ib = ibert_unit();
-    assert!(div.switched_um2 > 0.7 * ib.power_mw() / 1.0 * ib.critical_path_ns() / 2.28e-4 * 0.5,
-        "divider should dominate I-BERT switching");
-    let table = Component::TableMemory { bits_total: 15 * 16 + 16 * 64 }.cost();
+    assert!(
+        div.switched_um2 > 0.7 * ib.power_mw() / 1.0 * ib.critical_path_ns() / 2.28e-4 * 0.5,
+        "divider should dominate I-BERT switching"
+    );
+    let table = Component::TableMemory {
+        bits_total: 15 * 16 + 16 * 64,
+    }
+    .cost();
     let nn = nn_lut_unit(UnitPrecision::Int32, 16);
-    assert!(table.area_um2 > 0.4 * nn.area_um2(), "table should dominate NN-LUT area");
+    assert!(
+        table.area_um2 > 0.4 * nn.area_um2(),
+        "table should dominate NN-LUT area"
+    );
 }

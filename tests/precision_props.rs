@@ -12,17 +12,17 @@ fn arb_lut() -> impl Strategy<Value = LookupTable> {
         proptest::collection::vec(-100.0f32..100.0, 0..12),
         proptest::collection::vec((-8.0f32..8.0, -50.0f32..50.0), 1..13),
     )
-        .prop_filter_map("segment count must be breakpoints + 1", |(mut bps, segs)| {
-            bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            if segs.len() != bps.len() + 1 {
-                return None;
-            }
-            let segments = segs
-                .into_iter()
-                .map(|(s, t)| Segment::new(s, t))
-                .collect();
-            LookupTable::new(bps, segments).ok()
-        })
+        .prop_filter_map(
+            "segment count must be breakpoints + 1",
+            |(mut bps, segs)| {
+                bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                if segs.len() != bps.len() + 1 {
+                    return None;
+                }
+                let segments = segs.into_iter().map(|(s, t)| Segment::new(s, t)).collect();
+                LookupTable::new(bps, segments).ok()
+            },
+        )
 }
 
 proptest! {
@@ -81,8 +81,8 @@ proptest! {
                 let seg = lut.segments();
                 let max_jump = seg
                     .windows(2)
-                    .map(|w| ((w[0].slope - w[1].slope).abs() * x.abs()
-                        + (w[0].intercept - w[1].intercept).abs()))
+                    .map(|w| (w[0].slope - w[1].slope).abs() * x.abs()
+                        + (w[0].intercept - w[1].intercept).abs())
                     .fold(0.0f32, f32::max);
                 max_jump.min(2.0 * smax * x.abs() + 100.0)
             };

@@ -33,10 +33,7 @@ fn claim_one_hardware_many_functions() {
     assert_eq!(unit.pipeline_depth(), 2);
     assert_eq!(nn_lut_latency(), 2);
     // While I-BERT's latency is operation-specific.
-    assert_ne!(
-        ibert_latency(IbertOp::Gelu),
-        ibert_latency(IbertOp::Sqrt)
-    );
+    assert_ne!(ibert_latency(IbertOp::Gelu), ibert_latency(IbertOp::Sqrt));
 }
 
 /// "The area/resource overhead of NN-LUT does not grow no matter how many
@@ -58,10 +55,7 @@ fn claim_area_independent_of_function_count() {
 /// approximation of non-linear operations."
 #[test]
 fn claim_system_speedup() {
-    let best = table5()
-        .iter()
-        .map(|e| e.speedup)
-        .fold(1.0f64, f64::max);
+    let best = table5().iter().map(|e| e.speedup).fold(1.0f64, f64::max);
     assert!(
         (1.20..1.35).contains(&best),
         "peak system speedup {best} should be ~1.26x"

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`, the
+//! `criterion_group!`/`criterion_main!` macros) with a simple but honest
+//! measurement protocol: warm-up, automatic iteration-count calibration,
+//! then `sample_size` timed samples reported as `[min median max]` —
+//! the same shape as real criterion output, without the statistical
+//! machinery, plotting, or baseline persistence.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's collected samples, in ns per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/function`).
+    pub id: String,
+    /// Per-sample mean ns/iter, sorted ascending.
+    pub ns_per_iter: Vec<f64>,
+}
+
+impl Measurement {
+    /// Median ns per iteration.
+    pub fn median_ns(&self) -> f64 {
+        let v = &self.ns_per_iter;
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        let mid = v.len() / 2;
+        if v.len().is_multiple_of(2) {
+            (v[mid - 1] + v[mid]) / 2.0
+        } else {
+            v[mid]
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total time budget of one benchmark's measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the offline harness folds warm-up
+    /// into `Bencher::iter`'s calibration phase.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented in the offline harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut ns = b.samples;
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let m = Measurement {
+            id: id.to_string(),
+            ns_per_iter: ns,
+        };
+        let (lo, mid, hi) = (
+            m.ns_per_iter.first().copied().unwrap_or(f64::NAN),
+            m.median_ns(),
+            m.ns_per_iter.last().copied().unwrap_or(f64::NAN),
+        );
+        println!(
+            "{:<44} time:   [{} {} {}]",
+            m.id,
+            fmt_time(lo),
+            fmt_time(mid),
+            fmt_time(hi)
+        );
+        self.results.push(m);
+        self
+    }
+
+    /// Opens a named benchmark group; ids become `group/function`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// All measurements collected so far (used by JSON-emitting bins).
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` performs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up, iteration-count calibration so each sample
+    /// runs long enough to be timeable, then `sample_size` timed samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up + calibration: find how many iterations fill ~1/sample of
+        // the measurement budget, but at least enough to exceed timer noise.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(20) && calib_iters < 1_000_000 {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let ns_est = (calib_start.elapsed().as_nanos() as f64 / calib_iters as f64).max(0.5);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let iters = ((budget_ns / ns_est) as u64).clamp(1, 50_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group function, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        c.bench_function("noop_loop", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        let m = &c.results()[0];
+        assert_eq!(m.id, "noop_loop");
+        assert_eq!(m.ns_per_iter.len(), 5);
+        assert!(m.median_ns() > 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/f");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(12.3).contains("ns"));
+        assert!(fmt_time(12_300.0).contains("µs"));
+        assert!(fmt_time(12_300_000.0).contains("ms"));
+    }
+}

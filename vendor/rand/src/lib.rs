@@ -1,0 +1,292 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the exact surface it uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] and [`Rng::gen_range`].
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! per seed, statistically solid for test/training workloads, and *not*
+//! stream-compatible with the real `rand::rngs::StdRng` (seeded results
+//! differ from a crates.io build, which only shifts which random model a
+//! seed denotes).
+
+/// Core random source: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (API-compatible subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an `Rng` (the `Standard`
+/// distribution of the real crate, collapsed into one trait).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high-quality mantissa bits → uniform in [0, 1).
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Widening-multiply rejection (Lemire): unbiased and branch-light.
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let lo = m as u64;
+        if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Wrapping difference reads the span as an unsigned width,
+                // correct for any start < end including mixed signs.
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+signed_ranges!(isize, i64, i32, i16, i8);
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f32::sample(rng);
+        let v = self.start + (self.end - self.start) * u;
+        // Rounding can land exactly on the exclusive upper bound.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        let v = self.start + (self.end - self.start) * u;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::RangeInclusive<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo + (hi - lo) * f32::sample(rng)).min(hi)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo + (hi - lo) * f64::sample(rng)).min(hi)
+    }
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of an inferable type (`Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x as f64;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u16_inclusive_range_hits_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_half = false;
+        for _ in 0..200_000 {
+            let v = rng.gen_range(0u16..=u16::MAX);
+            lo_seen |= v < 256;
+            hi_half |= v > 65_000;
+        }
+        assert!(lo_seen && hi_half);
+    }
+}
