@@ -105,11 +105,12 @@ fn main() {
     }
 
     // Hand-rolled JSON: the offline workspace has no serde, and the schema
-    // is flat enough that formatting it directly is clearer anyway.
-    let mut json =
-        String::from("{\n  \"bench\": \"lut_eval\",\n  \"entries\": 16,\n  \"results\": [\n");
+    // is flat enough that formatting it directly is clearer anyway. Only
+    // this bin's sections are (re)written — `bench_serve` owns the
+    // `serve` section of the same file.
+    let mut results = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
+        results.push_str(&format!(
             "    {{\"table\": \"{}\", \"elems\": {}, \"scalar_ns_per_elem\": {:.4}, \"baked_ns_per_elem\": {:.4}, \"speedup\": {:.4}}}{}\n",
             r.table,
             r.n,
@@ -119,7 +120,11 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    results.push_str("  ]");
+    let existing = std::fs::read_to_string("BENCH_lut_eval.json").unwrap_or_default();
+    let mut json = nnlut_bench::upsert_json_key(&existing, "bench", "\"lut_eval\"");
+    json = nnlut_bench::upsert_json_key(&json, "entries", "16");
+    json = nnlut_bench::upsert_json_key(&json, "results", &results);
     std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
     println!("\nwrote BENCH_lut_eval.json");
 

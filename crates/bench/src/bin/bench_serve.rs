@@ -1,0 +1,177 @@
+//! End-to-end encoder serving throughput: pushes a mixed-length request
+//! workload through `LutServer` at 1/2/4 pool threads and records real
+//! tokens/sec (serial vs pooled) into the `serve` section of
+//! `BENCH_lut_eval.json` — the ROADMAP's "end-to-end encoder tokens/sec"
+//! trajectory item.
+//!
+//! The model uses RoBERTa-base *shapes* (hidden 768, 12 heads, FFN 3072)
+//! with the layer count cut to 2 so a full sweep finishes in well under a
+//! minute on a laptop core; tokens/sec scales ~1/layers, and the
+//! serial-vs-pooled *ratio* (the number under test) does not depend on
+//! depth. The recorded `machine_cores` field is the honest context for
+//! that ratio: on a single-core container the pooled configurations time-
+//! slice one CPU and the speedup sits near 1.0 by construction — the
+//! determinism contract (pooled bits == serial bits) is what the tests
+//! enforce there, and the >1.5x criterion is only observable on ≥2 cores.
+//!
+//! Run: `cargo run --release -p nnlut-bench --bin bench_serve`
+//! Smoke: `cargo run --release -p nnlut-bench --bin bench_serve -- --quick`
+//! (tiny model, no JSON write — CI keeps the path alive without
+//! overwriting real measurements).
+
+use std::time::Instant;
+
+use nnlut_bench::upsert_json_key;
+use nnlut_core::train::TrainConfig;
+use nnlut_core::NnLutKit;
+use nnlut_serve::{BatchPolicy, LutServer, ServerConfig};
+use nnlut_transformer::{BertModel, MatmulMode, TransformerConfig};
+
+struct Config {
+    label: &'static str,
+    model: TransformerConfig,
+    requests: usize,
+    /// Request lengths cycle through this mix (mixed on purpose: the
+    /// batcher's padding decisions are part of what is being timed).
+    lengths: &'static [usize],
+    threads: &'static [usize],
+    policy: BatchPolicy,
+    write_json: bool,
+}
+
+fn quick_config() -> Config {
+    Config {
+        label: "quick (roberta_tiny × 4 layers)",
+        model: TransformerConfig::roberta_tiny(),
+        requests: 16,
+        lengths: &[5, 11, 17, 29, 41, 64],
+        threads: &[1, 2],
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_padded_tokens: 512,
+        },
+        write_json: false,
+    }
+}
+
+fn full_config() -> Config {
+    // RoBERTa-base shapes, depth cut to 2 (see module docs).
+    let model = TransformerConfig {
+        layers: 2,
+        max_seq: 128,
+        ..TransformerConfig::roberta_base()
+    };
+    Config {
+        label: "roberta_base shapes × 2 layers",
+        model,
+        requests: 32,
+        lengths: &[16, 32, 48, 64, 96, 128],
+        threads: &[1, 2, 4],
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_padded_tokens: 1024,
+        },
+        write_json: true,
+    }
+}
+
+fn workload(cfg: &Config) -> Vec<Vec<usize>> {
+    (0..cfg.requests)
+        .map(|r| {
+            let len = cfg.lengths[r % cfg.lengths.len()];
+            (0..len)
+                .map(|i| (i * 31 + r * 7) % cfg.model.vocab)
+                .collect()
+        })
+        .collect()
+}
+
+struct Measurement {
+    threads: usize,
+    tokens_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    wall_s: f64,
+}
+
+fn run_once(cfg: &Config, model: &BertModel, kit: &NnLutKit, threads: usize) -> Measurement {
+    let mut server = LutServer::new(
+        model.clone(),
+        kit.clone(),
+        ServerConfig {
+            threads,
+            policy: cfg.policy,
+            mode: MatmulMode::F32,
+        },
+    );
+    let start = Instant::now();
+    let responses = server.serve(workload(cfg));
+    let wall = start.elapsed();
+    assert_eq!(responses.len(), cfg.requests, "lost responses");
+    let m = server.metrics();
+    Measurement {
+        threads,
+        tokens_per_sec: m.tokens_per_sec(),
+        p50_ms: m.latency_percentile(50.0).unwrap_or_default().as_secs_f64() * 1e3,
+        p95_ms: m.latency_percentile(95.0).unwrap_or_default().as_secs_f64() * 1e3,
+        wall_s: wall.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { quick_config() } else { full_config() };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "bench_serve: {} · {} requests · lengths {:?} · machine cores {}",
+        cfg.label, cfg.requests, cfg.lengths, cores
+    );
+    println!("training a fast-config 16-entry kit (contents don't affect throughput) …");
+    let kit = NnLutKit::train_with(16, nnlut_bench::KIT_SEED, &TrainConfig::fast());
+    let model = BertModel::new_synthetic(cfg.model.clone(), nnlut_bench::KIT_SEED);
+
+    let mut rows: Vec<Measurement> = Vec::new();
+    for &threads in cfg.threads {
+        let m = run_once(&cfg, &model, &kit, threads);
+        println!(
+            "  threads {:>2}: {:>9.1} tok/s · p50 {:>8.2} ms · p95 {:>8.2} ms · wall {:>6.2} s",
+            m.threads, m.tokens_per_sec, m.p50_ms, m.p95_ms, m.wall_s
+        );
+        rows.push(m);
+    }
+    let serial = rows[0].tokens_per_sec;
+    for m in &rows[1..] {
+        println!(
+            "  pooled speedup at {} threads: {:.2}x",
+            m.threads,
+            m.tokens_per_sec / serial
+        );
+    }
+
+    if cfg.write_json {
+        let mcfg = &cfg.model;
+        let mut section = format!(
+            "{{\n    \"machine_cores\": {cores},\n    \"model\": {{\"hidden\": {}, \"heads\": {}, \"ffn\": {}, \"layers\": {}}},\n    \"requests\": {},\n    \"configs\": [\n",
+            mcfg.hidden, mcfg.heads, mcfg.ffn, mcfg.layers, cfg.requests
+        );
+        for (i, m) in rows.iter().enumerate() {
+            section.push_str(&format!(
+                "      {{\"threads\": {}, \"tokens_per_sec\": {:.1}, \"p50_ms\": {:.2}, \"p95_ms\": {:.2}, \"speedup_vs_serial\": {:.3}}}{}\n",
+                m.threads,
+                m.tokens_per_sec,
+                m.p50_ms,
+                m.p95_ms,
+                m.tokens_per_sec / serial,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        section.push_str("    ]\n  }");
+        let existing = std::fs::read_to_string("BENCH_lut_eval.json").unwrap_or_default();
+        let json = upsert_json_key(&existing, "serve", &section);
+        std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
+        println!("\nwrote serve section of BENCH_lut_eval.json");
+    } else {
+        println!("\n--quick: smoke run only, BENCH_lut_eval.json untouched");
+    }
+}

@@ -34,6 +34,79 @@
 
 use crate::lut::LookupTable;
 use crate::precision::{f16_round, F16Lut, Int32Lut};
+use std::ops::Range;
+
+/// Splits `0..len` into `parts` contiguous ranges whose boundaries are a
+/// pure function of `(len, parts)`: the first `len % parts` ranges get one
+/// extra element. Empty ranges are omitted, so at most `min(len, parts)`
+/// ranges come back (and none when `len == 0`).
+///
+/// This is the canonical chunk map of the whole workspace's determinism
+/// contract: the serving pool, the engines' [`BakedLut::par_eval_slice`]
+/// entry points and the property tests all split work with this one
+/// function, so "parallel" never means "different boundaries" — and since
+/// every kernel's per-element math is independent of its chunk, it never
+/// means "different bits" either.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let end = start + base + usize::from(p < rem);
+        if end > start {
+            out.push(start..end);
+        }
+        start = end;
+    }
+    out
+}
+
+/// Splits `data` into the disjoint mutable chunks named by `ranges`,
+/// which must be contiguous, ascending and covering (exactly what
+/// [`chunk_ranges`] produces — possibly scaled, e.g. by a row width).
+/// The one chunk-carving loop behind both the engines' parallel entry
+/// points and the transformer's executor seam.
+///
+/// # Panics
+///
+/// Panics if the ranges step outside `data` or out of order.
+pub fn split_at_ranges<'a>(data: &'a mut [f32], ranges: &[Range<usize>]) -> Vec<&'a mut [f32]> {
+    let mut chunks = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    let mut consumed = 0;
+    for r in ranges {
+        assert_eq!(r.start, consumed, "ranges must be contiguous and ascending");
+        let (chunk, tail) = rest.split_at_mut(r.end - consumed);
+        consumed = r.end;
+        chunks.push(chunk);
+        rest = tail;
+    }
+    chunks
+}
+
+/// Evaluates `engine.eval_slice` over `threads` deterministic chunks of
+/// `xs`, each on its own scoped thread. Shared by the three baked engines.
+fn par_eval_with(eval: &(dyn Fn(&mut [f32]) + Sync), xs: &mut [f32], threads: usize) {
+    // Tiny batches are not worth a thread spawn; one chunk also keeps the
+    // `threads <= 1` path free of scope setup.
+    const MIN_PAR_LEN: usize = 1024;
+    if threads <= 1 || xs.len() < MIN_PAR_LEN {
+        eval(xs);
+        return;
+    }
+    let chunks = split_at_ranges(xs, &chunk_ranges(xs.len(), threads));
+    std::thread::scope(|scope| {
+        // The caller's thread takes the first chunk; the rest are spawned.
+        let mut iter = chunks.into_iter();
+        let first = iter.next().expect("non-empty slice yields chunks");
+        for chunk in iter {
+            scope.spawn(move || eval(chunk));
+        }
+        eval(first);
+    });
+}
 
 /// Number of grid cells per breakpoint. More cells mean fewer cells with
 /// an interior breakpoint (fewer local scans) at the cost of memory; 8×
@@ -397,6 +470,28 @@ impl BakedLut {
         }
     }
 
+    /// Parallel batched evaluation: splits `xs` into [`chunk_ranges`]
+    /// chunks and runs [`BakedLut::eval_slice`] on each from its own
+    /// scoped thread.
+    ///
+    /// This is the standalone entry point for *raw-LUT* batch workloads —
+    /// callers holding a bare engine and a big buffer (benches, custom
+    /// pipelines) with no executor of their own. The transformer serving
+    /// path does not route through it: there the whole encode stage is
+    /// already row-chunked once across `nnlut_serve`'s pool, and a second
+    /// split inside each lane would only add spawns.
+    ///
+    /// **Bit-identical to [`BakedLut::eval_slice`] for every input and
+    /// every thread count** — the kernel's per-element result depends only
+    /// on that element and the baked table, never on its position within a
+    /// chunk, so chunk boundaries (and therefore thread count) cannot
+    /// change any output bit. `tests/serve_determinism.rs` property-tests
+    /// exactly this claim across thread counts 1/2/4/8, NaN/inf payloads
+    /// and non-dividing lengths.
+    pub fn par_eval_slice(&self, xs: &mut [f32], threads: usize) {
+        par_eval_with(&|chunk| self.eval_slice(chunk), xs, threads);
+    }
+
     /// Batched out-of-place evaluation: `out[i] = LUT(xs[i])`.
     ///
     /// # Panics
@@ -471,6 +566,13 @@ impl BakedF16Lut {
         for x in xs {
             *x = self.eval(*x);
         }
+    }
+
+    /// Parallel batched evaluation over [`chunk_ranges`] chunks;
+    /// bit-identical to [`BakedF16Lut::eval_slice`] for every thread count
+    /// (see [`BakedLut::par_eval_slice`] for the argument).
+    pub fn par_eval_slice(&self, xs: &mut [f32], threads: usize) {
+        par_eval_with(&|chunk| self.eval_slice(chunk), xs, threads);
     }
 }
 
@@ -552,6 +654,13 @@ impl BakedInt32Lut {
         for x in xs {
             *x = self.eval(*x);
         }
+    }
+
+    /// Parallel batched evaluation over [`chunk_ranges`] chunks;
+    /// bit-identical to [`BakedInt32Lut::eval_slice`] for every thread
+    /// count (see [`BakedLut::par_eval_slice`] for the argument).
+    pub fn par_eval_slice(&self, xs: &mut [f32], threads: usize) {
+        par_eval_with(&|chunk| self.eval_slice(chunk), xs, threads);
     }
 }
 
@@ -770,6 +879,68 @@ mod tests {
                 reference.eval_quantized(q),
                 "int32 quantized eval diverged at {q}"
             );
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_and_deterministically() {
+        for (len, parts) in [
+            (0usize, 4usize),
+            (1, 4),
+            (7, 3),
+            (8, 3),
+            (100, 8),
+            (5, 1),
+            (3, 9),
+        ] {
+            let ranges = chunk_ranges(len, parts);
+            assert_eq!(ranges, chunk_ranges(len, parts), "not deterministic");
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "gap at {r:?} for ({len},{parts})");
+                assert!(r.end > r.start, "empty range for ({len},{parts})");
+                next = r.end;
+            }
+            assert_eq!(next, len, "ranges do not cover 0..{len}");
+            assert!(ranges.len() <= parts.max(1));
+            // Balanced: sizes differ by at most one.
+            if let (Some(min), Some(max)) = (
+                ranges.iter().map(|r| r.end - r.start).min(),
+                ranges.iter().map(|r| r.end - r.start).max(),
+            ) {
+                assert!(max - min <= 1, "unbalanced split ({len},{parts})");
+            }
+        }
+    }
+
+    #[test]
+    fn par_eval_slice_matches_serial_across_thread_counts() {
+        let lut = table(
+            vec![-2.0, -0.5, 0.0, 1.0, 3.0],
+            vec![
+                (0.1, 0.0),
+                (0.2, 0.5),
+                (-0.7, 0.1),
+                (1.0, -1.0),
+                (0.0, 4.0),
+                (2.0, 0.0),
+            ],
+        );
+        let baked = BakedLut::new(lut.clone());
+        // Long enough to cross the parallel threshold, odd length so the
+        // chunks never divide evenly, specials included.
+        let mut xs: Vec<f32> = (0..4099).map(|i| (i as f32 - 2000.0) * 0.013).collect();
+        xs[17] = f32::NAN;
+        xs[1023] = f32::INFINITY;
+        xs[4098] = f32::NEG_INFINITY;
+        let mut want = xs.clone();
+        baked.eval_slice(&mut want);
+        for threads in [1usize, 2, 3, 4, 8, 64] {
+            let mut got = xs.clone();
+            baked.par_eval_slice(&mut got, threads);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "diverged at {threads} threads");
+            }
         }
     }
 

@@ -1,0 +1,227 @@
+//! The dynamic request batcher.
+//!
+//! Requests arrive with arbitrary token lengths; padded-batch compute cost
+//! scales with `sequences × max_len`, so packing a 3-token request next to
+//! a 128-token one wastes 125 padded rows. The batcher admits requests in
+//! strict FIFO order (no reordering — arrival order is part of the
+//! determinism story and of latency fairness) and closes a batch when
+//! adding the next request would blow the [`BatchPolicy`] budget.
+//!
+//! Batch composition is a pure function of (queue contents, policy). And
+//! because the batched encoder masks attention, with an FP32/FP16 body and
+//! exact/LUT backends the *responses* don't depend on composition at all —
+//! batching is purely a throughput decision. The per-tensor-scaled paths
+//! (INT8 GEMM bodies, the I-BERT GELU backend) see their quantization
+//! scales shift with the batch, as they would on real hardware.
+
+use std::collections::VecDeque;
+
+use nnlut_transformer::PaddedBatch;
+
+use crate::server::RequestId;
+
+/// Admission budget for one packed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum sequences per batch.
+    pub max_batch: usize,
+    /// Maximum padded area (`sequences × max_len`) per batch. A single
+    /// over-budget request still forms its own batch — the server must
+    /// never deadlock on a long input.
+    pub max_padded_tokens: usize,
+}
+
+impl BatchPolicy {
+    /// A policy sized for the synthetic RoBERTa-class workloads: up to 16
+    /// sequences or 2048 padded positions, whichever binds first.
+    pub fn default_policy() -> Self {
+        Self {
+            max_batch: 16,
+            max_padded_tokens: 2048,
+        }
+    }
+
+    /// Serve one request per batch (the no-batching baseline).
+    pub fn unbatched() -> Self {
+        Self {
+            max_batch: 1,
+            max_padded_tokens: usize::MAX,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self::default_policy()
+    }
+}
+
+/// One queued encode request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The id handed back to the submitter.
+    pub id: RequestId,
+    /// The token sequence to encode.
+    pub tokens: Vec<usize>,
+}
+
+/// FIFO queue + greedy packer.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_serve::{BatchPolicy, Batcher};
+///
+/// let mut b = Batcher::new(BatchPolicy { max_batch: 2, max_padded_tokens: 64 });
+/// b.push(0, vec![1, 2, 3]);
+/// b.push(1, vec![4]);
+/// b.push(2, vec![5, 6]);
+/// let (ids, batch) = b.next_batch().unwrap();
+/// assert_eq!(ids, vec![0, 1]);            // FIFO, capped at max_batch
+/// assert_eq!(batch.max_len(), 3);         // padded to the longest member
+/// assert_eq!(b.queue_depth(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    queue: VecDeque<PendingRequest>,
+}
+
+impl Batcher {
+    /// An empty batcher under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy admits nothing (`max_batch == 0` or
+    /// `max_padded_tokens == 0`).
+    pub fn new(policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch > 0, "max_batch must be positive");
+        assert!(
+            policy.max_padded_tokens > 0,
+            "max_padded_tokens must be positive"
+        );
+        Self {
+            policy,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The admission policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty (there is nothing to encode).
+    pub fn push(&mut self, id: RequestId, tokens: Vec<usize>) {
+        assert!(!tokens.is_empty(), "cannot enqueue an empty request");
+        self.queue.push_back(PendingRequest { id, tokens });
+    }
+
+    /// Number of requests waiting.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Packs the next batch: takes requests from the queue front while the
+    /// running `count × max_len` stays within the policy (the first
+    /// request is always admitted). Returns the member ids alongside the
+    /// padded batch, or `None` when the queue is empty.
+    pub fn next_batch(&mut self) -> Option<(Vec<RequestId>, PaddedBatch)> {
+        self.queue.front()?;
+        let mut ids = Vec::new();
+        let mut seqs: Vec<Vec<usize>> = Vec::new();
+        let mut max_len = 0usize;
+        while let Some(front) = self.queue.front() {
+            let candidate_max = max_len.max(front.tokens.len());
+            let candidate_area = (seqs.len() + 1).saturating_mul(candidate_max);
+            let fits = seqs.len() < self.policy.max_batch
+                && (seqs.is_empty() || candidate_area <= self.policy.max_padded_tokens);
+            if !fits {
+                break;
+            }
+            let req = self.queue.pop_front().expect("front checked above");
+            max_len = candidate_max;
+            ids.push(req.id);
+            seqs.push(req.tokens);
+        }
+        Some((ids, PaddedBatch::pack(&seqs)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_ids(b: &mut Batcher) -> Vec<Vec<RequestId>> {
+        let mut out = Vec::new();
+        while let Some((ids, _)) = b.next_batch() {
+            out.push(ids);
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_across_batches() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 2,
+            max_padded_tokens: usize::MAX,
+        });
+        for id in 0..5 {
+            b.push(id, vec![1; 4]);
+        }
+        assert_eq!(drain_ids(&mut b), vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn padded_area_budget_closes_batches() {
+        // 10-token budget: [3-tok, 3-tok] pads to 2×3=6 ✓, adding a 4-tok
+        // request would pad to 3×4=12 ✗.
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 16,
+            max_padded_tokens: 10,
+        });
+        b.push(0, vec![1; 3]);
+        b.push(1, vec![1; 3]);
+        b.push(2, vec![1; 4]);
+        let (ids, batch) = b.next_batch().unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(batch.padded_tokens(), 6);
+        let (ids, _) = b.next_batch().unwrap();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn over_budget_request_still_forms_a_singleton_batch() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 16,
+            max_padded_tokens: 4,
+        });
+        b.push(7, vec![1; 9]);
+        let (ids, batch) = b.next_batch().unwrap();
+        assert_eq!(ids, vec![7]);
+        assert_eq!(batch.max_len(), 9);
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn packing_is_deterministic() {
+        let make = || {
+            let mut b = Batcher::new(BatchPolicy::default_policy());
+            for id in 0..40 {
+                b.push(id, vec![1; 1 + (id as usize * 37) % 100]);
+            }
+            drain_ids(&mut b)
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty request")]
+    fn empty_request_panics() {
+        Batcher::new(BatchPolicy::default_policy()).push(0, vec![]);
+    }
+}

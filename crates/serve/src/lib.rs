@@ -1,0 +1,74 @@
+//! # nnlut-serve
+//!
+//! The serving layer of the NN-LUT reproduction: a synchronous inference
+//! server that takes variable-length encode requests and drives the baked
+//! LUT engines at full-machine width, without ever changing a bit of the
+//! answer.
+//!
+//! NN-LUT's pitch is that *one* generic LUT datapath serves every
+//! non-linearity; this crate is the serving analogue — one generic
+//! batching/parallelism layer serves every workload:
+//!
+//! ```text
+//! requests ──▶ queue ──▶ [`Batcher`] ──▶ [`ThreadPool`] ──▶ baked kernels
+//!                         (pack/pad,      (row-range         (BakedLut &
+//!                          attn mask)      lanes)             friends)
+//! ```
+//!
+//! * [`pool`] — a small **scoped-thread worker pool** (std-only; the
+//!   build container has no rayon) implementing the transformer crate's
+//!   [`nnlut_transformer::BatchExecutor`] seam with deterministic chunk
+//!   assignment.
+//! * [`batcher`] — a **dynamic batcher**: FIFO admission of
+//!   variable-length requests, packed/padded into fixed-shape
+//!   [`nnlut_transformer::PaddedBatch`]es under a [`BatchPolicy`] budget.
+//! * [`server`] — the [`LutServer`] front door: owns a
+//!   [`nnlut_transformer::BertModel`] plus an [`nnlut_core::NnLutKit`]
+//!   with pre-baked engines, drains the queue batch by batch, and records
+//!   [`metrics`].
+//! * [`metrics`] — per-batch latency, queue depth, padding efficiency and
+//!   end-to-end tokens/sec.
+//!
+//! ## Determinism contract
+//!
+//! The whole layer is built so that **pooled results are bit-identical to
+//! serial results**, at all three baked precisions (FP32 / FP16 / INT32):
+//!
+//! 1. chunk boundaries are a pure function of `(work, lanes)`
+//!    ([`nnlut_core::engine::chunk_ranges`]) — never of scheduling;
+//! 2. every parallel kernel is row-local, and cross-row reductions (the
+//!    INT8 per-tensor quantizer) stay serial — there are no
+//!    atomics-ordered reductions anywhere;
+//! 3. workers write disjoint row ranges; nothing is shared mutably.
+//!
+//! `tests/serve_determinism.rs` property-tests the claim across thread
+//! counts 1/2/4/8, NaN/inf payloads and batch sizes that don't divide
+//! evenly.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nnlut_core::{train::TrainConfig, NnLutKit};
+//! use nnlut_serve::{BatchPolicy, LutServer, ServerConfig};
+//! use nnlut_transformer::{BertModel, TransformerConfig};
+//!
+//! let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 42);
+//! let kit = NnLutKit::train_with(16, 42, &TrainConfig::fast());
+//! let mut server = LutServer::new(model, kit, ServerConfig::default());
+//! server.submit(vec![1, 2, 3, 4]);
+//! server.submit(vec![5, 6]);
+//! let responses = server.drain();
+//! assert_eq!(responses.len(), 2);
+//! assert_eq!(responses[0].hidden.shape(), (4, 64));
+//! assert!(server.metrics().tokens_per_sec() > 0.0);
+//! ```
+
+pub mod batcher;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use batcher::{BatchPolicy, Batcher, PendingRequest};
+pub use metrics::{BatchRecord, ServeMetrics};
+pub use pool::ThreadPool;
+pub use server::{EncodeResponse, LutServer, RequestId, ServerConfig};

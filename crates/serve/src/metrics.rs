@@ -1,0 +1,179 @@
+//! Serving metrics: what the operator of a heavy-traffic deployment would
+//! watch — per-batch latency, queue depth at dispatch, padding efficiency
+//! and end-to-end tokens/sec.
+
+use std::time::Duration;
+
+/// One dispatched batch, as observed by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Sequences packed into the batch.
+    pub sequences: usize,
+    /// Real (unpadded) tokens encoded.
+    pub tokens: usize,
+    /// Padded positions actually computed (`sequences × max_len`).
+    pub padded_tokens: usize,
+    /// Queue depth at the moment the batch was packed (including its own
+    /// members) — the backlog signal.
+    pub queue_depth: usize,
+    /// Wall-clock encode latency of the batch.
+    pub latency: Duration,
+}
+
+/// Aggregated serving metrics over every batch a server has dispatched.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    batches: Vec<BatchRecord>,
+}
+
+impl ServeMetrics {
+    /// No batches yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one dispatched batch.
+    pub fn record(&mut self, record: BatchRecord) {
+        self.batches.push(record);
+    }
+
+    /// Every batch record, in dispatch order.
+    pub fn batches(&self) -> &[BatchRecord] {
+        &self.batches
+    }
+
+    /// Total real tokens encoded.
+    pub fn total_tokens(&self) -> usize {
+        self.batches.iter().map(|b| b.tokens).sum()
+    }
+
+    /// Total wall-clock time spent encoding.
+    pub fn total_latency(&self) -> Duration {
+        self.batches.iter().map(|b| b.latency).sum()
+    }
+
+    /// End-to-end throughput in real tokens per second (0 before any
+    /// batch has run).
+    pub fn tokens_per_sec(&self) -> f64 {
+        let secs = self.total_latency().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_tokens() as f64 / secs
+    }
+
+    /// Fraction of computed positions that were real tokens (1.0 = no
+    /// padding waste; 0 before any batch has run).
+    pub fn padding_efficiency(&self) -> f64 {
+        let padded: usize = self.batches.iter().map(|b| b.padded_tokens).sum();
+        if padded == 0 {
+            return 0.0;
+        }
+        self.total_tokens() as f64 / padded as f64
+    }
+
+    /// Batch-latency percentile (nearest-rank over dispatched batches);
+    /// `None` before any batch has run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.batches.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Duration> = self.batches.iter().map(|b| b.latency).collect();
+        sorted.sort();
+        // Nearest-rank: ceil(p/100 · n), clamped to [1, n].
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Largest queue depth seen at dispatch time.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.batches
+            .iter()
+            .map(|b| b.queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One-line human summary (the bench and the example print this).
+    pub fn summary(&self) -> String {
+        let p50 = self.latency_percentile(50.0).unwrap_or_default();
+        let p95 = self.latency_percentile(95.0).unwrap_or_default();
+        format!(
+            "{} batches · {} tokens · {:.1} tok/s · p50 {:.2} ms · p95 {:.2} ms · padding eff {:.2} · peak queue {}",
+            self.batches.len(),
+            self.total_tokens(),
+            self.tokens_per_sec(),
+            p50.as_secs_f64() * 1e3,
+            p95.as_secs_f64() * 1e3,
+            self.padding_efficiency(),
+            self.peak_queue_depth(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tokens: usize, padded: usize, ms: u64) -> BatchRecord {
+        BatchRecord {
+            sequences: 2,
+            tokens,
+            padded_tokens: padded,
+            queue_depth: 5,
+            latency: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.tokens_per_sec(), 0.0);
+        assert_eq!(m.padding_efficiency(), 0.0);
+        assert_eq!(m.latency_percentile(50.0), None);
+        assert_eq!(m.peak_queue_depth(), 0);
+    }
+
+    #[test]
+    fn throughput_and_efficiency() {
+        let mut m = ServeMetrics::new();
+        m.record(rec(100, 125, 500));
+        m.record(rec(100, 175, 500));
+        assert!((m.tokens_per_sec() - 200.0).abs() < 1e-9);
+        assert!((m.padding_efficiency() - 200.0 / 300.0).abs() < 1e-9);
+        assert_eq!(m.total_tokens(), 200);
+        assert_eq!(m.peak_queue_depth(), 5);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut m = ServeMetrics::new();
+        for ms in [10u64, 20, 30, 40] {
+            m.record(rec(1, 1, ms));
+        }
+        assert_eq!(m.latency_percentile(50.0), Some(Duration::from_millis(20)));
+        assert_eq!(m.latency_percentile(95.0), Some(Duration::from_millis(40)));
+        assert_eq!(m.latency_percentile(0.0), Some(Duration::from_millis(10)));
+        assert_eq!(m.latency_percentile(100.0), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentile_panics() {
+        ServeMetrics::new().latency_percentile(120.0);
+    }
+
+    #[test]
+    fn summary_mentions_throughput() {
+        let mut m = ServeMetrics::new();
+        m.record(rec(50, 60, 100));
+        let s = m.summary();
+        assert!(s.contains("tok/s"), "{s}");
+        assert!(s.contains("1 batches"), "{s}");
+    }
+}

@@ -155,6 +155,35 @@ impl Matrix {
         self.data.chunks_exact_mut(self.cols)
     }
 
+    /// Borrow rows `[r0, r1)` as one contiguous row-major slice — the
+    /// row-range view the serving layer's pool hands to each worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > self.rows()`.
+    pub fn row_block(&self, r0: usize, r1: usize) -> &[f32] {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds ({})",
+            self.rows
+        );
+        &self.data[r0 * self.cols..r1 * self.cols]
+    }
+
+    /// Mutably borrow rows `[r0, r1)` as one contiguous row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > self.rows()`.
+    pub fn row_block_mut(&mut self, r0: usize, r1: usize) -> &mut [f32] {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds ({})",
+            self.rows
+        );
+        &mut self.data[r0 * self.cols..r1 * self.cols]
+    }
+
     /// Returns the transpose.
     pub fn transposed(&self) -> Self {
         let mut t = Self::zeros(self.cols, self.rows);
@@ -183,12 +212,48 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Self::zeros(self.rows, rhs.cols);
+        self.matmul_rows_into(rhs, 0, self.rows, &mut out.data);
+        out
+    }
+
+    /// Computes output rows `[r0, r1)` of `self * rhs` into `out`, a
+    /// `(r1 - r0) × rhs.cols()` row-major buffer, with the same k-blocked
+    /// inner-loop order as [`Matrix::matmul`].
+    ///
+    /// Every output element is a function of one `self` row and all of
+    /// `rhs`, accumulated in a fixed k order, so computing disjoint row
+    /// ranges on different threads and computing the whole product serially
+    /// produce bit-identical results — the determinism contract the
+    /// serving layer's pool relies on (`matmul` itself is implemented as
+    /// the full-range call of this kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible, the row range is out of
+    /// bounds, or `out` has the wrong length.
+    pub fn matmul_rows_into(&self, rhs: &Self, r0: usize, r1: usize, out: &mut [f32]) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds ({})",
+            self.rows
+        );
+        assert_eq!(
+            out.len(),
+            (r1 - r0) * rhs.cols,
+            "output buffer length mismatch"
+        );
+        out.fill(0.0);
         const BLOCK: usize = 32;
         for kk in (0..self.cols).step_by(BLOCK) {
             let k_end = (kk + BLOCK).min(self.cols);
-            for i in 0..self.rows {
+            for i in r0..r1 {
                 let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let out_row = &mut out[(i - r0) * rhs.cols..(i - r0 + 1) * rhs.cols];
                 for (k, &a) in a_row[kk..k_end]
                     .iter()
                     .enumerate()
@@ -201,7 +266,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self * rhs.T` without materializing the transpose.
@@ -482,5 +546,66 @@ mod tests {
     fn frobenius_norm_known() {
         let a = Matrix::from_rows(&[&[3.0, 4.0]]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_block_views_are_contiguous_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.row_block(1, 3), &[3.0, 4.0, 5.0, 6.0]);
+        let mut m = m;
+        m.row_block_mut(0, 1).fill(9.0);
+        assert_eq!(m.row(0), &[9.0, 9.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_block_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.row_block(1, 3);
+    }
+
+    #[test]
+    fn matmul_rows_into_matches_full_matmul_bitwise() {
+        // Awkward (non-multiple-of-block) shapes so the k-blocking tail and
+        // uneven row splits are both exercised.
+        let a = Matrix::from_vec(
+            7,
+            37,
+            (0..7 * 37)
+                .map(|i| ((i * 31) % 97) as f32 * 0.173 - 8.0)
+                .collect(),
+        );
+        let b = Matrix::from_vec(
+            37,
+            5,
+            (0..37 * 5)
+                .map(|i| ((i * 17) % 89) as f32 * 0.091 - 4.0)
+                .collect(),
+        );
+        let full = a.matmul(&b);
+        for split in [1usize, 2, 3, 7] {
+            let mut pieced = Matrix::zeros(7, 5);
+            let base = 7 / split;
+            let rem = 7 % split;
+            let mut r0 = 0;
+            for s in 0..split {
+                let r1 = r0 + base + usize::from(s < rem);
+                a.matmul_rows_into(&b, r0, r1, pieced.row_block_mut(r0, r1));
+                r0 = r1;
+            }
+            for (g, w) in pieced.as_slice().iter().zip(full.as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "split {split} diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer length mismatch")]
+    fn matmul_rows_into_bad_out_len_panics() {
+        let a = Matrix::zeros(3, 3);
+        let b = Matrix::zeros(3, 3);
+        let mut out = vec![0.0f32; 5];
+        a.matmul_rows_into(&b, 0, 2, &mut out);
     }
 }

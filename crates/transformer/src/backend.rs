@@ -109,41 +109,88 @@ impl Nonlinearity {
 
     /// Applies the activation-site op (GELU) to every element.
     pub fn apply_gelu(&self, m: &mut Matrix) {
+        let kernel = self.gelu_kernel(m);
+        kernel.apply_chunk(m.as_mut_slice());
+    }
+
+    /// Resolves the GELU backend into a chunk-applicable kernel: any
+    /// whole-matrix reduction (the I-BERT quantization scale) is taken
+    /// here, up front and serially, so [`GeluKernel::apply_chunk`] is
+    /// element-local and safe to run over disjoint chunks on any
+    /// executor without changing a single output bit.
+    pub fn gelu_kernel(&self, m: &Matrix) -> GeluKernel<'_> {
         match &self.gelu {
-            OpImpl::Exact | OpImpl::Softermax => m.map_inplace(nnlut_core::funcs::gelu),
-            OpImpl::Lut(kit) => kit.gelu_slice(m.as_mut_slice()),
-            OpImpl::IBert => {
-                let max_abs = m.abs_max().max(1.0);
-                let scale = scale_16bit(max_abs);
-                m.map_inplace(|x| i_gelu(Quantized::quantize(x, scale)).real());
-            }
+            OpImpl::Exact | OpImpl::Softermax => GeluKernel::Exact,
+            OpImpl::Lut(kit) => GeluKernel::Lut(kit),
+            OpImpl::IBert => GeluKernel::IBert {
+                scale: scale_16bit(m.abs_max().max(1.0)),
+            },
+        }
+    }
+
+    /// Applies the softmax-site op to one row.
+    pub fn softmax_row(&self, row: &mut [f32]) {
+        match &self.softmax {
+            OpImpl::Exact => exact_softmax(row),
+            OpImpl::Lut(kit) => kit.softmax(row),
+            OpImpl::IBert => i_softmax_f32(row),
+            OpImpl::Softermax => crate::softermax::softermax(row),
         }
     }
 
     /// Applies the softmax-site op to every row of `m`.
     pub fn apply_softmax_rows(&self, m: &mut Matrix) {
-        match &self.softmax {
-            OpImpl::Exact => {
-                for row in m.rows_iter_mut() {
-                    exact_softmax(row);
-                }
-            }
-            OpImpl::Lut(kit) => {
-                for row in m.rows_iter_mut() {
-                    kit.softmax(row);
-                }
-            }
-            OpImpl::IBert => {
-                for row in m.rows_iter_mut() {
-                    i_softmax_f32(row);
-                }
-            }
-            OpImpl::Softermax => {
-                for row in m.rows_iter_mut() {
-                    crate::softermax::softermax(row);
-                }
-            }
+        let cols = m.cols();
+        self.softmax_chunk(m.as_mut_slice(), cols);
+    }
+
+    /// Row-chunk softmax: `data` is a row-major `… × cols` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of rows.
+    pub fn softmax_chunk(&self, data: &mut [f32], cols: usize) {
+        assert_eq!(data.len() % cols, 0, "chunk is not a whole number of rows");
+        for row in data.chunks_exact_mut(cols) {
+            self.softmax_row(row);
         }
+    }
+
+    /// Mask-aware softmax over a row chunk: row `i` of the chunk is
+    /// normalized over its first `valid[i]` entries only, and every entry
+    /// past the valid prefix is written to `0.0`. A row with `valid == 0`
+    /// (a padded query row) becomes all-zero instead of NaN — padded rows
+    /// must never pollute downstream matmuls.
+    ///
+    /// The valid prefix is evaluated by the *same* per-row kernel as the
+    /// unmasked path, so a masked row of length `v` produces exactly the
+    /// bits an unpadded length-`v` row would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `valid` does not hold one entry per chunk row or any
+    /// entry exceeds `cols`.
+    pub fn softmax_chunk_masked(&self, data: &mut [f32], cols: usize, valid: &[usize]) {
+        assert_eq!(
+            data.len(),
+            valid.len() * cols,
+            "masked softmax valid-length count mismatch"
+        );
+        for (row, &v) in data.chunks_exact_mut(cols).zip(valid) {
+            assert!(v <= cols, "valid length {v} exceeds row width {cols}");
+            if v > 0 {
+                self.softmax_row(&mut row[..v]);
+            }
+            row[v..].fill(0.0);
+        }
+    }
+
+    /// Mask-aware softmax over every row of `m` (see
+    /// [`Nonlinearity::softmax_chunk_masked`]).
+    pub fn apply_softmax_rows_masked(&self, m: &mut Matrix, valid: &[usize]) {
+        assert_eq!(valid.len(), m.rows(), "one valid length per row");
+        let cols = m.cols();
+        self.softmax_chunk_masked(m.as_mut_slice(), cols, valid);
     }
 
     /// Applies the layernorm-site op to every row, then the affine
@@ -160,6 +207,13 @@ impl Nonlinearity {
     ) {
         assert_eq!(gamma.len(), m.cols(), "gamma length mismatch");
         assert_eq!(beta.len(), m.cols(), "beta length mismatch");
+        if capture.is_none() {
+            // The capture-free path is the chunk kernel over the whole
+            // buffer — one code path for serial and pooled execution.
+            let cols = m.cols();
+            self.layer_norm_chunk(m.as_mut_slice(), cols, gamma, beta, eps);
+            return;
+        }
         // Resolve the backend once, not per row: the row loop then runs
         // the selected batch kernel back-to-back over the matrix buffer.
         match &self.layernorm {
@@ -193,6 +247,84 @@ impl Nonlinearity {
                     }
                     i_layernorm_f32(row);
                     affine_row(row, gamma, beta);
+                }
+            }
+        }
+    }
+
+    /// Row-chunk LayerNorm + affine, the capture-free batch-path kernel:
+    /// `data` is a row-major `… × cols` buffer. LayerNorm is row-local
+    /// (mean/variance of one row only), so running disjoint chunks on any
+    /// executor is bit-identical to one serial pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma`/`beta` are not `cols` long or `data` is not a
+    /// whole number of rows.
+    pub fn layer_norm_chunk(
+        &self,
+        data: &mut [f32],
+        cols: usize,
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+    ) {
+        assert_eq!(gamma.len(), cols, "gamma length mismatch");
+        assert_eq!(beta.len(), cols, "beta length mismatch");
+        assert_eq!(data.len() % cols, 0, "chunk is not a whole number of rows");
+        match &self.layernorm {
+            OpImpl::Exact | OpImpl::Softermax => {
+                for row in data.chunks_exact_mut(cols) {
+                    exact_layer_norm(row, eps);
+                    affine_row(row, gamma, beta);
+                }
+            }
+            OpImpl::Lut(kit) => {
+                for row in data.chunks_exact_mut(cols) {
+                    kit.layer_norm(row, eps);
+                    affine_row(row, gamma, beta);
+                }
+            }
+            OpImpl::IBert => {
+                for row in data.chunks_exact_mut(cols) {
+                    i_layernorm_f32(row);
+                    affine_row(row, gamma, beta);
+                }
+            }
+        }
+    }
+}
+
+/// A GELU backend resolved against one activation matrix; see
+/// [`Nonlinearity::gelu_kernel`]. Element-local by construction, so it can
+/// be applied to disjoint chunks of the same buffer in any order.
+#[derive(Debug, Clone, Copy)]
+pub enum GeluKernel<'a> {
+    /// Exact FP32 GELU.
+    Exact,
+    /// Batched LUT kernel.
+    Lut(&'a NnLutKit),
+    /// I-BERT integer GELU with the pre-resolved quantization scale.
+    IBert {
+        /// Per-tensor 16-bit quantization scale, taken from the whole
+        /// matrix before chunking.
+        scale: f32,
+    },
+}
+
+impl GeluKernel<'_> {
+    /// Applies the kernel to one chunk in place.
+    pub fn apply_chunk(&self, data: &mut [f32]) {
+        match self {
+            GeluKernel::Exact => {
+                for v in data {
+                    *v = nnlut_core::funcs::gelu(*v);
+                }
+            }
+            GeluKernel::Lut(kit) => kit.gelu_slice(data),
+            GeluKernel::IBert { scale } => {
+                for v in data {
+                    *v = i_gelu(Quantized::quantize(*v, *scale)).real();
                 }
             }
         }
@@ -326,5 +458,79 @@ mod tests {
     fn wrong_gamma_length_panics() {
         let mut m = Matrix::zeros(1, 4);
         Nonlinearity::exact().apply_layer_norm_rows(&mut m, &[1.0], &[0.0], 1e-5, None);
+    }
+
+    #[test]
+    fn masked_softmax_matches_unpadded_rows_bitwise() {
+        for nl in [
+            Nonlinearity::exact(),
+            Nonlinearity::all_lut(&kit()),
+            Nonlinearity::all_ibert(),
+            Nonlinearity::softermax_only(),
+        ] {
+            // A padded 3-wide valid prefix inside a 6-wide row…
+            let mut padded = Matrix::from_rows(&[&[0.3, -1.0, 2.0, 99.0, 99.0, 99.0], &[1.0; 6]]);
+            nl.apply_softmax_rows_masked(&mut padded, &[3, 0]);
+            // …must equal the unpadded row bit for bit…
+            let mut bare = [0.3f32, -1.0, 2.0];
+            nl.softmax_row(&mut bare);
+            for (got, want) in padded.row(0)[..3].iter().zip(&bare) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+            // …with the masked tail and fully-masked rows exactly zero.
+            assert_eq!(&padded.row(0)[3..], &[0.0, 0.0, 0.0]);
+            assert_eq!(padded.row(1), &[0.0; 6]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one valid length per row")]
+    fn masked_softmax_wrong_valid_count_panics() {
+        let mut m = Matrix::zeros(2, 4);
+        Nonlinearity::exact().apply_softmax_rows_masked(&mut m, &[4]);
+    }
+
+    #[test]
+    fn layer_norm_chunk_matches_whole_matrix_path() {
+        let gamma: Vec<f32> = (0..8).map(|i| 0.8 + 0.05 * i as f32).collect();
+        let beta: Vec<f32> = (0..8).map(|i| 0.01 * i as f32).collect();
+        let base = Matrix::from_vec(4, 8, (0..32).map(|i| (i as f32 * 0.9).cos()).collect());
+        for nl in [
+            Nonlinearity::exact(),
+            Nonlinearity::all_lut(&kit()),
+            Nonlinearity::all_ibert(),
+        ] {
+            let mut whole = base.clone();
+            nl.apply_layer_norm_rows(&mut whole, &gamma, &beta, 1e-5, None);
+            // Two disjoint chunks through the chunk kernel.
+            let mut chunked = base.clone();
+            let (top, bottom) = chunked.as_mut_slice().split_at_mut(2 * 8);
+            nl.layer_norm_chunk(top, 8, &gamma, &beta, 1e-5);
+            nl.layer_norm_chunk(bottom, 8, &gamma, &beta, 1e-5);
+            for (got, want) in chunked.as_slice().iter().zip(whole.as_slice()) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_kernel_chunks_match_whole_matrix_path() {
+        let base = Matrix::from_vec(3, 6, (0..18).map(|i| i as f32 * 0.37 - 3.0).collect());
+        for nl in [
+            Nonlinearity::exact(),
+            Nonlinearity::all_lut(&kit()),
+            Nonlinearity::all_ibert(),
+        ] {
+            let mut whole = base.clone();
+            nl.apply_gelu(&mut whole);
+            let mut chunked = base.clone();
+            let kernel = nl.gelu_kernel(&base);
+            let (a, b) = chunked.as_mut_slice().split_at_mut(7); // ragged split
+            kernel.apply_chunk(a);
+            kernel.apply_chunk(b);
+            for (got, want) in chunked.as_slice().iter().zip(whole.as_slice()) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,197 @@
+//! Execution strategy for the batched encode path.
+//!
+//! The batched encoder ([`crate::BertModel::encode_batch`]) expresses every
+//! stage as "apply this row-local kernel to a row range"; *where* those row
+//! ranges run is delegated to a [`BatchExecutor`]. The crate ships the
+//! serial implementation ([`SerialExecutor`]); `nnlut-serve` provides the
+//! scoped-thread pool. Keeping the trait here (below the pool) lets the
+//! model crate stay free of any threading machinery while still exposing a
+//! parallelizable batch path.
+//!
+//! # Determinism contract
+//!
+//! Implementations only choose *which lane runs where* — chunk boundaries
+//! are fixed by [`nnlut_core::engine::chunk_ranges`] inside
+//! [`run_row_chunks`], and every kernel handed to it is row-local (an
+//! output row depends only on its own input row plus shared read-only
+//! state). Together that makes the batch path **bit-identical across
+//! executors and lane counts**; `tests/serve_determinism.rs` asserts it.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use nnlut_core::engine::chunk_ranges;
+
+/// One lane's work item: its chunk's first row plus the chunk itself,
+/// behind a take-once mutex (see [`run_row_chunks`]).
+type ChunkSlot<'a> = Mutex<Option<(usize, &'a mut [f32])>>;
+
+/// Runs a fixed number of independent lanes, possibly concurrently.
+pub trait BatchExecutor: Sync {
+    /// Number of parallel lanes this executor drives (`1` = serial).
+    fn lanes(&self) -> usize;
+
+    /// Invokes `f(lane)` exactly once for every `lane in 0..lanes()`.
+    /// Lanes may run concurrently and in any order; `f` must therefore be
+    /// safe to call from multiple threads (it is `Sync`) and must not
+    /// depend on lane ordering.
+    fn run(&self, f: &(dyn Fn(usize) + Sync));
+
+    /// Invokes `f(lane)` exactly once for every `lane in 0..n` — unlike
+    /// [`BatchExecutor::run`], the work count is the caller's, not the
+    /// executor's. Implementations may use fewer than `n` concurrent
+    /// workers (oversubscription) or skip spawning idle ones (`n <`
+    /// lanes), but every lane below `n` must run. `f` must still tolerate
+    /// being called with `lane >= n` as a no-op, because the default
+    /// routes `n <= lanes()` through [`BatchExecutor::run`].
+    fn run_n(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n <= self.lanes() {
+            self.run(f);
+        } else {
+            // More work items than lanes: serial fallback keeps the
+            // exactly-once contract.
+            for lane in 0..n {
+                f(lane);
+            }
+        }
+    }
+}
+
+/// The serial executor: one lane, run inline on the caller's thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl BatchExecutor for SerialExecutor {
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        f(0);
+    }
+}
+
+/// Splits a `rows × cols` row-major buffer into one contiguous row chunk
+/// per lane (boundaries from [`chunk_ranges`], so they are a pure function
+/// of `(rows, lanes)`) and runs `f(first_row, chunk)` on each chunk via
+/// `exec`. Chunks are disjoint `&mut` views, so no locking guards the
+/// kernel itself — the per-lane mutex only hands each lane its chunk once.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn run_row_chunks(
+    exec: &dyn BatchExecutor,
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    f: &(dyn Fn(usize, &mut [f32]) + Sync),
+) {
+    assert_eq!(data.len(), rows * cols, "row-chunk buffer length mismatch");
+    let ranges = chunk_ranges(rows, exec.lanes());
+    if ranges.len() <= 1 {
+        if rows > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let slots: Vec<ChunkSlot<'_>> = split_row_ranges(data, cols, &ranges)
+        .into_iter()
+        .zip(&ranges)
+        .map(|(chunk, r)| Mutex::new(Some((r.start, chunk))))
+        .collect();
+    exec.run_n(slots.len(), &|lane| {
+        if let Some(slot) = slots.get(lane) {
+            let (first_row, chunk) = slot
+                .lock()
+                .expect("row-chunk slot poisoned")
+                .take()
+                .expect("each lane takes its slot exactly once");
+            f(first_row, chunk);
+        }
+    });
+}
+
+/// Splits `data` into the disjoint mutable row blocks named by `ranges`
+/// (which must be contiguous and ascending, as [`chunk_ranges`] produces):
+/// the row ranges scaled to element ranges, carved by the workspace's one
+/// chunk-splitting helper.
+fn split_row_ranges<'a>(
+    data: &'a mut [f32],
+    cols: usize,
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [f32]> {
+    let scaled: Vec<Range<usize>> = ranges
+        .iter()
+        .map(|r| r.start * cols..r.end * cols)
+        .collect();
+    nnlut_core::engine::split_at_ranges(data, &scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A test executor that runs its lanes serially but reports many lanes,
+    /// exercising the chunked path without threads.
+    struct FakeLanes(usize);
+
+    impl BatchExecutor for FakeLanes {
+        fn lanes(&self) -> usize {
+            self.0
+        }
+
+        fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+            for lane in 0..self.0 {
+                f(lane);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_executor_runs_one_lane() {
+        let calls = AtomicUsize::new(0);
+        SerialExecutor.run(&|lane| {
+            assert_eq!(lane, 0);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn row_chunks_cover_every_row_once() {
+        let rows = 7;
+        let cols = 3;
+        let mut data = vec![0.0f32; rows * cols];
+        run_row_chunks(&FakeLanes(3), &mut data, rows, cols, &|first_row, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                for v in row {
+                    *v += (first_row + i) as f32 + 1.0;
+                }
+            }
+        });
+        for (r, row) in data.chunks_exact(cols).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32 + 1.0), "row {r}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn more_lanes_than_rows_is_fine() {
+        let mut data = vec![1.0f32; 2 * 4];
+        run_row_chunks(&FakeLanes(8), &mut data, 2, 4, &|_, chunk| {
+            for v in chunk {
+                *v *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn zero_rows_is_a_noop() {
+        let mut data: Vec<f32> = vec![];
+        run_row_chunks(&SerialExecutor, &mut data, 0, 4, &|_, _| {
+            panic!("kernel must not run on an empty batch")
+        });
+    }
+}

@@ -15,7 +15,14 @@
 //! * [`backend`] — the [`backend::Nonlinearity`] selector: per-op choice of
 //!   exact, LUT-kit (NN-LUT or Linear-LUT contents), or I-BERT integer.
 //! * [`model`] — embeddings, multi-head attention, feed-forward, residuals;
-//!   deterministic synthetic "pre-trained" bodies.
+//!   deterministic synthetic "pre-trained" bodies. Besides the
+//!   single-sequence [`model::BertModel::encode`], the serving-oriented
+//!   [`model::BertModel::encode_batch`] runs a whole padded
+//!   [`model::PaddedBatch`] with mask-aware softmax.
+//! * [`exec`] — the [`exec::BatchExecutor`] seam the batched path is
+//!   parallelized through (serial here; `nnlut-serve` provides the
+//!   scoped-thread pool), with the determinism contract that makes pooled
+//!   and serial execution bit-identical.
 //! * [`quant`] — FP32 / FP16 / INT8 matrix-multiply modes (Table 2(b) runs
 //!   the body in INT8; Table 3 in FP16).
 //! * [`tasks`] — synthetic GLUE-like classification/regression tasks and a
@@ -33,6 +40,7 @@
 pub mod backend;
 pub mod config;
 pub mod eval;
+pub mod exec;
 pub mod head;
 pub mod metrics;
 pub mod model;
@@ -43,5 +51,6 @@ pub mod tasks;
 pub use backend::{Nonlinearity, OpImpl};
 pub use config::TransformerConfig;
 pub use eval::TaskBench;
-pub use model::BertModel;
+pub use exec::{BatchExecutor, SerialExecutor};
+pub use model::{BertModel, PaddedBatch};
 pub use quant::MatmulMode;

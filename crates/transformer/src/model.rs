@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::backend::Nonlinearity;
 use crate::config::{Activation, NormKind, TransformerConfig};
+use crate::exec::{run_row_chunks, BatchExecutor};
 use crate::quant::{Linear, MatmulMode};
 
 /// Per-channel affine parameters of a normalization site (`γ`, `β`).
@@ -30,11 +31,101 @@ impl Affine {
     /// Applies `γ∘x + β` to every row (used directly for MobileBERT's
     /// NoNorm, and after normalization for LayerNorm).
     pub fn apply_rows(&self, m: &mut Matrix) {
-        for row in m.rows_iter_mut() {
+        let cols = m.cols();
+        self.apply_chunk(m.as_mut_slice(), cols);
+    }
+
+    /// Row-chunk form of [`Affine::apply_rows`] (row-local, so chunked
+    /// parallel application is bit-identical to serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not `cols` long or `data` is not a whole
+    /// number of rows.
+    pub fn apply_chunk(&self, data: &mut [f32], cols: usize) {
+        assert_eq!(self.gamma.len(), cols, "gamma length mismatch");
+        assert_eq!(data.len() % cols, 0, "chunk is not a whole number of rows");
+        for row in data.chunks_exact_mut(cols) {
             for (v, (&g, &b)) in row.iter_mut().zip(self.gamma.iter().zip(&self.beta)) {
                 *v = *v * g + b;
             }
         }
+    }
+}
+
+/// A fixed-shape batch of token sequences: every sequence padded to the
+/// longest one, with the true lengths kept as the attention mask. This is
+/// the unit the serving layer's dynamic batcher emits and
+/// [`BertModel::encode_batch`] consumes.
+///
+/// Padding uses token id [`PaddedBatch::PAD_ID`]; padded positions flow
+/// through the row-local ops (projections, GELU, LayerNorm) as dead rows —
+/// they can never pollute valid rows, because every cross-row interaction
+/// in the encoder goes through attention, where the mask excludes them —
+/// and are stripped when the batch is unpacked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaddedBatch {
+    /// `sequences × max_len` row-major token ids, pad positions = `PAD_ID`.
+    ids: Vec<usize>,
+    /// True (unpadded) length of each sequence.
+    lens: Vec<usize>,
+    /// Padded length (the longest sequence).
+    max_len: usize,
+}
+
+impl PaddedBatch {
+    /// The token id written into padded positions. Any in-vocabulary id
+    /// works (padded rows are masked, then discarded); 0 is always valid.
+    pub const PAD_ID: usize = 0;
+
+    /// Packs sequences into a fixed-shape padded batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is empty or any sequence is empty.
+    pub fn pack(seqs: &[Vec<usize>]) -> Self {
+        assert!(!seqs.is_empty(), "cannot pack an empty batch");
+        let max_len = seqs.iter().map(Vec::len).max().unwrap_or(0);
+        assert!(max_len > 0, "cannot pack an empty sequence");
+        let mut ids = Vec::with_capacity(seqs.len() * max_len);
+        let mut lens = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            assert!(!seq.is_empty(), "cannot pack an empty sequence");
+            ids.extend_from_slice(seq);
+            ids.extend(std::iter::repeat_n(Self::PAD_ID, max_len - seq.len()));
+            lens.push(seq.len());
+        }
+        Self { ids, lens, max_len }
+    }
+
+    /// Number of sequences in the batch.
+    pub fn sequences(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// The padded sequence length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Per-sequence true lengths (the attention mask).
+    pub fn lens(&self) -> &[usize] {
+        &self.lens
+    }
+
+    /// The `sequences × max_len` row-major padded token ids.
+    pub fn ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// Total *real* tokens (what throughput should be measured in).
+    pub fn tokens(&self) -> usize {
+        self.lens.iter().sum()
+    }
+
+    /// Total padded positions actually computed (`sequences × max_len`).
+    pub fn padded_tokens(&self) -> usize {
+        self.lens.len() * self.max_len
     }
 }
 
@@ -213,6 +304,214 @@ impl BertModel {
         x
     }
 
+    /// Runs the encoder over a whole padded batch, returning one
+    /// `(len × d)` hidden-state matrix per sequence (pad rows stripped).
+    ///
+    /// Every stage is expressed as a row-local kernel over row ranges of
+    /// the packed `(sequences·max_len) × d` activation buffer, dispatched
+    /// through `exec` — [`crate::exec::SerialExecutor`] for the reference
+    /// serial path, `nnlut_serve`'s thread pool for the parallel one. The
+    /// two are **bit-identical** for any lane count (see [`crate::exec`]).
+    ///
+    /// With [`MatmulMode::F32`] and [`MatmulMode::F16`] bodies and the
+    /// exact/LUT backends, each sequence's result is additionally
+    /// independent of its batch-mates (attention masks pad columns;
+    /// everything else is row-local), so dynamic batching never changes a
+    /// response. Two backends legitimately break that independence —
+    /// exactly as they would on real per-tensor-quantized hardware —
+    /// because they take *per-tensor* scales over the whole packed
+    /// activation matrix: [`MatmulMode::Int8`] GEMMs, and the I-BERT GELU
+    /// (its 16-bit quantization scale comes from `abs_max` of the full
+    /// batch, pad rows included).
+    ///
+    /// Activation capture (§3.3.3 calibration) is a training-time concern
+    /// and intentionally not offered on the serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, longer than `max_seq`, or contains an
+    /// id outside the vocabulary.
+    pub fn encode_batch(
+        &self,
+        batch: &PaddedBatch,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        exec: &dyn BatchExecutor,
+    ) -> Vec<Matrix> {
+        let b = batch.sequences();
+        let l = batch.max_len();
+        assert!(b > 0, "cannot encode an empty batch");
+        assert!(
+            l <= self.config.max_seq,
+            "sequence length {l} exceeds max_seq {}",
+            self.config.max_seq
+        );
+        let d = self.config.hidden;
+        for &t in batch.ids() {
+            assert!(t < self.config.vocab, "token id {t} out of vocabulary");
+        }
+        // Embedding: row-local (token + position), parallel over all rows.
+        let mut x = Matrix::zeros(b * l, d);
+        run_row_chunks(exec, x.as_mut_slice(), b * l, d, &|first_row, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(d).enumerate() {
+                let r = first_row + i;
+                let t = batch.ids()[r];
+                let pos = r % l;
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = self.token_embedding[(t, c)] + self.pos_embedding[(pos, c)];
+                }
+            }
+        });
+        for layer in &self.layers {
+            x = self.encode_layer_batch(layer, &x, batch, nl, mode, exec);
+        }
+        // Unpack: keep only each sequence's valid rows.
+        batch
+            .lens()
+            .iter()
+            .enumerate()
+            .map(|(s, &len)| Matrix::from_vec(len, d, x.row_block(s * l, s * l + len).to_vec()))
+            .collect()
+    }
+
+    fn encode_layer_batch(
+        &self,
+        layer: &EncoderLayer,
+        x: &Matrix,
+        batch: &PaddedBatch,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        exec: &dyn BatchExecutor,
+    ) -> Matrix {
+        let b = batch.sequences();
+        let l = batch.max_len();
+        let d = self.config.hidden;
+        let heads = self.config.heads;
+        let dh = self.config.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Projections over the whole packed batch (row-parallel GEMMs).
+        let q = layer.wq.apply_exec(x, mode, exec);
+        let k = layer.wk.apply_exec(x, mode, exec);
+        let v = layer.wv.apply_exec(x, mode, exec);
+
+        // Multi-head self-attention, parallel over (sequence, head) pairs
+        // so even a singleton batch spreads its quadratic stage across the
+        // pool. Each pair's context block targets an interleaved column
+        // range of `ctx` (not a contiguous slice), so lanes produce owned
+        // per-pair matrices into take-once slots and a cheap serial pass
+        // assembles them — each pair's math is identical whichever lane
+        // runs it, keeping pooled bits equal to serial. The mask keeps
+        // valid query rows attending to valid key columns only, so pad
+        // rows never leak into real ones.
+        let pairs = b * heads;
+        let slots: Vec<std::sync::Mutex<Option<Matrix>>> =
+            (0..pairs).map(|_| std::sync::Mutex::new(None)).collect();
+        let ranges = nnlut_core::engine::chunk_ranges(pairs, exec.lanes());
+        exec.run_n(ranges.len(), &|lane| {
+            let Some(range) = ranges.get(lane) else {
+                return;
+            };
+            for p in range.clone() {
+                let (s, h) = (p / heads, p % heads);
+                let len = batch.lens()[s];
+                let (r0, r1) = (s * l, (s + 1) * l);
+                // Valid key-prefix length per query row; 0 for pad rows
+                // (their softmax output is all-zero, keeping them finite).
+                let valid: Vec<usize> = (0..l).map(|r| if r < len { len } else { 0 }).collect();
+                let (lo, hi) = (h * dh, (h + 1) * dh);
+                let qh = sub_block(&q, r0, r1, lo, hi);
+                let kh = sub_block(&k, r0, r1, lo, hi);
+                let vh = sub_block(&v, r0, r1, lo, hi);
+                let mut scores = qh.matmul_transpose(&kh);
+                scores.scale(scale);
+                nl.apply_softmax_rows_masked(&mut scores, &valid);
+                let ctx_h = crate::quant::matmul(&scores, &vh, mode);
+                *slots[p].lock().expect("attention slot poisoned") = Some(ctx_h);
+            }
+        });
+        let mut ctx = Matrix::zeros(b * l, d);
+        for (p, slot) in slots.iter().enumerate() {
+            let ctx_h = slot
+                .lock()
+                .expect("attention slot poisoned")
+                .take()
+                .expect("every pair was computed");
+            let (s, h) = (p / heads, p % heads);
+            let (lo, hi) = (h * dh, (h + 1) * dh);
+            for r in 0..l {
+                ctx.row_mut(s * l + r)[lo..hi].copy_from_slice(ctx_h.row(r));
+            }
+        }
+        let attn_out = layer.wo.apply_exec(&ctx, mode, exec);
+
+        // Residual + norm (all row-local from here on).
+        let mut x1 = Matrix::zeros(b * l, d);
+        run_row_chunks(exec, x1.as_mut_slice(), b * l, d, &|first_row, chunk| {
+            let base = first_row * d;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = x.as_slice()[base + i] + attn_out.as_slice()[base + i];
+            }
+        });
+        self.apply_norm_batch(&layer.norm1, &mut x1, nl, exec);
+
+        // Feed-forward.
+        let mut hmid = layer.ff1.apply_exec(&x1, mode, exec);
+        match self.config.activation {
+            Activation::Gelu => {
+                let kernel = nl.gelu_kernel(&hmid);
+                let cols = hmid.cols();
+                let rows = hmid.rows();
+                run_row_chunks(exec, hmid.as_mut_slice(), rows, cols, &|_, chunk| {
+                    kernel.apply_chunk(chunk);
+                });
+            }
+            Activation::Relu => {
+                let cols = hmid.cols();
+                let rows = hmid.rows();
+                run_row_chunks(exec, hmid.as_mut_slice(), rows, cols, &|_, chunk| {
+                    for v in chunk {
+                        *v = v.max(0.0);
+                    }
+                });
+            }
+        }
+        let ff_out = layer.ff2.apply_exec(&hmid, mode, exec);
+        let mut x2 = Matrix::zeros(b * l, d);
+        run_row_chunks(exec, x2.as_mut_slice(), b * l, d, &|first_row, chunk| {
+            let base = first_row * d;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = x1.as_slice()[base + i] + ff_out.as_slice()[base + i];
+            }
+        });
+        self.apply_norm_batch(&layer.norm2, &mut x2, nl, exec);
+        x2
+    }
+
+    fn apply_norm_batch(
+        &self,
+        affine: &Affine,
+        m: &mut Matrix,
+        nl: &Nonlinearity,
+        exec: &dyn BatchExecutor,
+    ) {
+        let cols = m.cols();
+        let rows = m.rows();
+        match self.config.norm {
+            NormKind::LayerNorm => {
+                let eps = self.eps;
+                run_row_chunks(exec, m.as_mut_slice(), rows, cols, &|_, chunk| {
+                    nl.layer_norm_chunk(chunk, cols, &affine.gamma, &affine.beta, eps);
+                });
+            }
+            NormKind::NoNorm => {
+                run_row_chunks(exec, m.as_mut_slice(), rows, cols, &|_, chunk| {
+                    affine.apply_chunk(chunk, cols);
+                });
+            }
+        }
+    }
+
     fn encode_layer(
         &self,
         layer: &EncoderLayer,
@@ -299,9 +598,20 @@ impl BertModel {
     }
 }
 
+/// Copies the `[r0, r1) × [c0, c1)` sub-block of `m` into a fresh matrix
+/// (the per-sequence, per-head view the batched attention works on).
+fn sub_block(m: &Matrix, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+    let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+    for r in r0..r1 {
+        out.row_mut(r - r0).copy_from_slice(&m.row(r)[c0..c1]);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::SerialExecutor;
     use nnlut_core::train::TrainConfig;
     use nnlut_core::NnLutKit;
 
@@ -382,6 +692,103 @@ mod tests {
         let i8_out = m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::Int8, None);
         let rel = (&f32_out - &i8_out).frobenius_norm() / f32_out.frobenius_norm();
         assert!(rel < 0.35, "INT8 body relative deviation {rel}");
+    }
+
+    #[test]
+    fn padded_batch_packs_and_counts() {
+        let batch = PaddedBatch::pack(&[vec![1, 2, 3], vec![4], vec![5, 6]]);
+        assert_eq!(batch.sequences(), 3);
+        assert_eq!(batch.max_len(), 3);
+        assert_eq!(batch.lens(), &[3, 1, 2]);
+        assert_eq!(batch.tokens(), 6);
+        assert_eq!(batch.padded_tokens(), 9);
+        let pad = PaddedBatch::PAD_ID;
+        assert_eq!(batch.ids(), &[1, 2, 3, 4, pad, pad, 5, 6, pad]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn packing_empty_batch_panics() {
+        PaddedBatch::pack(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn packing_empty_sequence_panics() {
+        PaddedBatch::pack(&[vec![1], vec![]]);
+    }
+
+    /// Mixed-length batched encode must reproduce the single-sequence path
+    /// exactly: padding and batch-mates never change a valid row. (Matrix
+    /// equality is element-exact up to -0.0 == +0.0.)
+    #[test]
+    fn batched_encode_matches_single_sequences() {
+        let m = tiny_model();
+        let kit = NnLutKit::train_with(16, 5, &TrainConfig::fast());
+        let seqs = vec![
+            (0..11usize).map(|i| (i * 7) % 128).collect::<Vec<_>>(),
+            vec![3, 1, 4, 1, 5],
+            (0..17usize).map(|i| (i * 13) % 128).collect::<Vec<_>>(),
+            vec![99],
+        ];
+        let batch = PaddedBatch::pack(&seqs);
+        for nl in [Nonlinearity::exact(), Nonlinearity::all_lut(&kit)] {
+            let batched = m.encode_batch(&batch, &nl, MatmulMode::F32, &SerialExecutor);
+            assert_eq!(batched.len(), seqs.len());
+            for (seq, got) in seqs.iter().zip(&batched) {
+                let want = m.encode(seq, &nl, MatmulMode::F32, None);
+                assert_eq!(got, &want, "batched encode diverged for {seq:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_encode_handles_mobilebert_bodies() {
+        let m = BertModel::new_synthetic(TransformerConfig::mobilebert_tiny(), 9);
+        let seqs = vec![vec![1usize, 2, 3, 4, 5, 6], vec![7, 8]];
+        let batch = PaddedBatch::pack(&seqs);
+        let batched = m.encode_batch(
+            &batch,
+            &Nonlinearity::exact(),
+            MatmulMode::F32,
+            &SerialExecutor,
+        );
+        for (seq, got) in seqs.iter().zip(&batched) {
+            let want = m.encode(seq, &Nonlinearity::exact(), MatmulMode::F32, None);
+            assert_eq!(got, &want, "NoNorm batched encode diverged");
+        }
+    }
+
+    #[test]
+    fn batched_encode_is_independent_of_batch_composition() {
+        let m = tiny_model();
+        let a = vec![10usize, 20, 30, 40];
+        let b = vec![50usize, 60];
+        let together = m.encode_batch(
+            &PaddedBatch::pack(&[a.clone(), b.clone()]),
+            &Nonlinearity::exact(),
+            MatmulMode::F32,
+            &SerialExecutor,
+        );
+        let alone = m.encode_batch(
+            &PaddedBatch::pack(std::slice::from_ref(&a)),
+            &Nonlinearity::exact(),
+            MatmulMode::F32,
+            &SerialExecutor,
+        );
+        assert_eq!(together[0], alone[0], "batch-mate changed a response");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn batched_bad_token_panics() {
+        let batch = PaddedBatch::pack(&[vec![9999usize]]);
+        tiny_model().encode_batch(
+            &batch,
+            &Nonlinearity::exact(),
+            MatmulMode::F32,
+            &SerialExecutor,
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@ use nnlut_core::precision::f16_round;
 use nnlut_tensor::quant::quantized_matmul;
 use nnlut_tensor::Matrix;
 
+use crate::exec::{run_row_chunks, BatchExecutor};
+
 /// The GEMM precision of the transformer body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MatmulMode {
@@ -49,10 +51,22 @@ pub fn matmul(a: &Matrix, b: &Matrix, mode: MatmulMode) -> Matrix {
 }
 
 /// A dense layer `y = x·W + b` evaluated under a precision mode.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Matrix,
     bias: Vec<f32>,
+    /// The f16-rounded weight, cached on first F16-mode use: weights are
+    /// frozen, and `f16_round` is deterministic, so caching the rounded
+    /// copy only removes a per-call O(in·out) pass from the serving hot
+    /// path — it cannot change a bit of any result.
+    weight_f16: std::sync::OnceLock<Matrix>,
+}
+
+/// The cache is derived state; layer identity is weights + bias.
+impl PartialEq for Linear {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.bias == other.bias
+    }
 }
 
 impl Linear {
@@ -63,7 +77,16 @@ impl Linear {
     /// Panics if `bias.len() != weight.cols()`.
     pub fn new(weight: Matrix, bias: Vec<f32>) -> Self {
         assert_eq!(bias.len(), weight.cols(), "bias/weight shape mismatch");
-        Self { weight, bias }
+        Self {
+            weight,
+            bias,
+            weight_f16: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The f16-rounded weight (computed once, then cached).
+    fn rounded_weight(&self) -> &Matrix {
+        self.weight_f16.get_or_init(|| self.weight.map(f16_round))
     }
 
     /// Input dimension.
@@ -78,8 +101,72 @@ impl Linear {
 
     /// Applies the layer to a `(seq × in)` activation matrix.
     pub fn apply(&self, x: &Matrix, mode: MatmulMode) -> Matrix {
-        let mut out = matmul(x, &self.weight, mode);
+        let mut out = match mode {
+            // Same op order as `matmul(x, w, F16)`, but with the rounded
+            // weight served from the cache.
+            MatmulMode::F16 => {
+                let xh = x.map(f16_round);
+                let mut out = xh.matmul(self.rounded_weight());
+                out.map_inplace(f16_round);
+                out
+            }
+            _ => matmul(x, &self.weight, mode),
+        };
         out.add_row_bias(&self.bias);
+        out
+    }
+
+    /// [`Linear::apply`] with the GEMM split by output row ranges across
+    /// `exec` — bit-identical to the serial path for every lane count.
+    ///
+    /// * `F32`: each lane runs [`Matrix::matmul_rows_into`] on its rows
+    ///   (fixed k-order per row) and adds the bias.
+    /// * `F16`: operands are rounded to binary16 up front (element-local),
+    ///   then the rounded GEMM is row-split the same way; the final f16
+    ///   rounding of the product happens inside each lane's chunk, and the
+    ///   f32 bias add afterwards — the exact serial op order.
+    /// * `Int8`: runs the serial path unchanged. The per-tensor quantizer
+    ///   is a whole-matrix reduction; splitting it would change the scale
+    ///   (and the determinism contract forbids concurrent reductions), so
+    ///   INT8 bodies parallelize at the attention/non-linearity stages
+    ///   only.
+    pub fn apply_exec(&self, x: &Matrix, mode: MatmulMode, exec: &dyn BatchExecutor) -> Matrix {
+        match mode {
+            MatmulMode::F32 => self.row_split_gemm(x, &self.weight, exec, false),
+            MatmulMode::F16 => {
+                let xh = x.map(f16_round);
+                self.row_split_gemm(&xh, self.rounded_weight(), exec, true)
+            }
+            MatmulMode::Int8 => self.apply(x, mode),
+        }
+    }
+
+    /// Row-range-parallel `x·w (+ bias)`, optionally rounding the product
+    /// to binary16 before the bias add (the `F16` mode's serial op order).
+    fn row_split_gemm(
+        &self,
+        x: &Matrix,
+        w: &Matrix,
+        exec: &dyn BatchExecutor,
+        round_f16: bool,
+    ) -> Matrix {
+        let cols = w.cols();
+        let rows = x.rows();
+        let mut out = Matrix::zeros(rows, cols);
+        run_row_chunks(exec, out.as_mut_slice(), rows, cols, &|first_row, chunk| {
+            let r1 = first_row + chunk.len() / cols;
+            x.matmul_rows_into(w, first_row, r1, chunk);
+            if round_f16 {
+                for v in chunk.iter_mut() {
+                    *v = f16_round(*v);
+                }
+            }
+            for row in chunk.chunks_exact_mut(cols) {
+                for (o, &b) in row.iter_mut().zip(&self.bias) {
+                    *o += b;
+                }
+            }
+        });
         out
     }
 }
@@ -135,5 +222,21 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn linear_bad_bias_panics() {
         let _ = Linear::new(Matrix::zeros(2, 3), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn apply_exec_matches_apply_bitwise_in_every_mode() {
+        use crate::exec::SerialExecutor;
+        let w = normal_matrix(16, 9, 0.8, 7);
+        let bias: Vec<f32> = (0..9).map(|i| 0.1 * i as f32 - 0.3).collect();
+        let layer = Linear::new(w, bias);
+        let x = normal_matrix(5, 16, 1.3, 8);
+        for mode in [MatmulMode::F32, MatmulMode::F16, MatmulMode::Int8] {
+            let want = layer.apply(&x, mode);
+            let got = layer.apply_exec(&x, mode, &SerialExecutor);
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "{mode} diverged");
+            }
+        }
     }
 }

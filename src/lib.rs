@@ -19,6 +19,9 @@
 //! * [`ibert`] — the I-BERT integer-only baseline kernels.
 //! * [`transformer`] — a BERT-style encoder with pluggable non-linearity
 //!   backends plus the synthetic evaluation harness.
+//! * [`serve`] — the serving layer: deterministic scoped thread pool,
+//!   dynamic request batcher and the synchronous `LutServer` front door
+//!   over the baked engines (pooled results bit-identical to serial).
 //! * [`hw`] — the 7 nm-class arithmetic-unit cost model (paper Table 4).
 //! * [`npu`] — the cycle-level accelerator simulator (paper Table 5).
 //!
@@ -41,5 +44,6 @@ pub use nnlut_core as core;
 pub use nnlut_hw as hw;
 pub use nnlut_ibert as ibert;
 pub use nnlut_npu as npu;
+pub use nnlut_serve as serve;
 pub use nnlut_tensor as tensor;
 pub use nnlut_transformer as transformer;
