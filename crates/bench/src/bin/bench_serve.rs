@@ -1,8 +1,9 @@
 //! End-to-end encoder serving throughput: pushes a mixed-length request
-//! workload through `LutServer` at 1/2/4 pool threads and records real
-//! tokens/sec (serial vs pooled) into the `serve` section of
+//! workload through `LutServer` at 1/2/4 pool threads, compares FIFO
+//! against length-bucketed admission on the same workload, and records
+//! real tokens/sec plus padding efficiency into the `serve` section of
 //! `BENCH_lut_eval.json` — the ROADMAP's "end-to-end encoder tokens/sec"
-//! trajectory item.
+//! and "reduce padding waste" trajectory items.
 //!
 //! The model uses RoBERTa-base *shapes* (hidden 768, 12 heads, FFN 3072)
 //! with the layer count cut to 2 so a full sweep finishes in well under a
@@ -13,6 +14,8 @@
 //! slice one CPU and the speedup sits near 1.0 by construction — the
 //! determinism contract (pooled bits == serial bits) is what the tests
 //! enforce there, and the >1.5x criterion is only observable on ≥2 cores.
+//! The padding-efficiency comparison has no such caveat: padded area is a
+//! pure function of admission order, identical on any machine.
 //!
 //! Run: `cargo run --release -p nnlut-bench --bin bench_serve`
 //! Smoke: `cargo run --release -p nnlut-bench --bin bench_serve -- --quick`
@@ -36,6 +39,8 @@ struct Config {
     lengths: &'static [usize],
     threads: &'static [usize],
     policy: BatchPolicy,
+    /// Length-bucket edges for the bucketed-admission comparison.
+    bucket_edges: &'static [usize],
     write_json: bool,
 }
 
@@ -49,7 +54,9 @@ fn quick_config() -> Config {
         policy: BatchPolicy {
             max_batch: 8,
             max_padded_tokens: 512,
+            bucket_edges: Vec::new(),
         },
+        bucket_edges: &[8, 16, 32],
         write_json: false,
     }
 }
@@ -70,7 +77,9 @@ fn full_config() -> Config {
         policy: BatchPolicy {
             max_batch: 8,
             max_padded_tokens: 1024,
+            bucket_edges: Vec::new(),
         },
+        bucket_edges: &[16, 32, 64],
         write_json: true,
     }
 }
@@ -86,6 +95,7 @@ fn workload(cfg: &Config) -> Vec<Vec<usize>> {
         .collect()
 }
 
+#[derive(Clone)]
 struct Measurement {
     threads: usize,
     tokens_per_sec: f64,
@@ -94,13 +104,19 @@ struct Measurement {
     wall_s: f64,
 }
 
-fn run_once(cfg: &Config, model: &BertModel, kit: &NnLutKit, threads: usize) -> Measurement {
+fn run_once(
+    cfg: &Config,
+    model: &BertModel,
+    kit: &NnLutKit,
+    threads: usize,
+    policy: BatchPolicy,
+) -> (Measurement, f64) {
     let mut server = LutServer::new(
         model.clone(),
         kit.clone(),
         ServerConfig {
             threads,
-            policy: cfg.policy,
+            policy,
             mode: MatmulMode::F32,
         },
     );
@@ -109,13 +125,16 @@ fn run_once(cfg: &Config, model: &BertModel, kit: &NnLutKit, threads: usize) -> 
     let wall = start.elapsed();
     assert_eq!(responses.len(), cfg.requests, "lost responses");
     let m = server.metrics();
-    Measurement {
-        threads,
-        tokens_per_sec: m.tokens_per_sec(),
-        p50_ms: m.latency_percentile(50.0).unwrap_or_default().as_secs_f64() * 1e3,
-        p95_ms: m.latency_percentile(95.0).unwrap_or_default().as_secs_f64() * 1e3,
-        wall_s: wall.as_secs_f64(),
-    }
+    (
+        Measurement {
+            threads,
+            tokens_per_sec: m.tokens_per_sec(),
+            p50_ms: m.latency_percentile(50.0).unwrap_or_default().as_secs_f64() * 1e3,
+            p95_ms: m.latency_percentile(95.0).unwrap_or_default().as_secs_f64() * 1e3,
+            wall_s: wall.as_secs_f64(),
+        },
+        m.padding_efficiency(),
+    )
 }
 
 fn main() {
@@ -131,13 +150,19 @@ fn main() {
     let kit = NnLutKit::train_with(16, nnlut_bench::KIT_SEED, &TrainConfig::fast());
     let model = BertModel::new_synthetic(cfg.model.clone(), nnlut_bench::KIT_SEED);
 
+    // Part 1: pooled-thread sweep (FIFO admission, the PR-2 trajectory).
+    // The threads==1 run doubles as the FIFO baseline of part 2.
     let mut rows: Vec<Measurement> = Vec::new();
+    let mut fifo_serial: Option<(Measurement, f64)> = None;
     for &threads in cfg.threads {
-        let m = run_once(&cfg, &model, &kit, threads);
+        let (m, eff) = run_once(&cfg, &model, &kit, threads, cfg.policy.clone());
         println!(
             "  threads {:>2}: {:>9.1} tok/s · p50 {:>8.2} ms · p95 {:>8.2} ms · wall {:>6.2} s",
             m.threads, m.tokens_per_sec, m.p50_ms, m.p95_ms, m.wall_s
         );
+        if threads == 1 {
+            fifo_serial = Some((m.clone(), eff));
+        }
         rows.push(m);
     }
     let serial = rows[0].tokens_per_sec;
@@ -149,6 +174,27 @@ fn main() {
         );
     }
 
+    // Part 2: admission comparison — the same mixed-length workload packed
+    // FIFO vs through length buckets, serial pool (padding is a pure
+    // function of admission order; threads don't move it). The FIFO
+    // baseline is part 1's threads==1 run; only bucketed runs fresh.
+    let bucketed_policy = cfg.policy.clone().with_buckets(cfg.bucket_edges.to_vec());
+    let (fifo_m, fifo_eff) = fifo_serial.expect("thread sweep always includes threads == 1");
+    let (bucketed_m, bucketed_eff) = run_once(&cfg, &model, &kit, 1, bucketed_policy);
+    println!("  admission (1 thread, same workload):");
+    println!(
+        "    fifo     : padding eff {:.3} · {:>9.1} tok/s",
+        fifo_eff, fifo_m.tokens_per_sec
+    );
+    println!(
+        "    bucketed : padding eff {:.3} · {:>9.1} tok/s  (edges {:?})",
+        bucketed_eff, bucketed_m.tokens_per_sec, cfg.bucket_edges
+    );
+    println!(
+        "    padding-efficiency gain: {:+.1}% · throughput gain: {:+.1}%",
+        (bucketed_eff / fifo_eff - 1.0) * 100.0,
+        (bucketed_m.tokens_per_sec / fifo_m.tokens_per_sec - 1.0) * 100.0
+    );
     if cfg.write_json {
         let mcfg = &cfg.model;
         let mut section = format!(
@@ -166,7 +212,17 @@ fn main() {
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
-        section.push_str("    ]\n  }");
+        section.push_str("    ],\n");
+        section.push_str(&format!(
+            "    \"admission\": {{\n      \"lengths\": {:?},\n      \"bucket_edges\": {:?},\n      \"fifo\": {{\"padding_efficiency\": {:.4}, \"tokens_per_sec\": {:.1}}},\n      \"bucketed\": {{\"padding_efficiency\": {:.4}, \"tokens_per_sec\": {:.1}}},\n      \"padding_efficiency_gain\": {:.4}\n    }}\n  }}",
+            cfg.lengths,
+            cfg.bucket_edges,
+            fifo_eff,
+            fifo_m.tokens_per_sec,
+            bucketed_eff,
+            bucketed_m.tokens_per_sec,
+            bucketed_eff / fifo_eff,
+        ));
         let existing = std::fs::read_to_string("BENCH_lut_eval.json").unwrap_or_default();
         let json = upsert_json_key(&existing, "serve", &section);
         std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
@@ -174,4 +230,12 @@ fn main() {
     } else {
         println!("\n--quick: smoke run only, BENCH_lut_eval.json untouched");
     }
+
+    // Regression guard *after* the ledger write, so a failing comparison
+    // still leaves the measurements on disk (and fails CI's --quick run).
+    assert!(
+        bucketed_eff >= fifo_eff,
+        "bucketed admission must not pad more than FIFO on the mixed workload \
+         (bucketed {bucketed_eff:.3} < fifo {fifo_eff:.3})"
+    );
 }

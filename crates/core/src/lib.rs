@@ -83,6 +83,8 @@
 //! assert!(err < 0.05);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod calibrate;
 pub mod convert;
 pub mod engine;

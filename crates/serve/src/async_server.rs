@@ -1,0 +1,513 @@
+//! The asynchronous serving front door.
+//!
+//! [`AsyncLutServer`] decouples admission from execution: `submit` returns
+//! a [`Ticket`] immediately, and a dedicated background worker thread owns
+//! the model, the baked kit and the [`ThreadPool`], draining the
+//! length-bucketed [`Batcher`] as batches close. A batch
+//! closes when the **first** of three conditions fires:
+//!
+//! 1. **area budget** — a bucket can fill the
+//!    [`BatchPolicy`] sequence/padded-area budget
+//!    ([`CloseReason::Full`]);
+//! 2. **batch age** — the oldest queued request has waited
+//!    [`ClosePolicy::max_batch_age`] ([`CloseReason::Aged`]);
+//! 3. **deadline pressure** — a queued request's deadline is within
+//!    [`ClosePolicy::deadline_slack`] ([`CloseReason::Deadline`]).
+//!
+//! Requests whose deadline passes while still queued are never encoded:
+//! their tickets resolve to [`ServeError::DeadlineExceeded`] and the miss
+//! is counted in the metrics. Deadlines shape *when* batches close, never
+//! the packing order — admission stays FIFO within a bucket, so the
+//! determinism story of the synchronous server carries over unchanged
+//! (and with an FP32/FP16 body the responses are bit-identical to a
+//! serial, unbatched server; `tests/serve_async.rs` proves it).
+//!
+//! Dropping the server (or calling [`AsyncLutServer::shutdown`]) flushes:
+//! the worker drains every queued request before exiting, so no ticket is
+//! left unresolved.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nnlut_core::NnLutKit;
+use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
+
+use crate::batcher::{BatchPolicy, Batcher, ClosePolicy, CloseReason};
+use crate::metrics::{BatchRecord, ServeMetrics};
+use crate::pool::ThreadPool;
+use crate::server::{validate_request, EncodeResponse, RequestId};
+
+/// Why an asynchronous request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's deadline passed while it was still queued; it was
+    /// culled without being encoded.
+    DeadlineExceeded {
+        /// The request's id.
+        id: RequestId,
+        /// How long it waited before expiring.
+        waited: Duration,
+    },
+    /// The worker failed (a panic escaped the encode path) before this
+    /// request could complete. The server stays up; the request was not
+    /// encoded.
+    ServerFailed {
+        /// The request's id.
+        id: RequestId,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::DeadlineExceeded { id, waited } => write!(
+                f,
+                "request {id} missed its deadline after waiting {:.2} ms",
+                waited.as_secs_f64() * 1e3
+            ),
+            ServeError::ServerFailed { id } => {
+                write!(f, "the serving worker failed before request {id} completed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Locks a mutex, recovering from poisoning: every critical section here
+/// either mutates nothing before its last fallible statement or leaves
+/// the state consistent, so a panicked peer (e.g. a doorstep validation
+/// failure) must not abort the worker or the destructor.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Construction knobs for the asynchronous front door.
+#[derive(Debug, Clone)]
+pub struct AsyncServerConfig {
+    /// Worker threads in the encode pool (`1` = serial reference path).
+    pub threads: usize,
+    /// Dynamic batching policy (area budget + length buckets).
+    pub policy: BatchPolicy,
+    /// When under-filled batches close anyway.
+    pub close: ClosePolicy,
+    /// GEMM precision of the transformer body.
+    pub mode: MatmulMode,
+}
+
+impl Default for AsyncServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            policy: BatchPolicy::default_policy(),
+            close: ClosePolicy::default_policy(),
+            mode: MatmulMode::F32,
+        }
+    }
+}
+
+/// A pending response slot shared between the submitter and the worker.
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<Result<EncodeResponse, ServeError>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Result<EncodeResponse, ServeError>) {
+        let mut slot = lock(&self.slot);
+        debug_assert!(slot.is_none(), "ticket resolved twice");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one in-flight asynchronous request, resolved by the worker
+/// on completion (or expiry). Obtained from [`AsyncLutServer::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: RequestId,
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// The request id this ticket tracks.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// True once the worker has resolved this ticket ([`Ticket::wait`]
+    /// will not block).
+    pub fn is_ready(&self) -> bool {
+        lock(&self.state.slot).is_some()
+    }
+
+    /// Blocks until the request completes or expires. Never hangs: every
+    /// admitted ticket is resolved — on completion (`Ok`), deadline
+    /// expiry ([`ServeError::DeadlineExceeded`]), and even a worker
+    /// failure ([`ServeError::ServerFailed`], from the per-batch panic
+    /// containment or the shutdown sweep).
+    pub fn wait(self) -> Result<EncodeResponse, ServeError> {
+        let mut slot = lock(&self.state.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Everything the submitter side and the worker share, behind one lock.
+#[derive(Debug)]
+struct State {
+    batcher: Batcher,
+    tickets: HashMap<RequestId, Arc<TicketState>>,
+    metrics: ServeMetrics,
+    next_id: RequestId,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled on new arrivals and on shutdown.
+    work: Condvar,
+}
+
+/// The asynchronous, deadline-aware batching server over the baked LUT
+/// engines.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::{train::TrainConfig, NnLutKit};
+/// use nnlut_serve::{AsyncLutServer, AsyncServerConfig};
+/// use nnlut_transformer::{BertModel, TransformerConfig};
+/// use std::time::Duration;
+///
+/// let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 3);
+/// let kit = NnLutKit::train_with(16, 3, &TrainConfig::fast());
+/// let server = AsyncLutServer::new(model, kit, AsyncServerConfig::default());
+///
+/// // Tickets resolve in the background; wait() blocks until done.
+/// let a = server.submit(vec![1, 2, 3, 4]);
+/// let b = server.submit_with_deadline(vec![5, 6], Some(Duration::from_secs(5)));
+/// let hidden = a.wait().expect("no deadline, cannot expire");
+/// assert_eq!(hidden.hidden.shape(), (4, 64));
+/// assert_eq!(b.wait().expect("5 s is plenty").tokens, 2);
+/// assert!(server.metrics().total_tokens() >= 6);
+/// ```
+#[derive(Debug)]
+pub struct AsyncLutServer {
+    shared: Arc<Shared>,
+    /// Kept for door-step validation; the model itself lives on the worker.
+    config: TransformerConfig,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl AsyncLutServer {
+    /// Builds the server and starts its background worker. The worker
+    /// owns the model and the kit's baked engines ("Altogether"
+    /// deployment, like [`LutServer::new`](crate::LutServer::new)).
+    pub fn new(model: BertModel, kit: NnLutKit, config: AsyncServerConfig) -> Self {
+        Self::with_backend(model, Nonlinearity::all_lut(&kit), config)
+    }
+
+    /// Builds the server with an explicit per-site backend selection.
+    pub fn with_backend(model: BertModel, nl: Nonlinearity, config: AsyncServerConfig) -> Self {
+        let model_config = model.config().clone();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                batcher: Batcher::new(config.policy.clone()),
+                tickets: HashMap::new(),
+                metrics: ServeMetrics::new(),
+                next_id: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let pool = ThreadPool::new(config.threads);
+        let close = config.close;
+        let mode = config.mode;
+        let worker = std::thread::Builder::new()
+            .name("nnlut-serve-worker".into())
+            .spawn(move || worker_loop(worker_shared, model, nl, mode, pool, close))
+            .expect("spawn serving worker");
+        Self {
+            shared,
+            config: model_config,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues a request with no deadline. Returns immediately; the
+    /// [`Ticket`] resolves when the batch it rides in completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is empty, overlong, out-of-vocabulary, or
+    /// submitted after [`AsyncLutServer::shutdown`].
+    pub fn submit(&self, tokens: Vec<usize>) -> Ticket {
+        self.submit_with_deadline(tokens, None)
+    }
+
+    /// Enqueues a request whose **queue wait** is bounded by `deadline`
+    /// (measured from now): a request still queued when its deadline
+    /// passes is culled without being encoded and its ticket resolves to
+    /// [`ServeError::DeadlineExceeded`]. A request *dispatched* before
+    /// its deadline runs to completion — encode time is not bounded, so
+    /// `wait()` can return `Ok` after the deadline on a slow batch;
+    /// [`ClosePolicy::deadline_slack`] is the knob that leaves encode
+    /// headroom. `None` means no deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is empty, overlong, out-of-vocabulary, or
+    /// submitted after [`AsyncLutServer::shutdown`].
+    pub fn submit_with_deadline(&self, tokens: Vec<usize>, deadline: Option<Duration>) -> Ticket {
+        validate_request(&self.config, &tokens);
+        let now = Instant::now();
+        let state = Arc::new(TicketState::new());
+        let id = {
+            let mut st = lock(&self.shared.state);
+            assert!(!st.shutdown, "cannot submit after shutdown");
+            let id = st.next_id;
+            st.next_id += 1;
+            st.tickets.insert(id, Arc::clone(&state));
+            st.batcher
+                .push_at(id, tokens, now, deadline.map(|d| now + d));
+            id
+        };
+        self.shared.work.notify_one();
+        Ticket { id, state }
+    }
+
+    /// Requests currently waiting in the queue (not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.state).batcher.queue_depth()
+    }
+
+    /// A snapshot of the serving metrics so far.
+    pub fn metrics(&self) -> ServeMetrics {
+        lock(&self.shared.state).metrics.clone()
+    }
+
+    /// Stops admission, drains every queued request (resolving all
+    /// outstanding tickets) and joins the worker. Idempotent; also runs
+    /// on drop.
+    ///
+    /// If the worker died abnormally (a panic that escaped even the
+    /// per-batch containment), every still-unresolved ticket is failed
+    /// with [`ServeError::ServerFailed`] rather than re-panicking — a
+    /// drop during unwinding must never double-panic, and no waiter may
+    /// be left hanging.
+    pub fn shutdown(&mut self) {
+        {
+            lock(&self.shared.state).shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(worker) = self.worker.take() {
+            if worker.join().is_err() {
+                let mut st = lock(&self.shared.state);
+                let orphaned: Vec<RequestId> = st.tickets.keys().copied().collect();
+                for id in orphaned {
+                    if let Some(ticket) = st.tickets.remove(&id) {
+                        ticket.resolve(Err(ServeError::ServerFailed { id }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for AsyncLutServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The background worker: sleep → expire → close → encode → resolve.
+fn worker_loop(
+    shared: Arc<Shared>,
+    model: BertModel,
+    nl: Nonlinearity,
+    mode: MatmulMode,
+    pool: ThreadPool,
+    close: ClosePolicy,
+) {
+    loop {
+        // Phase 1 (under the lock): expire deadlines, decide whether a
+        // batch closes now, otherwise sleep until the next timed event or
+        // arrival.
+        let closed = {
+            let mut st = lock(&shared.state);
+            loop {
+                let now = Instant::now();
+                let expired = st.batcher.take_expired(now);
+                if !expired.is_empty() {
+                    for req in expired {
+                        let waited = now.saturating_duration_since(req.queued_at);
+                        st.metrics.record_deadline_miss(waited);
+                        if let Some(ticket) = st.tickets.remove(&req.id) {
+                            ticket
+                                .resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
+                        }
+                    }
+                    continue; // re-plan against the culled queue
+                }
+                let plan = if st.shutdown {
+                    // Flush: ignore timers, drain oldest-front first.
+                    st.batcher.plan_drain().map(|b| (b, CloseReason::Drain))
+                } else {
+                    st.batcher.plan_close(now, &close)
+                };
+                if let Some((bucket, reason)) = plan {
+                    let depth = st.batcher.queue_depth();
+                    break (st.batcher.close_bucket(bucket, now, reason), depth);
+                }
+                if st.shutdown {
+                    return; // queue empty, admission closed: done.
+                }
+                st = match st.batcher.next_event(&close) {
+                    Some(at) => {
+                        // Floor the sleep so a just-elapsed timer cannot
+                        // spin the loop at zero-duration waits.
+                        let wait = at
+                            .saturating_duration_since(now)
+                            .max(Duration::from_micros(50));
+                        shared
+                            .work
+                            .wait_timeout(st, wait)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0
+                    }
+                    None => shared.work.wait(st).unwrap_or_else(PoisonError::into_inner),
+                };
+            }
+        };
+        let (closed, depth) = closed;
+
+        // Phase 2 (lock released): the expensive part — encode the batch
+        // through the pool while submitters keep admitting. A panic here
+        // is contained (submit validates at the door, so none is
+        // expected): the batch's tickets resolve to `ServerFailed`
+        // instead of leaving waiters hanging, and the worker lives on.
+        // Nothing is mutated across the unwind boundary — the model,
+        // backends and pool are all `&`/owned-immutable — so
+        // `AssertUnwindSafe` is honest.
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.encode_batch(&closed.batch, &nl, mode, &pool)
+        }));
+        let latency = start.elapsed();
+
+        // Phase 3 (under the lock): record and resolve.
+        let mut st = lock(&shared.state);
+        let hidden = match outcome {
+            Ok(hidden) => hidden,
+            Err(_) => {
+                for id in &closed.ids {
+                    if let Some(ticket) = st.tickets.remove(id) {
+                        ticket.resolve(Err(ServeError::ServerFailed { id: *id }));
+                    }
+                }
+                continue;
+            }
+        };
+        st.metrics.record(BatchRecord {
+            sequences: closed.batch.sequences(),
+            tokens: closed.batch.tokens(),
+            padded_tokens: closed.batch.padded_tokens(),
+            queue_depth: depth,
+            latency,
+            bucket: closed.bucket,
+            reason: closed.reason,
+            queue_waits: closed.queue_waits,
+        });
+        for (id, hidden) in closed.ids.iter().zip(hidden) {
+            if let Some(ticket) = st.tickets.remove(id) {
+                ticket.resolve(Ok(EncodeResponse {
+                    id: *id,
+                    tokens: hidden.rows(),
+                    hidden,
+                    latency,
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlut_core::train::TrainConfig;
+    use nnlut_transformer::TransformerConfig;
+
+    fn tiny_async(config: AsyncServerConfig) -> AsyncLutServer {
+        let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        AsyncLutServer::new(model, kit, config)
+    }
+
+    #[test]
+    fn tickets_resolve_with_correct_shapes() {
+        let server = tiny_async(AsyncServerConfig::default());
+        let tickets: Vec<Ticket> = (1..=5).map(|n| server.submit(vec![2; n])).collect();
+        for (n, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.id(), n as u64);
+            let r = t.wait().expect("no deadline set");
+            assert_eq!(r.id, n as u64);
+            assert_eq!(r.hidden.shape(), (n + 1, 64));
+        }
+        let m = server.metrics();
+        assert_eq!(m.total_tokens(), 1 + 2 + 3 + 4 + 5);
+        assert_eq!(m.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn shutdown_flushes_outstanding_tickets() {
+        let mut server = tiny_async(AsyncServerConfig {
+            close: ClosePolicy {
+                // An hour-long age: only the shutdown drain can flush.
+                max_batch_age: Duration::from_secs(3600),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        });
+        let t1 = server.submit(vec![1, 2, 3]);
+        let t2 = server.submit(vec![4; 10]);
+        server.shutdown();
+        assert!(t1.is_ready() && t2.is_ready());
+        assert_eq!(t1.wait().unwrap().tokens, 3);
+        assert_eq!(t2.wait().unwrap().tokens, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "after shutdown")]
+    fn submit_after_shutdown_panics() {
+        let mut server = tiny_async(AsyncServerConfig::default());
+        server.shutdown();
+        server.submit(vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn async_submit_validates_at_the_door() {
+        tiny_async(AsyncServerConfig::default()).submit(vec![10_000]);
+    }
+}

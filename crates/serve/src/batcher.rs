@@ -1,27 +1,41 @@
-//! The dynamic request batcher.
+//! The dynamic request batcher: length-bucketed admission, FIFO within a
+//! bucket, deadline-aware batch-close planning.
 //!
 //! Requests arrive with arbitrary token lengths; padded-batch compute cost
 //! scales with `sequences × max_len`, so packing a 3-token request next to
-//! a 128-token one wastes 125 padded rows. The batcher admits requests in
-//! strict FIFO order (no reordering — arrival order is part of the
-//! determinism story and of latency fairness) and closes a batch when
-//! adding the next request would blow the [`BatchPolicy`] budget.
+//! a 128-token one wastes 125 padded rows. The batcher therefore keeps one
+//! FIFO queue per **length bucket** ([`BatchPolicy::bucket_edges`]): a
+//! request is admitted to the narrowest bucket that fits its length, and a
+//! batch is always packed from a *single* bucket, so members have similar
+//! lengths and the padded area stays close to the real token count. With
+//! no edges configured there is exactly one bucket and the batcher
+//! degrades to the plain FIFO of the synchronous server's first iteration.
 //!
-//! Batch composition is a pure function of (queue contents, policy). And
-//! because the batched encoder masks attention, with an FP32/FP16 body and
-//! exact/LUT backends the *responses* don't depend on composition at all —
-//! batching is purely a throughput decision. The per-tensor-scaled paths
-//! (INT8 GEMM bodies, the I-BERT GELU backend) see their quantization
-//! scales shift with the batch, as they would on real hardware.
+//! Two invariants keep the serving layer's determinism and fairness story
+//! intact:
+//!
+//! 1. **FIFO within a bucket** — requests inside one bucket are packed in
+//!    arrival order, and the bucket chosen for the next batch is the one
+//!    whose *front* request is oldest, so the oldest waiting request is
+//!    always in the next batch. Deadlines shape *when* a batch closes
+//!    ([`ClosePolicy`]), never *what order* requests are packed.
+//! 2. **Composition is a pure function of queue contents + policy** — no
+//!    randomness, no load feedback. And because the batched encoder masks
+//!    attention, with an FP32/FP16 body and exact/LUT backends the
+//!    *responses* don't depend on composition at all — batching is purely
+//!    a throughput decision. The per-tensor-scaled paths (INT8 GEMM
+//!    bodies, the I-BERT GELU backend) see their quantization scales shift
+//!    with the batch, as they would on real hardware.
 
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use nnlut_transformer::PaddedBatch;
 
 use crate::server::RequestId;
 
-/// Admission budget for one packed batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Admission budget for one packed batch, plus the length-bucket layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Maximum sequences per batch.
     pub max_batch: usize,
@@ -29,15 +43,23 @@ pub struct BatchPolicy {
     /// over-budget request still forms its own batch — the server must
     /// never deadlock on a long input.
     pub max_padded_tokens: usize,
+    /// Length-bucket upper edges, strictly increasing. A request of
+    /// length `L` is admitted to the first bucket whose edge is `≥ L`;
+    /// longer requests land in the implicit overflow bucket, so there are
+    /// always `bucket_edges.len() + 1` buckets. Empty (the default) means
+    /// one bucket: plain FIFO admission.
+    pub bucket_edges: Vec<usize>,
 }
 
 impl BatchPolicy {
     /// A policy sized for the synthetic RoBERTa-class workloads: up to 16
-    /// sequences or 2048 padded positions, whichever binds first.
+    /// sequences or 2048 padded positions, whichever binds first, single
+    /// FIFO bucket.
     pub fn default_policy() -> Self {
         Self {
             max_batch: 16,
             max_padded_tokens: 2048,
+            bucket_edges: Vec::new(),
         }
     }
 
@@ -46,13 +68,97 @@ impl BatchPolicy {
         Self {
             max_batch: 1,
             max_padded_tokens: usize::MAX,
+            bucket_edges: Vec::new(),
         }
+    }
+
+    /// The default budget with length-bucketed admission at `edges`.
+    pub fn bucketed(edges: Vec<usize>) -> Self {
+        Self {
+            bucket_edges: edges,
+            ..Self::default_policy()
+        }
+    }
+
+    /// Replaces the bucket layout, keeping the area budget.
+    pub fn with_buckets(mut self, edges: Vec<usize>) -> Self {
+        self.bucket_edges = edges;
+        self
+    }
+
+    /// Number of buckets (always `bucket_edges.len() + 1`; the last is
+    /// the overflow bucket).
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_edges.len() + 1
+    }
+
+    /// The bucket a request of length `len` is admitted to.
+    pub fn bucket_index(&self, len: usize) -> usize {
+        self.bucket_edges
+            .iter()
+            .position(|&edge| len <= edge)
+            .unwrap_or(self.bucket_edges.len())
     }
 }
 
 impl Default for BatchPolicy {
     fn default() -> Self {
         Self::default_policy()
+    }
+}
+
+/// When an *under-filled* batch should close anyway (the full-budget close
+/// is always armed). Used by the asynchronous front door's worker; the
+/// synchronous server closes unconditionally on `drain`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosePolicy {
+    /// Close once the oldest queued request has waited this long —
+    /// the latency floor a lone request pays under light traffic.
+    pub max_batch_age: Duration,
+    /// Close early when any queued request's deadline is within this
+    /// slack — the headroom left for the batch to actually encode.
+    pub deadline_slack: Duration,
+}
+
+impl ClosePolicy {
+    /// Batches wait at most 20 ms for company; deadline-pressured batches
+    /// close 5 ms before the deadline.
+    pub fn default_policy() -> Self {
+        Self {
+            max_batch_age: Duration::from_millis(20),
+            deadline_slack: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Default for ClosePolicy {
+    fn default() -> Self {
+        Self::default_policy()
+    }
+}
+
+/// Why a batch was closed — recorded per batch in the serving metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The area/count budget was the binding constraint.
+    Full,
+    /// The oldest member hit [`ClosePolicy::max_batch_age`].
+    Aged,
+    /// A queued deadline came within [`ClosePolicy::deadline_slack`].
+    Deadline,
+    /// Unconditional flush: a synchronous `drain`/`step`, or the
+    /// asynchronous server shutting down.
+    Drain,
+}
+
+impl std::fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CloseReason::Full => "full",
+            CloseReason::Aged => "aged",
+            CloseReason::Deadline => "deadline",
+            CloseReason::Drain => "drain",
+        })
     }
 }
 
@@ -63,28 +169,60 @@ pub struct PendingRequest {
     pub id: RequestId,
     /// The token sequence to encode.
     pub tokens: Vec<usize>,
+    /// When the request entered the queue (queue-wait metrics run off
+    /// this).
+    pub queued_at: Instant,
+    /// Absolute completion deadline, if the submitter set one. Expired
+    /// requests are culled by [`Batcher::take_expired`], never encoded.
+    pub deadline: Option<Instant>,
 }
 
-/// FIFO queue + greedy packer.
+/// One packed batch plus its admission bookkeeping, as produced by
+/// [`Batcher::close_bucket`].
+#[derive(Debug, Clone)]
+pub struct ClosedBatch {
+    /// Member request ids, in FIFO (arrival) order.
+    pub ids: Vec<RequestId>,
+    /// Member deadlines, parallel to `ids`.
+    pub deadlines: Vec<Option<Instant>>,
+    /// Queue wait of each member at close time, parallel to `ids`.
+    pub queue_waits: Vec<Duration>,
+    /// The packed, padded batch.
+    pub batch: PaddedBatch,
+    /// Bucket the batch was packed from.
+    pub bucket: usize,
+    /// Why the batch closed.
+    pub reason: CloseReason,
+}
+
+/// Length-bucketed admission queue + greedy per-bucket packer.
 ///
 /// # Examples
 ///
 /// ```
 /// use nnlut_serve::{BatchPolicy, Batcher};
 ///
-/// let mut b = Batcher::new(BatchPolicy { max_batch: 2, max_padded_tokens: 64 });
+/// // Two length buckets (≤4 tokens, >4 tokens), up to 2 sequences each.
+/// let mut b = Batcher::new(BatchPolicy {
+///     max_batch: 2,
+///     max_padded_tokens: 64,
+///     bucket_edges: vec![4],
+/// });
 /// b.push(0, vec![1, 2, 3]);
-/// b.push(1, vec![4]);
-/// b.push(2, vec![5, 6]);
+/// b.push(1, vec![9; 40]);     // long request: overflow bucket
+/// b.push(2, vec![4]);
 /// let (ids, batch) = b.next_batch().unwrap();
-/// assert_eq!(ids, vec![0, 1]);            // FIFO, capped at max_batch
-/// assert_eq!(batch.max_len(), 3);         // padded to the longest member
-/// assert_eq!(b.queue_depth(), 1);
+/// assert_eq!(ids, vec![0, 2]);     // short bucket packs together…
+/// assert_eq!(batch.max_len(), 3);  // …so padding stays tight
+/// let (ids, batch) = b.next_batch().unwrap();
+/// assert_eq!(ids, vec![1]);        // the long request rides alone
+/// assert_eq!(batch.max_len(), 40);
+/// assert_eq!(b.queue_depth(), 0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Batcher {
     policy: BatchPolicy,
-    queue: VecDeque<PendingRequest>,
+    buckets: Vec<VecDeque<PendingRequest>>,
 }
 
 impl Batcher {
@@ -93,62 +231,280 @@ impl Batcher {
     /// # Panics
     ///
     /// Panics if the policy admits nothing (`max_batch == 0` or
-    /// `max_padded_tokens == 0`).
+    /// `max_padded_tokens == 0`) or the bucket edges are not strictly
+    /// increasing positive lengths.
     pub fn new(policy: BatchPolicy) -> Self {
         assert!(policy.max_batch > 0, "max_batch must be positive");
         assert!(
             policy.max_padded_tokens > 0,
             "max_padded_tokens must be positive"
         );
-        Self {
-            policy,
-            queue: VecDeque::new(),
+        for pair in policy.bucket_edges.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "bucket edges must be strictly increasing: {:?}",
+                policy.bucket_edges
+            );
         }
+        if let Some(&first) = policy.bucket_edges.first() {
+            assert!(first > 0, "bucket edges must be positive lengths");
+        }
+        let buckets = (0..policy.bucket_count())
+            .map(|_| VecDeque::new())
+            .collect();
+        Self { policy, buckets }
     }
 
     /// The admission policy.
-    pub fn policy(&self) -> BatchPolicy {
-        self.policy
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
     }
 
-    /// Enqueues a request.
+    /// Enqueues a request with no deadline, timestamped now.
     ///
     /// # Panics
     ///
     /// Panics if `tokens` is empty (there is nothing to encode).
     pub fn push(&mut self, id: RequestId, tokens: Vec<usize>) {
+        self.push_at(id, tokens, Instant::now(), None);
+    }
+
+    /// Enqueues a request with an explicit arrival timestamp and optional
+    /// absolute deadline. FIFO order within a bucket is push order;
+    /// `queued_at` only feeds the age/wait bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn push_at(
+        &mut self,
+        id: RequestId,
+        tokens: Vec<usize>,
+        queued_at: Instant,
+        deadline: Option<Instant>,
+    ) {
         assert!(!tokens.is_empty(), "cannot enqueue an empty request");
-        self.queue.push_back(PendingRequest { id, tokens });
+        let bucket = self.policy.bucket_index(tokens.len());
+        self.buckets[bucket].push_back(PendingRequest {
+            id,
+            tokens,
+            queued_at,
+            deadline,
+        });
     }
 
-    /// Number of requests waiting.
+    /// Number of requests waiting across all buckets.
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.buckets.iter().map(VecDeque::len).sum()
     }
 
-    /// Packs the next batch: takes requests from the queue front while the
-    /// running `count × max_len` stays within the policy (the first
-    /// request is always admitted). Returns the member ids alongside the
-    /// padded batch, or `None` when the queue is empty.
-    pub fn next_batch(&mut self) -> Option<(Vec<RequestId>, PaddedBatch)> {
-        self.queue.front()?;
-        let mut ids = Vec::new();
-        let mut seqs: Vec<Vec<usize>> = Vec::new();
-        let mut max_len = 0usize;
-        while let Some(front) = self.queue.front() {
-            let candidate_max = max_len.max(front.tokens.len());
-            let candidate_area = (seqs.len() + 1).saturating_mul(candidate_max);
-            let fits = seqs.len() < self.policy.max_batch
-                && (seqs.is_empty() || candidate_area <= self.policy.max_padded_tokens);
-            if !fits {
-                break;
+    /// Requests waiting per bucket (length `policy.bucket_count()`).
+    pub fn bucket_depths(&self) -> Vec<usize> {
+        self.buckets.iter().map(VecDeque::len).collect()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(VecDeque::is_empty)
+    }
+
+    /// Removes and returns every queued request whose deadline is at or
+    /// before `now`, in arrival order. The caller resolves them with a
+    /// timeout error; they are never encoded.
+    pub fn take_expired(&mut self, now: Instant) -> Vec<PendingRequest> {
+        // Fast path: the worker calls this on every wakeup, so a queue
+        // with no lapsed deadline must not pay the rebuild below.
+        if self.earliest_deadline().is_none_or(|d| d > now) {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        for bucket in &mut self.buckets {
+            let mut keep = VecDeque::with_capacity(bucket.len());
+            for req in bucket.drain(..) {
+                match req.deadline {
+                    Some(d) if d <= now => expired.push(req),
+                    _ => keep.push_back(req),
+                }
             }
-            let req = self.queue.pop_front().expect("front checked above");
+            *bucket = keep;
+        }
+        expired.sort_by_key(|r| (r.queued_at, r.id));
+        expired
+    }
+
+    /// The earliest deadline among queued requests.
+    pub fn earliest_deadline(&self) -> Option<Instant> {
+        self.buckets
+            .iter()
+            .flatten()
+            .filter_map(|r| r.deadline)
+            .min()
+    }
+
+    /// Arrival time of the oldest front request (the next batch's oldest
+    /// member under FIFO-within-bucket packing).
+    pub fn oldest_front(&self) -> Option<Instant> {
+        self.front_keys().map(|(at, _, _)| at).min()
+    }
+
+    /// `(queued_at, id, bucket)` for each non-empty bucket's front.
+    fn front_keys(&self) -> impl Iterator<Item = (Instant, RequestId, usize)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, q)| q.front().map(|r| (r.queued_at, r.id, b)))
+    }
+
+    /// The bucket the next unconditional (`Drain`) batch should come
+    /// from: the one whose front request is oldest (ties broken by id),
+    /// so the longest-waiting request is always served next.
+    pub fn plan_drain(&self) -> Option<usize> {
+        self.front_keys().min().map(|(_, _, b)| b)
+    }
+
+    /// Greedy pack size of `bucket` under the policy: `(count, budget_limited)`.
+    fn pack_plan(&self, bucket: usize) -> (usize, bool) {
+        let queue = &self.buckets[bucket];
+        let mut count = 0usize;
+        let mut max_len = 0usize;
+        for req in queue {
+            let candidate_max = max_len.max(req.tokens.len());
+            let candidate_area = (count + 1).saturating_mul(candidate_max);
+            let fits = count < self.policy.max_batch
+                && (count == 0 || candidate_area <= self.policy.max_padded_tokens);
+            if !fits {
+                return (count, true);
+            }
+            count += 1;
             max_len = candidate_max;
+        }
+        // Queue exhausted — but a batch that already hit the sequence cap
+        // is budget-limited even with nothing left behind it.
+        (count, count == self.policy.max_batch && count > 0)
+    }
+
+    /// Decides whether an asynchronous worker should close a batch *now*,
+    /// and from which bucket. Checks, in priority order:
+    ///
+    /// 1. any queued deadline within `close.deadline_slack`
+    ///    ([`CloseReason::Deadline`] — closing the bucket *containing*
+    ///    the pressured request);
+    /// 2. the oldest front request exceeding `close.max_batch_age`
+    ///    ([`CloseReason::Aged`]);
+    /// 3. a bucket whose greedy pack is budget-limited
+    ///    ([`CloseReason::Full`]).
+    ///
+    /// Urgency outranks throughput on purpose: under sustained arrivals
+    /// one bucket can be permanently `Full`, and checking it first would
+    /// starve deadline-pressured or aged requests sitting in *other*
+    /// buckets until they expire. (Under that same overload the aged
+    /// bucket is deep, so its close still packs a full batch — the
+    /// ordering costs essentially no padding efficiency.) Returns `None`
+    /// when no condition fires (the worker should sleep until
+    /// [`Batcher::next_event`]).
+    pub fn plan_close(&self, now: Instant, close: &ClosePolicy) -> Option<(usize, CloseReason)> {
+        // Deadline pressure: some queued request (anywhere in its bucket)
+        // is within slack of its deadline; close that request's bucket.
+        let pressured = self
+            .buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(b, q)| q.iter().map(move |r| (r, b)))
+            .filter_map(|(r, b)| r.deadline.map(|d| (d, r.id, b)))
+            .min();
+        if let Some((deadline, _, bucket)) = pressured {
+            if deadline.saturating_duration_since(now) <= close.deadline_slack {
+                return Some((bucket, CloseReason::Deadline));
+            }
+        }
+        // Aged: the globally oldest front has waited long enough.
+        if let Some((queued_at, _, bucket)) = self.front_keys().min() {
+            if now.saturating_duration_since(queued_at) >= close.max_batch_age {
+                return Some((bucket, CloseReason::Aged));
+            }
+        }
+        // Full: among budget-limited buckets, pick the oldest front.
+        let full = self
+            .front_keys()
+            .filter(|&(_, _, b)| self.pack_plan(b).1)
+            .min();
+        if let Some((_, _, bucket)) = full {
+            return Some((bucket, CloseReason::Full));
+        }
+        None
+    }
+
+    /// The next instant at which [`Batcher::plan_close`] could start
+    /// firing without a new arrival: the earlier of the oldest front
+    /// aging out and the earliest deadline entering its slack window.
+    /// `None` when the queue is empty (sleep until woken).
+    pub fn next_event(&self, close: &ClosePolicy) -> Option<Instant> {
+        let aged = self.oldest_front().map(|at| at + close.max_batch_age);
+        let pressured = self
+            .earliest_deadline()
+            .map(|d| d.checked_sub(close.deadline_slack).unwrap_or(d));
+        match (aged, pressured) {
+            (Some(a), Some(p)) => Some(a.min(p)),
+            (a, p) => a.or(p),
+        }
+    }
+
+    /// Packs and removes the next batch from `bucket`: takes requests
+    /// from the bucket front while the running `count × max_len` stays
+    /// within the policy (the first request is always admitted). The
+    /// recorded close reason is [`CloseReason::Full`] whenever the budget
+    /// was the binding constraint, otherwise `fallback`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is out of range or empty.
+    pub fn close_bucket(
+        &mut self,
+        bucket: usize,
+        now: Instant,
+        fallback: CloseReason,
+    ) -> ClosedBatch {
+        let (count, budget_limited) = self.pack_plan(bucket);
+        assert!(count > 0, "cannot close an empty bucket {bucket}");
+        let mut ids = Vec::with_capacity(count);
+        let mut deadlines = Vec::with_capacity(count);
+        let mut queue_waits = Vec::with_capacity(count);
+        let mut seqs: Vec<Vec<usize>> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let req = self.buckets[bucket]
+                .pop_front()
+                .expect("pack_plan counted it");
             ids.push(req.id);
+            deadlines.push(req.deadline);
+            queue_waits.push(now.saturating_duration_since(req.queued_at));
             seqs.push(req.tokens);
         }
-        Some((ids, PaddedBatch::pack(&seqs)))
+        ClosedBatch {
+            ids,
+            deadlines,
+            queue_waits,
+            batch: PaddedBatch::pack(&seqs),
+            bucket,
+            reason: if budget_limited {
+                CloseReason::Full
+            } else {
+                fallback
+            },
+        }
+    }
+
+    /// Convenience for synchronous callers: closes the next `Drain` batch
+    /// (oldest front bucket first). Returns the member ids alongside the
+    /// padded batch, or `None` when the queue is empty.
+    pub fn next_batch(&mut self) -> Option<(Vec<RequestId>, PaddedBatch)> {
+        let closed = self.next_closed_batch()?;
+        Some((closed.ids, closed.batch))
+    }
+
+    /// [`Batcher::next_batch`] with the full bookkeeping attached.
+    pub fn next_closed_batch(&mut self) -> Option<ClosedBatch> {
+        let bucket = self.plan_drain()?;
+        Some(self.close_bucket(bucket, Instant::now(), CloseReason::Drain))
     }
 }
 
@@ -164,12 +520,17 @@ mod tests {
         out
     }
 
+    fn fifo_policy(max_batch: usize, max_padded_tokens: usize) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_padded_tokens,
+            bucket_edges: Vec::new(),
+        }
+    }
+
     #[test]
     fn fifo_order_is_preserved_across_batches() {
-        let mut b = Batcher::new(BatchPolicy {
-            max_batch: 2,
-            max_padded_tokens: usize::MAX,
-        });
+        let mut b = Batcher::new(fifo_policy(2, usize::MAX));
         for id in 0..5 {
             b.push(id, vec![1; 4]);
         }
@@ -180,10 +541,7 @@ mod tests {
     fn padded_area_budget_closes_batches() {
         // 10-token budget: [3-tok, 3-tok] pads to 2×3=6 ✓, adding a 4-tok
         // request would pad to 3×4=12 ✗.
-        let mut b = Batcher::new(BatchPolicy {
-            max_batch: 16,
-            max_padded_tokens: 10,
-        });
+        let mut b = Batcher::new(fifo_policy(16, 10));
         b.push(0, vec![1; 3]);
         b.push(1, vec![1; 3]);
         b.push(2, vec![1; 4]);
@@ -196,10 +554,7 @@ mod tests {
 
     #[test]
     fn over_budget_request_still_forms_a_singleton_batch() {
-        let mut b = Batcher::new(BatchPolicy {
-            max_batch: 16,
-            max_padded_tokens: 4,
-        });
+        let mut b = Batcher::new(fifo_policy(16, 4));
         b.push(7, vec![1; 9]);
         let (ids, batch) = b.next_batch().unwrap();
         assert_eq!(ids, vec![7]);
@@ -210,7 +565,7 @@ mod tests {
     #[test]
     fn packing_is_deterministic() {
         let make = || {
-            let mut b = Batcher::new(BatchPolicy::default_policy());
+            let mut b = Batcher::new(BatchPolicy::bucketed(vec![8, 32, 64]));
             for id in 0..40 {
                 b.push(id, vec![1; 1 + (id as usize * 37) % 100]);
             }
@@ -220,8 +575,166 @@ mod tests {
     }
 
     #[test]
+    fn buckets_separate_lengths_and_keep_fifo_within() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 8,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: vec![4, 16],
+        });
+        // Interleaved short/medium/long arrivals.
+        b.push(0, vec![1; 2]); // short
+        b.push(1, vec![1; 10]); // medium
+        b.push(2, vec![1; 30]); // long (overflow bucket)
+        b.push(3, vec![1; 4]); // short
+        b.push(4, vec![1; 16]); // medium
+        assert_eq!(b.bucket_depths(), vec![2, 2, 1]);
+        // Oldest front first: short (id 0), then medium (id 1), then long.
+        assert_eq!(drain_ids(&mut b), vec![vec![0, 3], vec![1, 4], vec![2]]);
+    }
+
+    #[test]
+    fn bucket_index_maps_lengths_to_edges() {
+        let p = BatchPolicy::bucketed(vec![4, 16, 64]);
+        assert_eq!(p.bucket_count(), 4);
+        assert_eq!(p.bucket_index(1), 0);
+        assert_eq!(p.bucket_index(4), 0);
+        assert_eq!(p.bucket_index(5), 1);
+        assert_eq!(p.bucket_index(16), 1);
+        assert_eq!(p.bucket_index(64), 2);
+        assert_eq!(p.bucket_index(65), 3);
+    }
+
+    #[test]
+    fn take_expired_culls_by_deadline_in_arrival_order() {
+        let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        let t0 = Instant::now();
+        let soon = t0 + Duration::from_millis(1);
+        let late = t0 + Duration::from_secs(60);
+        b.push_at(0, vec![1; 2], t0, Some(soon));
+        b.push_at(1, vec![1; 8], t0, Some(late));
+        b.push_at(2, vec![1; 8], t0, Some(soon));
+        b.push_at(3, vec![1; 2], t0, None);
+        let expired = b.take_expired(t0 + Duration::from_millis(5));
+        let ids: Vec<RequestId> = expired.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(b.queue_depth(), 2);
+        assert_eq!(b.earliest_deadline(), Some(late));
+    }
+
+    #[test]
+    fn plan_close_fires_full_then_aged_then_deadline() {
+        let close = ClosePolicy {
+            max_batch_age: Duration::from_millis(10),
+            deadline_slack: Duration::from_millis(2),
+        };
+        let t0 = Instant::now();
+        // Nothing queued: no close, no next event.
+        let b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        assert_eq!(b.plan_close(t0, &close), None);
+        assert_eq!(b.next_event(&close), None);
+
+        // A bucket that can fill the sequence cap closes Full immediately.
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 2,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: vec![4],
+        });
+        b.push_at(0, vec![1; 2], t0, None);
+        assert_eq!(b.plan_close(t0, &close), None);
+        b.push_at(1, vec![1; 2], t0, None);
+        assert_eq!(b.plan_close(t0, &close), Some((0, CloseReason::Full)));
+
+        // An under-filled batch closes once its front ages out…
+        let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        b.push_at(0, vec![1; 2], t0, None);
+        assert_eq!(b.plan_close(t0 + Duration::from_millis(5), &close), None);
+        assert_eq!(
+            b.plan_close(t0 + Duration::from_millis(10), &close),
+            Some((0, CloseReason::Aged))
+        );
+        assert_eq!(b.next_event(&close), Some(t0 + close.max_batch_age));
+
+        // …and a deadline inside its slack window closes the bucket that
+        // holds the pressured request, even if another bucket is older.
+        let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        b.push_at(0, vec![1; 2], t0, None);
+        let deadline = t0 + Duration::from_millis(6);
+        b.push_at(1, vec![1; 8], t0, Some(deadline));
+        assert_eq!(b.plan_close(t0 + Duration::from_millis(3), &close), None);
+        assert_eq!(
+            b.plan_close(t0 + Duration::from_millis(4), &close),
+            Some((1, CloseReason::Deadline))
+        );
+        assert_eq!(
+            b.next_event(&close),
+            Some(deadline - close.deadline_slack),
+            "deadline slack fires before the 10 ms age"
+        );
+    }
+
+    #[test]
+    fn urgency_outranks_a_full_bucket() {
+        let close = ClosePolicy {
+            max_batch_age: Duration::from_millis(10),
+            deadline_slack: Duration::from_millis(2),
+        };
+        let t0 = Instant::now();
+        // Bucket 0 can fill the 2-sequence cap; bucket 1 holds one aged
+        // request. Closing Full first would starve bucket 1 under
+        // sustained short-request arrivals — Aged must win.
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 2,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: vec![4],
+        });
+        b.push_at(0, vec![1; 8], t0, None);
+        b.push_at(1, vec![1; 2], t0 + Duration::from_millis(9), None);
+        b.push_at(2, vec![1; 2], t0 + Duration::from_millis(9), None);
+        let late = t0 + Duration::from_millis(12);
+        assert_eq!(b.plan_close(late, &close), Some((1, CloseReason::Aged)));
+        // A deadline inside its slack outranks both.
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 2,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: vec![4],
+        });
+        b.push_at(0, vec![1; 2], t0, None);
+        b.push_at(1, vec![1; 2], t0, None);
+        b.push_at(2, vec![1; 8], t0, Some(late + Duration::from_millis(1)));
+        assert_eq!(b.plan_close(late, &close), Some((1, CloseReason::Deadline)));
+    }
+
+    #[test]
+    fn close_bucket_records_waits_and_upgrades_reason_to_full() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 2,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: Vec::new(),
+        });
+        let t0 = Instant::now();
+        b.push_at(0, vec![1; 3], t0, None);
+        b.push_at(1, vec![1; 5], t0, None);
+        b.push_at(2, vec![1; 5], t0, None);
+        let closed = b.close_bucket(0, t0 + Duration::from_millis(3), CloseReason::Aged);
+        assert_eq!(closed.ids, vec![0, 1]);
+        assert_eq!(closed.reason, CloseReason::Full, "cap-limited ⇒ Full");
+        assert_eq!(closed.queue_waits, vec![Duration::from_millis(3); 2]);
+        assert_eq!(closed.batch.max_len(), 5);
+        // The remaining singleton is not budget-limited: fallback sticks.
+        let closed = b.close_bucket(0, t0, CloseReason::Aged);
+        assert_eq!(closed.ids, vec![2]);
+        assert_eq!(closed.reason, CloseReason::Aged);
+    }
+
+    #[test]
     #[should_panic(expected = "empty request")]
     fn empty_request_panics() {
         Batcher::new(BatchPolicy::default_policy()).push(0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bucket_edges_panic() {
+        Batcher::new(BatchPolicy::bucketed(vec![16, 8]));
     }
 }

@@ -1,33 +1,36 @@
 //! # nnlut-serve
 //!
-//! The serving layer of the NN-LUT reproduction: a synchronous inference
-//! server that takes variable-length encode requests and drives the baked
-//! LUT engines at full-machine width, without ever changing a bit of the
-//! answer.
+//! The serving layer of the NN-LUT reproduction: synchronous and
+//! asynchronous inference servers that take variable-length encode
+//! requests and drive the baked LUT engines at full-machine width,
+//! without ever changing a bit of the answer.
 //!
 //! NN-LUT's pitch is that *one* generic LUT datapath serves every
 //! non-linearity; this crate is the serving analogue — one generic
-//! batching/parallelism layer serves every workload:
+//! admission/batching/parallelism layer serves every workload:
 //!
 //! ```text
-//! requests ──▶ queue ──▶ [`Batcher`] ──▶ [`ThreadPool`] ──▶ baked kernels
-//!                         (pack/pad,      (row-range         (BakedLut &
-//!                          attn mask)      lanes)             friends)
+//! requests ──▶ length buckets ──▶ [`Batcher`] ──▶ [`ThreadPool`] ──▶ baked kernels
+//!              (FIFO within       (pack/pad,       (row-range          (BakedLut &
+//!               each bucket)       attn mask)       lanes)              friends)
 //! ```
 //!
 //! * [`pool`] — a small **scoped-thread worker pool** (std-only; the
 //!   build container has no rayon) implementing the transformer crate's
 //!   [`nnlut_transformer::BatchExecutor`] seam with deterministic chunk
 //!   assignment.
-//! * [`batcher`] — a **dynamic batcher**: FIFO admission of
-//!   variable-length requests, packed/padded into fixed-shape
-//!   [`nnlut_transformer::PaddedBatch`]es under a [`BatchPolicy`] budget.
-//! * [`server`] — the [`LutServer`] front door: owns a
-//!   [`nnlut_transformer::BertModel`] plus an [`nnlut_core::NnLutKit`]
-//!   with pre-baked engines, drains the queue batch by batch, and records
-//!   [`metrics`].
-//! * [`metrics`] — per-batch latency, queue depth, padding efficiency and
-//!   end-to-end tokens/sec.
+//! * [`batcher`] — **length-bucketed admission**: one FIFO queue per
+//!   length bucket, packed/padded into fixed-shape
+//!   [`nnlut_transformer::PaddedBatch`]es under a [`BatchPolicy`] budget,
+//!   with deadline-aware batch-close planning ([`ClosePolicy`]).
+//! * [`server`] — the synchronous [`LutServer`] front door: the caller's
+//!   thread drives `submit`/`step`/`drain`.
+//! * [`async_server`] — the asynchronous [`AsyncLutServer`] front door: a
+//!   background worker drains the queue, `submit` returns a [`Ticket`],
+//!   requests carry optional deadlines, and under-filled batches close on
+//!   age or deadline pressure.
+//! * [`metrics`] — per-batch latency, queue-wait percentiles, per-bucket
+//!   padding efficiency, deadline misses and end-to-end tokens/sec.
 //!
 //! ## Determinism contract
 //!
@@ -39,11 +42,16 @@
 //! 2. every parallel kernel is row-local, and cross-row reductions (the
 //!    INT8 per-tensor quantizer) stay serial — there are no
 //!    atomics-ordered reductions anywhere;
-//! 3. workers write disjoint row ranges; nothing is shared mutably.
+//! 3. workers write disjoint row ranges; nothing is shared mutably;
+//! 4. admission is FIFO within a length bucket and deadlines only decide
+//!    *when* a batch closes, never the packing order, so batch
+//!    composition stays a pure function of (arrival order, lengths,
+//!    policy).
 //!
 //! `tests/serve_determinism.rs` property-tests the claim across thread
 //! counts 1/2/4/8, NaN/inf payloads and batch sizes that don't divide
-//! evenly.
+//! evenly; `tests/serve_async.rs` extends it to the asynchronous front
+//! door. The full story lives in `docs/ARCHITECTURE.md`.
 //!
 //! ## Quickstart
 //!
@@ -62,13 +70,20 @@
 //! assert_eq!(responses[0].hidden.shape(), (4, 64));
 //! assert!(server.metrics().tokens_per_sec() > 0.0);
 //! ```
+//!
+//! For the asynchronous front door (tickets, deadlines, timed batch
+//! closes) see [`AsyncLutServer`] and `examples/serve_async.rs`.
 
+#![warn(missing_docs)]
+
+pub mod async_server;
 pub mod batcher;
 pub mod metrics;
 pub mod pool;
 pub mod server;
 
-pub use batcher::{BatchPolicy, Batcher, PendingRequest};
-pub use metrics::{BatchRecord, ServeMetrics};
+pub use async_server::{AsyncLutServer, AsyncServerConfig, ServeError, Ticket};
+pub use batcher::{BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, PendingRequest};
+pub use metrics::{BatchRecord, BucketStats, ServeMetrics};
 pub use pool::ThreadPool;
 pub use server::{EncodeResponse, LutServer, RequestId, ServerConfig};

@@ -1,8 +1,11 @@
 //! Serving metrics: what the operator of a heavy-traffic deployment would
 //! watch — per-batch latency, queue depth at dispatch, padding efficiency
-//! and end-to-end tokens/sec.
+//! (overall and per length bucket), queue-wait percentiles, deadline
+//! misses and end-to-end tokens/sec.
 
 use std::time::Duration;
+
+use crate::batcher::CloseReason;
 
 /// One dispatched batch, as observed by the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,12 +21,45 @@ pub struct BatchRecord {
     pub queue_depth: usize,
     /// Wall-clock encode latency of the batch.
     pub latency: Duration,
+    /// Length bucket the batch was packed from (0 for a FIFO batcher).
+    pub bucket: usize,
+    /// Why the batch closed.
+    pub reason: CloseReason,
+    /// How long each member waited in the queue before dispatch.
+    pub queue_waits: Vec<Duration>,
+}
+
+/// Per-bucket padding/throughput aggregate (see
+/// [`ServeMetrics::per_bucket`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BucketStats {
+    /// Batches dispatched from this bucket.
+    pub batches: usize,
+    /// Sequences those batches carried.
+    pub sequences: usize,
+    /// Real tokens encoded.
+    pub tokens: usize,
+    /// Padded positions computed.
+    pub padded_tokens: usize,
+}
+
+impl BucketStats {
+    /// Fraction of this bucket's computed positions that were real tokens
+    /// (0 before any batch has run).
+    pub fn padding_efficiency(&self) -> f64 {
+        if self.padded_tokens == 0 {
+            return 0.0;
+        }
+        self.tokens as f64 / self.padded_tokens as f64
+    }
 }
 
 /// Aggregated serving metrics over every batch a server has dispatched.
 #[derive(Debug, Clone, Default)]
 pub struct ServeMetrics {
     batches: Vec<BatchRecord>,
+    deadline_misses: usize,
+    missed_waits: Vec<Duration>,
 }
 
 impl ServeMetrics {
@@ -37,9 +73,21 @@ impl ServeMetrics {
         self.batches.push(record);
     }
 
+    /// Records one request expired unserved at its deadline, after
+    /// waiting `waited` in the queue.
+    pub fn record_deadline_miss(&mut self, waited: Duration) {
+        self.deadline_misses += 1;
+        self.missed_waits.push(waited);
+    }
+
     /// Every batch record, in dispatch order.
     pub fn batches(&self) -> &[BatchRecord] {
         &self.batches
+    }
+
+    /// Requests that expired unserved at their deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.deadline_misses
     }
 
     /// Total real tokens encoded.
@@ -72,6 +120,34 @@ impl ServeMetrics {
         self.total_tokens() as f64 / padded as f64
     }
 
+    /// Padding/throughput aggregates per length bucket, indexed by
+    /// bucket. The `Vec` extends only to the **highest bucket that has
+    /// dispatched a batch** — interior idle buckets report zeros, but
+    /// trailing idle buckets are omitted (the metrics don't know the
+    /// policy's bucket count), so treat an out-of-range index as "no
+    /// traffic yet" rather than indexing unchecked. Empty before any
+    /// batch has run.
+    pub fn per_bucket(&self) -> Vec<BucketStats> {
+        let buckets = match self.batches.iter().map(|b| b.bucket).max() {
+            Some(max) => max + 1,
+            None => return Vec::new(),
+        };
+        let mut stats = vec![BucketStats::default(); buckets];
+        for b in &self.batches {
+            let s = &mut stats[b.bucket];
+            s.batches += 1;
+            s.sequences += b.sequences;
+            s.tokens += b.tokens;
+            s.padded_tokens += b.padded_tokens;
+        }
+        stats
+    }
+
+    /// How many batches closed for `reason`.
+    pub fn closes_for(&self, reason: CloseReason) -> usize {
+        self.batches.iter().filter(|b| b.reason == reason).count()
+    }
+
     /// Batch-latency percentile (nearest-rank over dispatched batches);
     /// `None` before any batch has run.
     ///
@@ -79,11 +155,44 @@ impl ServeMetrics {
     ///
     /// Panics if `p` is outside `0.0..=100.0`.
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        Self::nearest_rank(self.batches.iter().map(|b| b.latency).collect(), p)
+    }
+
+    /// Queue-wait percentile (nearest-rank over every *dispatched*
+    /// request's time in queue); `None` before any request was served.
+    /// Expired requests' waits are tracked separately — see
+    /// [`ServeMetrics::missed_wait_percentile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn queue_wait_percentile(&self, p: f64) -> Option<Duration> {
+        Self::nearest_rank(
+            self.batches
+                .iter()
+                .flat_map(|b| b.queue_waits.iter().copied())
+                .collect(),
+            p,
+        )
+    }
+
+    /// How long expired requests had waited when they were culled
+    /// (nearest-rank percentile); `None` before any deadline miss. The
+    /// gap between this and [`ServeMetrics::queue_wait_percentile`] tells
+    /// an operator whether deadlines die to backlog or to tight budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn missed_wait_percentile(&self, p: f64) -> Option<Duration> {
+        Self::nearest_rank(self.missed_waits.clone(), p)
+    }
+
+    fn nearest_rank(mut sorted: Vec<Duration>, p: f64) -> Option<Duration> {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-        if self.batches.is_empty() {
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted: Vec<Duration> = self.batches.iter().map(|b| b.latency).collect();
         sorted.sort();
         // Nearest-rank: ceil(p/100 · n), clamped to [1, n].
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
@@ -99,19 +208,24 @@ impl ServeMetrics {
             .unwrap_or(0)
     }
 
-    /// One-line human summary (the bench and the example print this).
+    /// One-line human summary (the bench and the examples print this).
     pub fn summary(&self) -> String {
         let p50 = self.latency_percentile(50.0).unwrap_or_default();
         let p95 = self.latency_percentile(95.0).unwrap_or_default();
+        let w50 = self.queue_wait_percentile(50.0).unwrap_or_default();
+        let w95 = self.queue_wait_percentile(95.0).unwrap_or_default();
         format!(
-            "{} batches · {} tokens · {:.1} tok/s · p50 {:.2} ms · p95 {:.2} ms · padding eff {:.2} · peak queue {}",
+            "{} batches · {} tokens · {:.1} tok/s · p50 {:.2} ms · p95 {:.2} ms · wait p50 {:.2} ms · wait p95 {:.2} ms · padding eff {:.2} · peak queue {} · deadline misses {}",
             self.batches.len(),
             self.total_tokens(),
             self.tokens_per_sec(),
             p50.as_secs_f64() * 1e3,
             p95.as_secs_f64() * 1e3,
+            w50.as_secs_f64() * 1e3,
+            w95.as_secs_f64() * 1e3,
             self.padding_efficiency(),
             self.peak_queue_depth(),
+            self.deadline_misses,
         )
     }
 }
@@ -127,6 +241,9 @@ mod tests {
             padded_tokens: padded,
             queue_depth: 5,
             latency: Duration::from_millis(ms),
+            bucket: 0,
+            reason: CloseReason::Drain,
+            queue_waits: vec![Duration::from_millis(ms / 2); 2],
         }
     }
 
@@ -136,7 +253,10 @@ mod tests {
         assert_eq!(m.tokens_per_sec(), 0.0);
         assert_eq!(m.padding_efficiency(), 0.0);
         assert_eq!(m.latency_percentile(50.0), None);
+        assert_eq!(m.queue_wait_percentile(50.0), None);
         assert_eq!(m.peak_queue_depth(), 0);
+        assert_eq!(m.deadline_misses(), 0);
+        assert!(m.per_bucket().is_empty());
     }
 
     #[test]
@@ -160,6 +280,55 @@ mod tests {
         assert_eq!(m.latency_percentile(95.0), Some(Duration::from_millis(40)));
         assert_eq!(m.latency_percentile(0.0), Some(Duration::from_millis(10)));
         assert_eq!(m.latency_percentile(100.0), Some(Duration::from_millis(40)));
+        // Queue waits are half the latency in `rec`, two members each.
+        assert_eq!(
+            m.queue_wait_percentile(50.0),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(
+            m.queue_wait_percentile(100.0),
+            Some(Duration::from_millis(20))
+        );
+    }
+
+    #[test]
+    fn per_bucket_splits_padding_efficiency() {
+        let mut m = ServeMetrics::new();
+        m.record(BatchRecord {
+            bucket: 0,
+            ..rec(10, 10, 5)
+        });
+        m.record(BatchRecord {
+            bucket: 2,
+            ..rec(30, 60, 5)
+        });
+        let stats = m.per_bucket();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].batches, 1);
+        assert!((stats[0].padding_efficiency() - 1.0).abs() < 1e-12);
+        assert_eq!(stats[1], BucketStats::default());
+        assert!((stats[2].padding_efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(stats[2].sequences, 2);
+    }
+
+    #[test]
+    fn deadline_misses_and_close_reasons_are_counted() {
+        let mut m = ServeMetrics::new();
+        m.record(BatchRecord {
+            reason: CloseReason::Aged,
+            ..rec(4, 4, 1)
+        });
+        m.record(rec(4, 4, 1));
+        m.record_deadline_miss(Duration::from_millis(7));
+        assert_eq!(m.deadline_misses(), 1);
+        assert_eq!(
+            m.missed_wait_percentile(50.0),
+            Some(Duration::from_millis(7))
+        );
+        assert_eq!(ServeMetrics::new().missed_wait_percentile(95.0), None);
+        assert_eq!(m.closes_for(CloseReason::Aged), 1);
+        assert_eq!(m.closes_for(CloseReason::Drain), 1);
+        assert_eq!(m.closes_for(CloseReason::Full), 0);
     }
 
     #[test]
@@ -175,5 +344,6 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("tok/s"), "{s}");
         assert!(s.contains("1 batches"), "{s}");
+        assert!(s.contains("deadline misses 0"), "{s}");
     }
 }

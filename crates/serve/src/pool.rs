@@ -17,6 +17,11 @@
 //! schedules the lanes. The pool contains no reductions of its own (and
 //! the workspace forbids atomics-ordered ones), so there is no order to
 //! get wrong.
+//!
+//! Both front doors drive this pool: the synchronous
+//! [`LutServer`](crate::LutServer) from the caller's thread, the
+//! asynchronous [`AsyncLutServer`](crate::AsyncLutServer) from its
+//! background worker — one parallel region per encoded batch either way.
 
 use nnlut_transformer::BatchExecutor;
 

@@ -7,13 +7,15 @@
 //! respond. "Synchronous" means the caller's thread drives the queue;
 //! the parallelism lives *inside* a batch (row ranges across the pool),
 //! which is the right shape for a single-tenant CPU deployment and keeps
-//! the whole layer deterministic.
+//! the whole layer deterministic. For a concurrent front door with
+//! deadlines and timed batch closes, see
+//! [`AsyncLutServer`](crate::AsyncLutServer).
 
 use std::time::Instant;
 
 use nnlut_core::NnLutKit;
 use nnlut_tensor::Matrix;
-use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity};
+use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
 
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::metrics::{BatchRecord, ServeMetrics};
@@ -28,7 +30,7 @@ pub type RequestId = u64;
 pub struct ServerConfig {
     /// Worker threads in the pool (`1` = fully serial reference path).
     pub threads: usize,
-    /// Dynamic batching policy.
+    /// Dynamic batching policy (area budget + length buckets).
     pub policy: BatchPolicy,
     /// GEMM precision of the transformer body.
     pub mode: MatmulMode,
@@ -58,6 +60,27 @@ pub struct EncodeResponse {
     pub latency: std::time::Duration,
 }
 
+/// Validates a request against a model's shape at the door: rejecting
+/// here beats panicking mid-batch. Shared by the synchronous and
+/// asynchronous front doors.
+///
+/// # Panics
+///
+/// Panics if `tokens` is empty, longer than the model's `max_seq`, or
+/// contains an out-of-vocabulary id.
+pub(crate) fn validate_request(cfg: &TransformerConfig, tokens: &[usize]) {
+    assert!(!tokens.is_empty(), "cannot submit an empty request");
+    assert!(
+        tokens.len() <= cfg.max_seq,
+        "request length {} exceeds max_seq {}",
+        tokens.len(),
+        cfg.max_seq
+    );
+    for &t in tokens {
+        assert!(t < cfg.vocab, "token id {t} out of vocabulary");
+    }
+}
+
 /// The deterministic batching inference server over the baked LUT engines.
 ///
 /// The LUT kit is deployed on all three non-linearity sites
@@ -66,6 +89,31 @@ pub struct EncodeResponse {
 /// baked engines). Pooled and serial servers produce **bit-identical**
 /// responses; see the crate docs for the contract and
 /// `tests/serve_determinism.rs` for the proof.
+///
+/// # Examples
+///
+/// Length-bucketed admission keeps padding tight while `drain` still
+/// returns responses in submission order:
+///
+/// ```
+/// use nnlut_core::{train::TrainConfig, NnLutKit};
+/// use nnlut_serve::{BatchPolicy, LutServer, ServerConfig};
+/// use nnlut_transformer::{BertModel, TransformerConfig};
+///
+/// let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 7);
+/// let kit = NnLutKit::train_with(16, 7, &TrainConfig::fast());
+/// let config = ServerConfig {
+///     policy: BatchPolicy::bucketed(vec![4, 16]),
+///     ..ServerConfig::default()
+/// };
+/// let mut server = LutServer::new(model, kit, config);
+/// let long = server.submit(vec![1; 20]); // overflow bucket
+/// let short = server.submit(vec![2, 3]); // ≤4 bucket
+/// let responses = server.drain();
+/// assert_eq!(responses[0].id, long);     // submission order restored
+/// assert_eq!(responses[1].id, short);
+/// assert!(server.metrics().padding_efficiency() == 1.0); // no mixed-length padding
+/// ```
 #[derive(Debug, Clone)]
 pub struct LutServer {
     model: BertModel,
@@ -113,6 +161,11 @@ impl LutServer {
         self.batcher.queue_depth()
     }
 
+    /// Requests waiting per length bucket.
+    pub fn bucket_depths(&self) -> Vec<usize> {
+        self.batcher.bucket_depths()
+    }
+
     /// Metrics accumulated over every batch served so far.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
@@ -127,43 +180,38 @@ impl LutServer {
     /// contains an out-of-vocabulary id (rejecting at the door beats
     /// panicking mid-batch).
     pub fn submit(&mut self, tokens: Vec<usize>) -> RequestId {
-        assert!(!tokens.is_empty(), "cannot submit an empty request");
-        let cfg = self.model.config();
-        assert!(
-            tokens.len() <= cfg.max_seq,
-            "request length {} exceeds max_seq {}",
-            tokens.len(),
-            cfg.max_seq
-        );
-        for &t in &tokens {
-            assert!(t < cfg.vocab, "token id {t} out of vocabulary");
-        }
+        validate_request(self.model.config(), &tokens);
         let id = self.next_id;
         self.next_id += 1;
         self.batcher.push(id, tokens);
         id
     }
 
-    /// Packs and encodes **one** batch from the queue front. Returns the
-    /// batch's responses (in submission order), or `None` if the queue
-    /// was empty.
+    /// Packs and encodes **one** batch (from the bucket whose front
+    /// request is oldest). Returns the batch's responses (in submission
+    /// order within the batch), or `None` if the queue was empty.
     pub fn step(&mut self) -> Option<Vec<EncodeResponse>> {
         let depth = self.batcher.queue_depth();
-        let (ids, batch) = self.batcher.next_batch()?;
+        let closed = self.batcher.next_closed_batch()?;
         let start = Instant::now();
         let hidden = self
             .model
-            .encode_batch(&batch, &self.nl, self.mode, &self.pool);
+            .encode_batch(&closed.batch, &self.nl, self.mode, &self.pool);
         let latency = start.elapsed();
         self.metrics.record(BatchRecord {
-            sequences: batch.sequences(),
-            tokens: batch.tokens(),
-            padded_tokens: batch.padded_tokens(),
+            sequences: closed.batch.sequences(),
+            tokens: closed.batch.tokens(),
+            padded_tokens: closed.batch.padded_tokens(),
             queue_depth: depth,
             latency,
+            bucket: closed.bucket,
+            reason: closed.reason,
+            queue_waits: closed.queue_waits,
         });
         Some(
-            ids.into_iter()
+            closed
+                .ids
+                .into_iter()
                 .zip(hidden)
                 .map(|(id, hidden)| EncodeResponse {
                     id,
@@ -176,12 +224,14 @@ impl LutServer {
     }
 
     /// Drains the whole queue batch by batch, returning every response in
-    /// submission order.
+    /// submission order (buckets may interleave dispatch, so the drain
+    /// re-sorts by id before returning).
     pub fn drain(&mut self) -> Vec<EncodeResponse> {
         let mut out = Vec::new();
         while let Some(mut responses) = self.step() {
             out.append(&mut responses);
         }
+        out.sort_by_key(|r| r.id);
         out
     }
 
@@ -239,17 +289,22 @@ mod tests {
         assert!(server.metrics().total_tokens() > 0);
         assert!(server.metrics().tokens_per_sec() > 0.0);
         assert!(server.metrics().latency_percentile(95.0).is_some());
+        assert!(server.metrics().queue_wait_percentile(95.0).is_some());
     }
 
     #[test]
     fn responses_do_not_depend_on_batch_policy() {
         // F32 body + masked attention: the same request must produce the
-        // same bits whether it was served alone or packed with others.
+        // same bits whether it was served alone, packed FIFO, or packed
+        // through length buckets.
         let batched = tiny_server(1, BatchPolicy::default_policy()).serve(workload());
         let unbatched = tiny_server(1, BatchPolicy::unbatched()).serve(workload());
-        for (a, b) in batched.iter().zip(&unbatched) {
+        let bucketed = tiny_server(1, BatchPolicy::bucketed(vec![4, 12])).serve(workload());
+        for ((a, b), c) in batched.iter().zip(&unbatched).zip(&bucketed) {
             assert_eq!(a.id, b.id);
             assert_eq!(a.hidden, b.hidden, "policy changed response {}", a.id);
+            assert_eq!(a.id, c.id);
+            assert_eq!(a.hidden, c.hidden, "buckets changed response {}", a.id);
         }
     }
 
@@ -271,6 +326,7 @@ mod tests {
             BatchPolicy {
                 max_batch: 2,
                 max_padded_tokens: 4096,
+                bucket_edges: Vec::new(),
             },
         );
         for tokens in workload() {
@@ -280,6 +336,24 @@ mod tests {
         assert_eq!(first.len(), 2);
         assert_eq!(server.queue_depth(), 5);
         assert!(server.metrics().batches().len() == 1);
+    }
+
+    #[test]
+    fn bucketed_drain_restores_submission_order() {
+        let mut server = tiny_server(1, BatchPolicy::bucketed(vec![4]));
+        // Alternate long/short so buckets dispatch out of id order.
+        let lens = [20usize, 2, 18, 3, 16, 1];
+        for len in lens {
+            server.submit(vec![1; len]);
+        }
+        let responses = server.drain();
+        let ids: Vec<RequestId> = responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        for (r, len) in responses.iter().zip(lens) {
+            assert_eq!(r.tokens, len);
+        }
+        // Both buckets dispatched at least one batch.
+        assert!(server.metrics().per_bucket().len() == 2);
     }
 
     #[test]

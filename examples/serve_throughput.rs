@@ -27,6 +27,7 @@ fn main() {
             policy: BatchPolicy {
                 max_batch: 8,
                 max_padded_tokens: 512,
+                bucket_edges: vec![8, 16, 32],
             },
             mode: MatmulMode::F32,
         },

@@ -20,10 +20,17 @@
 //! * [`transformer`] — a BERT-style encoder with pluggable non-linearity
 //!   backends plus the synthetic evaluation harness.
 //! * [`serve`] — the serving layer: deterministic scoped thread pool,
-//!   dynamic request batcher and the synchronous `LutServer` front door
-//!   over the baked engines (pooled results bit-identical to serial).
+//!   length-bucketed deadline-aware request batcher, and two front doors
+//!   over the baked engines — the synchronous `LutServer` and the
+//!   asynchronous `AsyncLutServer` (background worker, tickets,
+//!   per-request deadlines) — with pooled results bit-identical to
+//!   serial.
 //! * [`hw`] — the 7 nm-class arithmetic-unit cost model (paper Table 4).
 //! * [`npu`] — the cycle-level accelerator simulator (paper Table 5).
+//!
+//! The repository-level `README.md` quickstart and
+//! `docs/ARCHITECTURE.md` (two-tier evaluation model, serving pipeline,
+//! determinism contract) are the prose companions to these API docs.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,210 @@
+//! Integration tests of the asynchronous serving front door: deadlines
+//! expire as errors (never hangs), timed closes flush partial batches,
+//! shutdown drains, and the bucketed async pipeline reproduces the serial
+//! synchronous server bit for bit across thread counts.
+
+use std::time::Duration;
+
+use nn_lut::core::train::TrainConfig;
+use nn_lut::core::NnLutKit;
+use nn_lut::serve::{
+    AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, CloseReason, LutServer,
+    ServeError, ServerConfig,
+};
+use nn_lut::transformer::{BertModel, MatmulMode, TransformerConfig};
+
+fn tiny_model() -> BertModel {
+    BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9)
+}
+
+fn tiny_kit() -> NnLutKit {
+    NnLutKit::train_with(16, 9, &TrainConfig::fast())
+}
+
+fn async_server(config: AsyncServerConfig) -> AsyncLutServer {
+    AsyncLutServer::new(tiny_model(), tiny_kit(), config)
+}
+
+/// Mixed lengths 1..=29 spread across several buckets of `[8, 16, 24]`.
+fn workload() -> Vec<Vec<usize>> {
+    (0..17u64)
+        .map(|r| {
+            let len = 1 + ((r * 17 + 3) % 29) as usize;
+            (0..len).map(|i| (i * 7 + r as usize) % 128).collect()
+        })
+        .collect()
+}
+
+/// An already-expired deadline resolves to a timeout *error* — the ticket
+/// must never hang and the request must never be encoded.
+#[test]
+fn expired_deadline_returns_timeout_error_not_a_hang() {
+    let server = async_server(AsyncServerConfig::default());
+    let doomed = server.submit_with_deadline(vec![1, 2, 3], Some(Duration::ZERO));
+    let id = doomed.id();
+    match doomed.wait() {
+        Err(ServeError::DeadlineExceeded { id: got, .. }) => assert_eq!(got, id),
+        other => panic!("a zero deadline must expire, got {other:?}"),
+    }
+    let m = server.metrics();
+    assert_eq!(m.deadline_misses(), 1);
+    assert_eq!(m.total_tokens(), 0, "expired requests are never encoded");
+}
+
+/// A deadline that expires while the queue idles is culled by the timed
+/// wakeup, not only on the next dispatch.
+#[test]
+fn deadline_expires_even_when_nothing_else_arrives() {
+    let server = async_server(AsyncServerConfig {
+        close: ClosePolicy {
+            // Age far beyond the deadline: only deadline handling can act.
+            max_batch_age: Duration::from_secs(3600),
+            deadline_slack: Duration::ZERO,
+        },
+        ..AsyncServerConfig::default()
+    });
+    let t = server.submit_with_deadline(vec![1; 4], Some(Duration::from_millis(5)));
+    // With zero slack the close plan fires exactly at the deadline; the
+    // batch still closed before expiry means Ok, after means the error —
+    // both are deadline-correct, neither may hang.
+    match t.wait() {
+        Ok(r) => assert_eq!(r.tokens, 4),
+        Err(ServeError::DeadlineExceeded { waited, .. }) => {
+            assert!(waited >= Duration::from_millis(5));
+        }
+        Err(e @ ServeError::ServerFailed { .. }) => panic!("worker must not fail: {e}"),
+    }
+}
+
+/// An under-filled batch flushes once `max_batch_age` elapses — no
+/// further submissions required.
+#[test]
+fn age_triggered_close_flushes_partial_batch() {
+    let server = async_server(AsyncServerConfig {
+        policy: BatchPolicy {
+            max_batch: 16,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: Vec::new(),
+        },
+        close: ClosePolicy {
+            max_batch_age: Duration::from_millis(10),
+            deadline_slack: Duration::from_millis(1),
+        },
+        ..AsyncServerConfig::default()
+    });
+    let tickets: Vec<_> = (0..3).map(|n| server.submit(vec![1; n + 2])).collect();
+    for t in tickets {
+        t.wait().expect("no deadlines in play");
+    }
+    let m = server.metrics();
+    let sequences: usize = m.batches().iter().map(|b| b.sequences).sum();
+    assert_eq!(sequences, 3, "all requests served");
+    assert!(
+        m.closes_for(CloseReason::Aged) >= 1,
+        "3 of 16 sequences cannot close Full; only age can flush: {:?}",
+        m.batches()
+            .iter()
+            .map(|b| (b.sequences, b.reason))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// A bucket that can fill the budget closes immediately (Full), without
+/// waiting out the batch age.
+#[test]
+fn full_budget_closes_without_waiting_for_age() {
+    let server = async_server(AsyncServerConfig {
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: Vec::new(),
+        },
+        close: ClosePolicy {
+            max_batch_age: Duration::from_secs(3600),
+            deadline_slack: Duration::from_millis(1),
+        },
+        ..AsyncServerConfig::default()
+    });
+    let tickets: Vec<_> = (0..4).map(|_| server.submit(vec![1; 6])).collect();
+    for t in tickets {
+        t.wait().expect("no deadlines in play");
+    }
+    let m = server.metrics();
+    assert!(
+        m.closes_for(CloseReason::Full) >= 1,
+        "an hour-long age cannot have flushed; reasons: {:?}",
+        m.batches().iter().map(|b| b.reason).collect::<Vec<_>>()
+    );
+}
+
+/// The async, length-bucketed, pooled pipeline returns bit-identical
+/// hidden states to the serial synchronous server, across thread counts
+/// 1/2/4/8 — batch composition differs (timing, buckets), responses
+/// must not.
+#[test]
+fn async_bucketed_pipeline_is_bit_identical_to_serial_sync() {
+    let model = tiny_model();
+    let kit = tiny_kit();
+    let mut reference = LutServer::new(
+        model.clone(),
+        kit.clone(),
+        ServerConfig {
+            threads: 1,
+            policy: BatchPolicy::unbatched(),
+            mode: MatmulMode::F32,
+        },
+    );
+    let want = reference.serve(workload());
+
+    for threads in [1usize, 2, 4, 8] {
+        let server = AsyncLutServer::new(
+            model.clone(),
+            kit.clone(),
+            AsyncServerConfig {
+                threads,
+                policy: BatchPolicy {
+                    max_batch: 5,
+                    max_padded_tokens: 120,
+                    bucket_edges: vec![8, 16, 24],
+                },
+                close: ClosePolicy {
+                    max_batch_age: Duration::from_millis(2),
+                    deadline_slack: Duration::from_millis(1),
+                },
+                mode: MatmulMode::F32,
+            },
+        );
+        let tickets: Vec<_> = workload().into_iter().map(|t| server.submit(t)).collect();
+        for (ticket, w) in tickets.into_iter().zip(&want) {
+            let got = ticket.wait().expect("no deadlines in play");
+            assert_eq!(got.id, w.id);
+            assert_eq!(got.hidden.shape(), w.hidden.shape());
+            for (a, b) in got.hidden.as_slice().iter().zip(w.hidden.as_slice()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "async bucketed ({threads} threads) diverged on request {}",
+                    got.id
+                );
+            }
+        }
+    }
+}
+
+/// Dropping the server mid-flight resolves every outstanding ticket
+/// (drain-on-shutdown) — nobody is left blocked.
+#[test]
+fn drop_resolves_every_outstanding_ticket() {
+    let server = async_server(AsyncServerConfig {
+        close: ClosePolicy {
+            max_batch_age: Duration::from_secs(3600),
+            deadline_slack: Duration::from_millis(1),
+        },
+        ..AsyncServerConfig::default()
+    });
+    let tickets: Vec<_> = workload().into_iter().map(|t| server.submit(t)).collect();
+    drop(server);
+    for t in tickets {
+        t.wait().expect("shutdown drains, it does not abandon");
+    }
+}

@@ -174,6 +174,24 @@ fn serve_workload() -> Vec<Vec<usize>> {
 }
 
 fn server_with(kit: &NnLutKit, precision: Precision, threads: usize) -> LutServer {
+    server_with_policy(
+        kit,
+        precision,
+        threads,
+        BatchPolicy {
+            max_batch: 5,
+            max_padded_tokens: 120,
+            bucket_edges: Vec::new(),
+        },
+    )
+}
+
+fn server_with_policy(
+    kit: &NnLutKit,
+    precision: Precision,
+    threads: usize,
+    policy: BatchPolicy,
+) -> LutServer {
     let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
     let kit = kit
         .with_precision(precision)
@@ -183,10 +201,7 @@ fn server_with(kit: &NnLutKit, precision: Precision, threads: usize) -> LutServe
         kit,
         ServerConfig {
             threads,
-            policy: BatchPolicy {
-                max_batch: 5,
-                max_padded_tokens: 120,
-            },
+            policy,
             mode: MatmulMode::F32,
         },
     )
@@ -209,6 +224,40 @@ fn pooled_server_matches_serial_at_all_precisions() {
                         a.to_bits(),
                         b.to_bits(),
                         "{precision:?} kit: pooled ({threads} threads) diverged on request {}",
+                        g.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Bucketed admission keeps every guarantee: a length-bucketed pooled
+/// server reproduces the serial FIFO server bit for bit at all three
+/// baked kit precisions, across thread counts 1/2/4/8 — batch
+/// *composition* changes with the buckets, but with the F32 body and
+/// mask-aware attention the *responses* must not.
+#[test]
+fn bucketed_pooled_server_matches_serial_fifo_at_all_precisions() {
+    let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+    let bucketed = BatchPolicy {
+        max_batch: 5,
+        max_padded_tokens: 120,
+        bucket_edges: vec![8, 16, 24],
+    };
+    for precision in [Precision::F32, Precision::F16, Precision::Int32] {
+        let want = server_with(&kit, precision, 1).serve(serve_workload());
+        for threads in [1usize, 2, 4, 8] {
+            let got = server_with_policy(&kit, precision, threads, bucketed.clone())
+                .serve(serve_workload());
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id, "bucketed drain must restore submission order");
+                for (a, b) in g.hidden.as_slice().iter().zip(w.hidden.as_slice()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{precision:?} kit: bucketed ({threads} threads) diverged on request {}",
                         g.id
                     );
                 }
