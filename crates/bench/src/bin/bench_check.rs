@@ -1,0 +1,254 @@
+//! The CI bench-regression gate.
+//!
+//! Two jobs in one small binary:
+//!
+//! 1. **Ledger integrity** — the committed `BENCH_lut_eval.json` must
+//!    still carry every section the repo's trajectory claims (`results`,
+//!    `serve.configs`, `serve.admission`, `serve.sustained`); a PR that
+//!    drops or mangles a section fails here, not months later.
+//! 2. **Quick-run regression** — a fresh `bench_serve --quick --out …`
+//!    run is compared against the committed `BENCH_serve_quick.json`
+//!    baseline with a relative tolerance (default 10%): padding
+//!    efficiency (deterministic — a pure function of admission order)
+//!    may not regress by more than the tolerance, the steady-state
+//!    metrics footprint may not grow past it, and the overload door must
+//!    still reopen. Throughput is gated machine-normalized — the
+//!    bucketed/FIFO tokens/sec *ratio* within the fresh run, at the
+//!    wider `--throughput-tolerance` (default 40%) because tiny quick
+//!    walls carry scheduler jitter; absolute tokens/sec against a
+//!    baseline from a different machine is deliberately not gated.
+//!
+//! Usage (CI runs exactly this):
+//!
+//! ```text
+//! cargo run --release -p nnlut-bench --bin bench_serve -- --quick --out target/bench_serve_quick.json
+//! cargo run --release -p nnlut-bench --bin bench_check
+//! ```
+//!
+//! Flags: `--fresh <path>` (default `target/bench_serve_quick.json`),
+//! `--baseline <path>` (default `BENCH_serve_quick.json`), `--ledger
+//! <path>` (default `BENCH_lut_eval.json`), `--tolerance <percent>`
+//! (default `10`), `--throughput-tolerance <percent>` (default `40`).
+//! Exits non-zero listing every violated check.
+
+use nnlut_bench::Json;
+
+struct Gate {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self {
+            failures: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    fn fail(&mut self, message: String) {
+        self.checks += 1;
+        println!("  FAIL  {message}");
+        self.failures.push(message);
+    }
+
+    fn pass(&mut self, message: String) {
+        self.checks += 1;
+        println!("  ok    {message}");
+    }
+
+    /// Asserts `doc.path(path)` exists and is a number; returns it.
+    fn require_num(&mut self, doc: &Json, path: &str, label: &str) -> Option<f64> {
+        match doc.path(path).and_then(Json::as_f64) {
+            Some(v) => Some(v),
+            None => {
+                self.fail(format!("{label}: missing numeric `{path}`"));
+                None
+            }
+        }
+    }
+
+    /// Fresh may not fall below `baseline × (1 − tol)`.
+    fn check_floor(&mut self, what: &str, fresh: f64, baseline: f64, tol: f64) {
+        let floor = baseline * (1.0 - tol);
+        if fresh >= floor {
+            self.pass(format!(
+                "{what}: {fresh:.4} vs baseline {baseline:.4} (floor {floor:.4})"
+            ));
+        } else {
+            self.fail(format!(
+                "{what} regressed more than {:.0}%: {fresh:.4} < floor {floor:.4} (baseline {baseline:.4})",
+                tol * 100.0
+            ));
+        }
+    }
+
+    /// Fresh may not rise above `baseline × (1 + tol)`.
+    fn check_ceiling(&mut self, what: &str, fresh: f64, baseline: f64, tol: f64) {
+        let ceiling = baseline * (1.0 + tol);
+        if fresh <= ceiling {
+            self.pass(format!(
+                "{what}: {fresh:.1} vs baseline {baseline:.1} (ceiling {ceiling:.1})"
+            ));
+        } else {
+            self.fail(format!(
+                "{what} grew more than {:.0}%: {fresh:.1} > ceiling {ceiling:.1} (baseline {baseline:.1})",
+                tol * 100.0
+            ));
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} takes a value"))
+                .clone()
+        })
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn load(path: &str, label: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {label} at {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{label} at {path} is not valid JSON: {e}"))
+}
+
+/// Structural checks on the committed ledger: every trajectory section
+/// the repo has earned must still be present and sane.
+fn check_ledger(gate: &mut Gate, ledger: &Json) {
+    println!("ledger integrity:");
+    match ledger.get("results").and_then(Json::as_array) {
+        Some(rows) if !rows.is_empty() => {
+            gate.pass(format!("results: {} rows", rows.len()));
+            for (i, row) in rows.iter().enumerate() {
+                match row.get("speedup").and_then(Json::as_f64) {
+                    Some(s) if s > 0.0 => {}
+                    _ => gate.fail(format!("results[{i}]: missing positive `speedup`")),
+                }
+            }
+        }
+        _ => gate.fail("results: missing or empty".into()),
+    }
+    match ledger.path("serve.configs").and_then(Json::as_array) {
+        Some(rows) if !rows.is_empty() => gate.pass(format!("serve.configs: {} rows", rows.len())),
+        _ => gate.fail("serve.configs: missing or empty".into()),
+    }
+    let fifo = gate.require_num(ledger, "serve.admission.fifo.padding_efficiency", "ledger");
+    let bucketed = gate.require_num(
+        ledger,
+        "serve.admission.bucketed.padding_efficiency",
+        "ledger",
+    );
+    if let (Some(f), Some(b)) = (fifo, bucketed) {
+        if b >= f {
+            gate.pass(format!("serve.admission: bucketed {b:.3} ≥ fifo {f:.3}"));
+        } else {
+            gate.fail(format!(
+                "serve.admission: bucketed {b:.3} pads worse than fifo {f:.3}"
+            ));
+        }
+    }
+    match ledger
+        .path("serve.sustained.in_flight")
+        .and_then(Json::as_array)
+    {
+        Some(rows) if rows.len() >= 2 => {
+            gate.pass(format!("serve.sustained.in_flight: {} rows", rows.len()))
+        }
+        _ => gate.fail("serve.sustained.in_flight: missing or short".into()),
+    }
+    gate.require_num(ledger, "serve.sustained.metrics_bytes_steady", "ledger");
+    match ledger.path("serve.sustained.overload.recovered") {
+        Some(Json::Bool(true)) => gate.pass("serve.sustained.overload: recovered".into()),
+        Some(_) => gate.fail("serve.sustained.overload: door did not reopen".into()),
+        None => gate.fail("serve.sustained.overload.recovered: missing".into()),
+    }
+}
+
+/// Tolerance comparison of a fresh quick run against the committed quick
+/// baseline.
+///
+/// Only machine-independent quantities are hard-gated at `tol`: padding
+/// efficiency is a pure function of admission order (identical on any
+/// machine). Throughput is gated through the **bucketed/FIFO ratio** —
+/// dividing two measurements from the *same* fresh run cancels the
+/// runner's absolute speed — but a quick run's walls are tens of
+/// milliseconds, so the ratio still carries timing noise; it gets the
+/// wider `tput_tol` (default 40%), enough to catch bucketing collapsing
+/// toward 1× without tripping on scheduler jitter. Absolute tokens/sec
+/// is deliberately NOT gated — the baseline was measured on some other
+/// machine, and CI runners vary well past any useful tolerance.
+fn check_regression(gate: &mut Gate, fresh: &Json, baseline: &Json, tol: f64, tput_tol: f64) {
+    println!("quick-run regression (tolerance {:.0}%):", tol * 100.0);
+    for path in [
+        "admission.fifo.padding_efficiency",
+        "admission.bucketed.padding_efficiency",
+    ] {
+        let f = gate.require_num(fresh, path, "fresh");
+        let b = gate.require_num(baseline, path, "baseline");
+        if let (Some(f), Some(b)) = (f, b) {
+            gate.check_floor(path, f, b, tol);
+        }
+    }
+    let ratio = |doc: &Json, gate: &mut Gate, label| {
+        let bucketed = gate.require_num(doc, "admission.bucketed.tokens_per_sec", label);
+        let fifo = gate.require_num(doc, "admission.fifo.tokens_per_sec", label);
+        match (bucketed, fifo) {
+            (Some(b), Some(f)) if f > 0.0 => Some(b / f),
+            _ => None,
+        }
+    };
+    let f = ratio(fresh, gate, "fresh");
+    let b = ratio(baseline, gate, "baseline");
+    if let (Some(f), Some(b)) = (f, b) {
+        gate.check_floor("bucketed/fifo tokens_per_sec ratio", f, b, tput_tol);
+    }
+    let f = gate.require_num(fresh, "sustained.metrics_bytes_steady", "fresh");
+    let b = gate.require_num(baseline, "sustained.metrics_bytes_steady", "baseline");
+    if let (Some(f), Some(b)) = (f, b) {
+        gate.check_ceiling("sustained.metrics_bytes_steady", f, b, tol);
+    }
+    match fresh.path("sustained.overload.recovered") {
+        Some(Json::Bool(true)) => gate.pass("sustained.overload: recovered".into()),
+        _ => gate.fail("sustained.overload: fresh run's door did not reopen".into()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fresh_path = flag(&args, "--fresh", "target/bench_serve_quick.json");
+    let baseline_path = flag(&args, "--baseline", "BENCH_serve_quick.json");
+    let ledger_path = flag(&args, "--ledger", "BENCH_lut_eval.json");
+    let tol = flag(&args, "--tolerance", "10")
+        .parse::<f64>()
+        .expect("--tolerance takes a percentage")
+        / 100.0;
+    let tput_tol = flag(&args, "--throughput-tolerance", "40")
+        .parse::<f64>()
+        .expect("--throughput-tolerance takes a percentage")
+        / 100.0;
+
+    let mut gate = Gate::new();
+    check_ledger(&mut gate, &load(&ledger_path, "ledger"));
+    check_regression(
+        &mut gate,
+        &load(&fresh_path, "fresh quick run"),
+        &load(&baseline_path, "quick baseline"),
+        tol,
+        tput_tol,
+    );
+
+    if gate.failures.is_empty() {
+        println!("bench_check: all {} checks passed", gate.checks);
+    } else {
+        println!(
+            "bench_check: {} of {} checks FAILED",
+            gate.failures.len(),
+            gate.checks
+        );
+        std::process::exit(1);
+    }
+}

@@ -17,17 +17,30 @@
 //! The padding-efficiency comparison has no such caveat: padded area is a
 //! pure function of admission order, identical on any machine.
 //!
+//! A third part exercises **sustained** serving through `AsyncLutServer`:
+//! steady-state metrics memory (the RSS proxy a long-lived deployment
+//! cares about), overload reject rate at a deliberately tight
+//! backpressure watermark, and 1-vs-2 batches in flight. It lands in the
+//! `serve.sustained` section of the ledger and is what `bench_check`
+//! gates CI on.
+//!
 //! Run: `cargo run --release -p nnlut-bench --bin bench_serve`
 //! Smoke: `cargo run --release -p nnlut-bench --bin bench_serve -- --quick`
-//! (tiny model, no JSON write — CI keeps the path alive without
-//! overwriting real measurements).
+//! (tiny model, `BENCH_lut_eval.json` untouched — CI keeps the path alive
+//! without overwriting real measurements). `--out <path>` additionally
+//! writes the run's own section JSON to `path` (any mode) — CI's
+//! bench-regression gate diffs a fresh `--quick --out` run against the
+//! committed `BENCH_serve_quick.json` baseline via `bench_check`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nnlut_bench::upsert_json_key;
 use nnlut_core::train::TrainConfig;
 use nnlut_core::NnLutKit;
-use nnlut_serve::{BatchPolicy, LutServer, ServerConfig};
+use nnlut_serve::{
+    AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, LutServer, ServeError,
+    ServePolicy, ServerConfig,
+};
 use nnlut_transformer::{BertModel, MatmulMode, TransformerConfig};
 
 struct Config {
@@ -41,6 +54,10 @@ struct Config {
     policy: BatchPolicy,
     /// Length-bucket edges for the bucketed-admission comparison.
     bucket_edges: &'static [usize],
+    /// Requests in the sustained async scenario (per in-flight setting).
+    sustained_requests: usize,
+    /// Queue-depth watermark of the sustained overload burst.
+    overload_watermark: usize,
     write_json: bool,
 }
 
@@ -57,6 +74,8 @@ fn quick_config() -> Config {
             bucket_edges: Vec::new(),
         },
         bucket_edges: &[8, 16, 32],
+        sustained_requests: 24,
+        overload_watermark: 4,
         write_json: false,
     }
 }
@@ -80,6 +99,8 @@ fn full_config() -> Config {
             bucket_edges: Vec::new(),
         },
         bucket_edges: &[16, 32, 64],
+        sustained_requests: 48,
+        overload_watermark: 8,
         write_json: true,
     }
 }
@@ -118,6 +139,7 @@ fn run_once(
             threads,
             policy,
             mode: MatmulMode::F32,
+            ..ServerConfig::default()
         },
     );
     let start = Instant::now();
@@ -137,8 +159,126 @@ fn run_once(
     )
 }
 
+struct SustainedRun {
+    max_in_flight: usize,
+    tokens_per_sec: f64,
+    wall_s: f64,
+    metrics_bytes: usize,
+    sketch_capacity: usize,
+}
+
+/// Pushes the mixed-length workload through `AsyncLutServer` with
+/// `max_in_flight` concurrent batches and reports end-to-end throughput
+/// plus the steady-state metrics footprint (the RSS proxy).
+fn run_sustained(
+    cfg: &Config,
+    model: &BertModel,
+    kit: &NnLutKit,
+    max_in_flight: usize,
+) -> SustainedRun {
+    let server = AsyncLutServer::new(
+        model.clone(),
+        kit.clone(),
+        AsyncServerConfig {
+            threads: 1,
+            max_in_flight,
+            policy: cfg.policy.clone().with_buckets(cfg.bucket_edges.to_vec()),
+            close: ClosePolicy {
+                max_batch_age: Duration::from_millis(2),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        },
+    );
+    let requests: Vec<Vec<usize>> = (0..cfg.sustained_requests)
+        .map(|r| {
+            let len = cfg.lengths[r % cfg.lengths.len()];
+            (0..len)
+                .map(|i| (i * 31 + r * 7) % cfg.model.vocab)
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    let tickets: Vec<_> = requests.into_iter().map(|t| server.submit(t)).collect();
+    let mut tokens = 0usize;
+    for t in tickets {
+        tokens += t.wait().expect("no deadlines in play").tokens;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let m = server.metrics();
+    SustainedRun {
+        max_in_flight,
+        tokens_per_sec: tokens as f64 / wall,
+        wall_s: wall,
+        metrics_bytes: m.approx_bytes(),
+        sketch_capacity: m.sketch_capacity(),
+    }
+}
+
+struct OverloadRun {
+    watermark: usize,
+    submitted: usize,
+    rejected: usize,
+    served_ok: usize,
+    recovered: bool,
+}
+
+/// Slams a tight queue-depth watermark with an un-paced burst, counts
+/// reject-at-door outcomes, then verifies the door reopens once the
+/// burst drains.
+fn run_overload(cfg: &Config, model: &BertModel, kit: &NnLutKit) -> OverloadRun {
+    let server = AsyncLutServer::new(
+        model.clone(),
+        kit.clone(),
+        AsyncServerConfig {
+            threads: 1,
+            policy: cfg.policy.clone().with_buckets(cfg.bucket_edges.to_vec()),
+            admission: ServePolicy::with_max_queue_depth(cfg.overload_watermark),
+            close: ClosePolicy {
+                max_batch_age: Duration::from_millis(2),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        },
+    );
+    let submitted = cfg.sustained_requests;
+    let shortest = *cfg.lengths.iter().min().expect("lengths are non-empty");
+    let tickets: Vec<_> = (0..submitted)
+        .map(|r| {
+            let tokens: Vec<usize> = (0..shortest)
+                .map(|i| (i * 31 + r * 7) % cfg.model.vocab)
+                .collect();
+            server.submit(tokens)
+        })
+        .collect();
+    let mut rejected = 0usize;
+    let mut served_ok = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => served_ok += 1,
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("overload burst saw an unexpected failure: {e}"),
+        }
+    }
+    // The burst is fully resolved, so the queue is back under the
+    // watermark: admission must recover.
+    let recovered = server.submit(vec![1; shortest]).wait().is_ok();
+    OverloadRun {
+        watermark: cfg.overload_watermark,
+        submitted,
+        rejected,
+        served_ok,
+        recovered,
+    }
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out takes a path").clone());
     let cfg = if quick { quick_config() } else { full_config() };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -195,8 +335,41 @@ fn main() {
         (bucketed_eff / fifo_eff - 1.0) * 100.0,
         (bucketed_m.tokens_per_sec / fifo_m.tokens_per_sec - 1.0) * 100.0
     );
-    if cfg.write_json {
-        let mcfg = &cfg.model;
+    // Part 3: sustained async serving — 1 vs 2 batches in flight on the
+    // same workload, the steady-state metrics footprint (RSS proxy), and
+    // an overload burst against a tight watermark.
+    println!("  sustained (async, {} requests):", cfg.sustained_requests);
+    let sustained: Vec<SustainedRun> = [1usize, 2]
+        .iter()
+        .map(|&mif| {
+            let run = run_sustained(&cfg, &model, &kit, mif);
+            println!(
+                "    in-flight {}: {:>9.1} tok/s · wall {:>6.2} s · metrics {} B (sketch {})",
+                run.max_in_flight,
+                run.tokens_per_sec,
+                run.wall_s,
+                run.metrics_bytes,
+                run.sketch_capacity
+            );
+            run
+        })
+        .collect();
+    assert_eq!(
+        sustained[0].metrics_bytes, sustained[1].metrics_bytes,
+        "metrics footprint is a function of configuration, not of the run"
+    );
+    let overload = run_overload(&cfg, &model, &kit);
+    println!(
+        "    overload : watermark {} · {}/{} rejected at the door · {} served · door reopened: {}",
+        overload.watermark,
+        overload.rejected,
+        overload.submitted,
+        overload.served_ok,
+        overload.recovered
+    );
+
+    let mcfg = &cfg.model;
+    {
         let mut section = format!(
             "{{\n    \"machine_cores\": {cores},\n    \"model\": {{\"hidden\": {}, \"heads\": {}, \"ffn\": {}, \"layers\": {}}},\n    \"requests\": {},\n    \"configs\": [\n",
             mcfg.hidden, mcfg.heads, mcfg.ffn, mcfg.layers, cfg.requests
@@ -214,7 +387,7 @@ fn main() {
         }
         section.push_str("    ],\n");
         section.push_str(&format!(
-            "    \"admission\": {{\n      \"lengths\": {:?},\n      \"bucket_edges\": {:?},\n      \"fifo\": {{\"padding_efficiency\": {:.4}, \"tokens_per_sec\": {:.1}}},\n      \"bucketed\": {{\"padding_efficiency\": {:.4}, \"tokens_per_sec\": {:.1}}},\n      \"padding_efficiency_gain\": {:.4}\n    }}\n  }}",
+            "    \"admission\": {{\n      \"lengths\": {:?},\n      \"bucket_edges\": {:?},\n      \"fifo\": {{\"padding_efficiency\": {:.4}, \"tokens_per_sec\": {:.1}}},\n      \"bucketed\": {{\"padding_efficiency\": {:.4}, \"tokens_per_sec\": {:.1}}},\n      \"padding_efficiency_gain\": {:.4}\n    }},\n",
             cfg.lengths,
             cfg.bucket_edges,
             fifo_eff,
@@ -223,12 +396,43 @@ fn main() {
             bucketed_m.tokens_per_sec,
             bucketed_eff / fifo_eff,
         ));
-        let existing = std::fs::read_to_string("BENCH_lut_eval.json").unwrap_or_default();
-        let json = upsert_json_key(&existing, "serve", &section);
-        std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
-        println!("\nwrote serve section of BENCH_lut_eval.json");
-    } else {
-        println!("\n--quick: smoke run only, BENCH_lut_eval.json untouched");
+        section.push_str(&format!(
+            "    \"sustained\": {{\n      \"requests\": {},\n      \"in_flight\": [\n",
+            cfg.sustained_requests
+        ));
+        for (i, run) in sustained.iter().enumerate() {
+            section.push_str(&format!(
+                "        {{\"max_in_flight\": {}, \"tokens_per_sec\": {:.1}, \"wall_s\": {:.3}}}{}\n",
+                run.max_in_flight,
+                run.tokens_per_sec,
+                run.wall_s,
+                if i + 1 == sustained.len() { "" } else { "," }
+            ));
+        }
+        section.push_str(&format!(
+            "      ],\n      \"metrics_bytes_steady\": {},\n      \"sketch_capacity\": {},\n      \"overload\": {{\"watermark_depth\": {}, \"submitted\": {}, \"rejected\": {}, \"served_ok\": {}, \"reject_rate\": {:.4}, \"recovered\": {}}}\n    }}\n  }}",
+            sustained[0].metrics_bytes,
+            sustained[0].sketch_capacity,
+            overload.watermark,
+            overload.submitted,
+            overload.rejected,
+            overload.served_ok,
+            overload.rejected as f64 / overload.submitted as f64,
+            overload.recovered,
+        ));
+        if let Some(path) = &out_path {
+            std::fs::write(path, format!("{}\n", section.trim_start()))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("\nwrote this run's serve section to {path}");
+        }
+        if cfg.write_json {
+            let existing = std::fs::read_to_string("BENCH_lut_eval.json").unwrap_or_default();
+            let json = upsert_json_key(&existing, "serve", &section);
+            std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
+            println!("wrote serve section of BENCH_lut_eval.json");
+        } else {
+            println!("--quick: smoke run, BENCH_lut_eval.json untouched");
+        }
     }
 
     // Regression guard *after* the ledger write, so a failing comparison

@@ -12,6 +12,9 @@ use nnlut_core::linear_lut::BreakpointMode;
 use nnlut_core::train::TrainConfig;
 use nnlut_core::NnLutKit;
 
+pub mod json;
+pub use json::Json;
+
 /// The seed all reproduction binaries use for kit training.
 pub const KIT_SEED: u64 = 20220712;
 

@@ -1,9 +1,8 @@
 //! The asynchronous serving front door.
 //!
 //! [`AsyncLutServer`] decouples admission from execution: `submit` returns
-//! a [`Ticket`] immediately, and a dedicated background worker thread owns
-//! the model, the baked kit and the [`ThreadPool`], draining the
-//! length-bucketed [`Batcher`] as batches close. A batch
+//! a [`Ticket`] immediately, and a dedicated background **dispatcher**
+//! thread drains the length-bucketed [`Batcher`] as batches close. A batch
 //! closes when the **first** of three conditions fires:
 //!
 //! 1. **area budget** — a bucket can fill the
@@ -22,20 +21,45 @@
 //! (and with an FP32/FP16 body the responses are bit-identical to a
 //! serial, unbatched server; `tests/serve_async.rs` proves it).
 //!
+//! # Backpressure
+//!
+//! Admission is bounded by [`ServePolicy`]: a submission that would push
+//! the queue past its depth or queued-area watermark is **rejected at the
+//! door** — its ticket resolves immediately to [`ServeError::Overloaded`],
+//! the rejection is counted in the metrics, and every already-queued
+//! request is untouched (newest-arrival-first rejection keeps FIFO
+//! fairness). Once the dispatcher drains the queue back under the
+//! watermark, new submissions are admitted again.
+//!
+//! # Multiple batches in flight
+//!
+//! With [`AsyncServerConfig::max_in_flight`] > 1 the dispatcher hands
+//! closed batches to that many **encoder threads** (each with its own
+//! [`ThreadPool`]), so batch *k+1* encodes while *k* is still running.
+//! Batch *composition* stays a pure function of queue contents at close
+//! time — only the dispatcher, under the shared lock, ever packs a batch.
+//! Completions flow through an **ordered completion queue**: results are
+//! recorded and tickets resolved strictly in dispatch order, so a fast
+//! batch never overtakes a slow earlier one observably, and the
+//! bit-identical-to-serial contract is unchanged (mask-aware attention
+//! makes each response independent of batch composition; see
+//! `docs/ARCHITECTURE.md`).
+//!
 //! Dropping the server (or calling [`AsyncLutServer::shutdown`]) flushes:
-//! the worker drains every queued request before exiting, so no ticket is
-//! left unresolved.
+//! the dispatcher drains every queued request and waits out every
+//! in-flight batch before exiting, so no ticket is left unresolved.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nnlut_core::NnLutKit;
+use nnlut_tensor::Matrix;
 use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
 
-use crate::batcher::{BatchPolicy, Batcher, ClosePolicy, CloseReason};
-use crate::metrics::{BatchRecord, ServeMetrics};
+use crate::batcher::{BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, ServePolicy};
+use crate::metrics::{BatchRecord, ServeMetrics, DEFAULT_SKETCH_CAPACITY};
 use crate::pool::ThreadPool;
 use crate::server::{validate_request, EncodeResponse, RequestId};
 
@@ -49,6 +73,15 @@ pub enum ServeError {
         id: RequestId,
         /// How long it waited before expiring.
         waited: Duration,
+    },
+    /// The queue was at its [`ServePolicy`] watermark when the request
+    /// arrived; it was rejected at the door, never queued, never encoded.
+    /// Back off and resubmit — already-queued requests are unaffected.
+    Overloaded {
+        /// The request's id.
+        id: RequestId,
+        /// Queue depth at rejection time (at or above the watermark).
+        queue_depth: usize,
     },
     /// The worker failed (a panic escaped the encode path) before this
     /// request could complete. The server stays up; the request was not
@@ -66,6 +99,10 @@ impl std::fmt::Display for ServeError {
                 f,
                 "request {id} missed its deadline after waiting {:.2} ms",
                 waited.as_secs_f64() * 1e3
+            ),
+            ServeError::Overloaded { id, queue_depth } => write!(
+                f,
+                "request {id} rejected at the door: queue at watermark (depth {queue_depth})"
             ),
             ServeError::ServerFailed { id } => {
                 write!(f, "the serving worker failed before request {id} completed")
@@ -87,12 +124,23 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Construction knobs for the asynchronous front door.
 #[derive(Debug, Clone)]
 pub struct AsyncServerConfig {
-    /// Worker threads in the encode pool (`1` = serial reference path).
+    /// Worker threads in each encode pool (`1` = serial reference path).
     pub threads: usize,
     /// Dynamic batching policy (area budget + length buckets).
     pub policy: BatchPolicy,
     /// When under-filled batches close anyway.
     pub close: ClosePolicy,
+    /// Admission watermarks — reject-at-door backpressure. Default:
+    /// unbounded (no behavior change until you opt in).
+    pub admission: ServePolicy,
+    /// Batches that may encode concurrently (`0` is clamped to `1`).
+    /// Each in-flight slot is one encoder thread with its own
+    /// [`ThreadPool`] of [`AsyncServerConfig::threads`] lanes, so total
+    /// encode threads = `max_in_flight × threads`.
+    pub max_in_flight: usize,
+    /// Retention of each metrics percentile sketch (the metrics memory
+    /// bound; see [`ServeMetrics::sketch_capacity`]).
+    pub sketch_capacity: usize,
     /// GEMM precision of the transformer body.
     pub mode: MatmulMode,
 }
@@ -103,6 +151,9 @@ impl Default for AsyncServerConfig {
             threads: 1,
             policy: BatchPolicy::default_policy(),
             close: ClosePolicy::default_policy(),
+            admission: ServePolicy::unbounded(),
+            max_in_flight: 1,
+            sketch_capacity: DEFAULT_SKETCH_CAPACITY,
             mode: MatmulMode::F32,
         }
     }
@@ -132,7 +183,8 @@ impl TicketState {
 }
 
 /// Handle to one in-flight asynchronous request, resolved by the worker
-/// on completion (or expiry). Obtained from [`AsyncLutServer::submit`].
+/// on completion (or expiry/rejection). Obtained from
+/// [`AsyncLutServer::submit`].
 #[derive(Debug)]
 pub struct Ticket {
     id: RequestId,
@@ -151,10 +203,12 @@ impl Ticket {
         lock(&self.state.slot).is_some()
     }
 
-    /// Blocks until the request completes or expires. Never hangs: every
-    /// admitted ticket is resolved — on completion (`Ok`), deadline
-    /// expiry ([`ServeError::DeadlineExceeded`]), and even a worker
-    /// failure ([`ServeError::ServerFailed`], from the per-batch panic
+    /// Blocks until the request completes, expires, or is rejected.
+    /// Never hangs: every ticket is resolved — on completion (`Ok`),
+    /// deadline expiry ([`ServeError::DeadlineExceeded`]), overload
+    /// rejection ([`ServeError::Overloaded`], already resolved when
+    /// `submit` returned), and even a worker failure
+    /// ([`ServeError::ServerFailed`], from the per-batch panic
     /// containment or the shutdown sweep).
     pub fn wait(self) -> Result<EncodeResponse, ServeError> {
         let mut slot = lock(&self.state.slot);
@@ -171,7 +225,28 @@ impl Ticket {
     }
 }
 
-/// Everything the submitter side and the worker share, behind one lock.
+/// One closed batch on its way to an encoder thread.
+#[derive(Debug)]
+struct EncodeJob {
+    /// Dispatch sequence number — the ordered-completion key.
+    seq: u64,
+    closed: ClosedBatch,
+    /// Queue depth at close time (metrics bookkeeping).
+    depth: usize,
+}
+
+/// One encoded batch waiting in the ordered completion queue.
+#[derive(Debug)]
+struct Completion {
+    closed: ClosedBatch,
+    depth: usize,
+    /// `Err(())` = the encode panicked (contained); tickets fail.
+    outcome: Result<Vec<Matrix>, ()>,
+    latency: Duration,
+}
+
+/// Everything the submitter side, the dispatcher and the encoder threads
+/// share, behind one lock.
 #[derive(Debug)]
 struct State {
     batcher: Batcher,
@@ -179,13 +254,31 @@ struct State {
     metrics: ServeMetrics,
     next_id: RequestId,
     shutdown: bool,
+    /// Closed batches awaiting an encoder, in dispatch order.
+    encode_queue: VecDeque<EncodeJob>,
+    /// Batches dispatched but not yet resolved (queued-for-encode,
+    /// encoding, or parked in `completions` behind an earlier batch).
+    in_flight: usize,
+    /// Next dispatch sequence number.
+    next_seq: u64,
+    /// Sequence number the ordered resolver will resolve next.
+    next_resolve: u64,
+    /// Out-of-order completions parked until their turn.
+    completions: BTreeMap<u64, Completion>,
+    /// Tells idle encoder threads to exit (set once, at the end of the
+    /// shutdown drain).
+    encoders_exit: bool,
 }
 
 #[derive(Debug)]
 struct Shared {
     state: Mutex<State>,
-    /// Signalled on new arrivals and on shutdown.
+    /// Signalled on new arrivals, on shutdown, and whenever a completion
+    /// frees an in-flight slot — everything the dispatcher sleeps on.
     work: Condvar,
+    /// Signalled when a job lands in `encode_queue` (and at
+    /// `encoders_exit`) — everything the encoder threads sleep on.
+    encode: Condvar,
 }
 
 /// The asynchronous, deadline-aware batching server over the baked LUT
@@ -195,13 +288,17 @@ struct Shared {
 ///
 /// ```
 /// use nnlut_core::{train::TrainConfig, NnLutKit};
-/// use nnlut_serve::{AsyncLutServer, AsyncServerConfig};
+/// use nnlut_serve::{AsyncLutServer, AsyncServerConfig, ServePolicy};
 /// use nnlut_transformer::{BertModel, TransformerConfig};
 /// use std::time::Duration;
 ///
 /// let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 3);
 /// let kit = NnLutKit::train_with(16, 3, &TrainConfig::fast());
-/// let server = AsyncLutServer::new(model, kit, AsyncServerConfig::default());
+/// let server = AsyncLutServer::new(model, kit, AsyncServerConfig {
+///     max_in_flight: 2,                                   // overlap encodes
+///     admission: ServePolicy::with_max_queue_depth(1024), // reject-at-door
+///     ..AsyncServerConfig::default()
+/// });
 ///
 /// // Tickets resolve in the background; wait() blocks until done.
 /// let a = server.submit(vec![1, 2, 3, 4]);
@@ -216,6 +313,7 @@ pub struct AsyncLutServer {
     shared: Arc<Shared>,
     /// Kept for door-step validation; the model itself lives on the worker.
     config: TransformerConfig,
+    admission: ServePolicy,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -234,29 +332,51 @@ impl AsyncLutServer {
             state: Mutex::new(State {
                 batcher: Batcher::new(config.policy.clone()),
                 tickets: HashMap::new(),
-                metrics: ServeMetrics::new(),
+                metrics: ServeMetrics::with_sketch_capacity(config.sketch_capacity),
                 next_id: 0,
                 shutdown: false,
+                encode_queue: VecDeque::new(),
+                in_flight: 0,
+                next_seq: 0,
+                next_resolve: 0,
+                completions: BTreeMap::new(),
+                encoders_exit: false,
             }),
             work: Condvar::new(),
+            encode: Condvar::new(),
         });
         let worker_shared = Arc::clone(&shared);
-        let pool = ThreadPool::new(config.threads);
         let close = config.close;
+        let threads = config.threads;
+        let max_in_flight = config.max_in_flight.max(1);
         let mode = config.mode;
+        let admission = config.admission;
         let worker = std::thread::Builder::new()
-            .name("nnlut-serve-worker".into())
-            .spawn(move || worker_loop(worker_shared, model, nl, mode, pool, close))
-            .expect("spawn serving worker");
+            .name("nnlut-serve-dispatch".into())
+            .spawn(move || {
+                dispatcher_loop(
+                    worker_shared,
+                    Arc::new(model),
+                    Arc::new(nl),
+                    mode,
+                    threads,
+                    close,
+                    max_in_flight,
+                )
+            })
+            .expect("spawn serving dispatcher");
         Self {
             shared,
             config: model_config,
+            admission,
             worker: Some(worker),
         }
     }
 
     /// Enqueues a request with no deadline. Returns immediately; the
-    /// [`Ticket`] resolves when the batch it rides in completes.
+    /// [`Ticket`] resolves when the batch it rides in completes (or
+    /// immediately, to [`ServeError::Overloaded`], if the queue is at its
+    /// backpressure watermark).
     ///
     /// # Panics
     ///
@@ -275,6 +395,10 @@ impl AsyncLutServer {
     /// [`ClosePolicy::deadline_slack`] is the knob that leaves encode
     /// headroom. `None` means no deadline.
     ///
+    /// If the queue is at its [`ServePolicy`] watermark the request is
+    /// rejected at the door: the returned ticket is already resolved to
+    /// [`ServeError::Overloaded`] and nothing was queued.
+    ///
     /// # Panics
     ///
     /// Panics if the request is empty, overlong, out-of-vocabulary, or
@@ -283,17 +407,33 @@ impl AsyncLutServer {
         validate_request(&self.config, &tokens);
         let now = Instant::now();
         let state = Arc::new(TicketState::new());
-        let id = {
+        let (id, rejected_at_depth) = {
             let mut st = lock(&self.shared.state);
             assert!(!st.shutdown, "cannot submit after shutdown");
             let id = st.next_id;
             st.next_id += 1;
-            st.tickets.insert(id, Arc::clone(&state));
-            st.batcher
-                .push_at(id, tokens, now, deadline.map(|d| now + d));
-            id
+            let depth = st.batcher.queue_depth();
+            if !self
+                .admission
+                .admits(depth + 1, st.batcher.queued_tokens() + tokens.len())
+            {
+                st.metrics.record_overload_rejection();
+                (id, Some(depth))
+            } else {
+                st.tickets.insert(id, Arc::clone(&state));
+                st.batcher
+                    .push_at(id, tokens, now, deadline.map(|d| now + d));
+                (id, None)
+            }
         };
-        self.shared.work.notify_one();
+        match rejected_at_depth {
+            Some(queue_depth) => {
+                // Resolved outside the shared lock; the ticket's own lock
+                // orders the handoff.
+                state.resolve(Err(ServeError::Overloaded { id, queue_depth }));
+            }
+            None => self.shared.work.notify_one(),
+        }
         Ticket { id, state }
     }
 
@@ -302,14 +442,24 @@ impl AsyncLutServer {
         lock(&self.shared.state).batcher.queue_depth()
     }
 
-    /// A snapshot of the serving metrics so far.
+    /// Sum of queued requests' token lengths — the queued-area signal the
+    /// backpressure watermark runs on.
+    pub fn queued_tokens(&self) -> usize {
+        lock(&self.shared.state).batcher.queued_tokens()
+    }
+
+    /// A snapshot of the serving metrics so far. The shared lock is held
+    /// only for the O(sketch-capacity) copy — every percentile is
+    /// computed on the snapshot, outside the lock, so this call's cost is
+    /// independent of how many batches the server has dispatched
+    /// (`tests/serve_soak.rs` pins that down).
     pub fn metrics(&self) -> ServeMetrics {
         lock(&self.shared.state).metrics.clone()
     }
 
     /// Stops admission, drains every queued request (resolving all
-    /// outstanding tickets) and joins the worker. Idempotent; also runs
-    /// on drop.
+    /// outstanding tickets, waiting out every in-flight batch) and joins
+    /// the worker. Idempotent; also runs on drop.
     ///
     /// If the worker died abnormally (a panic that escaped even the
     /// per-batch containment), every still-unresolved ticket is failed
@@ -341,86 +491,22 @@ impl Drop for AsyncLutServer {
     }
 }
 
-/// The background worker: sleep → expire → close → encode → resolve.
-fn worker_loop(
-    shared: Arc<Shared>,
-    model: BertModel,
-    nl: Nonlinearity,
-    mode: MatmulMode,
-    pool: ThreadPool,
-    close: ClosePolicy,
-) {
-    loop {
-        // Phase 1 (under the lock): expire deadlines, decide whether a
-        // batch closes now, otherwise sleep until the next timed event or
-        // arrival.
-        let closed = {
-            let mut st = lock(&shared.state);
-            loop {
-                let now = Instant::now();
-                let expired = st.batcher.take_expired(now);
-                if !expired.is_empty() {
-                    for req in expired {
-                        let waited = now.saturating_duration_since(req.queued_at);
-                        st.metrics.record_deadline_miss(waited);
-                        if let Some(ticket) = st.tickets.remove(&req.id) {
-                            ticket
-                                .resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
-                        }
-                    }
-                    continue; // re-plan against the culled queue
-                }
-                let plan = if st.shutdown {
-                    // Flush: ignore timers, drain oldest-front first.
-                    st.batcher.plan_drain().map(|b| (b, CloseReason::Drain))
-                } else {
-                    st.batcher.plan_close(now, &close)
-                };
-                if let Some((bucket, reason)) = plan {
-                    let depth = st.batcher.queue_depth();
-                    break (st.batcher.close_bucket(bucket, now, reason), depth);
-                }
-                if st.shutdown {
-                    return; // queue empty, admission closed: done.
-                }
-                st = match st.batcher.next_event(&close) {
-                    Some(at) => {
-                        // Floor the sleep so a just-elapsed timer cannot
-                        // spin the loop at zero-duration waits.
-                        let wait = at
-                            .saturating_duration_since(now)
-                            .max(Duration::from_micros(50));
-                        shared
-                            .work
-                            .wait_timeout(st, wait)
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .0
-                    }
-                    None => shared.work.wait(st).unwrap_or_else(PoisonError::into_inner),
-                };
-            }
-        };
-        let (closed, depth) = closed;
-
-        // Phase 2 (lock released): the expensive part — encode the batch
-        // through the pool while submitters keep admitting. A panic here
-        // is contained (submit validates at the door, so none is
-        // expected): the batch's tickets resolve to `ServerFailed`
-        // instead of leaving waiters hanging, and the worker lives on.
-        // Nothing is mutated across the unwind boundary — the model,
-        // backends and pool are all `&`/owned-immutable — so
-        // `AssertUnwindSafe` is honest.
-        let start = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.encode_batch(&closed.batch, &nl, mode, &pool)
-        }));
-        let latency = start.elapsed();
-
-        // Phase 3 (under the lock): record and resolve.
-        let mut st = lock(&shared.state);
+/// Resolves the in-order prefix of the completion queue: records metrics
+/// and resolves tickets strictly in dispatch-sequence order, freeing one
+/// in-flight slot per batch. Called under the shared lock.
+fn resolve_ready_completions(st: &mut State) {
+    while let Some(done) = st.completions.remove(&st.next_resolve) {
+        st.next_resolve += 1;
+        st.in_flight -= 1;
+        let Completion {
+            closed,
+            depth,
+            outcome,
+            latency,
+        } = done;
         let hidden = match outcome {
             Ok(hidden) => hidden,
-            Err(_) => {
+            Err(()) => {
                 for id in &closed.ids {
                     if let Some(ticket) = st.tickets.remove(id) {
                         ticket.resolve(Err(ServeError::ServerFailed { id: *id }));
@@ -448,6 +534,165 @@ fn worker_loop(
                     latency,
                 }));
             }
+        }
+    }
+}
+
+/// One encoder thread: pop a job, encode it (the only expensive step —
+/// outside the lock), park the result in the ordered completion queue and
+/// resolve whatever prefix is ready.
+fn encoder_loop(
+    shared: Arc<Shared>,
+    model: Arc<BertModel>,
+    nl: Arc<Nonlinearity>,
+    mode: MatmulMode,
+    pool: ThreadPool,
+) {
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if let Some(job) = st.encode_queue.pop_front() {
+                    break job;
+                }
+                if st.encoders_exit {
+                    return;
+                }
+                st = shared
+                    .encode
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // The expensive part, lock released: submitters keep admitting and
+        // the dispatcher keeps closing batches for the other encoders. A
+        // panic here is contained (submit validates at the door, so none
+        // is expected): the batch's tickets resolve to `ServerFailed`
+        // instead of leaving waiters hanging, and the server lives on.
+        // Nothing is mutated across the unwind boundary — the model,
+        // backends and pool are all shared-immutable — so
+        // `AssertUnwindSafe` is honest.
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.encode_batch(&job.closed.batch, &nl, mode, &pool)
+        }));
+        let latency = start.elapsed();
+        let mut st = lock(&shared.state);
+        st.completions.insert(
+            job.seq,
+            Completion {
+                closed: job.closed,
+                depth: job.depth,
+                outcome: outcome.map_err(|_| ()),
+                latency,
+            },
+        );
+        resolve_ready_completions(&mut st);
+        drop(st);
+        // A slot may have been freed and the queue may have moved: wake
+        // the dispatcher (and any shutdown waiter).
+        shared.work.notify_all();
+    }
+}
+
+/// The background dispatcher: expire deadlines, close batches, hand them
+/// to the encoder threads, sleep until the next timed event or arrival.
+fn dispatcher_loop(
+    shared: Arc<Shared>,
+    model: Arc<BertModel>,
+    nl: Arc<Nonlinearity>,
+    mode: MatmulMode,
+    threads: usize,
+    close: ClosePolicy,
+    max_in_flight: usize,
+) {
+    let encoders: Vec<JoinHandle<()>> = (0..max_in_flight)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let model = Arc::clone(&model);
+            let nl = Arc::clone(&nl);
+            std::thread::Builder::new()
+                .name(format!("nnlut-serve-encode-{i}"))
+                .spawn(move || encoder_loop(shared, model, nl, mode, ThreadPool::new(threads)))
+                .expect("spawn serving encoder")
+        })
+        .collect();
+
+    let mut st = lock(&shared.state);
+    loop {
+        let now = Instant::now();
+        // Expire deadlines first — an expired request must never be
+        // packed, whatever else this wakeup does.
+        let expired = st.batcher.take_expired(now);
+        if !expired.is_empty() {
+            for req in expired {
+                let waited = now.saturating_duration_since(req.queued_at);
+                st.metrics.record_deadline_miss(waited);
+                if let Some(ticket) = st.tickets.remove(&req.id) {
+                    ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
+                }
+            }
+            continue; // re-plan against the culled queue
+        }
+        // Dispatch while an in-flight slot is free and a close fires.
+        if st.in_flight < max_in_flight {
+            let plan = if st.shutdown {
+                // Flush: ignore timers, drain oldest-front first.
+                st.batcher.plan_drain().map(|b| (b, CloseReason::Drain))
+            } else {
+                st.batcher.plan_close(now, &close)
+            };
+            if let Some((bucket, reason)) = plan {
+                let depth = st.batcher.queue_depth();
+                let closed = st.batcher.close_bucket(bucket, now, reason);
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.in_flight += 1;
+                st.encode_queue.push_back(EncodeJob { seq, closed, depth });
+                shared.encode.notify_one();
+                continue; // a further slot may be free
+            }
+        }
+        if st.shutdown && st.batcher.is_empty() && st.in_flight == 0 {
+            // Queue drained, every batch resolved, admission closed: tell
+            // the idle encoders to exit and join them.
+            st.encoders_exit = true;
+            drop(st);
+            shared.encode.notify_all();
+            break;
+        }
+        // With a free slot, wake for the next close *or* deadline event.
+        // Saturated (every in-flight slot busy), an elapsed close timer
+        // can't be acted on — sleeping on it would spin at the floor
+        // duration for the whole encode — so only deadline expiry keeps a
+        // timer; a completion wakes the dispatcher through `work`.
+        let timer = if st.in_flight < max_in_flight {
+            st.batcher.next_event(&close)
+        } else {
+            st.batcher.earliest_deadline()
+        };
+        st = match timer {
+            Some(at) => {
+                // Floor the sleep so a just-elapsed timer cannot spin the
+                // loop at zero-duration waits.
+                let wait = at
+                    .saturating_duration_since(now)
+                    .max(Duration::from_micros(50));
+                shared
+                    .work
+                    .wait_timeout(st, wait)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0
+            }
+            None => shared.work.wait(st).unwrap_or_else(PoisonError::into_inner),
+        };
+    }
+    for handle in encoders {
+        if handle.join().is_err() {
+            // An encoder died outside the per-batch containment. Propagate
+            // so `shutdown`'s sweep fails the orphaned tickets instead of
+            // leaving waiters hanging.
+            panic!("serving encoder thread panicked");
         }
     }
 }
@@ -480,6 +725,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_in_flight_resolves_everything() {
+        let server = tiny_async(AsyncServerConfig {
+            max_in_flight: 3,
+            threads: 2,
+            ..AsyncServerConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..12).map(|n| server.submit(vec![2; 1 + n % 7])).collect();
+        for (n, t) in tickets.into_iter().enumerate() {
+            let r = t.wait().expect("no deadline set");
+            assert_eq!(r.id, n as u64);
+            assert_eq!(r.tokens, 1 + n % 7);
+        }
+        let m = server.metrics();
+        assert_eq!(m.total_sequences(), 12);
+        assert_eq!(m.deadline_misses(), 0);
+    }
+
+    #[test]
     fn shutdown_flushes_outstanding_tickets() {
         let mut server = tiny_async(AsyncServerConfig {
             close: ClosePolicy {
@@ -495,6 +758,59 @@ mod tests {
         assert!(t1.is_ready() && t2.is_ready());
         assert_eq!(t1.wait().unwrap().tokens, 3);
         assert_eq!(t2.wait().unwrap().tokens, 10);
+    }
+
+    #[test]
+    fn overload_rejects_at_the_door_and_recovers() {
+        let mut server = tiny_async(AsyncServerConfig {
+            admission: ServePolicy::with_max_queue_depth(2),
+            close: ClosePolicy {
+                // Nothing closes on its own: the queue stays at depth 2.
+                max_batch_age: Duration::from_secs(3600),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        });
+        let a = server.submit(vec![1; 3]);
+        let b = server.submit(vec![2; 3]);
+        let rejected = server.submit(vec![3; 3]);
+        // The rejection is immediate — no worker involvement.
+        assert!(rejected.is_ready());
+        match rejected.wait() {
+            Err(ServeError::Overloaded { id, queue_depth }) => {
+                assert_eq!(id, 2);
+                assert_eq!(queue_depth, 2);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(server.metrics().overload_rejections(), 1);
+        // Queued requests are unaffected by the rejection (FIFO fairness):
+        // the shutdown drain serves both.
+        server.shutdown();
+        assert_eq!(a.wait().unwrap().tokens, 3);
+        assert_eq!(b.wait().unwrap().tokens, 3);
+    }
+
+    #[test]
+    fn queued_area_watermark_rejects_large_backlog() {
+        let server = tiny_async(AsyncServerConfig {
+            admission: ServePolicy::with_max_queued_tokens(10),
+            close: ClosePolicy {
+                max_batch_age: Duration::from_secs(3600),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        });
+        let _a = server.submit(vec![1; 8]); // 8 of 10 queued tokens
+        let rejected = server.submit(vec![2; 3]); // would be 11 — rejected
+        assert!(matches!(
+            rejected.wait(),
+            Err(ServeError::Overloaded { .. })
+        ));
+        let small = server.submit(vec![2; 2]); // exactly 10 — admitted
+        assert_eq!(server.queued_tokens(), 10);
+        drop(server); // shutdown drain serves the admitted requests
+        assert_eq!(small.wait().unwrap().tokens, 2);
     }
 
     #[test]

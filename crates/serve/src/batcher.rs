@@ -137,6 +137,80 @@ impl Default for ClosePolicy {
     }
 }
 
+/// Admission watermarks for reject-at-door backpressure.
+///
+/// A queue with no ceiling grows without bound under sustained overload:
+/// every queued request waits longer, deadlines die in bulk, and the
+/// server melts instead of shedding. `ServePolicy` caps what the queue may
+/// hold — a submission that would push **either** watermark over its limit
+/// is rejected *immediately* (`ServeError::Overloaded` on the async front
+/// door, an `Err` from the sync `try_submit`), leaving every already-queued
+/// request untouched. Rejection is strictly newest-arrival-first: the door
+/// closes, the queue never reshuffles, so FIFO fairness is preserved.
+///
+/// The default is unbounded (both watermarks at `usize::MAX`) — existing
+/// callers see no behavior change until they opt in.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_serve::ServePolicy;
+///
+/// let policy = ServePolicy::with_max_queue_depth(128);
+/// assert!(policy.admits(128, 10_000));   // at the watermark: fine
+/// assert!(!policy.admits(129, 10_000));  // above it: reject at the door
+/// assert!(ServePolicy::unbounded().admits(usize::MAX, usize::MAX));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePolicy {
+    /// Maximum requests the queue may hold. A submission that would make
+    /// the depth exceed this is rejected. `usize::MAX` = unbounded.
+    pub max_queue_depth: usize,
+    /// Maximum **queued area** — the sum of queued requests' token
+    /// lengths (the lower bound of the padded compute the backlog
+    /// represents). A submission that would push the sum past this is
+    /// rejected. `usize::MAX` = unbounded.
+    pub max_queued_tokens: usize,
+}
+
+impl ServePolicy {
+    /// No backpressure: every valid request is admitted (the default).
+    pub fn unbounded() -> Self {
+        Self {
+            max_queue_depth: usize::MAX,
+            max_queued_tokens: usize::MAX,
+        }
+    }
+
+    /// Depth watermark only: at most `depth` requests queued.
+    pub fn with_max_queue_depth(depth: usize) -> Self {
+        Self {
+            max_queue_depth: depth,
+            ..Self::unbounded()
+        }
+    }
+
+    /// Area watermark only: at most `tokens` real tokens queued.
+    pub fn with_max_queued_tokens(tokens: usize) -> Self {
+        Self {
+            max_queued_tokens: tokens,
+            ..Self::unbounded()
+        }
+    }
+
+    /// Whether a queue at `depth` requests / `queued_tokens` real tokens
+    /// (*after* admitting the candidate) is within both watermarks.
+    pub fn admits(&self, depth: usize, queued_tokens: usize) -> bool {
+        depth <= self.max_queue_depth && queued_tokens <= self.max_queued_tokens
+    }
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
 /// Why a batch was closed — recorded per batch in the serving metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CloseReason {
@@ -223,6 +297,9 @@ pub struct ClosedBatch {
 pub struct Batcher {
     policy: BatchPolicy,
     buckets: Vec<VecDeque<PendingRequest>>,
+    /// Sum of queued requests' token lengths, maintained O(1) on
+    /// push/pop so the backpressure check never walks the queue.
+    queued_tokens: usize,
 }
 
 impl Batcher {
@@ -252,7 +329,11 @@ impl Batcher {
         let buckets = (0..policy.bucket_count())
             .map(|_| VecDeque::new())
             .collect();
-        Self { policy, buckets }
+        Self {
+            policy,
+            buckets,
+            queued_tokens: 0,
+        }
     }
 
     /// The admission policy.
@@ -285,6 +366,7 @@ impl Batcher {
     ) {
         assert!(!tokens.is_empty(), "cannot enqueue an empty request");
         let bucket = self.policy.bucket_index(tokens.len());
+        self.queued_tokens += tokens.len();
         self.buckets[bucket].push_back(PendingRequest {
             id,
             tokens,
@@ -296,6 +378,12 @@ impl Batcher {
     /// Number of requests waiting across all buckets.
     pub fn queue_depth(&self) -> usize {
         self.buckets.iter().map(VecDeque::len).sum()
+    }
+
+    /// Sum of queued requests' token lengths — the queued-area signal the
+    /// [`ServePolicy`] backpressure watermark runs on. O(1).
+    pub fn queued_tokens(&self) -> usize {
+        self.queued_tokens
     }
 
     /// Requests waiting per bucket (length `policy.bucket_count()`).
@@ -328,6 +416,7 @@ impl Batcher {
             }
             *bucket = keep;
         }
+        self.queued_tokens -= expired.iter().map(|r| r.tokens.len()).sum::<usize>();
         expired.sort_by_key(|r| (r.queued_at, r.id));
         expired
     }
@@ -474,6 +563,7 @@ impl Batcher {
             let req = self.buckets[bucket]
                 .pop_front()
                 .expect("pack_plan counted it");
+            self.queued_tokens -= req.tokens.len();
             ids.push(req.id);
             deadlines.push(req.deadline);
             queue_waits.push(now.saturating_duration_since(req.queued_at));
@@ -724,6 +814,37 @@ mod tests {
         let closed = b.close_bucket(0, t0, CloseReason::Aged);
         assert_eq!(closed.ids, vec![2]);
         assert_eq!(closed.reason, CloseReason::Aged);
+    }
+
+    #[test]
+    fn queued_tokens_tracks_push_close_and_expiry() {
+        let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        assert_eq!(b.queued_tokens(), 0);
+        let t0 = Instant::now();
+        b.push_at(0, vec![1; 3], t0, None);
+        b.push_at(1, vec![1; 8], t0, Some(t0 + Duration::from_millis(1)));
+        b.push_at(2, vec![1; 2], t0, None);
+        assert_eq!(b.queued_tokens(), 13);
+        // Expiry releases the expired request's area…
+        let expired = b.take_expired(t0 + Duration::from_millis(2));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(b.queued_tokens(), 5);
+        // …and packing releases the batch's.
+        let (ids, _) = b.next_batch().unwrap();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(b.queued_tokens(), 0);
+    }
+
+    #[test]
+    fn serve_policy_watermarks() {
+        assert!(ServePolicy::unbounded().admits(1_000_000, usize::MAX));
+        let depth = ServePolicy::with_max_queue_depth(2);
+        assert!(depth.admits(2, 999));
+        assert!(!depth.admits(3, 0));
+        let area = ServePolicy::with_max_queued_tokens(100);
+        assert!(area.admits(usize::MAX, 100));
+        assert!(!area.admits(0, 101));
+        assert_eq!(ServePolicy::default(), ServePolicy::unbounded());
     }
 
     #[test]

@@ -24,13 +24,19 @@
 //!   [`nnlut_transformer::PaddedBatch`]es under a [`BatchPolicy`] budget,
 //!   with deadline-aware batch-close planning ([`ClosePolicy`]).
 //! * [`server`] — the synchronous [`LutServer`] front door: the caller's
-//!   thread drives `submit`/`step`/`drain`.
+//!   thread drives `submit`/`step`/`drain`; `try_submit` honors the
+//!   [`ServePolicy`] backpressure watermark.
 //! * [`async_server`] — the asynchronous [`AsyncLutServer`] front door: a
-//!   background worker drains the queue, `submit` returns a [`Ticket`],
-//!   requests carry optional deadlines, and under-filled batches close on
-//!   age or deadline pressure.
-//! * [`metrics`] — per-batch latency, queue-wait percentiles, per-bucket
-//!   padding efficiency, deadline misses and end-to-end tokens/sec.
+//!   background dispatcher drains the queue into up to
+//!   `max_in_flight` concurrent encoder threads (ordered completion
+//!   queue), `submit` returns a [`Ticket`], requests carry optional
+//!   deadlines, under-filled batches close on age or deadline pressure,
+//!   and submissions above the [`ServePolicy`] watermark are rejected at
+//!   the door as [`ServeError::Overloaded`].
+//! * [`metrics`] — bounded streaming aggregates (O(sketch capacity), not
+//!   O(batches served)): per-batch latency, queue-wait percentiles over a
+//!   fixed-size [`QuantileSketch`], per-bucket padding efficiency,
+//!   deadline misses, overload rejections and end-to-end tokens/sec.
 //!
 //! ## Determinism contract
 //!
@@ -83,7 +89,11 @@ pub mod pool;
 pub mod server;
 
 pub use async_server::{AsyncLutServer, AsyncServerConfig, ServeError, Ticket};
-pub use batcher::{BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, PendingRequest};
-pub use metrics::{BatchRecord, BucketStats, ServeMetrics};
+pub use batcher::{
+    BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, PendingRequest, ServePolicy,
+};
+pub use metrics::{
+    BatchRecord, BucketStats, QuantileSketch, ServeMetrics, DEFAULT_SKETCH_CAPACITY,
+};
 pub use pool::ThreadPool;
 pub use server::{EncodeResponse, LutServer, RequestId, ServerConfig};

@@ -1,13 +1,151 @@
 //! Serving metrics: what the operator of a heavy-traffic deployment would
 //! watch — per-batch latency, queue depth at dispatch, padding efficiency
 //! (overall and per length bucket), queue-wait percentiles, deadline
-//! misses and end-to-end tokens/sec.
+//! misses, overload rejections and end-to-end tokens/sec.
+//!
+//! # Bounded by design
+//!
+//! A long-lived server dispatches millions of batches, so [`ServeMetrics`]
+//! keeps **O(sketch capacity) memory, not O(batches served)**: every
+//! aggregate is a streaming count/sum/min/max counter, and percentiles
+//! come from fixed-capacity [`QuantileSketch`] ring buffers over the most
+//! recent observations. Recording a batch is O(members); taking a
+//! snapshot ([`ServeMetrics::clone`]) copies a fixed-size struct and never
+//! grows with uptime — the asynchronous server clones under its shared
+//! lock and computes percentiles on the snapshot *outside* it.
+//! [`ServeMetrics::approx_bytes`] is the self-reported footprint the soak
+//! test and `bench_serve`'s `sustained` section pin down.
 
 use std::time::Duration;
 
 use crate::batcher::CloseReason;
 
-/// One dispatched batch, as observed by the server.
+/// Default number of recent samples each percentile sketch retains.
+pub const DEFAULT_SKETCH_CAPACITY: usize = 512;
+
+/// A fixed-capacity ring buffer percentile estimator.
+///
+/// Keeps the most recent `capacity` observations; a percentile query is
+/// exact nearest-rank over that window. Until the window fills this
+/// matches exact quantiles of *everything* observed; after that it is the
+/// exact quantile of the **trailing window** — the sliding-window
+/// semantics an operator dashboard wants, with memory and snapshot cost
+/// independent of how long the server has been up.
+///
+/// Vendored by design: the offline workspace has no crates.io, and a ring
+/// buffer (unlike P²) supports *arbitrary* percentile queries after the
+/// fact, which is what the existing accessor API promises.
+///
+/// # Accuracy
+///
+/// For `n ≤ capacity` observations the estimator is **exact** (bit-equal
+/// to nearest-rank over the sorted full history). For `n > capacity` it is
+/// exact over the last `capacity` observations and carries no guarantee
+/// about older ones — `tests/serve_metrics_props.rs` property-tests both
+/// regimes against a sorted oracle.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_serve::QuantileSketch;
+/// use std::time::Duration;
+///
+/// let mut q = QuantileSketch::new(128);
+/// for ms in [30u64, 10, 20] {
+///     q.observe(Duration::from_millis(ms));
+/// }
+/// assert_eq!(q.percentile(50.0), Some(Duration::from_millis(20)));
+/// assert_eq!(q.count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    /// Most recent observations, ring-ordered (query order is irrelevant:
+    /// nearest-rank sorts a scratch copy).
+    window: Vec<Duration>,
+    /// Next write slot once the window is full.
+    head: usize,
+    /// Ring capacity (fixed at construction; the memory bound).
+    capacity: usize,
+    /// Total observations ever, including ones that fell off the window.
+    count: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch retaining the most recent `capacity` observations
+    /// (`0` is clamped to `1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            // Allocated up front: the fill phase must not reallocate
+            // under a server's shared lock, and `approx_bytes`' bound
+            // must match the real heap footprint exactly.
+            window: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            count: 0,
+        }
+    }
+
+    /// Records one observation, evicting the oldest once full. O(1).
+    pub fn observe(&mut self, sample: Duration) {
+        if self.window.len() < self.capacity {
+            self.window.push(sample);
+        } else {
+            self.window[self.head] = sample;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.count += 1;
+    }
+
+    /// Nearest-rank percentile over the retained window; `None` before
+    /// any observation. O(capacity log capacity) — intended to run on a
+    /// *snapshot*, never under a server's shared lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted = self.window.clone();
+        sorted.sort_unstable();
+        // Nearest-rank: ceil(p/100 · n), clamped to [1, n].
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Total observations ever recorded (not capped by capacity).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations currently retained (`min(count, capacity)`).
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The fixed retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes this sketch can ever occupy (capacity, not fill level — the
+    /// memory *bound*, so the figure is stable from the first batch).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.capacity * std::mem::size_of::<Duration>()
+    }
+}
+
+/// One dispatched batch, as observed by the server — the *event* fed to
+/// [`ServeMetrics::record`]. The metrics fold it into streaming aggregates
+/// and drop it; nothing retains these per batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchRecord {
     /// Sequences packed into the batch.
@@ -54,35 +192,129 @@ impl BucketStats {
     }
 }
 
-/// Aggregated serving metrics over every batch a server has dispatched.
-#[derive(Debug, Clone, Default)]
+fn reason_index(reason: CloseReason) -> usize {
+    match reason {
+        CloseReason::Full => 0,
+        CloseReason::Aged => 1,
+        CloseReason::Deadline => 2,
+        CloseReason::Drain => 3,
+    }
+}
+
+/// Streaming serving metrics over every batch a server has dispatched.
+///
+/// Memory is **O(sketch capacity + bucket count)** — constant for a given
+/// configuration, regardless of how many batches have been served. See
+/// the module docs for the design.
+#[derive(Debug, Clone)]
 pub struct ServeMetrics {
-    batches: Vec<BatchRecord>,
+    batches: u64,
+    sequences: usize,
+    tokens: usize,
+    padded_tokens: usize,
+    total_latency: Duration,
+    min_latency: Option<Duration>,
+    max_latency: Option<Duration>,
+    peak_queue_depth: usize,
+    close_counts: [u64; 4],
+    /// Indexed by bucket; extends to the highest bucket that has
+    /// dispatched a batch (bounded by the policy's bucket count).
+    per_bucket: Vec<BucketStats>,
     deadline_misses: usize,
-    missed_waits: Vec<Duration>,
+    overload_rejections: usize,
+    latency_sketch: QuantileSketch,
+    queue_wait_sketch: QuantileSketch,
+    missed_wait_sketch: QuantileSketch,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServeMetrics {
-    /// No batches yet.
+    /// No batches yet, sketches at [`DEFAULT_SKETCH_CAPACITY`].
     pub fn new() -> Self {
-        Self::default()
+        Self::with_sketch_capacity(DEFAULT_SKETCH_CAPACITY)
     }
 
-    /// Records one dispatched batch.
+    /// No batches yet, every percentile sketch retaining the most recent
+    /// `capacity` observations.
+    pub fn with_sketch_capacity(capacity: usize) -> Self {
+        Self {
+            batches: 0,
+            sequences: 0,
+            tokens: 0,
+            padded_tokens: 0,
+            total_latency: Duration::ZERO,
+            min_latency: None,
+            max_latency: None,
+            peak_queue_depth: 0,
+            close_counts: [0; 4],
+            per_bucket: Vec::new(),
+            deadline_misses: 0,
+            overload_rejections: 0,
+            latency_sketch: QuantileSketch::new(capacity),
+            queue_wait_sketch: QuantileSketch::new(capacity),
+            missed_wait_sketch: QuantileSketch::new(capacity),
+        }
+    }
+
+    /// Folds one dispatched batch into the aggregates. O(members), no
+    /// allocation beyond the first touch of a new bucket index.
     pub fn record(&mut self, record: BatchRecord) {
-        self.batches.push(record);
+        self.batches += 1;
+        self.sequences += record.sequences;
+        self.tokens += record.tokens;
+        self.padded_tokens += record.padded_tokens;
+        self.total_latency += record.latency;
+        self.min_latency = Some(
+            self.min_latency
+                .map_or(record.latency, |m| m.min(record.latency)),
+        );
+        self.max_latency = Some(
+            self.max_latency
+                .map_or(record.latency, |m| m.max(record.latency)),
+        );
+        self.peak_queue_depth = self.peak_queue_depth.max(record.queue_depth);
+        self.close_counts[reason_index(record.reason)] += 1;
+        if record.bucket >= self.per_bucket.len() {
+            self.per_bucket
+                .resize(record.bucket + 1, BucketStats::default());
+        }
+        let b = &mut self.per_bucket[record.bucket];
+        b.batches += 1;
+        b.sequences += record.sequences;
+        b.tokens += record.tokens;
+        b.padded_tokens += record.padded_tokens;
+        self.latency_sketch.observe(record.latency);
+        for wait in record.queue_waits {
+            self.queue_wait_sketch.observe(wait);
+        }
     }
 
     /// Records one request expired unserved at its deadline, after
     /// waiting `waited` in the queue.
     pub fn record_deadline_miss(&mut self, waited: Duration) {
         self.deadline_misses += 1;
-        self.missed_waits.push(waited);
+        self.missed_wait_sketch.observe(waited);
     }
 
-    /// Every batch record, in dispatch order.
-    pub fn batches(&self) -> &[BatchRecord] {
-        &self.batches
+    /// Records one request rejected at the door by the backpressure
+    /// watermark ([`crate::ServePolicy`]); it was never queued.
+    pub fn record_overload_rejection(&mut self) {
+        self.overload_rejections += 1;
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches_served(&self) -> u64 {
+        self.batches
+    }
+
+    /// Sequences dispatched so far (across every batch).
+    pub fn total_sequences(&self) -> usize {
+        self.sequences
     }
 
     /// Requests that expired unserved at their deadline.
@@ -90,122 +322,124 @@ impl ServeMetrics {
         self.deadline_misses
     }
 
+    /// Requests rejected at the door by the backpressure watermark.
+    pub fn overload_rejections(&self) -> usize {
+        self.overload_rejections
+    }
+
     /// Total real tokens encoded.
     pub fn total_tokens(&self) -> usize {
-        self.batches.iter().map(|b| b.tokens).sum()
+        self.tokens
     }
 
     /// Total wall-clock time spent encoding.
     pub fn total_latency(&self) -> Duration {
-        self.batches.iter().map(|b| b.latency).sum()
+        self.total_latency
+    }
+
+    /// Fastest batch encode so far (`None` before any batch).
+    pub fn min_latency(&self) -> Option<Duration> {
+        self.min_latency
+    }
+
+    /// Slowest batch encode so far (`None` before any batch).
+    pub fn max_latency(&self) -> Option<Duration> {
+        self.max_latency
     }
 
     /// End-to-end throughput in real tokens per second (0 before any
     /// batch has run).
     pub fn tokens_per_sec(&self) -> f64 {
-        let secs = self.total_latency().as_secs_f64();
+        let secs = self.total_latency.as_secs_f64();
         if secs <= 0.0 {
             return 0.0;
         }
-        self.total_tokens() as f64 / secs
+        self.tokens as f64 / secs
     }
 
     /// Fraction of computed positions that were real tokens (1.0 = no
     /// padding waste; 0 before any batch has run).
     pub fn padding_efficiency(&self) -> f64 {
-        let padded: usize = self.batches.iter().map(|b| b.padded_tokens).sum();
-        if padded == 0 {
+        if self.padded_tokens == 0 {
             return 0.0;
         }
-        self.total_tokens() as f64 / padded as f64
+        self.tokens as f64 / self.padded_tokens as f64
     }
 
     /// Padding/throughput aggregates per length bucket, indexed by
-    /// bucket. The `Vec` extends only to the **highest bucket that has
+    /// bucket. The slice extends only to the **highest bucket that has
     /// dispatched a batch** — interior idle buckets report zeros, but
     /// trailing idle buckets are omitted (the metrics don't know the
     /// policy's bucket count), so treat an out-of-range index as "no
     /// traffic yet" rather than indexing unchecked. Empty before any
     /// batch has run.
     pub fn per_bucket(&self) -> Vec<BucketStats> {
-        let buckets = match self.batches.iter().map(|b| b.bucket).max() {
-            Some(max) => max + 1,
-            None => return Vec::new(),
-        };
-        let mut stats = vec![BucketStats::default(); buckets];
-        for b in &self.batches {
-            let s = &mut stats[b.bucket];
-            s.batches += 1;
-            s.sequences += b.sequences;
-            s.tokens += b.tokens;
-            s.padded_tokens += b.padded_tokens;
-        }
-        stats
+        self.per_bucket.clone()
     }
 
     /// How many batches closed for `reason`.
     pub fn closes_for(&self, reason: CloseReason) -> usize {
-        self.batches.iter().filter(|b| b.reason == reason).count()
+        self.close_counts[reason_index(reason)] as usize
     }
 
-    /// Batch-latency percentile (nearest-rank over dispatched batches);
-    /// `None` before any batch has run.
+    /// Batch-latency percentile — nearest-rank over the most recent
+    /// [`ServeMetrics::sketch_capacity`] batches (exact over the full
+    /// history until the window fills); `None` before any batch has run.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `0.0..=100.0`.
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
-        Self::nearest_rank(self.batches.iter().map(|b| b.latency).collect(), p)
+        self.latency_sketch.percentile(p)
     }
 
-    /// Queue-wait percentile (nearest-rank over every *dispatched*
-    /// request's time in queue); `None` before any request was served.
-    /// Expired requests' waits are tracked separately — see
-    /// [`ServeMetrics::missed_wait_percentile`].
+    /// Queue-wait percentile over the most recent *dispatched* requests'
+    /// time in queue (sliding window, see [`QuantileSketch`]); `None`
+    /// before any request was served. Expired requests' waits are tracked
+    /// separately — see [`ServeMetrics::missed_wait_percentile`].
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `0.0..=100.0`.
     pub fn queue_wait_percentile(&self, p: f64) -> Option<Duration> {
-        Self::nearest_rank(
-            self.batches
-                .iter()
-                .flat_map(|b| b.queue_waits.iter().copied())
-                .collect(),
-            p,
-        )
+        self.queue_wait_sketch.percentile(p)
     }
 
-    /// How long expired requests had waited when they were culled
-    /// (nearest-rank percentile); `None` before any deadline miss. The
-    /// gap between this and [`ServeMetrics::queue_wait_percentile`] tells
-    /// an operator whether deadlines die to backlog or to tight budgets.
+    /// How long recently expired requests had waited when they were
+    /// culled (sliding-window nearest-rank percentile); `None` before any
+    /// deadline miss. The gap between this and
+    /// [`ServeMetrics::queue_wait_percentile`] tells an operator whether
+    /// deadlines die to backlog or to tight budgets.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `0.0..=100.0`.
     pub fn missed_wait_percentile(&self, p: f64) -> Option<Duration> {
-        Self::nearest_rank(self.missed_waits.clone(), p)
-    }
-
-    fn nearest_rank(mut sorted: Vec<Duration>, p: f64) -> Option<Duration> {
-        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-        if sorted.is_empty() {
-            return None;
-        }
-        sorted.sort();
-        // Nearest-rank: ceil(p/100 · n), clamped to [1, n].
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+        self.missed_wait_sketch.percentile(p)
     }
 
     /// Largest queue depth seen at dispatch time.
     pub fn peak_queue_depth(&self) -> usize {
-        self.batches
-            .iter()
-            .map(|b| b.queue_depth)
-            .max()
-            .unwrap_or(0)
+        self.peak_queue_depth
+    }
+
+    /// The retention capacity of each percentile sketch.
+    pub fn sketch_capacity(&self) -> usize {
+        self.latency_sketch.capacity()
+    }
+
+    /// Self-reported memory footprint: the bytes this struct can ever
+    /// occupy, counting every sketch at full *capacity* (not fill level)
+    /// and the per-bucket table at its current length. The figure is a
+    /// function of configuration (sketch capacity, bucket count), **not**
+    /// of batches served — the soak test and `bench_serve`'s `sustained`
+    /// section assert exactly that.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.latency_sketch.approx_bytes()
+            + self.queue_wait_sketch.approx_bytes()
+            + self.missed_wait_sketch.approx_bytes()
+            + self.per_bucket.len() * std::mem::size_of::<BucketStats>()
     }
 
     /// One-line human summary (the bench and the examples print this).
@@ -215,17 +449,18 @@ impl ServeMetrics {
         let w50 = self.queue_wait_percentile(50.0).unwrap_or_default();
         let w95 = self.queue_wait_percentile(95.0).unwrap_or_default();
         format!(
-            "{} batches · {} tokens · {:.1} tok/s · p50 {:.2} ms · p95 {:.2} ms · wait p50 {:.2} ms · wait p95 {:.2} ms · padding eff {:.2} · peak queue {} · deadline misses {}",
-            self.batches.len(),
-            self.total_tokens(),
+            "{} batches · {} tokens · {:.1} tok/s · p50 {:.2} ms · p95 {:.2} ms · wait p50 {:.2} ms · wait p95 {:.2} ms · padding eff {:.2} · peak queue {} · deadline misses {} · overload rejections {}",
+            self.batches,
+            self.tokens,
             self.tokens_per_sec(),
             p50.as_secs_f64() * 1e3,
             p95.as_secs_f64() * 1e3,
             w50.as_secs_f64() * 1e3,
             w95.as_secs_f64() * 1e3,
             self.padding_efficiency(),
-            self.peak_queue_depth(),
+            self.peak_queue_depth,
             self.deadline_misses,
+            self.overload_rejections,
         )
     }
 }
@@ -256,6 +491,10 @@ mod tests {
         assert_eq!(m.queue_wait_percentile(50.0), None);
         assert_eq!(m.peak_queue_depth(), 0);
         assert_eq!(m.deadline_misses(), 0);
+        assert_eq!(m.overload_rejections(), 0);
+        assert_eq!(m.batches_served(), 0);
+        assert_eq!(m.min_latency(), None);
+        assert_eq!(m.max_latency(), None);
         assert!(m.per_bucket().is_empty());
     }
 
@@ -267,7 +506,11 @@ mod tests {
         assert!((m.tokens_per_sec() - 200.0).abs() < 1e-9);
         assert!((m.padding_efficiency() - 200.0 / 300.0).abs() < 1e-9);
         assert_eq!(m.total_tokens(), 200);
+        assert_eq!(m.total_sequences(), 4);
         assert_eq!(m.peak_queue_depth(), 5);
+        assert_eq!(m.batches_served(), 2);
+        assert_eq!(m.min_latency(), Some(Duration::from_millis(500)));
+        assert_eq!(m.max_latency(), Some(Duration::from_millis(500)));
     }
 
     #[test]
@@ -329,6 +572,59 @@ mod tests {
         assert_eq!(m.closes_for(CloseReason::Aged), 1);
         assert_eq!(m.closes_for(CloseReason::Drain), 1);
         assert_eq!(m.closes_for(CloseReason::Full), 0);
+    }
+
+    #[test]
+    fn overload_rejections_are_counted() {
+        let mut m = ServeMetrics::new();
+        m.record_overload_rejection();
+        m.record_overload_rejection();
+        assert_eq!(m.overload_rejections(), 2);
+        assert!(m.summary().contains("overload rejections 2"));
+    }
+
+    #[test]
+    fn memory_is_bounded_by_sketch_capacity_not_batches() {
+        let mut m = ServeMetrics::with_sketch_capacity(64);
+        m.record(rec(1, 1, 1));
+        let steady = m.approx_bytes();
+        for ms in 0..10_000u64 {
+            m.record(rec(1, 2, ms % 97));
+            m.record_deadline_miss(Duration::from_millis(ms % 13));
+        }
+        assert_eq!(m.batches_served(), 10_001);
+        assert_eq!(m.approx_bytes(), steady, "footprint grew with batches");
+        assert_eq!(m.sketch_capacity(), 64);
+        // The sliding window really slid: the sketch saw everything but
+        // kept only the last 64 latencies.
+        assert_eq!(m.latency_sketch.count(), 10_001);
+        assert_eq!(m.latency_sketch.len(), 64);
+    }
+
+    #[test]
+    fn sketch_is_exact_until_full_then_windows() {
+        let mut q = QuantileSketch::new(4);
+        for ms in [40u64, 10, 30, 20] {
+            q.observe(Duration::from_millis(ms));
+        }
+        assert_eq!(q.percentile(50.0), Some(Duration::from_millis(20)));
+        assert_eq!(q.percentile(100.0), Some(Duration::from_millis(40)));
+        // Two more evict the oldest two (40, 10): window = {30, 20, 99, 98}.
+        q.observe(Duration::from_millis(99));
+        q.observe(Duration::from_millis(98));
+        assert_eq!(q.percentile(100.0), Some(Duration::from_millis(99)));
+        assert_eq!(q.percentile(0.0), Some(Duration::from_millis(20)));
+        assert_eq!(q.count(), 6);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_sketch_clamps_to_one() {
+        let mut q = QuantileSketch::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.observe(Duration::from_millis(3));
+        q.observe(Duration::from_millis(9));
+        assert_eq!(q.percentile(50.0), Some(Duration::from_millis(9)));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use nn_lut::core::{train::TrainConfig, NnLutKit};
 use nn_lut::serve::{AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, CloseReason};
-use nn_lut::transformer::{BertModel, MatmulMode, TransformerConfig};
+use nn_lut::transformer::{BertModel, TransformerConfig};
 
 fn main() {
     // 1. A frozen "pre-trained" body and a trained LUT kit (engines bake
@@ -36,7 +36,7 @@ fn main() {
                 max_batch_age: Duration::from_millis(5),
                 deadline_slack: Duration::from_millis(2),
             },
-            mode: MatmulMode::F32,
+            ..AsyncServerConfig::default()
         },
     );
 

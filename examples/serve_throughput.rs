@@ -6,7 +6,7 @@
 
 use nn_lut::core::{train::TrainConfig, NnLutKit};
 use nn_lut::serve::{BatchPolicy, LutServer, ServerConfig};
-use nn_lut::transformer::{BertModel, MatmulMode, TransformerConfig};
+use nn_lut::transformer::{BertModel, TransformerConfig};
 
 fn main() {
     // 1. A frozen "pre-trained" body and a trained LUT kit. The kit bakes
@@ -29,7 +29,7 @@ fn main() {
                 max_padded_tokens: 512,
                 bucket_edges: vec![8, 16, 32],
             },
-            mode: MatmulMode::F32,
+            ..ServerConfig::default()
         },
     );
 
@@ -60,7 +60,7 @@ fn main() {
     println!(
         "throughput: {:.1} tokens/sec over {} batches",
         m.tokens_per_sec(),
-        m.batches().len()
+        m.batches_served()
     );
     println!(
         "batch latency: p50 {:.2} ms · p95 {:.2} ms",

@@ -1,0 +1,26 @@
+//! Helpers shared by the serving integration-test binaries.
+
+/// Thread counts under test. The default 1/2/4/8 sweep can be overridden
+/// with `NNLUT_THREADS` (comma-separated, e.g. `NNLUT_THREADS=2` for one
+/// CI matrix leg) — the determinism contract must hold at *every* count,
+/// so narrowing the sweep only splits the work, never weakens the claim.
+pub fn thread_counts() -> Vec<usize> {
+    match std::env::var("NNLUT_THREADS") {
+        Ok(raw) => {
+            let counts: Vec<usize> = raw
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("NNLUT_THREADS: bad entry {t:?} in {raw:?}"))
+                })
+                .collect();
+            assert!(
+                !counts.is_empty() && counts.iter().all(|&c| c > 0),
+                "NNLUT_THREADS must list positive thread counts, got {raw:?}"
+            );
+            counts
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}

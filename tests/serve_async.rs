@@ -5,13 +5,17 @@
 
 use std::time::Duration;
 
+use nn_lut::core::precision::Precision;
 use nn_lut::core::train::TrainConfig;
 use nn_lut::core::NnLutKit;
 use nn_lut::serve::{
     AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, CloseReason, LutServer,
     ServeError, ServerConfig,
 };
-use nn_lut::transformer::{BertModel, MatmulMode, TransformerConfig};
+use nn_lut::transformer::{BertModel, TransformerConfig};
+
+mod common;
+use common::thread_counts;
 
 fn tiny_model() -> BertModel {
     BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9)
@@ -72,7 +76,7 @@ fn deadline_expires_even_when_nothing_else_arrives() {
         Err(ServeError::DeadlineExceeded { waited, .. }) => {
             assert!(waited >= Duration::from_millis(5));
         }
-        Err(e @ ServeError::ServerFailed { .. }) => panic!("worker must not fail: {e}"),
+        Err(e) => panic!("unbounded admission cannot reject and the worker must not fail: {e}"),
     }
 }
 
@@ -97,15 +101,15 @@ fn age_triggered_close_flushes_partial_batch() {
         t.wait().expect("no deadlines in play");
     }
     let m = server.metrics();
-    let sequences: usize = m.batches().iter().map(|b| b.sequences).sum();
-    assert_eq!(sequences, 3, "all requests served");
+    assert_eq!(m.total_sequences(), 3, "all requests served");
     assert!(
         m.closes_for(CloseReason::Aged) >= 1,
-        "3 of 16 sequences cannot close Full; only age can flush: {:?}",
-        m.batches()
-            .iter()
-            .map(|b| (b.sequences, b.reason))
-            .collect::<Vec<_>>()
+        "3 of 16 sequences cannot close Full; only age can flush: \
+         full {} aged {} deadline {} drain {}",
+        m.closes_for(CloseReason::Full),
+        m.closes_for(CloseReason::Aged),
+        m.closes_for(CloseReason::Deadline),
+        m.closes_for(CloseReason::Drain),
     );
 }
 
@@ -132,60 +136,71 @@ fn full_budget_closes_without_waiting_for_age() {
     let m = server.metrics();
     assert!(
         m.closes_for(CloseReason::Full) >= 1,
-        "an hour-long age cannot have flushed; reasons: {:?}",
-        m.batches().iter().map(|b| b.reason).collect::<Vec<_>>()
+        "an hour-long age cannot have flushed; {} batches closed, {} Full",
+        m.batches_served(),
+        m.closes_for(CloseReason::Full),
     );
 }
 
-/// The async, length-bucketed, pooled pipeline returns bit-identical
-/// hidden states to the serial synchronous server, across thread counts
-/// 1/2/4/8 — batch composition differs (timing, buckets), responses
-/// must not.
+/// The async, length-bucketed, pooled, multi-in-flight pipeline returns
+/// bit-identical hidden states to the serial synchronous server at all
+/// three baked kit precisions, across thread counts 1/2/4/8 and 1 or 2
+/// batches in flight — batch composition differs (timing, buckets,
+/// overlap), responses must not.
 #[test]
 fn async_bucketed_pipeline_is_bit_identical_to_serial_sync() {
     let model = tiny_model();
-    let kit = tiny_kit();
-    let mut reference = LutServer::new(
-        model.clone(),
-        kit.clone(),
-        ServerConfig {
-            threads: 1,
-            policy: BatchPolicy::unbatched(),
-            mode: MatmulMode::F32,
-        },
-    );
-    let want = reference.serve(workload());
-
-    for threads in [1usize, 2, 4, 8] {
-        let server = AsyncLutServer::new(
+    let base_kit = tiny_kit();
+    for precision in [Precision::F32, Precision::F16, Precision::Int32] {
+        let kit = base_kit
+            .with_precision(precision)
+            .expect("fast kit converts to every precision");
+        let mut reference = LutServer::new(
             model.clone(),
             kit.clone(),
-            AsyncServerConfig {
-                threads,
-                policy: BatchPolicy {
-                    max_batch: 5,
-                    max_padded_tokens: 120,
-                    bucket_edges: vec![8, 16, 24],
-                },
-                close: ClosePolicy {
-                    max_batch_age: Duration::from_millis(2),
-                    deadline_slack: Duration::from_millis(1),
-                },
-                mode: MatmulMode::F32,
+            ServerConfig {
+                threads: 1,
+                policy: BatchPolicy::unbatched(),
+                ..ServerConfig::default()
             },
         );
-        let tickets: Vec<_> = workload().into_iter().map(|t| server.submit(t)).collect();
-        for (ticket, w) in tickets.into_iter().zip(&want) {
-            let got = ticket.wait().expect("no deadlines in play");
-            assert_eq!(got.id, w.id);
-            assert_eq!(got.hidden.shape(), w.hidden.shape());
-            for (a, b) in got.hidden.as_slice().iter().zip(w.hidden.as_slice()) {
-                assert_eq!(
-                    a.to_bits(),
-                    b.to_bits(),
-                    "async bucketed ({threads} threads) diverged on request {}",
-                    got.id
+        let want = reference.serve(workload());
+
+        for threads in thread_counts() {
+            for max_in_flight in [1usize, 2] {
+                let server = AsyncLutServer::new(
+                    model.clone(),
+                    kit.clone(),
+                    AsyncServerConfig {
+                        threads,
+                        max_in_flight,
+                        policy: BatchPolicy {
+                            max_batch: 5,
+                            max_padded_tokens: 120,
+                            bucket_edges: vec![8, 16, 24],
+                        },
+                        close: ClosePolicy {
+                            max_batch_age: Duration::from_millis(2),
+                            deadline_slack: Duration::from_millis(1),
+                        },
+                        ..AsyncServerConfig::default()
+                    },
                 );
+                let tickets: Vec<_> = workload().into_iter().map(|t| server.submit(t)).collect();
+                for (ticket, w) in tickets.into_iter().zip(&want) {
+                    let got = ticket.wait().expect("no deadlines in play");
+                    assert_eq!(got.id, w.id);
+                    assert_eq!(got.hidden.shape(), w.hidden.shape());
+                    for (a, b) in got.hidden.as_slice().iter().zip(w.hidden.as_slice()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "async bucketed ({precision:?}, {threads} threads, \
+                             {max_in_flight} in flight) diverged on request {}",
+                            got.id
+                        );
+                    }
+                }
             }
         }
     }

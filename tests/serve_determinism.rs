@@ -17,7 +17,8 @@ use nn_lut::serve::{BatchPolicy, LutServer, ServerConfig};
 use nn_lut::transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
 use proptest::prelude::*;
 
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+mod common;
+use common::thread_counts;
 
 /// Random valid tables (same construction as `engine_equivalence.rs`).
 fn arb_table() -> impl Strategy<Value = LookupTable> {
@@ -87,7 +88,7 @@ proptest! {
         let xs = adversarial_batch(random, extra);
         let mut want = xs.clone();
         baked.eval_slice(&mut want);
-        for threads in THREAD_COUNTS {
+        for threads in thread_counts() {
             let mut got = xs.clone();
             baked.par_eval_slice(&mut got, threads);
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -110,7 +111,7 @@ proptest! {
         let xs = adversarial_batch(random, extra);
         let mut want = xs.clone();
         baked.eval_slice(&mut want);
-        for threads in THREAD_COUNTS {
+        for threads in thread_counts() {
             let mut got = xs.clone();
             baked.par_eval_slice(&mut got, threads);
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -136,7 +137,7 @@ proptest! {
         let xs = adversarial_batch(random, extra);
         let mut want = xs.clone();
         baked.eval_slice(&mut want);
-        for threads in THREAD_COUNTS {
+        for threads in thread_counts() {
             let mut got = xs.clone();
             baked.par_eval_slice(&mut got, threads);
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -202,7 +203,7 @@ fn server_with_policy(
         ServerConfig {
             threads,
             policy,
-            mode: MatmulMode::F32,
+            ..ServerConfig::default()
         },
     )
 }
@@ -214,7 +215,7 @@ fn pooled_server_matches_serial_at_all_precisions() {
     let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
     for precision in [Precision::F32, Precision::F16, Precision::Int32] {
         let want = server_with(&kit, precision, 1).serve(serve_workload());
-        for threads in [2usize, 4, 8] {
+        for threads in thread_counts() {
             let got = server_with(&kit, precision, threads).serve(serve_workload());
             assert_eq!(got.len(), want.len());
             for (g, w) in got.iter().zip(&want) {
@@ -247,7 +248,7 @@ fn bucketed_pooled_server_matches_serial_fifo_at_all_precisions() {
     };
     for precision in [Precision::F32, Precision::F16, Precision::Int32] {
         let want = server_with(&kit, precision, 1).serve(serve_workload());
-        for threads in [1usize, 2, 4, 8] {
+        for threads in thread_counts() {
             let got = server_with_policy(&kit, precision, threads, bucketed.clone())
                 .serve(serve_workload());
             assert_eq!(got.len(), want.len());
@@ -281,6 +282,7 @@ fn pooled_server_matches_serial_in_every_matmul_mode() {
                     threads,
                     policy: BatchPolicy::default_policy(),
                     mode,
+                    ..ServerConfig::default()
                 },
             )
             .serve(serve_workload())
@@ -307,7 +309,7 @@ fn pooled_exact_backend_matches_serial() {
             ServerConfig {
                 threads,
                 policy: BatchPolicy::default_policy(),
-                mode: MatmulMode::F32,
+                ..ServerConfig::default()
             },
         )
         .serve(serve_workload())

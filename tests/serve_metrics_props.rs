@@ -1,0 +1,123 @@
+//! Property tests of the serving metrics' fixed-capacity quantile sketch
+//! against an exact sorted-history oracle.
+//!
+//! **Documented tolerance:** the sketch is *exact* (nearest-rank over the
+//! full history) while the observation count is within capacity, and
+//! exact over the trailing `capacity`-sample window afterwards — the
+//! sliding-window regime carries no guarantee about evicted samples, so
+//! the oracle for `n > capacity` is the suffix, not the full history.
+//! Both regimes are tested under random and adversarial orderings.
+
+use std::time::Duration;
+
+use nn_lut::serve::QuantileSketch;
+use proptest::prelude::*;
+
+/// Nearest-rank percentile over an arbitrary sample list — the oracle the
+/// sketch must match (same definition the pre-streaming metrics used).
+fn exact_percentile(samples: &[Duration], p: f64) -> Option<Duration> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+fn check_against_oracle(samples: &[Duration], capacity: usize) {
+    let mut sketch = QuantileSketch::new(capacity);
+    for &s in samples {
+        sketch.observe(s);
+    }
+    // Oracle window: full history while within capacity, trailing window
+    // after (the documented tolerance).
+    let window_start = samples.len().saturating_sub(capacity.max(1));
+    let oracle_window = &samples[window_start..];
+    for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+        assert_eq!(
+            sketch.percentile(p),
+            exact_percentile(oracle_window, p),
+            "p{p} diverged from the oracle (n = {}, capacity = {capacity})",
+            samples.len()
+        );
+    }
+    assert_eq!(sketch.count(), samples.len() as u64);
+    assert_eq!(sketch.len(), oracle_window.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random sample streams, capacities straddling the stream length:
+    /// the sketch matches exact sorted quantiles of its documented
+    /// window, at every queried percentile.
+    #[test]
+    fn sketch_matches_exact_quantiles(
+        micros in proptest::collection::vec(0u64..1_000_000, 0..200),
+        capacity in 1usize..64,
+    ) {
+        let samples: Vec<Duration> = micros.into_iter().map(Duration::from_micros).collect();
+        check_against_oracle(&samples, capacity);
+    }
+
+    /// Percentile queries never disturb the sketch (querying is pure).
+    #[test]
+    fn queries_are_pure(
+        micros in proptest::collection::vec(0u64..1_000, 1..50),
+    ) {
+        let mut sketch = QuantileSketch::new(16);
+        for &m in &micros {
+            sketch.observe(Duration::from_micros(m));
+        }
+        let before = sketch.clone();
+        let _ = sketch.percentile(50.0);
+        let _ = sketch.percentile(99.0);
+        prop_assert_eq!(before, sketch);
+    }
+}
+
+/// Adversarial orderings: sorted ascending, sorted descending, organ-pipe
+/// (up then down), constant runs, and an alternating min/max stream —
+/// the orderings that break naive streaming estimators (and P² most of
+/// all) must leave a window sketch exact.
+#[test]
+fn adversarial_orderings_stay_exact() {
+    let n = 150usize;
+    let asc: Vec<Duration> = (0..n as u64).map(Duration::from_micros).collect();
+    let desc: Vec<Duration> = asc.iter().rev().copied().collect();
+    let organ_pipe: Vec<Duration> = (0..n as u64)
+        .map(|i| Duration::from_micros(if i < 75 { i } else { 150 - i }))
+        .collect();
+    let constant = vec![Duration::from_micros(42); n];
+    let alternating: Vec<Duration> = (0..n as u64)
+        .map(|i| Duration::from_micros(if i % 2 == 0 { 0 } else { 1_000_000 }))
+        .collect();
+    for samples in [asc, desc, organ_pipe, constant, alternating] {
+        for capacity in [1usize, 7, 64, 150, 300] {
+            check_against_oracle(&samples, capacity);
+        }
+    }
+}
+
+/// The duplicate-heavy stream an idle server produces (many identical
+/// near-zero waits punctuated by spikes) keeps tail percentiles honest.
+#[test]
+fn spikes_survive_among_duplicates() {
+    let mut sketch = QuantileSketch::new(100);
+    for i in 0..100u64 {
+        // 99 one-microsecond waits, one 5 ms spike at position 50.
+        let v = if i == 50 { 5_000 } else { 1 };
+        sketch.observe(Duration::from_micros(v));
+    }
+    assert_eq!(sketch.percentile(100.0), Some(Duration::from_micros(5_000)));
+    assert_eq!(sketch.percentile(50.0), Some(Duration::from_micros(1)));
+    // The spike falls off the window exactly 100 observations later.
+    for _ in 0..49 {
+        sketch.observe(Duration::from_micros(1));
+    }
+    assert_eq!(sketch.percentile(100.0), Some(Duration::from_micros(5_000)));
+    sketch.observe(Duration::from_micros(1));
+    sketch.observe(Duration::from_micros(1));
+    assert_eq!(sketch.percentile(100.0), Some(Duration::from_micros(1)));
+}

@@ -1,0 +1,196 @@
+//! Sustained-load soak of the asynchronous front door: many requests
+//! under mixed lengths, deadlines and a backpressure watermark, with the
+//! long-lived-server invariants asserted at the end —
+//!
+//! * **bounded metrics memory**: the snapshot footprint is a function of
+//!   sketch capacity, not of requests served;
+//! * **zero abandoned tickets**: every submission resolves (`Ok`,
+//!   `DeadlineExceeded` or `Overloaded`) — nothing hangs, nothing leaks;
+//! * **overload recovery**: rejections stop once the burst drains.
+//!
+//! The in-tree run is sized to finish in seconds under `cargo test`
+//! (debug); CI's soak job runs the `#[ignore]`d 10k-request variant in
+//! release, optionally scaled with `NNLUT_SOAK_REQUESTS`.
+
+use std::time::Duration;
+
+use nn_lut::core::train::TrainConfig;
+use nn_lut::core::NnLutKit;
+use nn_lut::serve::{
+    AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, ServeError, ServePolicy,
+};
+use nn_lut::transformer::{BertModel, TransformerConfig};
+
+/// Outcome tally of one soak pass.
+#[derive(Debug, Default)]
+struct Tally {
+    ok: usize,
+    deadline: usize,
+    overloaded: usize,
+}
+
+fn soak(requests: usize, sketch_capacity: usize) {
+    let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+    let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+    let server = AsyncLutServer::new(
+        model,
+        kit,
+        AsyncServerConfig {
+            threads: 2,
+            max_in_flight: 2,
+            policy: BatchPolicy {
+                max_batch: 32,
+                max_padded_tokens: 512,
+                bucket_edges: vec![4, 8],
+            },
+            close: ClosePolicy {
+                max_batch_age: Duration::from_millis(1),
+                deadline_slack: Duration::from_millis(1),
+            },
+            admission: ServePolicy::with_max_queue_depth(256),
+            sketch_capacity,
+            ..AsyncServerConfig::default()
+        },
+    );
+
+    // Phase 1: sustained load with bursts. Submissions are loosely paced
+    // (whenever more than 2× the watermark is outstanding, the oldest
+    // ticket is awaited first), so the server genuinely serves the bulk
+    // of the traffic while bursts still slam the watermark and draw
+    // rejections. Mixed lengths across all three buckets; every tenth
+    // request carries a generous deadline, every tenth a hopeless one.
+    let mut tally = Tally::default();
+    let mut pending = std::collections::VecDeque::new();
+    let settle = |t: nn_lut::serve::Ticket, tally: &mut Tally| match t.wait() {
+        Ok(_) => tally.ok += 1,
+        Err(ServeError::DeadlineExceeded { .. }) => tally.deadline += 1,
+        Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
+        Err(e @ ServeError::ServerFailed { .. }) => panic!("soak must not fail: {e}"),
+    };
+    for r in 0..requests {
+        let len = 1 + (r * 7) % 12;
+        let tokens: Vec<usize> = (0..len).map(|i| (i * 13 + r) % 128).collect();
+        let deadline = match r % 10 {
+            0 => Some(Duration::from_secs(60)), // generous: must serve
+            5 => Some(Duration::ZERO),          // hopeless: must expire
+            _ => None,
+        };
+        pending.push_back(server.submit_with_deadline(tokens, deadline));
+        if pending.len() > 512 {
+            let oldest = pending.pop_front().expect("just checked");
+            settle(oldest, &mut tally);
+        }
+    }
+    // Zero abandoned tickets: every submission resolves, one way only.
+    for t in pending {
+        settle(t, &mut tally);
+    }
+    assert_eq!(
+        tally.ok + tally.deadline + tally.overloaded,
+        requests,
+        "every ticket resolved exactly once: {tally:?}"
+    );
+    assert!(tally.ok > 0, "the burst must serve something: {tally:?}");
+
+    // Bounded metrics memory: once every bucket has dispatched, the
+    // footprint is a function of configuration alone — O(sketch capacity
+    // + bucket count), not O(served). `steady_bytes` is re-checked after
+    // phase 2 pushes hundreds more requests through.
+    let m = server.metrics();
+    let steady_bytes = m.approx_bytes();
+    assert!(
+        m.per_bucket().len() <= 3,
+        "the policy has 3 buckets; metrics must not grow past them"
+    );
+    assert_eq!(m.sketch_capacity(), sketch_capacity);
+    assert_eq!(m.overload_rejections(), tally.overloaded);
+    assert_eq!(m.deadline_misses(), tally.deadline);
+    assert_eq!(
+        m.total_sequences(),
+        tally.ok,
+        "served sequences must match Ok tickets"
+    );
+
+    // Phase 2: recovery. The burst is fully drained (every ticket above
+    // resolved), so the queue is back under the watermark and the door
+    // must admit again — overload rejections do not outlive the burst —
+    // and hundreds more requests must not move the metrics footprint.
+    let after: Vec<_> = (0..200)
+        .map(|r| server.submit(vec![1 + r % 7; 1 + r % 12]))
+        .collect();
+    for t in after {
+        let r = t.wait().expect("door must reopen after the burst drains");
+        assert!(r.tokens >= 1);
+    }
+    let recovered = server.metrics();
+    assert_eq!(
+        recovered.overload_rejections(),
+        tally.overloaded,
+        "no new rejections once the queue drained"
+    );
+    assert_eq!(
+        recovered.approx_bytes(),
+        steady_bytes,
+        "metrics footprint grew with load"
+    );
+}
+
+/// Quick in-tree soak: small enough for the debug tier-1 run.
+#[test]
+fn soak_smoke_resolves_everything_with_bounded_metrics() {
+    soak(600, 64);
+}
+
+/// The CI soak job: ≥10k requests (override with `NNLUT_SOAK_REQUESTS`),
+/// run with `cargo test --release --test serve_soak -- --ignored`.
+#[test]
+#[ignore = "heavy: CI soak job runs this in release"]
+fn soak_10k_requests() {
+    let requests = std::env::var("NNLUT_SOAK_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    assert!(requests >= 10_000, "the soak contract is ≥10k requests");
+    soak(requests, 512);
+}
+
+/// `metrics()` is a snapshot whose cost is independent of batches served:
+/// the footprint after thousands of batches equals the footprint after
+/// one, and the snapshot itself is taken without computing percentiles
+/// under the server's lock (they run on the returned copy).
+#[test]
+fn metrics_snapshot_cost_is_independent_of_batches_served() {
+    let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+    let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+    let server = AsyncLutServer::new(
+        model,
+        kit,
+        AsyncServerConfig {
+            sketch_capacity: 32,
+            close: ClosePolicy {
+                max_batch_age: Duration::ZERO, // every request its own batch
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        },
+    );
+    let first = server.submit(vec![1, 2]);
+    first.wait().expect("no deadline");
+    let early = server.metrics();
+    let early_bytes = early.approx_bytes();
+
+    let tickets: Vec<_> = (0..300).map(|_| server.submit(vec![1, 2, 3])).collect();
+    for t in tickets {
+        t.wait().expect("no deadline");
+    }
+    let late = server.metrics();
+    assert!(late.batches_served() > early.batches_served());
+    assert_eq!(
+        late.approx_bytes(),
+        early_bytes,
+        "snapshot size must not grow with batches served"
+    );
+    // The percentile sketches are full but capped.
+    assert!(late.latency_percentile(95.0).is_some());
+    assert_eq!(late.sketch_capacity(), 32);
+}
