@@ -4,8 +4,9 @@
 //!
 //! 1. **Ledger integrity** — the committed `BENCH_lut_eval.json` must
 //!    still carry every section the repo's trajectory claims (`results`,
-//!    `serve.configs`, `serve.admission`, `serve.sustained`); a PR that
-//!    drops or mangles a section fails here, not months later.
+//!    `serve.configs`, `serve.admission`, `serve.sustained`,
+//!    `serve.sharded`); a PR that drops or mangles a section fails here,
+//!    not months later.
 //! 2. **Quick-run regression** — a fresh `bench_serve --quick --out …`
 //!    run is compared against the committed `BENCH_serve_quick.json`
 //!    baseline with a relative tolerance (default 10%): padding
@@ -166,6 +167,21 @@ fn check_ledger(gate: &mut Gate, ledger: &Json) {
         Some(_) => gate.fail("serve.sustained.overload: door did not reopen".into()),
         None => gate.fail("serve.sustained.overload.recovered: missing".into()),
     }
+    if let Some(b) = gate.require_num(ledger, "serve.sharded.balance", "ledger") {
+        if b > 0.0 && b <= 1.0 {
+            gate.pass(format!("serve.sharded.balance: {b:.3} in (0, 1]"));
+        } else {
+            gate.fail(format!(
+                "serve.sharded.balance: {b:.3} outside (0, 1] — a replica got no traffic"
+            ));
+        }
+    }
+    gate.require_num(ledger, "serve.sharded.failover.recovery_ms", "ledger");
+    match ledger.path("serve.sharded.failover.recovered") {
+        Some(Json::Bool(true)) => gate.pass("serve.sharded.failover: replica re-admitted".into()),
+        Some(_) => gate.fail("serve.sharded.failover: replica never re-admitted".into()),
+        None => gate.fail("serve.sharded.failover.recovered: missing".into()),
+    }
 }
 
 /// Tolerance comparison of a fresh quick run against the committed quick
@@ -214,6 +230,23 @@ fn check_regression(gate: &mut Gate, fresh: &Json, baseline: &Json, tol: f64, tp
     match fresh.path("sustained.overload.recovered") {
         Some(Json::Bool(true)) => gate.pass("sustained.overload: recovered".into()),
         _ => gate.fail("sustained.overload: fresh run's door did not reopen".into()),
+    }
+    // Sharded serving: gate on the fresh run only — balance and recovery
+    // time are timing-shaped, so no cross-machine baseline tolerance.
+    if let Some(b) = gate.require_num(fresh, "sharded.balance", "fresh") {
+        if b > 0.0 && b <= 1.0 {
+            gate.pass(format!("sharded.balance: {b:.3} in (0, 1]"));
+        } else {
+            gate.fail(format!(
+                "sharded.balance: {b:.3} outside (0, 1] — a replica got no traffic"
+            ));
+        }
+    }
+    match fresh.path("sharded.failover.recovered") {
+        Some(Json::Bool(true)) => {
+            gate.pass("sharded.failover: fresh run's replica re-admitted".into())
+        }
+        _ => gate.fail("sharded.failover: fresh run's replica never re-admitted".into()),
     }
 }
 

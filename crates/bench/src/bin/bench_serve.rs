@@ -24,6 +24,14 @@
 //! `serve.sustained` section of the ledger and is what `bench_check`
 //! gates CI on.
 //!
+//! A fourth part exercises **replica-sharded** serving through
+//! `ShardedServer`: a clean two-replica run measures join-shortest-queue
+//! routing balance (min/max requests routed per replica) and fleet
+//! tokens/sec, and a faulted run — replica 0's first batch panics, one
+//! strike quarantines — measures the failover → probe → re-admission
+//! recovery time. It lands in `serve.sharded` and is likewise gated by
+//! `bench_check`.
+//!
 //! Run: `cargo run --release -p nnlut-bench --bin bench_serve`
 //! Smoke: `cargo run --release -p nnlut-bench --bin bench_serve -- --quick`
 //! (tiny model, `BENCH_lut_eval.json` untouched — CI keeps the path alive
@@ -32,14 +40,16 @@
 //! bench-regression gate diffs a fresh `--quick --out` run against the
 //! committed `BENCH_serve_quick.json` baseline via `bench_check`.
 
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use nnlut_bench::upsert_json_key;
 use nnlut_core::train::TrainConfig;
 use nnlut_core::NnLutKit;
 use nnlut_serve::{
-    AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, LutServer, ServeError,
-    ServePolicy, ServerConfig,
+    AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, FaultPlan, LutServer,
+    ReplicaHealth, ServeError, ServePolicy, ServerConfig, ShardConfig, ShardedServer,
+    INJECTED_PANIC_PREFIX,
 };
 use nnlut_transformer::{BertModel, MatmulMode, TransformerConfig};
 
@@ -272,6 +282,137 @@ fn run_overload(cfg: &Config, model: &BertModel, kit: &NnLutKit) -> OverloadRun 
     }
 }
 
+struct ShardedRun {
+    replicas: usize,
+    requests: usize,
+    routed: Vec<u64>,
+    balance: f64,
+    tokens_per_sec: f64,
+    recovery_ms: f64,
+    all_served: bool,
+    recovered: bool,
+}
+
+/// Part 4: replica-sharded serving. A clean two-replica run measures
+/// join-shortest-queue routing balance and fleet throughput; a faulted
+/// run — replica 0's first batch panics, one strike quarantines —
+/// measures how long failover → probe → re-admission takes end to end.
+fn run_sharded(cfg: &Config, model: &BertModel, kit: &NnLutKit) -> ShardedRun {
+    // The faulted run's panic is supposed to fire; keep the default
+    // hook's stderr spew out of the bench output.
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.contains(INJECTED_PANIC_PREFIX) {
+                default_hook(info);
+            }
+        }));
+    });
+
+    let replicas = 2usize;
+    let replica_cfg = AsyncServerConfig {
+        threads: 1,
+        policy: cfg.policy.clone().with_buckets(cfg.bucket_edges.to_vec()),
+        close: ClosePolicy {
+            max_batch_age: Duration::from_millis(2),
+            deadline_slack: Duration::from_millis(1),
+        },
+        ..AsyncServerConfig::default()
+    };
+    let requests: Vec<Vec<usize>> = (0..cfg.sustained_requests)
+        .map(|r| {
+            let len = cfg.lengths[r % cfg.lengths.len()];
+            (0..len)
+                .map(|i| (i * 31 + r * 7) % cfg.model.vocab)
+                .collect()
+        })
+        .collect();
+
+    // Clean run: routing balance + throughput across the fleet. The
+    // stall watchdog is parked far beyond any honest encode time — on a
+    // slow single-core runner a full-config batch takes seconds, and a
+    // watchdog trip here would masquerade as a failure.
+    let mut server = ShardedServer::new(
+        model.clone(),
+        kit.clone(),
+        ShardConfig {
+            replicas,
+            replica: replica_cfg.clone(),
+            stall_timeout: Duration::from_secs(120),
+            ..ShardConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let tickets: Vec<_> = requests.iter().cloned().map(|t| server.submit(t)).collect();
+    let mut tokens = 0usize;
+    for t in tickets {
+        tokens += t.wait().expect("no faults in the clean run").tokens;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let routed: Vec<u64> = server.status().iter().map(|s| s.routed).collect();
+    let max_routed = routed.iter().copied().max().unwrap_or(0);
+    let min_routed = routed.iter().copied().min().unwrap_or(0);
+    let balance = if max_routed == 0 {
+        1.0
+    } else {
+        min_routed as f64 / max_routed as f64
+    };
+    let tokens_per_sec = tokens as f64 / wall;
+    server.shutdown();
+
+    // Faulted run: replica 0's first batch dies, it quarantines on the
+    // strike, and the probe cycle re-admits it. Recovery time is from
+    // first submission to the replica standing Healthy again.
+    let mut server = ShardedServer::new(
+        model.clone(),
+        kit.clone(),
+        ShardConfig {
+            replicas,
+            replica: replica_cfg,
+            quarantine_after: 1,
+            probe_backoff: Duration::from_millis(5),
+            stall_timeout: Duration::from_secs(120),
+            fault_plan: Some(Arc::new(FaultPlan::new().panic_at(0, 0))),
+            ..ShardConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let tickets: Vec<_> = requests.into_iter().map(|t| server.submit(t)).collect();
+    let all_served = tickets.into_iter().all(|t| t.wait().is_ok());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let recovered = loop {
+        let status = server.status();
+        let s0 = &status[0];
+        if s0.readmissions >= 1 && s0.health == ReplicaHealth::Healthy {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+
+    ShardedRun {
+        replicas,
+        requests: cfg.sustained_requests,
+        routed,
+        balance,
+        tokens_per_sec,
+        recovery_ms,
+        all_served,
+        recovered,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -368,6 +509,22 @@ fn main() {
         overload.recovered
     );
 
+    // Part 4: replica-sharded serving — routing balance on a clean fleet,
+    // recovery time through a deterministic failure.
+    let sharded = run_sharded(&cfg, &model, &kit);
+    println!(
+        "  sharded ({} replicas, {} requests):",
+        sharded.replicas, sharded.requests
+    );
+    println!(
+        "    routing  : {:?} routed · balance {:.3} · {:>9.1} tok/s",
+        sharded.routed, sharded.balance, sharded.tokens_per_sec
+    );
+    println!(
+        "    failover : recovery {:.1} ms · all served: {} · replica re-admitted: {}",
+        sharded.recovery_ms, sharded.all_served, sharded.recovered
+    );
+
     let mcfg = &cfg.model;
     {
         let mut section = format!(
@@ -410,7 +567,7 @@ fn main() {
             ));
         }
         section.push_str(&format!(
-            "      ],\n      \"metrics_bytes_steady\": {},\n      \"sketch_capacity\": {},\n      \"overload\": {{\"watermark_depth\": {}, \"submitted\": {}, \"rejected\": {}, \"served_ok\": {}, \"reject_rate\": {:.4}, \"recovered\": {}}}\n    }}\n  }}",
+            "      ],\n      \"metrics_bytes_steady\": {},\n      \"sketch_capacity\": {},\n      \"overload\": {{\"watermark_depth\": {}, \"submitted\": {}, \"rejected\": {}, \"served_ok\": {}, \"reject_rate\": {:.4}, \"recovered\": {}}}\n    }},\n",
             sustained[0].metrics_bytes,
             sustained[0].sketch_capacity,
             overload.watermark,
@@ -419,6 +576,17 @@ fn main() {
             overload.served_ok,
             overload.rejected as f64 / overload.submitted as f64,
             overload.recovered,
+        ));
+        section.push_str(&format!(
+            "    \"sharded\": {{\n      \"replicas\": {},\n      \"requests\": {},\n      \"routed\": {:?},\n      \"balance\": {:.4},\n      \"tokens_per_sec\": {:.1},\n      \"failover\": {{\"recovery_ms\": {:.1}, \"all_served\": {}, \"recovered\": {}}}\n    }}\n  }}",
+            sharded.replicas,
+            sharded.requests,
+            sharded.routed,
+            sharded.balance,
+            sharded.tokens_per_sec,
+            sharded.recovery_ms,
+            sharded.all_served,
+            sharded.recovered,
         ));
         if let Some(path) = &out_path {
             std::fs::write(path, format!("{}\n", section.trim_start()))

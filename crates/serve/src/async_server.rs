@@ -59,6 +59,7 @@ use nnlut_tensor::Matrix;
 use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
 
 use crate::batcher::{BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, ServePolicy};
+use crate::fault::FaultInjector;
 use crate::metrics::{BatchRecord, ServeMetrics, DEFAULT_SKETCH_CAPACITY};
 use crate::pool::ThreadPool;
 use crate::server::{validate_request, EncodeResponse, RequestId};
@@ -90,6 +91,24 @@ pub enum ServeError {
         /// The request's id.
         id: RequestId,
     },
+    /// [`Ticket::wait_timeout`] gave up before the worker resolved the
+    /// ticket. The request itself is **still in flight** — this bounds
+    /// the caller's blocking, it does not cancel the work.
+    WaitTimeout {
+        /// The request's id.
+        id: RequestId,
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
+    /// Every attempt within the sharded retry budget failed (replica
+    /// panics, stalls or admission bounces on each try). The request was
+    /// never successfully encoded.
+    RetriesExhausted {
+        /// The request's id.
+        id: RequestId,
+        /// Attempts made (initial route + retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -107,6 +126,15 @@ impl std::fmt::Display for ServeError {
             ServeError::ServerFailed { id } => {
                 write!(f, "the serving worker failed before request {id} completed")
             }
+            ServeError::WaitTimeout { id, waited } => write!(
+                f,
+                "gave up waiting on request {id} after {:.2} ms (request still in flight)",
+                waited.as_secs_f64() * 1e3
+            ),
+            ServeError::RetriesExhausted { id, attempts } => write!(
+                f,
+                "request {id} failed on all {attempts} attempts (retry budget exhausted)"
+            ),
         }
     }
 }
@@ -117,7 +145,7 @@ impl std::error::Error for ServeError {}
 /// either mutates nothing before its last fallible statement or leaves
 /// the state consistent, so a panicked peer (e.g. a doorstep validation
 /// failure) must not abort the worker or the destructor.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -143,6 +171,11 @@ pub struct AsyncServerConfig {
     pub sketch_capacity: usize,
     /// GEMM precision of the transformer body.
     pub mode: MatmulMode,
+    /// Deterministic fault injection hook, consulted by the encoder
+    /// threads just before each batch encode (inside the per-batch panic
+    /// containment). `None` — the default — injects nothing; production
+    /// configs never set this. See [`crate::fault`].
+    pub fault: Option<FaultInjector>,
 }
 
 impl Default for AsyncServerConfig {
@@ -155,26 +188,29 @@ impl Default for AsyncServerConfig {
             max_in_flight: 1,
             sketch_capacity: DEFAULT_SKETCH_CAPACITY,
             mode: MatmulMode::F32,
+            fault: None,
         }
     }
 }
 
-/// A pending response slot shared between the submitter and the worker.
+/// A pending response slot shared between the submitter and the worker
+/// (and, in the sharded layer, between the shard door and its
+/// supervisor).
 #[derive(Debug)]
-struct TicketState {
+pub(crate) struct TicketState {
     slot: Mutex<Option<Result<EncodeResponse, ServeError>>>,
     ready: Condvar,
 }
 
 impl TicketState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             slot: Mutex::new(None),
             ready: Condvar::new(),
         }
     }
 
-    fn resolve(&self, result: Result<EncodeResponse, ServeError>) {
+    pub(crate) fn resolve(&self, result: Result<EncodeResponse, ServeError>) {
         let mut slot = lock(&self.slot);
         debug_assert!(slot.is_none(), "ticket resolved twice");
         *slot = Some(result);
@@ -192,6 +228,12 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    /// Builds a ticket over an externally-owned state slot (the sharded
+    /// layer resolves shard tickets from its supervisor).
+    pub(crate) fn from_state(id: RequestId, state: Arc<TicketState>) -> Self {
+        Self { id, state }
+    }
+
     /// The request id this ticket tracks.
     pub fn id(&self) -> RequestId {
         self.id
@@ -221,6 +263,35 @@ impl Ticket {
                 .ready
                 .wait(slot)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`Ticket::wait`], but gives up after `timeout` with
+    /// [`ServeError::WaitTimeout`] instead of blocking forever on a lost
+    /// response. The timeout bounds only the *caller's* blocking — the
+    /// request stays in flight and its eventual result is discarded, so
+    /// the no-abandoned-ticket guarantee is unaffected.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<EncodeResponse, ServeError> {
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let mut slot = lock(&self.state.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::WaitTimeout {
+                    id: self.id,
+                    waited: now.saturating_duration_since(start),
+                });
+            }
+            slot = self
+                .state
+                .ready
+                .wait_timeout(slot, deadline.saturating_duration_since(now))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
     }
 }
@@ -327,6 +398,19 @@ impl AsyncLutServer {
 
     /// Builds the server with an explicit per-site backend selection.
     pub fn with_backend(model: BertModel, nl: Nonlinearity, config: AsyncServerConfig) -> Self {
+        Self::with_shared(Arc::new(model), Arc::new(nl), config)
+    }
+
+    /// Builds the server over **already-shared** model weights and
+    /// backend. This is how the sharded layer keeps N replicas over one
+    /// copy of the weights: every replica's encoder threads read the same
+    /// `Arc`s, so replica count is a topology knob, not a memory
+    /// multiplier.
+    pub fn with_shared(
+        model: Arc<BertModel>,
+        nl: Arc<Nonlinearity>,
+        config: AsyncServerConfig,
+    ) -> Self {
         let model_config = model.config().clone();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -351,17 +435,19 @@ impl AsyncLutServer {
         let max_in_flight = config.max_in_flight.max(1);
         let mode = config.mode;
         let admission = config.admission;
+        let fault = config.fault;
         let worker = std::thread::Builder::new()
             .name("nnlut-serve-dispatch".into())
             .spawn(move || {
                 dispatcher_loop(
                     worker_shared,
-                    Arc::new(model),
-                    Arc::new(nl),
+                    model,
+                    nl,
                     mode,
                     threads,
                     close,
                     max_in_flight,
+                    fault,
                 )
             })
             .expect("spawn serving dispatcher");
@@ -547,6 +633,7 @@ fn encoder_loop(
     nl: Arc<Nonlinearity>,
     mode: MatmulMode,
     pool: ThreadPool,
+    fault: Option<FaultInjector>,
 ) {
     loop {
         let job = {
@@ -572,8 +659,15 @@ fn encoder_loop(
         // Nothing is mutated across the unwind boundary — the model,
         // backends and pool are all shared-immutable — so
         // `AssertUnwindSafe` is honest.
+        // Injected faults fire here too — inside the containment, keyed
+        // on the dispatch sequence number (the replica-local batch
+        // coordinate) — so a chaos plan exercises the exact same failure
+        // path a real encode panic takes.
         let start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(injector) = &fault {
+                injector.before_encode(job.seq);
+            }
             model.encode_batch(&job.closed.batch, &nl, mode, &pool)
         }));
         let latency = start.elapsed();
@@ -597,6 +691,7 @@ fn encoder_loop(
 
 /// The background dispatcher: expire deadlines, close batches, hand them
 /// to the encoder threads, sleep until the next timed event or arrival.
+#[allow(clippy::too_many_arguments)] // private seam; mirrors the config
 fn dispatcher_loop(
     shared: Arc<Shared>,
     model: Arc<BertModel>,
@@ -605,15 +700,19 @@ fn dispatcher_loop(
     threads: usize,
     close: ClosePolicy,
     max_in_flight: usize,
+    fault: Option<FaultInjector>,
 ) {
     let encoders: Vec<JoinHandle<()>> = (0..max_in_flight)
         .map(|i| {
             let shared = Arc::clone(&shared);
             let model = Arc::clone(&model);
             let nl = Arc::clone(&nl);
+            let fault = fault.clone();
             std::thread::Builder::new()
                 .name(format!("nnlut-serve-encode-{i}"))
-                .spawn(move || encoder_loop(shared, model, nl, mode, ThreadPool::new(threads)))
+                .spawn(move || {
+                    encoder_loop(shared, model, nl, mode, ThreadPool::new(threads), fault)
+                })
                 .expect("spawn serving encoder")
         })
         .collect();

@@ -1,0 +1,272 @@
+//! A dependency-free `std::net` HTTP/1.1 listener for operational
+//! endpoints.
+//!
+//! The offline workspace has no hyper/axum, and an ops plane doesn't need
+//! one: this module serves **GET-only, closed-connection** responses from
+//! caller-provided handlers — enough for `/healthz` and `/metrics`
+//! scrapers, and nothing more. One accept thread handles connections
+//! serially (an ops endpoint is scraped a few times a second, not load
+//! tested); malformed requests get `400`, unknown paths `404`, and every
+//! response carries `Content-Length` + `Connection: close` so plain
+//! `curl` and probe scripts work unmodified.
+//!
+//! The integration with the sharded server lives in
+//! [`ShardedServer::serve_http`](crate::ShardedServer::serve_http);
+//! this module knows nothing about serving — handlers are opaque
+//! closures, so tests drive the listener with plain canned responses.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One response from a route handler.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A JSON response with an explicit status (health endpoints signal
+    /// degradation through the status code).
+    pub fn json_with_status(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// A GET route: exact path (e.g. `"/healthz"`) and the handler producing
+/// its response. Handlers run on the accept thread — keep them to
+/// snapshot-and-format work.
+pub type Route = (String, Arc<dyn Fn() -> HttpResponse + Send + Sync>);
+
+/// Handle to a running listener; [`HttpHandle::shutdown`] (or drop) stops
+/// it.
+#[derive(Debug)]
+pub struct HttpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl HttpHandle {
+    /// The bound address (port resolved, so `addr = "127.0.0.1:0"` works
+    /// for tests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the worker. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(worker) = self.worker.take() {
+            // A blocking `accept` only notices the flag on its next
+            // connection — give it one.
+            let _ = TcpStream::connect(self.addr);
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `routes` until the handle shuts down. Routes
+/// match exactly (no prefixes, no query strings).
+pub fn spawn(addr: impl ToSocketAddrs, routes: Vec<Route>) -> std::io::Result<HttpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker_stop = Arc::clone(&stop);
+    let worker = std::thread::Builder::new()
+        .name("nnlut-serve-http".into())
+        .spawn(move || accept_loop(listener, routes, worker_stop))?;
+    Ok(HttpHandle {
+        addr,
+        stop,
+        worker: Some(worker),
+    })
+}
+
+fn accept_loop(listener: TcpListener, routes: Vec<Route>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stuck client must not wedge the ops plane.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        let _ = serve_one(stream, &routes);
+    }
+}
+
+fn serve_one(stream: TcpStream, routes: &[Route]) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; this listener ignores them (GET has no body).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let response = match parse_get_path(&request_line) {
+        Some(path) => match routes.iter().find(|(p, _)| p == &path) {
+            Some((_, handler)) => handler(),
+            None => HttpResponse {
+                status: 404,
+                content_type: "text/plain",
+                body: format!("no route for {path}\n"),
+            },
+        },
+        None => HttpResponse {
+            status: 400,
+            content_type: "text/plain",
+            body: "only GET <path> HTTP/1.x is served here\n".into(),
+        },
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+        response.body,
+    )?;
+    stream.flush()
+}
+
+/// `"GET /healthz HTTP/1.1"` → `Some("/healthz")`; anything else `None`.
+fn parse_get_path(request_line: &str) -> Option<String> {
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("GET"), Some(path), Some(version)) if version.starts_with("HTTP/1") => {
+            Some(path.to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Blocking one-shot GET against a listener spawned by this module —
+/// what the example and tests use instead of curl. Returns
+/// `(status, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: nnlut\r\n\r\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    // Skip headers, then read the body to EOF (the listener closes).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut body)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canned(routes: Vec<(&str, u16, &str)>) -> HttpHandle {
+        let routes: Vec<Route> = routes
+            .into_iter()
+            .map(|(path, status, body)| {
+                let body = body.to_string();
+                let handler: Arc<dyn Fn() -> HttpResponse + Send + Sync> =
+                    Arc::new(move || HttpResponse::json_with_status(status, body.clone()));
+                (path.to_string(), handler)
+            })
+            .collect();
+        spawn("127.0.0.1:0", routes).expect("bind an ephemeral port")
+    }
+
+    #[test]
+    fn routes_resolve_and_unknown_paths_404() {
+        let handle = canned(vec![("/healthz", 200, "{\"ok\":true}")]);
+        let (status, body) = get(handle.addr(), "/healthz").expect("listener is up");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        let (status, _) = get(handle.addr(), "/nope").expect("404 still answers");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn handler_status_passes_through() {
+        let handle = canned(vec![("/healthz", 503, "{\"ok\":false}")]);
+        let (status, body) = get(handle.addr(), "/healthz").expect("listener is up");
+        assert_eq!(status, 503);
+        assert_eq!(body, "{\"ok\":false}");
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let handle = canned(vec![("/x", 200, "{}")]);
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        write!(stream, "BREW /x HTCPCP/1.0\r\n\r\n").expect("write");
+        let mut reply = String::new();
+        std::io::Read::read_to_string(&mut BufReader::new(stream), &mut reply).expect("read");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_unblocks_accept() {
+        let mut handle = canned(vec![]);
+        handle.shutdown();
+        handle.shutdown();
+        assert!(get(handle.addr(), "/x").is_err(), "listener is gone");
+    }
+}

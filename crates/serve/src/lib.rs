@@ -36,7 +36,23 @@
 //! * [`metrics`] — bounded streaming aggregates (O(sketch capacity), not
 //!   O(batches served)): per-batch latency, queue-wait percentiles over a
 //!   fixed-size [`QuantileSketch`], per-bucket padding efficiency,
-//!   deadline misses, overload rejections and end-to-end tokens/sec.
+//!   deadline misses, overload rejections and end-to-end tokens/sec;
+//!   [`ServeMetrics::merge`] rolls replica snapshots up for the shard.
+//! * [`shard`] — the replica-sharded [`ShardedServer`]: N
+//!   [`AsyncLutServer`] replicas over one `Arc`-shared copy of the
+//!   weights, join-shortest-queue routing by outstanding padded area, a
+//!   single rolled-up admission door, a per-replica
+//!   `Healthy → Degraded → Quarantined` health machine with
+//!   stall watchdogs, front-of-queue failover under a retry budget, and
+//!   exponential-backoff probe re-admission.
+//! * [`fault`] — deterministic, seedable fault injection
+//!   ([`FaultPlan`] / [`FaultInjector`]): panic at batch *k* on replica
+//!   *r*, stall for *d*, bounce an admission — keyed to event
+//!   coordinates so chaos runs are reproducible (`tests/serve_chaos.rs`).
+//! * [`http`] — a dependency-free `std::net` listener serving
+//!   `GET /healthz` (per-replica health) and `GET /metrics` (merged
+//!   snapshot) for the sharded fleet
+//!   ([`ShardedServer::serve_http`]).
 //!
 //! ## Determinism contract
 //!
@@ -84,16 +100,22 @@
 
 pub mod async_server;
 pub mod batcher;
+pub mod fault;
+pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod server;
+pub mod shard;
 
 pub use async_server::{AsyncLutServer, AsyncServerConfig, ServeError, Ticket};
 pub use batcher::{
     BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, PendingRequest, ServePolicy,
 };
+pub use fault::{BatchFault, Fault, FaultInjector, FaultPlan, INJECTED_PANIC_PREFIX};
+pub use http::{HttpHandle, HttpResponse};
 pub use metrics::{
     BatchRecord, BucketStats, QuantileSketch, ServeMetrics, DEFAULT_SKETCH_CAPACITY,
 };
 pub use pool::ThreadPool;
 pub use server::{EncodeResponse, LutServer, RequestId, ServerConfig};
+pub use shard::{ReplicaHealth, ReplicaStatus, ShardConfig, ShardMetrics, ShardedServer};

@@ -141,6 +141,32 @@ impl QuantileSketch {
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.capacity * std::mem::size_of::<Duration>()
     }
+
+    /// The retained window in observation order (oldest first).
+    fn ordered_window(&self) -> impl Iterator<Item = Duration> + '_ {
+        // Before the ring wraps, insertion order *is* slice order; after,
+        // the oldest retained sample sits at `head`.
+        let (older, newer) = self.window.split_at(if self.window.len() < self.capacity {
+            0
+        } else {
+            self.head
+        });
+        newer.iter().chain(older.iter()).copied()
+    }
+
+    /// Folds another sketch into this one: `other`'s retained window is
+    /// replayed in observation order (so this window ends with the merged
+    /// recency semantics a rollup wants), and observations that had
+    /// already fallen off `other`'s window still count toward
+    /// [`QuantileSketch::count`]. Merged percentiles are approximate —
+    /// they interleave the two windows by replay order, not by true
+    /// arrival time.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for sample in other.ordered_window() {
+            self.observe(sample);
+        }
+        self.count += other.count - other.window.len() as u64;
+    }
 }
 
 /// One dispatched batch, as observed by the server — the *event* fed to
@@ -442,6 +468,50 @@ impl ServeMetrics {
             + self.per_bucket.len() * std::mem::size_of::<BucketStats>()
     }
 
+    /// Folds another server's metrics into this one — the cross-replica
+    /// rollup the sharded layer's `/metrics` endpoint reports. Counters,
+    /// totals and per-bucket tables add; min/max/peak combine; percentile
+    /// sketches merge **approximately** (each replica's retained window is
+    /// replayed into this one, so recency interleaving is by replay order,
+    /// not true arrival time — see [`QuantileSketch::merge`]). Note that
+    /// [`ServeMetrics::tokens_per_sec`] on a merged snapshot divides by
+    /// the *sum* of per-replica encode time, which undercounts aggregate
+    /// throughput when replicas encode concurrently.
+    pub fn merge(&mut self, other: &ServeMetrics) {
+        self.batches += other.batches;
+        self.sequences += other.sequences;
+        self.tokens += other.tokens;
+        self.padded_tokens += other.padded_tokens;
+        self.total_latency += other.total_latency;
+        self.min_latency = match (self.min_latency, other.min_latency) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max_latency = match (self.max_latency, other.max_latency) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        for (mine, theirs) in self.close_counts.iter_mut().zip(other.close_counts) {
+            *mine += theirs;
+        }
+        if other.per_bucket.len() > self.per_bucket.len() {
+            self.per_bucket
+                .resize(other.per_bucket.len(), BucketStats::default());
+        }
+        for (mine, theirs) in self.per_bucket.iter_mut().zip(&other.per_bucket) {
+            mine.batches += theirs.batches;
+            mine.sequences += theirs.sequences;
+            mine.tokens += theirs.tokens;
+            mine.padded_tokens += theirs.padded_tokens;
+        }
+        self.deadline_misses += other.deadline_misses;
+        self.overload_rejections += other.overload_rejections;
+        self.latency_sketch.merge(&other.latency_sketch);
+        self.queue_wait_sketch.merge(&other.queue_wait_sketch);
+        self.missed_wait_sketch.merge(&other.missed_wait_sketch);
+    }
+
     /// One-line human summary (the bench and the examples print this).
     pub fn summary(&self) -> String {
         let p50 = self.latency_percentile(50.0).unwrap_or_default();
@@ -631,6 +701,59 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_percentile_panics() {
         ServeMetrics::new().latency_percentile(120.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_combines_extremes() {
+        let mut a = ServeMetrics::new();
+        a.record(BatchRecord {
+            bucket: 1,
+            ..rec(10, 20, 5)
+        });
+        a.record_overload_rejection();
+        let mut b = ServeMetrics::new();
+        b.record(BatchRecord {
+            reason: CloseReason::Aged,
+            ..rec(30, 30, 50)
+        });
+        b.record_deadline_miss(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.batches_served(), 2);
+        assert_eq!(a.total_tokens(), 40);
+        assert_eq!(a.total_sequences(), 4);
+        assert_eq!(a.min_latency(), Some(Duration::from_millis(5)));
+        assert_eq!(a.max_latency(), Some(Duration::from_millis(50)));
+        assert_eq!(a.deadline_misses(), 1);
+        assert_eq!(a.overload_rejections(), 1);
+        assert_eq!(a.closes_for(CloseReason::Drain), 1);
+        assert_eq!(a.closes_for(CloseReason::Aged), 1);
+        // b's bucket-0 batch lands in the bucket table a already had.
+        let buckets = a.per_bucket();
+        assert_eq!(buckets[0].batches, 1);
+        assert_eq!(buckets[1].batches, 1);
+        // Merged sketches see both windows (max = b's 50 ms batch).
+        assert_eq!(a.latency_percentile(100.0), Some(Duration::from_millis(50)));
+        // Merging an empty snapshot is a no-op on extremes.
+        a.merge(&ServeMetrics::new());
+        assert_eq!(a.min_latency(), Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn sketch_merge_preserves_total_count_and_window_order() {
+        let mut a = QuantileSketch::new(4);
+        let mut b = QuantileSketch::new(4);
+        for ms in [1u64, 2, 3, 4, 5, 6] {
+            b.observe(Duration::from_millis(ms)); // window {3,4,5,6}, count 6
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6, "evicted observations still count");
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.percentile(0.0), Some(Duration::from_millis(3)));
+        assert_eq!(a.percentile(100.0), Some(Duration::from_millis(6)));
+        // Replay order is oldest-first: two more evict 3 then 4.
+        a.observe(Duration::from_millis(9));
+        a.observe(Duration::from_millis(9));
+        assert_eq!(a.percentile(0.0), Some(Duration::from_millis(5)));
     }
 
     #[test]

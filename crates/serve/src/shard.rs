@@ -1,0 +1,1123 @@
+//! Replica-sharded serving: N [`AsyncLutServer`] replicas over one copy
+//! of the weights, behind one door.
+//!
+//! [`ShardedServer`] makes "more traffic" a topology knob: every replica's
+//! encoder threads read the same `Arc`-shared model and backend, so
+//! replica count multiplies *threads*, never *memory*. One **supervisor**
+//! thread owns routing and failure handling:
+//!
+//! * **Routing** is join-shortest-queue by *outstanding padded area*: a
+//!   request goes to the non-quarantined replica with the fewest tokens
+//!   routed-but-unresolved (ties to the lowest index — deterministic
+//!   given a load picture).
+//! * **Backpressure** rolls up into a single door: replica admission is
+//!   forced unbounded and the shard's own [`ServePolicy`] is checked
+//!   against `pending + outstanding` depth/area, so a rejection means the
+//!   *fleet* is saturated, not one unlucky replica.
+//! * **Health** is a per-replica state machine
+//!   `Healthy → Degraded → Quarantined`: batch failures, stall-watchdog
+//!   trips and admission bounces advance it; any success resets it. At
+//!   [`ShardConfig::quarantine_after`] consecutive failures the replica
+//!   stops receiving traffic and is probed back to life with synthetic
+//!   single-token batches under exponential backoff
+//!   ([`ShardConfig::probe_backoff`] doubling to
+//!   [`ShardConfig::max_probe_backoff`]).
+//! * **Failover**: a failed or stalled attempt requeues its request at
+//!   the *front* of the pending queue, avoiding the replica that just
+//!   failed it, under a per-request retry budget
+//!   ([`ShardConfig::retry_budget`]); past the budget the ticket resolves
+//!   to [`ServeError::RetriesExhausted`]. A stalled attempt's original
+//!   replica ticket is simply dropped — when the wedged encode eventually
+//!   finishes, its result resolves into a slot nobody reads.
+//!
+//! # Determinism across the shard
+//!
+//! The layer below guarantees responses are bit-independent of batch
+//! composition and thread count; sharing the weights makes them
+//! bit-independent of **which replica** served the request, and discarding
+//! stale results makes them bit-independent of **injected faults that
+//! were retried**. `tests/serve_chaos.rs` drives seeded
+//! [`FaultPlan`]s through the fleet and asserts
+//! surviving responses are bit-identical to a fault-free serial run.
+//!
+//! # Graceful degradation
+//!
+//! With every replica quarantined the shard parks pending work and keeps
+//! probing; deadlines and [`Ticket::wait_timeout`] bound the callers.
+//! Shutdown drains: pending work is routed (to quarantined replicas if
+//! nothing else survives — drain beats purity), every attempt is waited
+//! out, and if the supervisor itself died every unresolved ticket is
+//! failed with [`ServeError::ServerFailed`] rather than abandoned.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nnlut_core::NnLutKit;
+use nnlut_transformer::{BertModel, Nonlinearity, TransformerConfig};
+
+use crate::async_server::{
+    lock, AsyncLutServer, AsyncServerConfig, ServeError, Ticket, TicketState,
+};
+use crate::batcher::ServePolicy;
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::metrics::ServeMetrics;
+use crate::server::{validate_request, RequestId};
+
+/// Construction knobs for the sharded server.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Replica count (`0` is clamped to `1`).
+    pub replicas: usize,
+    /// Per-replica configuration. The replica's own `admission` is
+    /// ignored (forced unbounded — the shard door is the only door) and
+    /// its `fault` field is overwritten from [`ShardConfig::fault_plan`].
+    pub replica: AsyncServerConfig,
+    /// The single rolled-up admission door, checked against
+    /// pending + outstanding depth and padded area across the fleet.
+    pub admission: ServePolicy,
+    /// Retries allowed per request after its first failed attempt.
+    /// `2` means a request may be attempted three times in total.
+    pub retry_budget: u32,
+    /// How long an attempt may sit unresolved on a replica before the
+    /// stall watchdog requeues it elsewhere.
+    pub stall_timeout: Duration,
+    /// Consecutive failures (batch panics, stalls, admission bounces)
+    /// that quarantine a replica. `1` quarantines on the first failure;
+    /// below that is clamped to `1`.
+    pub quarantine_after: u32,
+    /// Initial delay before a quarantined replica's first probe batch.
+    pub probe_backoff: Duration,
+    /// Ceiling of the exponential probe backoff.
+    pub max_probe_backoff: Duration,
+    /// Deterministic fault schedule for chaos runs; `None` (the default)
+    /// injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            replica: AsyncServerConfig::default(),
+            admission: ServePolicy::unbounded(),
+            retry_budget: 2,
+            stall_timeout: Duration::from_secs(2),
+            quarantine_after: 2,
+            probe_backoff: Duration::from_millis(25),
+            max_probe_backoff: Duration::from_secs(2),
+            fault_plan: None,
+        }
+    }
+}
+
+/// A replica's position in the health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Serving normally.
+    Healthy,
+    /// Recent failure(s), still routable; one more strike may quarantine.
+    Degraded,
+    /// Out of rotation; re-admitted only by a successful probe batch.
+    Quarantined,
+}
+
+impl ReplicaHealth {
+    /// Lower-case name (`"healthy"` / `"degraded"` / `"quarantined"`) —
+    /// what `/healthz` reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Degraded => "degraded",
+            ReplicaHealth::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Point-in-time snapshot of one replica's health bookkeeping (see
+/// [`ShardedServer::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Replica index.
+    pub replica: usize,
+    /// Current health state.
+    pub health: ReplicaHealth,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Requests successfully routed to this replica (not bounced).
+    pub routed: u64,
+    /// Attempts this replica completed successfully.
+    pub completed: u64,
+    /// Attempts that failed on this replica (batch panics).
+    pub failures: u64,
+    /// Attempts the stall watchdog pulled off this replica.
+    pub stalls: u64,
+    /// Routing decisions bounced by an injected admission rejection.
+    pub rejections: u64,
+    /// Times this replica entered quarantine.
+    pub quarantines: u64,
+    /// Times a probe re-admitted this replica.
+    pub readmissions: u64,
+    /// Probe batches sent while quarantined.
+    pub probes_sent: u64,
+    /// Padded area (tokens) routed to this replica and not yet resolved —
+    /// the join-shortest-queue signal.
+    pub outstanding_tokens: usize,
+}
+
+/// Shard-level counters — the failure-handling ledger `/metrics` reports
+/// alongside the merged [`ServeMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Requests admitted through the shard door.
+    pub submitted: u64,
+    /// Requests resolved successfully.
+    pub completed: u64,
+    /// Failed attempts that were requeued onto another replica.
+    pub failovers: u64,
+    /// Requests that ran out of retry budget ([`ServeError::RetriesExhausted`]).
+    pub retries_exhausted: u64,
+    /// Attempts the stall watchdog requeued.
+    pub stalls: u64,
+    /// Probe batches sent to quarantined replicas.
+    pub probes_sent: u64,
+    /// Quarantined replicas re-admitted by a successful probe.
+    pub readmissions: u64,
+    /// Requests rejected at the shard door ([`ServeError::Overloaded`]).
+    pub overload_rejections: u64,
+    /// Requests that expired at their deadline (queued at the shard or
+    /// inside a replica).
+    pub deadline_misses: u64,
+}
+
+/// One admitted request waiting to be routed (or re-routed).
+#[derive(Debug)]
+struct ShardRequest {
+    id: RequestId,
+    tokens: Vec<usize>,
+    deadline: Option<Instant>,
+    queued_at: Instant,
+    /// Failed attempts so far.
+    attempts: u32,
+    /// The replica that just failed this request — avoided on the next
+    /// route when any alternative exists.
+    avoid: Option<usize>,
+}
+
+/// Internal per-replica bookkeeping (the mutable side of [`ReplicaStatus`]).
+#[derive(Debug)]
+struct ReplicaCtl {
+    health: ReplicaHealth,
+    consecutive_failures: u32,
+    routed: u64,
+    completed: u64,
+    failures: u64,
+    stalls: u64,
+    rejections: u64,
+    quarantines: u64,
+    readmissions: u64,
+    probes_sent: u64,
+    outstanding_tokens: usize,
+    /// When the next probe may go out (quarantined replicas only).
+    next_probe_at: Option<Instant>,
+    /// Current probe backoff (doubles per failed probe).
+    backoff: Duration,
+}
+
+impl ReplicaCtl {
+    fn new(backoff: Duration) -> Self {
+        Self {
+            health: ReplicaHealth::Healthy,
+            consecutive_failures: 0,
+            routed: 0,
+            completed: 0,
+            failures: 0,
+            stalls: 0,
+            rejections: 0,
+            quarantines: 0,
+            readmissions: 0,
+            probes_sent: 0,
+            outstanding_tokens: 0,
+            next_probe_at: None,
+            backoff,
+        }
+    }
+
+    fn snapshot(&self, replica: usize) -> ReplicaStatus {
+        ReplicaStatus {
+            replica,
+            health: self.health,
+            consecutive_failures: self.consecutive_failures,
+            routed: self.routed,
+            completed: self.completed,
+            failures: self.failures,
+            stalls: self.stalls,
+            rejections: self.rejections,
+            quarantines: self.quarantines,
+            readmissions: self.readmissions,
+            probes_sent: self.probes_sent,
+            outstanding_tokens: self.outstanding_tokens,
+        }
+    }
+
+    /// A success (served attempt or probe) fully restores the replica.
+    fn on_success(&mut self) -> bool {
+        let readmitted = self.health == ReplicaHealth::Quarantined;
+        if readmitted {
+            self.readmissions += 1;
+        }
+        self.health = ReplicaHealth::Healthy;
+        self.consecutive_failures = 0;
+        self.next_probe_at = None;
+        readmitted
+    }
+
+    /// A failure advances the state machine; returns true on the
+    /// Degraded/Healthy → Quarantined edge.
+    fn on_failure(&mut self, config: &SupervisorConfig, now: Instant) -> bool {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= config.quarantine_after {
+            let newly = self.health != ReplicaHealth::Quarantined;
+            if newly {
+                self.health = ReplicaHealth::Quarantined;
+                self.quarantines += 1;
+                self.backoff = config.probe_backoff;
+            } else {
+                // A failed probe: back off harder.
+                self.backoff = (self.backoff * 2).min(config.max_probe_backoff);
+            }
+            self.next_probe_at = Some(now + self.backoff);
+            newly
+        } else {
+            self.health = ReplicaHealth::Degraded;
+            false
+        }
+    }
+}
+
+/// Everything the door and the supervisor share, behind one lock.
+#[derive(Debug)]
+struct ShardState {
+    pending: VecDeque<ShardRequest>,
+    pending_tokens: usize,
+    /// Attempts currently on replicas (count / padded area) — the other
+    /// half of the rolled-up door signal.
+    outstanding: usize,
+    outstanding_tokens: usize,
+    tickets: HashMap<RequestId, Arc<TicketState>>,
+    next_id: RequestId,
+    shutdown: bool,
+    replicas: Vec<ReplicaCtl>,
+    metrics: ShardMetrics,
+    /// Merged replica metrics frozen at shutdown, so
+    /// [`ShardedServer::metrics`] keeps answering after the fleet is gone.
+    final_metrics: Option<ServeMetrics>,
+}
+
+#[derive(Debug)]
+struct ShardShared {
+    state: Mutex<ShardState>,
+    /// Signalled on arrivals and shutdown — what the supervisor sleeps on
+    /// when it has nothing in flight.
+    work: Condvar,
+}
+
+/// The knobs the supervisor thread needs (a copy of the relevant
+/// [`ShardConfig`] fields).
+#[derive(Debug, Clone)]
+struct SupervisorConfig {
+    retry_budget: u32,
+    stall_timeout: Duration,
+    quarantine_after: u32,
+    probe_backoff: Duration,
+    max_probe_backoff: Duration,
+    fault_plan: Option<Arc<FaultPlan>>,
+}
+
+/// One request currently riding a replica.
+#[derive(Debug)]
+struct Attempt {
+    req: ShardRequest,
+    replica: usize,
+    ticket: Ticket,
+    started: Instant,
+}
+
+/// N async replicas over one copy of the weights, one submit API, one
+/// door, health-aware failover. See the module docs for the design.
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::{train::TrainConfig, NnLutKit};
+/// use nnlut_serve::{ShardConfig, ShardedServer};
+/// use nnlut_transformer::{BertModel, TransformerConfig};
+///
+/// let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 3);
+/// let kit = NnLutKit::train_with(16, 3, &TrainConfig::fast());
+/// let server = ShardedServer::new(model, kit, ShardConfig {
+///     replicas: 2,
+///     ..ShardConfig::default()
+/// });
+/// let ticket = server.submit(vec![1, 2, 3]);
+/// let response = ticket.wait().expect("no faults, no deadline");
+/// assert_eq!(response.hidden.shape(), (3, 64));
+/// assert_eq!(server.status().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedServer {
+    shared: Arc<ShardShared>,
+    /// Dropped (last `Arc`) on shutdown, which drains every replica.
+    servers: Option<Arc<Vec<AsyncLutServer>>>,
+    config: TransformerConfig,
+    admission: ServePolicy,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl ShardedServer {
+    /// Builds the fleet ("Altogether" deployment: every non-linearity on
+    /// the kit's baked LUT engines) and starts the supervisor.
+    pub fn new(model: BertModel, kit: NnLutKit, config: ShardConfig) -> Self {
+        let nl = Nonlinearity::all_lut(&kit);
+        Self::with_backend(model, nl, config)
+    }
+
+    /// Builds the fleet with an explicit per-site backend selection. The
+    /// model and backend are shared (`Arc`) across every replica — N
+    /// replicas cost one copy of the weights.
+    pub fn with_backend(model: BertModel, nl: Nonlinearity, config: ShardConfig) -> Self {
+        let model = Arc::new(model);
+        let nl = Arc::new(nl);
+        let model_config = model.config().clone();
+        let replicas = config.replicas.max(1);
+        let servers: Vec<AsyncLutServer> = (0..replicas)
+            .map(|r| {
+                let mut rc = config.replica.clone();
+                // The shard door is the only door.
+                rc.admission = ServePolicy::unbounded();
+                rc.fault = config
+                    .fault_plan
+                    .as_ref()
+                    .map(|plan| FaultInjector::new(Arc::clone(plan), r));
+                AsyncLutServer::with_shared(Arc::clone(&model), Arc::clone(&nl), rc)
+            })
+            .collect();
+        let servers = Arc::new(servers);
+        let shared = Arc::new(ShardShared {
+            state: Mutex::new(ShardState {
+                pending: VecDeque::new(),
+                pending_tokens: 0,
+                outstanding: 0,
+                outstanding_tokens: 0,
+                tickets: HashMap::new(),
+                next_id: 0,
+                shutdown: false,
+                replicas: (0..replicas)
+                    .map(|_| ReplicaCtl::new(config.probe_backoff))
+                    .collect(),
+                metrics: ShardMetrics::default(),
+                final_metrics: None,
+            }),
+            work: Condvar::new(),
+        });
+        let sup_shared = Arc::clone(&shared);
+        let sup_servers = Arc::clone(&servers);
+        let sup_config = SupervisorConfig {
+            retry_budget: config.retry_budget,
+            stall_timeout: config.stall_timeout,
+            quarantine_after: config.quarantine_after.max(1),
+            probe_backoff: config.probe_backoff,
+            max_probe_backoff: config.max_probe_backoff,
+            fault_plan: config.fault_plan,
+        };
+        let supervisor = std::thread::Builder::new()
+            .name("nnlut-shard-supervisor".into())
+            .spawn(move || supervisor_loop(sup_shared, sup_servers, sup_config))
+            .expect("spawn shard supervisor");
+        Self {
+            shared,
+            servers: Some(servers),
+            config: model_config,
+            admission: config.admission,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// Enqueues a request with no deadline; the [`Ticket`] resolves when
+    /// some replica serves it (possibly after failovers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is empty, overlong, out-of-vocabulary, or
+    /// submitted after [`ShardedServer::shutdown`].
+    pub fn submit(&self, tokens: Vec<usize>) -> Ticket {
+        self.submit_with_deadline(tokens, None)
+    }
+
+    /// Enqueues a request whose total time-to-route-and-queue is bounded
+    /// by `deadline` (measured from now). The deadline follows the
+    /// request across failovers: each retry carries only the *remaining*
+    /// budget to its replica, and a request that expires while pending at
+    /// the shard resolves to [`ServeError::DeadlineExceeded`] without
+    /// being encoded.
+    ///
+    /// If admitting the request would push the fleet-wide
+    /// pending + outstanding load past the shard's [`ServePolicy`]
+    /// watermark, the ticket resolves immediately to
+    /// [`ServeError::Overloaded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is empty, overlong, out-of-vocabulary, or
+    /// submitted after [`ShardedServer::shutdown`].
+    pub fn submit_with_deadline(&self, tokens: Vec<usize>, deadline: Option<Duration>) -> Ticket {
+        validate_request(&self.config, &tokens);
+        let now = Instant::now();
+        let state = Arc::new(TicketState::new());
+        let (id, rejected_at_depth) = {
+            let mut st = lock(&self.shared.state);
+            assert!(!st.shutdown, "cannot submit after shutdown");
+            let id = st.next_id;
+            st.next_id += 1;
+            let depth = st.pending.len() + st.outstanding;
+            let area = st.pending_tokens + st.outstanding_tokens;
+            if !self.admission.admits(depth + 1, area + tokens.len()) {
+                st.metrics.overload_rejections += 1;
+                (id, Some(depth))
+            } else {
+                st.metrics.submitted += 1;
+                st.tickets.insert(id, Arc::clone(&state));
+                st.pending_tokens += tokens.len();
+                st.pending.push_back(ShardRequest {
+                    id,
+                    tokens,
+                    deadline: deadline.map(|d| now + d),
+                    queued_at: now,
+                    attempts: 0,
+                    avoid: None,
+                });
+                (id, None)
+            }
+        };
+        match rejected_at_depth {
+            Some(queue_depth) => {
+                state.resolve(Err(ServeError::Overloaded { id, queue_depth }));
+            }
+            None => self.shared.work.notify_all(),
+        }
+        Ticket::from_state(id, state)
+    }
+
+    /// Requests admitted but not yet routed to a replica.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.state).pending.len()
+    }
+
+    /// Fleet-wide in-flight load: pending + on-replica padded area — the
+    /// signal the rolled-up admission door runs on.
+    pub fn queued_tokens(&self) -> usize {
+        let st = lock(&self.shared.state);
+        st.pending_tokens + st.outstanding_tokens
+    }
+
+    /// Per-replica health snapshots, indexed by replica.
+    pub fn status(&self) -> Vec<ReplicaStatus> {
+        let st = lock(&self.shared.state);
+        st.replicas
+            .iter()
+            .enumerate()
+            .map(|(r, ctl)| ctl.snapshot(r))
+            .collect()
+    }
+
+    /// The shard-level failure-handling counters.
+    pub fn shard_metrics(&self) -> ShardMetrics {
+        lock(&self.shared.state).metrics
+    }
+
+    /// Serving metrics merged across every replica (see
+    /// [`ServeMetrics::merge`] for the rollup semantics). Keeps answering
+    /// after [`ShardedServer::shutdown`] with the final pre-shutdown
+    /// snapshot.
+    pub fn metrics(&self) -> ServeMetrics {
+        match &self.servers {
+            Some(servers) => merged_metrics(servers),
+            None => lock(&self.shared.state)
+                .final_metrics
+                .clone()
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Starts the ops-plane HTTP listener on `addr` (use
+    /// `"127.0.0.1:0"` for an ephemeral port; the bound address is on the
+    /// returned handle):
+    ///
+    /// * `GET /healthz` — per-replica health JSON; status `200` while any
+    ///   replica is routable, `503` once the whole fleet is quarantined.
+    /// * `GET /metrics` — the merged [`ServeMetrics`] snapshot plus the
+    ///   [`ShardMetrics`] failure-handling counters, as JSON.
+    ///
+    /// The listener holds snapshots' sources (`Arc`s), not the server:
+    /// dropping the [`HttpHandle`](crate::http::HttpHandle) stops it
+    /// independently of the serving fleet, and it must be dropped before
+    /// (or simply not outlive) meaningful shutdown reporting is needed —
+    /// after [`ShardedServer::shutdown`] it reports the frozen final
+    /// snapshot.
+    pub fn serve_http(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<crate::http::HttpHandle> {
+        let health_shared = Arc::clone(&self.shared);
+        let healthz: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
+            Arc::new(move || {
+                let st = lock(&health_shared.state);
+                let replicas: Vec<String> = st
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(r, ctl)| {
+                        format!(
+                            "{{\"replica\":{r},\"health\":\"{}\",\"consecutive_failures\":{},\
+                             \"routed\":{},\"completed\":{},\"failures\":{},\"stalls\":{},\
+                             \"rejections\":{},\"quarantines\":{},\"readmissions\":{},\
+                             \"probes_sent\":{},\"outstanding_tokens\":{}}}",
+                            ctl.health.as_str(),
+                            ctl.consecutive_failures,
+                            ctl.routed,
+                            ctl.completed,
+                            ctl.failures,
+                            ctl.stalls,
+                            ctl.rejections,
+                            ctl.quarantines,
+                            ctl.readmissions,
+                            ctl.probes_sent,
+                            ctl.outstanding_tokens,
+                        )
+                    })
+                    .collect();
+                let any_routable = st
+                    .replicas
+                    .iter()
+                    .any(|c| c.health != ReplicaHealth::Quarantined);
+                let status = if any_routable { 200 } else { 503 };
+                let body = format!(
+                    "{{\"status\":\"{}\",\"replicas\":[{}]}}\n",
+                    if any_routable { "ok" } else { "quarantined" },
+                    replicas.join(",")
+                );
+                crate::http::HttpResponse::json_with_status(status, body)
+            });
+        let metrics_shared = Arc::clone(&self.shared);
+        let metrics_servers = self.servers.clone();
+        let metrics: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
+            Arc::new(move || {
+                let merged = match &metrics_servers {
+                    Some(servers) => merged_metrics(servers),
+                    None => ServeMetrics::default(),
+                };
+                let shard = lock(&metrics_shared.state).metrics;
+                let p50 = merged
+                    .latency_percentile(50.0)
+                    .unwrap_or_default()
+                    .as_secs_f64()
+                    * 1e3;
+                let p95 = merged
+                    .latency_percentile(95.0)
+                    .unwrap_or_default()
+                    .as_secs_f64()
+                    * 1e3;
+                let body = format!(
+                    "{{\"batches\":{},\"sequences\":{},\"tokens\":{},\"tokens_per_sec\":{:.3},\
+                     \"latency_p50_ms\":{p50:.3},\"latency_p95_ms\":{p95:.3},\
+                     \"padding_efficiency\":{:.4},\"deadline_misses\":{},\
+                     \"overload_rejections\":{},\"shard\":{{\"submitted\":{},\"completed\":{},\
+                     \"failovers\":{},\"retries_exhausted\":{},\"stalls\":{},\"probes_sent\":{},\
+                     \"readmissions\":{},\"overload_rejections\":{},\"deadline_misses\":{}}}}}\n",
+                    merged.batches_served(),
+                    merged.total_sequences(),
+                    merged.total_tokens(),
+                    merged.tokens_per_sec(),
+                    merged.padding_efficiency(),
+                    merged.deadline_misses(),
+                    merged.overload_rejections(),
+                    shard.submitted,
+                    shard.completed,
+                    shard.failovers,
+                    shard.retries_exhausted,
+                    shard.stalls,
+                    shard.probes_sent,
+                    shard.readmissions,
+                    shard.overload_rejections,
+                    shard.deadline_misses,
+                );
+                crate::http::HttpResponse::json(body)
+            });
+        crate::http::spawn(
+            addr,
+            vec![("/healthz".into(), healthz), ("/metrics".into(), metrics)],
+        )
+    }
+
+    /// Stops admission, drains every pending and in-flight request
+    /// (resolving all tickets — success, typed error, never abandonment),
+    /// joins the supervisor and shuts every replica down. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            lock(&self.shared.state).shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(supervisor) = self.supervisor.take() {
+            if supervisor.join().is_err() {
+                // The supervisor died: fail every unresolved ticket
+                // rather than leaving waiters hanging.
+                let mut st = lock(&self.shared.state);
+                let orphaned: Vec<RequestId> = st.tickets.keys().copied().collect();
+                for id in orphaned {
+                    if let Some(ticket) = st.tickets.remove(&id) {
+                        ticket.resolve(Err(ServeError::ServerFailed { id }));
+                    }
+                }
+            }
+        }
+        if let Some(servers) = self.servers.take() {
+            let frozen = merged_metrics(&servers);
+            lock(&self.shared.state).final_metrics = Some(frozen);
+            // Last Arc: dropping drains and joins every replica.
+            drop(servers);
+        }
+    }
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn merged_metrics(servers: &[AsyncLutServer]) -> ServeMetrics {
+    let mut merged: Option<ServeMetrics> = None;
+    for server in servers {
+        let snapshot = server.metrics();
+        match &mut merged {
+            Some(m) => m.merge(&snapshot),
+            None => merged = Some(snapshot),
+        }
+    }
+    merged.unwrap_or_default()
+}
+
+/// How often the supervisor polls in-flight attempts. Replica tickets
+/// have no completion callback by design (the replica layer predates the
+/// shard), so the supervisor ticks; the tick also paces stall detection
+/// and probe scheduling.
+const SUPERVISOR_TICK: Duration = Duration::from_micros(500);
+
+/// The supervisor: routes pending requests (JSQ over healthy replicas,
+/// with fault-plan admission bounces applied), harvests finished
+/// attempts, trips the stall watchdog, advances the health machines and
+/// probes quarantined replicas back to life.
+fn supervisor_loop(
+    shared: Arc<ShardShared>,
+    servers: Arc<Vec<AsyncLutServer>>,
+    config: SupervisorConfig,
+) {
+    let n = servers.len();
+    let mut attempts: Vec<Attempt> = Vec::new();
+    // In-flight probe tickets, by replica.
+    let mut probes: Vec<Option<Ticket>> = (0..n).map(|_| None).collect();
+    // Routing decisions targeting each replica, including bounced ones —
+    // the fault plan's submission coordinate.
+    let mut routed_to: Vec<u64> = vec![0; n];
+
+    loop {
+        let now = Instant::now();
+
+        // Harvest outside the lock: `wait()` on a ready ticket cannot
+        // block, and collecting first keeps the locked section short.
+        let mut finished = Vec::new();
+        let mut stalled = Vec::new();
+        let mut i = 0;
+        while i < attempts.len() {
+            if attempts[i].ticket.is_ready() {
+                let a = attempts.swap_remove(i);
+                let replica = a.replica;
+                let req = a.req;
+                let result = a.ticket.wait();
+                finished.push((req, replica, result));
+            } else if now.saturating_duration_since(attempts[i].started) >= config.stall_timeout {
+                stalled.push(attempts.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        let mut probe_results = Vec::new();
+        for (r, slot) in probes.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|t| t.is_ready()) {
+                let ticket = slot.take().expect("checked above");
+                probe_results.push((r, ticket.wait()));
+            }
+        }
+
+        let mut st = lock(&shared.state);
+
+        for (req, replica, result) in finished {
+            st.outstanding -= 1;
+            st.outstanding_tokens -= req.tokens.len();
+            st.replicas[replica].outstanding_tokens -= req.tokens.len();
+            match result {
+                Ok(mut resp) => {
+                    // Response identity is the shard's: same id whichever
+                    // replica (or retry) produced it.
+                    resp.id = req.id;
+                    st.replicas[replica].completed += 1;
+                    st.replicas[replica].on_success();
+                    st.metrics.completed += 1;
+                    if let Some(ticket) = st.tickets.remove(&req.id) {
+                        ticket.resolve(Ok(resp));
+                    }
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => {
+                    // Expired inside the replica: terminal, not a replica
+                    // fault — the request was simply too old.
+                    st.metrics.deadline_misses += 1;
+                    let waited = now.saturating_duration_since(req.queued_at);
+                    if let Some(ticket) = st.tickets.remove(&req.id) {
+                        ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
+                    }
+                }
+                Err(_) => {
+                    // ServerFailed (a contained batch panic — possibly
+                    // injected) or any other replica-side failure: the
+                    // replica takes the health hit, the request fails
+                    // over.
+                    st.replicas[replica].failures += 1;
+                    st.replicas[replica].on_failure(&config, now);
+                    fail_over(&mut st, req, replica, &config);
+                }
+            }
+        }
+
+        for a in stalled {
+            let req = a.req;
+            st.outstanding -= 1;
+            st.outstanding_tokens -= req.tokens.len();
+            st.replicas[a.replica].outstanding_tokens -= req.tokens.len();
+            st.replicas[a.replica].stalls += 1;
+            st.replicas[a.replica].on_failure(&config, now);
+            st.metrics.stalls += 1;
+            fail_over(&mut st, req, a.replica, &config);
+            // a.ticket drops here: when the wedged encode eventually
+            // finishes, its result resolves into a slot nobody reads.
+        }
+
+        for (r, result) in probe_results {
+            match result {
+                Ok(_) => {
+                    if st.replicas[r].on_success() {
+                        st.metrics.readmissions += 1;
+                    }
+                }
+                Err(_) => {
+                    st.replicas[r].on_failure(&config, now);
+                }
+            }
+        }
+
+        // Cull pending requests whose deadline passed while unrouted.
+        if st.pending.iter().any(|req| expired(req, now)) {
+            let mut keep = VecDeque::with_capacity(st.pending.len());
+            let mut culled = Vec::new();
+            for req in st.pending.drain(..) {
+                if expired(&req, now) {
+                    culled.push(req);
+                } else {
+                    keep.push_back(req);
+                }
+            }
+            st.pending = keep;
+            for req in culled {
+                st.pending_tokens -= req.tokens.len();
+                st.metrics.deadline_misses += 1;
+                let waited = now.saturating_duration_since(req.queued_at);
+                if let Some(ticket) = st.tickets.remove(&req.id) {
+                    ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
+                }
+            }
+        }
+
+        // Route as much of the pending queue as current health allows.
+        while let Some(req) = st.pending.pop_front() {
+            st.pending_tokens -= req.tokens.len();
+            match route(&mut st, &servers, &mut routed_to, &config, req, now) {
+                Routed::Attempt(a) => attempts.push(a),
+                Routed::Resolved => {}
+                Routed::NoCandidate(req) => {
+                    // Every replica quarantined (and not draining): park
+                    // the request; probes are the way back.
+                    st.pending_tokens += req.tokens.len();
+                    st.pending.push_front(req);
+                    break;
+                }
+            }
+        }
+
+        // Probe quarantined replicas whose backoff has elapsed. Skipped
+        // while draining — shutdown routes to quarantined replicas
+        // directly rather than waiting out a probe cycle.
+        if !st.shutdown {
+            for (r, slot) in probes.iter_mut().enumerate() {
+                let ctl = &mut st.replicas[r];
+                if ctl.health == ReplicaHealth::Quarantined
+                    && slot.is_none()
+                    && ctl.next_probe_at.is_some_and(|at| now >= at)
+                {
+                    ctl.probes_sent += 1;
+                    ctl.next_probe_at = Some(now + ctl.backoff);
+                    st.metrics.probes_sent += 1;
+                    // A minimal in-vocabulary batch; its result is only a
+                    // health signal.
+                    *slot = Some(servers[r].submit(vec![0]));
+                }
+            }
+        }
+
+        if st.shutdown && st.pending.is_empty() && attempts.is_empty() {
+            debug_assert!(
+                st.tickets.is_empty(),
+                "drained shard still holds unresolved tickets"
+            );
+            break;
+            // In-flight probes (if any) are dropped with `probes`; their
+            // results resolve into slots nobody reads when the replicas
+            // drain.
+        }
+
+        // Anything time-driven in flight? Tick. Otherwise sleep until an
+        // arrival or shutdown.
+        let time_driven = !attempts.is_empty()
+            || probes.iter().any(Option::is_some)
+            || st
+                .replicas
+                .iter()
+                .any(|c| c.health == ReplicaHealth::Quarantined)
+            || st.pending.iter().any(|req| req.deadline.is_some());
+        if time_driven {
+            let (guard, _) = shared
+                .work
+                .wait_timeout(st, SUPERVISOR_TICK)
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(guard);
+        } else if st.pending.is_empty() && !st.shutdown {
+            let guard = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            drop(guard);
+        }
+        // (pending non-empty without being time-driven can only mean new
+        // work arrived while routing — loop around immediately.)
+    }
+}
+
+fn expired(req: &ShardRequest, now: Instant) -> bool {
+    req.deadline.is_some_and(|d| now >= d)
+}
+
+/// Requeues a failed attempt at the front of the pending queue (retry
+/// priority — a victim of a fault should not also lose its place), or
+/// resolves [`ServeError::RetriesExhausted`] past the budget.
+fn fail_over(
+    st: &mut ShardState,
+    mut req: ShardRequest,
+    failed_on: usize,
+    config: &SupervisorConfig,
+) {
+    req.attempts += 1;
+    req.avoid = Some(failed_on);
+    if req.attempts > config.retry_budget {
+        st.metrics.retries_exhausted += 1;
+        if let Some(ticket) = st.tickets.remove(&req.id) {
+            ticket.resolve(Err(ServeError::RetriesExhausted {
+                id: req.id,
+                attempts: req.attempts,
+            }));
+        }
+    } else {
+        st.metrics.failovers += 1;
+        st.pending_tokens += req.tokens.len();
+        st.pending.push_front(req);
+    }
+}
+
+enum Routed {
+    /// Submitted to a replica.
+    Attempt(Attempt),
+    /// Terminal without touching a replica (deadline, retries exhausted).
+    Resolved,
+    /// Nowhere to send it right now.
+    NoCandidate(ShardRequest),
+}
+
+/// Routes one request: JSQ by outstanding padded area over non-quarantined
+/// replicas (during a shutdown drain, over *all* replicas), preferring to
+/// avoid the replica that just failed it, applying the fault plan's
+/// admission bounces. Bounces consume retry budget like any other
+/// failure, so a fully-bounced request terminates typed, never spins.
+fn route(
+    st: &mut ShardState,
+    servers: &[AsyncLutServer],
+    routed_to: &mut [u64],
+    config: &SupervisorConfig,
+    mut req: ShardRequest,
+    now: Instant,
+) -> Routed {
+    loop {
+        if expired(&req, now) {
+            st.metrics.deadline_misses += 1;
+            let waited = now.saturating_duration_since(req.queued_at);
+            if let Some(ticket) = st.tickets.remove(&req.id) {
+                ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
+            }
+            return Routed::Resolved;
+        }
+        let candidates: Vec<usize> = (0..servers.len())
+            .filter(|&r| st.shutdown || st.replicas[r].health != ReplicaHealth::Quarantined)
+            .collect();
+        if candidates.is_empty() {
+            return Routed::NoCandidate(req);
+        }
+        let preferred: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&r| Some(r) != req.avoid)
+            .collect();
+        let pool = if preferred.is_empty() {
+            &candidates
+        } else {
+            &preferred
+        };
+        let target = pool
+            .iter()
+            .copied()
+            .min_by_key(|&r| (st.replicas[r].outstanding_tokens, r))
+            .expect("pool is non-empty");
+        let submission = routed_to[target];
+        routed_to[target] += 1;
+        let bounced = config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.rejects_submission(target, submission));
+        if bounced {
+            st.replicas[target].rejections += 1;
+            st.replicas[target].on_failure(config, now);
+            req.attempts += 1;
+            req.avoid = Some(target);
+            if req.attempts > config.retry_budget {
+                st.metrics.retries_exhausted += 1;
+                if let Some(ticket) = st.tickets.remove(&req.id) {
+                    ticket.resolve(Err(ServeError::RetriesExhausted {
+                        id: req.id,
+                        attempts: req.attempts,
+                    }));
+                }
+                return Routed::Resolved;
+            }
+            st.metrics.failovers += 1;
+            continue;
+        }
+        let remaining = req.deadline.map(|d| d.saturating_duration_since(now));
+        let ticket = servers[target].submit_with_deadline(req.tokens.clone(), remaining);
+        st.replicas[target].routed += 1;
+        st.replicas[target].outstanding_tokens += req.tokens.len();
+        st.outstanding += 1;
+        st.outstanding_tokens += req.tokens.len();
+        return Routed::Attempt(Attempt {
+            req,
+            replica: target,
+            ticket,
+            started: now,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnlut_core::train::TrainConfig;
+
+    fn tiny_sharded(config: ShardConfig) -> ShardedServer {
+        let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        ShardedServer::new(model, kit, config)
+    }
+
+    #[test]
+    fn serves_across_replicas_with_shard_ids() {
+        let server = tiny_sharded(ShardConfig {
+            replicas: 3,
+            ..ShardConfig::default()
+        });
+        let tickets: Vec<Ticket> = (1..=9).map(|n| server.submit(vec![2; n])).collect();
+        for (n, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.id(), n as u64);
+            let r = t.wait().expect("no faults, no deadline");
+            assert_eq!(r.id, n as u64, "response carries the shard id");
+            assert_eq!(r.tokens, n + 1);
+        }
+        let m = server.shard_metrics();
+        assert_eq!(m.submitted, 9);
+        assert_eq!(m.completed, 9);
+        assert_eq!(m.failovers, 0);
+        assert_eq!(server.metrics().total_sequences(), 9);
+        assert!(server
+            .status()
+            .iter()
+            .all(|s| s.health == ReplicaHealth::Healthy));
+    }
+
+    #[test]
+    fn rolled_up_door_rejects_fleet_saturation() {
+        // An area watermark of 0 admits nothing: replica drain speed
+        // cannot race the assertion, and the rejection path (resolve
+        // before queueing, counted in shard metrics) is fully exercised.
+        let server = tiny_sharded(ShardConfig {
+            replicas: 2,
+            admission: ServePolicy::with_max_queued_tokens(0),
+            ..ShardConfig::default()
+        });
+        let t = server.submit(vec![1, 2, 3]);
+        assert!(t.is_ready(), "door rejection resolves immediately");
+        assert!(matches!(t.wait(), Err(ServeError::Overloaded { .. })));
+        assert_eq!(server.shard_metrics().overload_rejections, 1);
+        assert_eq!(server.shard_metrics().submitted, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let mut server = tiny_sharded(ShardConfig {
+            replicas: 2,
+            ..ShardConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..6).map(|n| server.submit(vec![1; 1 + n])).collect();
+        server.shutdown();
+        for t in tickets {
+            t.wait().expect("shutdown drains, it does not abandon");
+        }
+        // Metrics survive shutdown (frozen snapshot).
+        assert_eq!(server.metrics().total_sequences(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "after shutdown")]
+    fn submit_after_shutdown_panics() {
+        let mut server = tiny_sharded(ShardConfig::default());
+        server.shutdown();
+        server.submit(vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn shard_door_validates() {
+        tiny_sharded(ShardConfig::default()).submit(vec![10_000]);
+    }
+}

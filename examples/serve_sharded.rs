@@ -1,0 +1,115 @@
+//! Replica-sharded serving quickstart: stand up a `ShardedServer` fleet
+//! over one copy of the weights, inject a deterministic fault plan so a
+//! replica actually fails, and watch health-aware failover, quarantine,
+//! probe re-admission and the `/healthz` + `/metrics` ops endpoints do
+//! their jobs.
+//!
+//! Every fallible call composes with `?` — `ServeError` implements
+//! `std::error::Error`, so the whole serving stack slots into ordinary
+//! error-handling binaries.
+//!
+//! Run: `cargo run --release --example serve_sharded`
+
+use std::error::Error;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nn_lut::core::{train::TrainConfig, NnLutKit};
+use nn_lut::serve::{
+    http, AsyncServerConfig, FaultPlan, ReplicaHealth, ShardConfig, ShardedServer,
+    INJECTED_PANIC_PREFIX,
+};
+use nn_lut::transformer::{BertModel, TransformerConfig};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The injected panic below is supposed to fire; keep its default-hook
+    // stderr spew out of the demo output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !message.contains(INJECTED_PANIC_PREFIX) {
+            default_hook(info);
+        }
+    }));
+
+    // 1. One copy of the weights; the fleet shares it behind `Arc`s.
+    let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 42);
+    let kit = NnLutKit::train_with(16, 42, &TrainConfig::fast());
+
+    // 2. A deterministic fault plan: replica 0's first batch panics.
+    //    Chaos you can replay — same plan, same traffic, same faults.
+    let plan = Arc::new(FaultPlan::new().panic_at(0, 0));
+
+    // 3. Three replicas behind one door. Quarantine on the first strike
+    //    and probe back quickly so the whole cycle fits in a demo.
+    let mut server = ShardedServer::new(
+        model,
+        kit,
+        ShardConfig {
+            replicas: 3,
+            replica: AsyncServerConfig {
+                threads: 2,
+                ..AsyncServerConfig::default()
+            },
+            quarantine_after: 1,
+            probe_backoff: Duration::from_millis(10),
+            fault_plan: Some(plan),
+            ..ShardConfig::default()
+        },
+    );
+
+    // 4. The ops plane: /healthz and /metrics over plain std::net HTTP.
+    let http_handle = server.serve_http("127.0.0.1:0")?;
+    println!("ops endpoints on http://{}", http_handle.addr());
+
+    // 5. Traffic. The first batch on replica 0 dies; its requests fail
+    //    over and every ticket still resolves — `?` works because
+    //    ServeError is a real std error.
+    let tickets: Vec<_> = (1..=12).map(|n| server.submit(vec![2; n])).collect();
+    for ticket in tickets {
+        let response = ticket.wait_timeout(Duration::from_secs(30))?;
+        println!(
+            "request {:>2} -> {:>2} tokens in {:>8.2?}",
+            response.id, response.tokens, response.latency
+        );
+    }
+
+    // 6. The failure left a record: replica 0 was quarantined, probed,
+    //    and re-admitted. Wait out the probe cycle.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.status()[0].health != ReplicaHealth::Healthy && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for status in server.status() {
+        println!(
+            "replica {}: {} (routed {}, failures {}, quarantines {}, probes {}, readmissions {})",
+            status.replica,
+            status.health.as_str(),
+            status.routed,
+            status.failures,
+            status.quarantines,
+            status.probes_sent,
+            status.readmissions,
+        );
+    }
+
+    // 7. Scrape the ops endpoints like a probe script would.
+    let (status, healthz) = http::get(http_handle.addr(), "/healthz")?;
+    println!("GET /healthz -> {status}\n  {}", healthz.trim_end());
+    let (status, metrics) = http::get(http_handle.addr(), "/metrics")?;
+    println!("GET /metrics -> {status}\n  {}", metrics.trim_end());
+
+    let shard = server.shard_metrics();
+    println!(
+        "shard ledger: {} submitted, {} completed, {} failovers, {} readmissions",
+        shard.submitted, shard.completed, shard.failovers, shard.readmissions
+    );
+    drop(http_handle);
+    server.shutdown();
+    Ok(())
+}

