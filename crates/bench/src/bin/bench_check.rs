@@ -5,8 +5,10 @@
 //! 1. **Ledger integrity** — the committed `BENCH_lut_eval.json` must
 //!    still carry every section the repo's trajectory claims (`results`,
 //!    `serve.configs`, `serve.admission`, `serve.sustained`,
-//!    `serve.sharded`); a PR that drops or mangles a section fails here,
-//!    not months later.
+//!    `serve.sharded`, `serve.trace_overhead`); a PR that drops or
+//!    mangles a section fails here, not months later. The trace-overhead
+//!    section is additionally gated at a fixed ≤ 5% ceiling — tracing
+//!    must stay passive in cost.
 //! 2. **Quick-run regression** — a fresh `bench_serve --quick --out …`
 //!    run is compared against the committed `BENCH_serve_quick.json`
 //!    baseline with a relative tolerance (default 10%): padding
@@ -182,7 +184,24 @@ fn check_ledger(gate: &mut Gate, ledger: &Json) {
         Some(_) => gate.fail("serve.sharded.failover: replica never re-admitted".into()),
         None => gate.fail("serve.sharded.failover.recovered: missing".into()),
     }
+    if let Some(pct) = gate.require_num(ledger, "serve.trace_overhead.overhead_pct", "ledger") {
+        if pct <= TRACE_OVERHEAD_CEILING_PCT {
+            gate.pass(format!(
+                "serve.trace_overhead: {pct:.2}% ≤ {TRACE_OVERHEAD_CEILING_PCT:.0}%"
+            ));
+        } else {
+            gate.fail(format!(
+                "serve.trace_overhead: {pct:.2}% exceeds the {TRACE_OVERHEAD_CEILING_PCT:.0}% ceiling"
+            ));
+        }
+    }
+    gate.require_num(ledger, "serve.trace_overhead.recorder_bytes", "ledger");
 }
+
+/// Observability must stay passive in cost: the recorder-on sustained run
+/// may be at most this much slower than recorder-off (median of paired
+/// runs, measured by `bench_serve` part 5).
+const TRACE_OVERHEAD_CEILING_PCT: f64 = 5.0;
 
 /// Tolerance comparison of a fresh quick run against the committed quick
 /// baseline.
@@ -247,6 +266,20 @@ fn check_regression(gate: &mut Gate, fresh: &Json, baseline: &Json, tol: f64, tp
             gate.pass("sharded.failover: fresh run's replica re-admitted".into())
         }
         _ => gate.fail("sharded.failover: fresh run's replica never re-admitted".into()),
+    }
+    // Trace overhead: gate the fresh run at the same ceiling as the
+    // ledger — a quick run's absolute walls are noisy, but the overhead
+    // is a *ratio* of interleaved same-machine runs, so it transfers.
+    if let Some(pct) = gate.require_num(fresh, "trace_overhead.overhead_pct", "fresh") {
+        if pct <= TRACE_OVERHEAD_CEILING_PCT {
+            gate.pass(format!(
+                "trace_overhead: {pct:.2}% ≤ {TRACE_OVERHEAD_CEILING_PCT:.0}%"
+            ));
+        } else {
+            gate.fail(format!(
+                "trace_overhead: {pct:.2}% exceeds the {TRACE_OVERHEAD_CEILING_PCT:.0}% ceiling"
+            ));
+        }
     }
 }
 

@@ -32,6 +32,11 @@
 //! recovery time. It lands in `serve.sharded` and is likewise gated by
 //! `bench_check`.
 //!
+//! A fifth part measures the **cost of observability**: the sustained
+//! workload with the flight recorder off vs on, in interleaved pairs,
+//! reported as a median overhead percentage in `serve.trace_overhead` —
+//! `bench_check` fails the build past 5%.
+//!
 //! Run: `cargo run --release -p nnlut-bench --bin bench_serve`
 //! Smoke: `cargo run --release -p nnlut-bench --bin bench_serve -- --quick`
 //! (tiny model, `BENCH_lut_eval.json` untouched — CI keeps the path alive
@@ -48,7 +53,7 @@ use nnlut_core::train::TrainConfig;
 use nnlut_core::NnLutKit;
 use nnlut_serve::{
     AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, FaultPlan, LutServer,
-    ReplicaHealth, ServeError, ServePolicy, ServerConfig, ShardConfig, ShardedServer,
+    ReplicaHealth, ServeError, ServePolicy, ServerConfig, ShardConfig, ShardedServer, TraceConfig,
     INJECTED_PANIC_PREFIX,
 };
 use nnlut_transformer::{BertModel, MatmulMode, TransformerConfig};
@@ -222,6 +227,90 @@ fn run_sustained(
         wall_s: wall,
         metrics_bytes: m.approx_bytes(),
         sketch_capacity: m.sketch_capacity(),
+    }
+}
+
+struct TraceOverheadRun {
+    runs: usize,
+    tokens_per_sec_off: f64,
+    tokens_per_sec_on: f64,
+    overhead_pct: f64,
+    recorder_capacity: usize,
+    recorder_bytes: usize,
+}
+
+/// Part 5: the cost of observability. After one discarded warm-up, the
+/// sustained workload runs with the flight recorder off and on in
+/// interleaved pairs; the reported overhead compares the *medians* of
+/// the two populations (robust to a single noisy run on a busy box),
+/// clamped at zero — tracing cannot make encodes faster, a negative
+/// delta is noise. `bench_check` gates this at ≤ 5%: the tracing layer
+/// must stay passive in cost, not just in semantics.
+fn run_trace_overhead(cfg: &Config, model: &BertModel, kit: &NnLutKit) -> TraceOverheadRun {
+    let one = |trace: TraceConfig| -> (f64, usize, usize) {
+        let server = AsyncLutServer::new(
+            model.clone(),
+            kit.clone(),
+            AsyncServerConfig {
+                threads: 1,
+                max_in_flight: 2,
+                policy: cfg.policy.clone().with_buckets(cfg.bucket_edges.to_vec()),
+                close: ClosePolicy {
+                    max_batch_age: Duration::from_millis(2),
+                    deadline_slack: Duration::from_millis(1),
+                },
+                trace,
+                ..AsyncServerConfig::default()
+            },
+        );
+        let requests: Vec<Vec<usize>> = (0..cfg.sustained_requests)
+            .map(|r| {
+                let len = cfg.lengths[r % cfg.lengths.len()];
+                (0..len)
+                    .map(|i| (i * 31 + r * 7) % cfg.model.vocab)
+                    .collect()
+            })
+            .collect();
+        let start = Instant::now();
+        let tickets: Vec<_> = requests.into_iter().map(|t| server.submit(t)).collect();
+        let mut tokens = 0usize;
+        for t in tickets {
+            tokens += t.wait().expect("no deadlines in play").tokens;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let (capacity, bytes) = server
+            .recorder()
+            .map_or((0, 0), |r| (r.capacity(), r.approx_bytes()));
+        (tokens as f64 / wall, capacity, bytes)
+    };
+
+    let runs = 3usize;
+    let mut offs = Vec::with_capacity(runs);
+    let mut ons = Vec::with_capacity(runs);
+    let mut capacity = 0usize;
+    let mut bytes = 0usize;
+    one(TraceConfig::disabled()); // warm-up: page in the model, discard
+    for _ in 0..runs {
+        let (off, _, _) = one(TraceConfig::disabled());
+        let (on, cap, b) = one(TraceConfig::enabled());
+        offs.push(off);
+        ons.push(on);
+        capacity = cap;
+        bytes = b;
+    }
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let off = median(&mut offs);
+    let on = median(&mut ons);
+    TraceOverheadRun {
+        runs,
+        tokens_per_sec_off: off,
+        tokens_per_sec_on: on,
+        overhead_pct: ((1.0 - on / off) * 100.0).max(0.0),
+        recorder_capacity: capacity,
+        recorder_bytes: bytes,
     }
 }
 
@@ -509,6 +598,20 @@ fn main() {
         overload.recovered
     );
 
+    // Part 5 measurement runs before part 4's panic-hook installation is
+    // needed; order in the printout follows the ledger.
+    let trace_overhead = run_trace_overhead(&cfg, &model, &kit);
+    println!(
+        "  trace overhead ({} paired runs): off {:>9.1} tok/s · on {:>9.1} tok/s · {:.2}% \
+         (recorder {} events, {} B)",
+        trace_overhead.runs,
+        trace_overhead.tokens_per_sec_off,
+        trace_overhead.tokens_per_sec_on,
+        trace_overhead.overhead_pct,
+        trace_overhead.recorder_capacity,
+        trace_overhead.recorder_bytes,
+    );
+
     // Part 4: replica-sharded serving — routing balance on a clean fleet,
     // recovery time through a deterministic failure.
     let sharded = run_sharded(&cfg, &model, &kit);
@@ -578,7 +681,7 @@ fn main() {
             overload.recovered,
         ));
         section.push_str(&format!(
-            "    \"sharded\": {{\n      \"replicas\": {},\n      \"requests\": {},\n      \"routed\": {:?},\n      \"balance\": {:.4},\n      \"tokens_per_sec\": {:.1},\n      \"failover\": {{\"recovery_ms\": {:.1}, \"all_served\": {}, \"recovered\": {}}}\n    }}\n  }}",
+            "    \"sharded\": {{\n      \"replicas\": {},\n      \"requests\": {},\n      \"routed\": {:?},\n      \"balance\": {:.4},\n      \"tokens_per_sec\": {:.1},\n      \"failover\": {{\"recovery_ms\": {:.1}, \"all_served\": {}, \"recovered\": {}}}\n    }},\n",
             sharded.replicas,
             sharded.requests,
             sharded.routed,
@@ -587,6 +690,16 @@ fn main() {
             sharded.recovery_ms,
             sharded.all_served,
             sharded.recovered,
+        ));
+        section.push_str(&format!(
+            "    \"trace_overhead\": {{\n      \"runs\": {},\n      \"requests\": {},\n      \"tokens_per_sec_off\": {:.1},\n      \"tokens_per_sec_on\": {:.1},\n      \"overhead_pct\": {:.2},\n      \"recorder_capacity\": {},\n      \"recorder_bytes\": {}\n    }}\n  }}",
+            trace_overhead.runs,
+            cfg.sustained_requests,
+            trace_overhead.tokens_per_sec_off,
+            trace_overhead.tokens_per_sec_on,
+            trace_overhead.overhead_pct,
+            trace_overhead.recorder_capacity,
+            trace_overhead.recorder_bytes,
         ));
         if let Some(path) = &out_path {
             std::fs::write(path, format!("{}\n", section.trim_start()))

@@ -31,6 +31,17 @@
 //! their per-element cost is dominated by the bit-accurate rounding /
 //! quantization steps, so the vectorized two-pass kernel — and the
 //! measured multi-× speedup — is specific to the FP32 tier.
+//!
+//! # Profiling
+//!
+//! The engines themselves carry no instrumentation — per-element hooks
+//! in a branchless kernel would cost more than the op. Time attribution
+//! happens one level up, at *chunk* granularity, through the passive
+//! [`crate::profile::OpCounters`] seam: the transformer backends time
+//! each softmax/GELU/LayerNorm chunk kernel around its calls into these
+//! engines and bump relaxed atomic totals when a sink is attached.
+//! Nothing here (or there) feeds timing back into the math or the chunk
+//! map, so the bit-identity contract above is untouched.
 
 use crate::lut::LookupTable;
 use crate::precision::{f16_round, F16Lut, Int32Lut};

@@ -30,6 +30,9 @@
 //! * [`precision`] — bit-accurate FP16 and I-BERT-style INT32 LUT modes (§4.1).
 //! * [`ops`] — drop-in GELU / Softmax / LayerNorm kernels built from LUTs (§4.3).
 //! * [`metrics`] — approximation-error metrics used in Fig. 2.
+//! * [`profile`] — the passive op-level profiling seam (relaxed-atomic
+//!   per-op call/row/ns totals) the serving layer uses to attribute
+//!   encode time to softmax / GELU / LayerNorm.
 //!
 //! ## The two-tier evaluation model
 //!
@@ -98,6 +101,7 @@ pub mod metrics;
 pub mod nn;
 pub mod ops;
 pub mod precision;
+pub mod profile;
 pub mod recipe;
 pub mod scaling;
 pub mod train;
@@ -109,3 +113,4 @@ pub use funcs::TargetFunction;
 pub use lut::{LookupTable, Segment};
 pub use nn::ApproxNet;
 pub use ops::NnLutKit;
+pub use profile::{OpCounters, OpKind, OpProfile, OpStats};

@@ -1,0 +1,214 @@
+//! Op-level profiling seam for the baked deployment engines.
+//!
+//! The serving layer wants to answer "where did this batch's encode time
+//! go — softmax, GELU or LayerNorm?" without perturbing a single output
+//! bit. This module is that seam: an [`OpCounters`] sink of **relaxed
+//! atomic** per-op counters (call count, rows processed, nanoseconds)
+//! that the transformer backends bump at *chunk* granularity when a sink
+//! is attached, and that costs nothing when none is (the default — every
+//! construction path starts with no sink).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Passive.** Counters never feed back into the math, chunk
+//!    boundaries or scheduling — the determinism contract
+//!    (`tests/serve_determinism.rs`) holds with or without a sink.
+//! 2. **Cheap.** Three relaxed `fetch_add`s per *chunk* (not per element
+//!    or per row); the clock is read only when a sink is present.
+//! 3. **Shareable.** One `Arc<OpCounters>` can sit behind every replica
+//!    of a sharded fleet — relaxed ordering is enough because the
+//!    counters are monotone totals, never synchronization.
+//!
+//! Totals are cumulative per sink. A fleet sharing one sink reads
+//! fleet-wide attribution; per-batch deltas are deliberately not offered
+//! (concurrent encoders would race the delta), only averages derived
+//! from the totals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The three non-linear operation sites the engines attribute time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Attention softmax (masked row kernel).
+    Softmax,
+    /// Feed-forward GELU (element kernel).
+    Gelu,
+    /// Block LayerNorm (row kernel + affine).
+    LayerNorm,
+}
+
+impl OpKind {
+    /// Every op site, in [`OpProfile`] index order.
+    pub const ALL: [OpKind; 3] = [OpKind::Softmax, OpKind::Gelu, OpKind::LayerNorm];
+
+    /// Lower-case name (`"softmax"` / `"gelu"` / `"layernorm"`) — the
+    /// label metrics exposition uses.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OpKind::Softmax => "softmax",
+            OpKind::Gelu => "gelu",
+            OpKind::LayerNorm => "layernorm",
+        }
+    }
+
+    fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// One op site's monotone counters.
+#[derive(Debug, Default)]
+struct OpCell {
+    calls: AtomicU64,
+    rows: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// Cumulative per-op profiling totals — the no-op-by-default sink the
+/// transformer backends record into when one is attached
+/// (`Nonlinearity::with_profile` in `nnlut-transformer`).
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::profile::{OpCounters, OpKind};
+/// use std::time::Duration;
+///
+/// let counters = OpCounters::new();
+/// counters.record(OpKind::Softmax, 8, Duration::from_micros(3));
+/// let snap = counters.snapshot();
+/// assert_eq!(snap.get(OpKind::Softmax).calls, 1);
+/// assert_eq!(snap.get(OpKind::Softmax).rows, 8);
+/// assert_eq!(snap.get(OpKind::Gelu).calls, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    cells: [OpCell; 3],
+}
+
+impl OpCounters {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one kernel invocation over `rows` work items taking
+    /// `elapsed`. Relaxed atomics: totals are monotone bookkeeping, never
+    /// synchronization, so concurrent encoder threads may interleave
+    /// freely.
+    pub fn record(&self, op: OpKind, rows: u64, elapsed: Duration) {
+        let cell = &self.cells[op.index()];
+        cell.calls.fetch_add(1, Ordering::Relaxed);
+        cell.rows.fetch_add(rows, Ordering::Relaxed);
+        cell.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every op's totals. Each counter is read
+    /// independently (relaxed), so under concurrent recording the three
+    /// fields of one op may be from slightly different instants — fine
+    /// for monotone dashboards, not a transactional snapshot.
+    pub fn snapshot(&self) -> OpProfile {
+        OpProfile {
+            ops: OpKind::ALL.map(|op| {
+                let cell = &self.cells[op.index()];
+                OpStats {
+                    op,
+                    calls: cell.calls.load(Ordering::Relaxed),
+                    rows: cell.rows.load(Ordering::Relaxed),
+                    nanos: cell.nanos.load(Ordering::Relaxed),
+                }
+            }),
+        }
+    }
+}
+
+/// One op site's totals inside an [`OpProfile`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Which op site.
+    pub op: OpKind,
+    /// Kernel invocations (chunk granularity).
+    pub calls: u64,
+    /// Work items processed: rows for softmax/layernorm, elements for
+    /// the GELU element kernel.
+    pub rows: u64,
+    /// Total nanoseconds spent inside the kernel.
+    pub nanos: u64,
+}
+
+impl OpStats {
+    /// Total kernel time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.nanos)
+    }
+}
+
+/// A snapshot of every op site's totals (see [`OpCounters::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Per-op totals, indexed like [`OpKind::ALL`].
+    pub ops: [OpStats; 3],
+}
+
+impl OpProfile {
+    /// The totals for one op site.
+    pub fn get(&self, op: OpKind) -> OpStats {
+        self.ops[op.index()]
+    }
+
+    /// Summed kernel time across every op site.
+    pub fn total_elapsed(&self) -> Duration {
+        Duration::from_nanos(self.ops.iter().map(|s| s.nanos).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_op() {
+        let c = OpCounters::new();
+        c.record(OpKind::Gelu, 100, Duration::from_nanos(500));
+        c.record(OpKind::Gelu, 50, Duration::from_nanos(250));
+        c.record(OpKind::LayerNorm, 4, Duration::from_nanos(10));
+        let snap = c.snapshot();
+        assert_eq!(snap.get(OpKind::Gelu).calls, 2);
+        assert_eq!(snap.get(OpKind::Gelu).rows, 150);
+        assert_eq!(snap.get(OpKind::Gelu).nanos, 750);
+        assert_eq!(snap.get(OpKind::LayerNorm).calls, 1);
+        assert_eq!(snap.get(OpKind::Softmax).calls, 0);
+        assert_eq!(snap.total_elapsed(), Duration::from_nanos(760));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let c = std::sync::Arc::new(OpCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record(OpKind::Softmax, 2, Duration::from_nanos(3));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot().get(OpKind::Softmax);
+        assert_eq!(s.calls, 4000);
+        assert_eq!(s.rows, 8000);
+        assert_eq!(s.nanos, 12_000);
+    }
+
+    #[test]
+    fn op_names_are_stable() {
+        assert_eq!(OpKind::Softmax.as_str(), "softmax");
+        assert_eq!(OpKind::Gelu.as_str(), "gelu");
+        assert_eq!(OpKind::LayerNorm.as_str(), "layernorm");
+    }
+}

@@ -63,6 +63,7 @@ use crate::fault::FaultInjector;
 use crate::metrics::{BatchRecord, ServeMetrics, DEFAULT_SKETCH_CAPACITY};
 use crate::pool::ThreadPool;
 use crate::server::{validate_request, EncodeResponse, RequestId};
+use crate::trace::{FlightRecorder, RequestTrace, Stage, TraceBreakdown, TraceConfig};
 
 /// Why an asynchronous request failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +100,9 @@ pub enum ServeError {
         id: RequestId,
         /// How long the caller waited before giving up.
         waited: Duration,
+        /// The request's last recorded lifecycle stage at timeout —
+        /// how far it got (`None` if nothing was recorded yet).
+        last_stage: Option<Stage>,
     },
     /// Every attempt within the sharded retry budget failed (replica
     /// panics, stalls or admission bounces on each try). The request was
@@ -126,10 +130,15 @@ impl std::fmt::Display for ServeError {
             ServeError::ServerFailed { id } => {
                 write!(f, "the serving worker failed before request {id} completed")
             }
-            ServeError::WaitTimeout { id, waited } => write!(
+            ServeError::WaitTimeout {
+                id,
+                waited,
+                last_stage,
+            } => write!(
                 f,
-                "gave up waiting on request {id} after {:.2} ms (request still in flight)",
-                waited.as_secs_f64() * 1e3
+                "gave up waiting on request {id} after {:.2} ms (request still in flight, last stage: {})",
+                waited.as_secs_f64() * 1e3,
+                last_stage.map_or("none recorded", |s| s.as_str()),
             ),
             ServeError::RetriesExhausted { id, attempts } => write!(
                 f,
@@ -176,6 +185,18 @@ pub struct AsyncServerConfig {
     /// containment). `None` — the default — injects nothing; production
     /// configs never set this. See [`crate::fault`].
     pub fault: Option<FaultInjector>,
+    /// Tracing configuration. Per-request lifecycle traces are always on
+    /// (part of the [`Ticket`] contract); this governs the flight
+    /// recorder. Default: [`TraceConfig::from_env`] (`NNLUT_TRACE=1`).
+    pub trace: TraceConfig,
+    /// An externally-owned flight recorder to journal into (how the
+    /// sharded layer shares one ring across every replica). `None` with
+    /// `trace.recorder` set builds a private recorder; `None` without it
+    /// journals nothing.
+    pub recorder: Option<Arc<FlightRecorder>>,
+    /// Replica id stamped on this server's trace events and journal
+    /// entries (set by the sharded layer; `None` standalone).
+    pub replica_label: Option<usize>,
 }
 
 impl Default for AsyncServerConfig {
@@ -189,6 +210,9 @@ impl Default for AsyncServerConfig {
             sketch_capacity: DEFAULT_SKETCH_CAPACITY,
             mode: MatmulMode::F32,
             fault: None,
+            trace: TraceConfig::from_env(),
+            recorder: None,
+            replica_label: None,
         }
     }
 }
@@ -200,13 +224,18 @@ impl Default for AsyncServerConfig {
 pub(crate) struct TicketState {
     slot: Mutex<Option<Result<EncodeResponse, ServeError>>>,
     ready: Condvar,
+    /// The request's lifecycle journal, shared with every writer along
+    /// the request path (and, in the sharded layer, across failover
+    /// attempts — one trace per *request*, not per replica submission).
+    pub(crate) trace: Arc<RequestTrace>,
 }
 
 impl TicketState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(trace: Arc<RequestTrace>) -> Self {
         Self {
             slot: Mutex::new(None),
             ready: Condvar::new(),
+            trace,
         }
     }
 
@@ -237,6 +266,30 @@ impl Ticket {
     /// The request id this ticket tracks.
     pub fn id(&self) -> RequestId {
         self.id
+    }
+
+    /// The request's lifecycle trace — live while the request is in
+    /// flight, final once the ticket resolves.
+    pub fn trace(&self) -> &RequestTrace {
+        &self.state.trace
+    }
+
+    /// A shared handle to the same trace that survives [`Ticket::wait`]
+    /// (which consumes the ticket) — grab it before waiting to read the
+    /// final breakdown afterwards.
+    pub fn trace_handle(&self) -> Arc<RequestTrace> {
+        Arc::clone(&self.state.trace)
+    }
+
+    /// The request's per-stage latency breakdown so far (final once the
+    /// ticket resolves; see [`RequestTrace::breakdown`]).
+    pub fn breakdown(&self) -> TraceBreakdown {
+        self.state.trace.breakdown()
+    }
+
+    /// The request's most recently recorded lifecycle stage.
+    pub fn last_stage(&self) -> Option<Stage> {
+        self.state.trace.last_stage()
     }
 
     /// True once the worker has resolved this ticket ([`Ticket::wait`]
@@ -284,6 +337,7 @@ impl Ticket {
                 return Err(ServeError::WaitTimeout {
                     id: self.id,
                     waited: now.saturating_duration_since(start),
+                    last_stage: self.state.trace.last_stage(),
                 });
             }
             slot = self
@@ -304,6 +358,10 @@ struct EncodeJob {
     closed: ClosedBatch,
     /// Queue depth at close time (metrics bookkeeping).
     depth: usize,
+    /// Member traces, parallel to `closed.ids`, cloned under the lock at
+    /// dispatch so the encoder records `Encoded` without touching the
+    /// ticket map.
+    traces: Vec<Arc<RequestTrace>>,
 }
 
 /// One encoded batch waiting in the ordered completion queue.
@@ -314,6 +372,8 @@ struct Completion {
     /// `Err(())` = the encode panicked (contained); tickets fail.
     outcome: Result<Vec<Matrix>, ()>,
     latency: Duration,
+    /// Member traces, parallel to `closed.ids`.
+    traces: Vec<Arc<RequestTrace>>,
 }
 
 /// Everything the submitter side, the dispatcher and the encoder threads
@@ -386,6 +446,10 @@ pub struct AsyncLutServer {
     config: TransformerConfig,
     admission: ServePolicy,
     worker: Option<JoinHandle<()>>,
+    /// The flight recorder this server journals into, if any.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Replica id stamped on trace events and journal entries.
+    replica_label: Option<usize>,
 }
 
 impl AsyncLutServer {
@@ -436,6 +500,16 @@ impl AsyncLutServer {
         let mode = config.mode;
         let admission = config.admission;
         let fault = config.fault;
+        // A shared recorder wins; otherwise the trace config decides
+        // whether this server runs a private one or journals nothing.
+        let recorder = config.recorder.clone().or_else(|| {
+            config
+                .trace
+                .recorder
+                .then(|| Arc::new(FlightRecorder::new(config.trace.recorder_capacity)))
+        });
+        let replica_label = config.replica_label;
+        let worker_recorder = recorder.clone();
         let worker = std::thread::Builder::new()
             .name("nnlut-serve-dispatch".into())
             .spawn(move || {
@@ -448,6 +522,8 @@ impl AsyncLutServer {
                     close,
                     max_in_flight,
                     fault,
+                    worker_recorder,
+                    replica_label,
                 )
             })
             .expect("spawn serving dispatcher");
@@ -456,7 +532,15 @@ impl AsyncLutServer {
             config: model_config,
             admission,
             worker: Some(worker),
+            recorder,
+            replica_label,
         }
+    }
+
+    /// The flight recorder this server journals into, if one is enabled
+    /// (via [`AsyncServerConfig::recorder`] or `trace.recorder`).
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Enqueues a request with no deadline. Returns immediately; the
@@ -490,30 +574,71 @@ impl AsyncLutServer {
     /// Panics if the request is empty, overlong, out-of-vocabulary, or
     /// submitted after [`AsyncLutServer::shutdown`].
     pub fn submit_with_deadline(&self, tokens: Vec<usize>, deadline: Option<Duration>) -> Ticket {
+        self.submit_inner(tokens, deadline, None)
+    }
+
+    /// Enqueues a request that continues an **existing** lifecycle trace
+    /// — the sharded layer's seam: one [`RequestTrace`] per shard
+    /// request, accumulating stages across every failover attempt, while
+    /// each replica submission still gets its own replica-local id.
+    pub(crate) fn submit_traced(
+        &self,
+        tokens: Vec<usize>,
+        deadline: Option<Duration>,
+        trace: Arc<RequestTrace>,
+    ) -> Ticket {
+        self.submit_inner(tokens, deadline, Some(trace))
+    }
+
+    fn submit_inner(
+        &self,
+        tokens: Vec<usize>,
+        deadline: Option<Duration>,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Ticket {
         validate_request(&self.config, &tokens);
         let now = Instant::now();
-        let state = Arc::new(TicketState::new());
-        let (id, rejected_at_depth) = {
+        let (id, state, rejected_at_depth) = {
             let mut st = lock(&self.shared.state);
             assert!(!st.shutdown, "cannot submit after shutdown");
             let id = st.next_id;
             st.next_id += 1;
+            // A fresh trace starts with `Admitted`; an inherited one
+            // (shard failover) already recorded it at the shard door.
+            let trace = trace.unwrap_or_else(|| {
+                let t = Arc::new(RequestTrace::new(id));
+                t.record(Stage::Admitted, self.replica_label, None);
+                t
+            });
+            let state = Arc::new(TicketState::new(trace));
             let depth = st.batcher.queue_depth();
             if !self
                 .admission
                 .admits(depth + 1, st.batcher.queued_tokens() + tokens.len())
             {
                 st.metrics.record_overload_rejection();
-                (id, Some(depth))
+                (id, state, Some(depth))
             } else {
+                state.trace.record(Stage::Queued, self.replica_label, None);
                 st.tickets.insert(id, Arc::clone(&state));
                 st.batcher
                     .push_at(id, tokens, now, deadline.map(|d| now + d));
-                (id, None)
+                (id, state, None)
             }
         };
         match rejected_at_depth {
             Some(queue_depth) => {
+                state
+                    .trace
+                    .record(Stage::Failed, self.replica_label, Some("overloaded"));
+                if let Some(rec) = &self.recorder {
+                    rec.record(
+                        "overload-rejection",
+                        self.replica_label,
+                        Some(id),
+                        queue_depth as u64,
+                    );
+                }
                 // Resolved outside the shared lock; the ticket's own lock
                 // orders the handoff.
                 state.resolve(Err(ServeError::Overloaded { id, queue_depth }));
@@ -563,6 +688,9 @@ impl AsyncLutServer {
                 let orphaned: Vec<RequestId> = st.tickets.keys().copied().collect();
                 for id in orphaned {
                     if let Some(ticket) = st.tickets.remove(&id) {
+                        ticket
+                            .trace
+                            .record(Stage::Failed, None, Some("server-failed"));
                         ticket.resolve(Err(ServeError::ServerFailed { id }));
                     }
                 }
@@ -580,7 +708,7 @@ impl Drop for AsyncLutServer {
 /// Resolves the in-order prefix of the completion queue: records metrics
 /// and resolves tickets strictly in dispatch-sequence order, freeing one
 /// in-flight slot per batch. Called under the shared lock.
-fn resolve_ready_completions(st: &mut State) {
+fn resolve_ready_completions(st: &mut State, replica: Option<usize>) {
     while let Some(done) = st.completions.remove(&st.next_resolve) {
         st.next_resolve += 1;
         st.in_flight -= 1;
@@ -589,11 +717,15 @@ fn resolve_ready_completions(st: &mut State) {
             depth,
             outcome,
             latency,
+            traces,
         } = done;
         let hidden = match outcome {
             Ok(hidden) => hidden,
             Err(()) => {
-                for id in &closed.ids {
+                for (id, trace) in closed.ids.iter().zip(&traces) {
+                    trace.record(Stage::Failed, replica, Some("panic"));
+                    let breakdown = trace.breakdown();
+                    st.metrics.record_stages(&breakdown);
                     if let Some(ticket) = st.tickets.remove(id) {
                         ticket.resolve(Err(ServeError::ServerFailed { id: *id }));
                     }
@@ -611,7 +743,11 @@ fn resolve_ready_completions(st: &mut State) {
             reason: closed.reason,
             queue_waits: closed.queue_waits,
         });
-        for (id, hidden) in closed.ids.iter().zip(hidden) {
+        for ((id, hidden), trace) in closed.ids.iter().zip(hidden).zip(&traces) {
+            trace.record(Stage::Reordered, replica, None);
+            trace.record(Stage::Resolved, replica, None);
+            let breakdown = trace.breakdown();
+            st.metrics.record_stages(&breakdown);
             if let Some(ticket) = st.tickets.remove(id) {
                 ticket.resolve(Ok(EncodeResponse {
                     id: *id,
@@ -627,6 +763,7 @@ fn resolve_ready_completions(st: &mut State) {
 /// One encoder thread: pop a job, encode it (the only expensive step —
 /// outside the lock), park the result in the ordered completion queue and
 /// resolve whatever prefix is ready.
+#[allow(clippy::too_many_arguments)] // private seam; mirrors the config
 fn encoder_loop(
     shared: Arc<Shared>,
     model: Arc<BertModel>,
@@ -634,6 +771,8 @@ fn encoder_loop(
     mode: MatmulMode,
     pool: ThreadPool,
     fault: Option<FaultInjector>,
+    recorder: Option<Arc<FlightRecorder>>,
+    replica: Option<usize>,
 ) {
     loop {
         let job = {
@@ -671,6 +810,24 @@ fn encoder_loop(
             model.encode_batch(&job.closed.batch, &nl, mode, &pool)
         }));
         let latency = start.elapsed();
+        // Stage recording and journaling happen outside the lock — the
+        // traces were cloned into the job at dispatch.
+        let panicked = outcome.is_err();
+        let note = panicked.then_some("panic");
+        for trace in &job.traces {
+            trace.record(Stage::Encoded, replica, note);
+        }
+        if let Some(rec) = &recorder {
+            let members = job.closed.ids.len() as u64;
+            if panicked {
+                rec.record("batch-panic", replica, None, members);
+                // The incident freezes the ring *as of the panic* —
+                // before later traffic wraps past the lead-up events.
+                rec.snapshot_incident("batch-panic", replica);
+            } else {
+                rec.record("batch-encoded", replica, None, members);
+            }
+        }
         let mut st = lock(&shared.state);
         st.completions.insert(
             job.seq,
@@ -679,9 +836,10 @@ fn encoder_loop(
                 depth: job.depth,
                 outcome: outcome.map_err(|_| ()),
                 latency,
+                traces: job.traces,
             },
         );
-        resolve_ready_completions(&mut st);
+        resolve_ready_completions(&mut st, replica);
         drop(st);
         // A slot may have been freed and the queue may have moved: wake
         // the dispatcher (and any shutdown waiter).
@@ -701,6 +859,8 @@ fn dispatcher_loop(
     close: ClosePolicy,
     max_in_flight: usize,
     fault: Option<FaultInjector>,
+    recorder: Option<Arc<FlightRecorder>>,
+    replica: Option<usize>,
 ) {
     let encoders: Vec<JoinHandle<()>> = (0..max_in_flight)
         .map(|i| {
@@ -708,10 +868,20 @@ fn dispatcher_loop(
             let model = Arc::clone(&model);
             let nl = Arc::clone(&nl);
             let fault = fault.clone();
+            let recorder = recorder.clone();
             std::thread::Builder::new()
                 .name(format!("nnlut-serve-encode-{i}"))
                 .spawn(move || {
-                    encoder_loop(shared, model, nl, mode, ThreadPool::new(threads), fault)
+                    encoder_loop(
+                        shared,
+                        model,
+                        nl,
+                        mode,
+                        ThreadPool::new(threads),
+                        fault,
+                        recorder,
+                        replica,
+                    )
                 })
                 .expect("spawn serving encoder")
         })
@@ -727,7 +897,20 @@ fn dispatcher_loop(
             for req in expired {
                 let waited = now.saturating_duration_since(req.queued_at);
                 st.metrics.record_deadline_miss(waited);
+                if let Some(rec) = &recorder {
+                    rec.record(
+                        "deadline-miss",
+                        replica,
+                        Some(req.id),
+                        waited.as_millis() as u64,
+                    );
+                }
                 if let Some(ticket) = st.tickets.remove(&req.id) {
+                    ticket
+                        .trace
+                        .record(Stage::Failed, replica, Some("deadline"));
+                    let breakdown = ticket.trace.breakdown();
+                    st.metrics.record_stages(&breakdown);
                     ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
                 }
             }
@@ -747,7 +930,26 @@ fn dispatcher_loop(
                 let seq = st.next_seq;
                 st.next_seq += 1;
                 st.in_flight += 1;
-                st.encode_queue.push_back(EncodeJob { seq, closed, depth });
+                // Clone the members' traces now, under the lock: the
+                // encoder then records on them lock-free.
+                let traces: Vec<Arc<RequestTrace>> = closed
+                    .ids
+                    .iter()
+                    .filter_map(|id| st.tickets.get(id).map(|t| Arc::clone(&t.trace)))
+                    .collect();
+                for trace in &traces {
+                    trace.record(Stage::Assembled, None, None);
+                    trace.record(Stage::Dispatched, replica, None);
+                }
+                if let Some(rec) = &recorder {
+                    rec.record("batch-dispatched", replica, None, closed.ids.len() as u64);
+                }
+                st.encode_queue.push_back(EncodeJob {
+                    seq,
+                    closed,
+                    depth,
+                    traces,
+                });
                 shared.encode.notify_one();
                 continue; // a further slot may be free
             }

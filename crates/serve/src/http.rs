@@ -52,6 +52,16 @@ impl HttpResponse {
             body,
         }
     }
+
+    /// A `200 OK` Prometheus text-exposition response (the version suffix
+    /// in the content type is what scrapers key the parser on).
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
 }
 
 fn status_text(status: u16) -> &'static str {

@@ -49,9 +49,17 @@
 //!   ([`FaultPlan`] / [`FaultInjector`]): panic at batch *k* on replica
 //!   *r*, stall for *d*, bounce an admission — keyed to event
 //!   coordinates so chaos runs are reproducible (`tests/serve_chaos.rs`).
+//! * [`trace`] — the structured-observability layer: every request
+//!   carries a [`RequestTrace`] of monotonic-clock [`Stage`] events
+//!   (queryable per-stage breakdown from the [`Ticket`]), and a bounded
+//!   [`FlightRecorder`] ring journals fleet-wide events, frozen into an
+//!   [`IncidentReport`] on health transitions, batch panics and stalls.
+//!   Strictly passive — see the module docs.
 //! * [`http`] — a dependency-free `std::net` listener serving
-//!   `GET /healthz` (per-replica health) and `GET /metrics` (merged
-//!   snapshot) for the sharded fleet
+//!   `GET /healthz` (per-replica health), `GET /metrics`
+//!   (Prometheus text exposition), `GET /metrics.json` (the JSON
+//!   snapshot), `GET /trace` (recent flight-recorder events) and
+//!   `GET /incident` (last incident snapshot) for the sharded fleet
 //!   ([`ShardedServer::serve_http`]).
 //!
 //! ## Determinism contract
@@ -106,6 +114,7 @@ pub mod metrics;
 pub mod pool;
 pub mod server;
 pub mod shard;
+pub mod trace;
 
 pub use async_server::{AsyncLutServer, AsyncServerConfig, ServeError, Ticket};
 pub use batcher::{
@@ -119,3 +128,7 @@ pub use metrics::{
 pub use pool::ThreadPool;
 pub use server::{EncodeResponse, LutServer, RequestId, ServerConfig};
 pub use shard::{ReplicaHealth, ReplicaStatus, ShardConfig, ShardMetrics, ShardedServer};
+pub use trace::{
+    FlightEvent, FlightRecorder, IncidentReport, RequestTrace, Stage, TraceBreakdown, TraceConfig,
+    TraceEvent, DEFAULT_RECORDER_CAPACITY,
+};

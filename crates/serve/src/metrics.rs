@@ -19,6 +19,7 @@
 use std::time::Duration;
 
 use crate::batcher::CloseReason;
+use crate::trace::{Stage, TraceBreakdown};
 
 /// Default number of recent samples each percentile sketch retains.
 pub const DEFAULT_SKETCH_CAPACITY: usize = 512;
@@ -251,6 +252,12 @@ pub struct ServeMetrics {
     latency_sketch: QuantileSketch,
     queue_wait_sketch: QuantileSketch,
     missed_wait_sketch: QuantileSketch,
+    /// Per-lifecycle-stage latency sketches, indexed like
+    /// [`Stage::ALL`], fed from resolved requests' [`TraceBreakdown`]s.
+    stage_sketches: [QuantileSketch; Stage::COUNT],
+    /// Total time attributed to each stage across every folded
+    /// breakdown (the Prometheus `_sum` series).
+    stage_totals: [Duration; Stage::COUNT],
 }
 
 impl Default for ServeMetrics {
@@ -284,6 +291,22 @@ impl ServeMetrics {
             latency_sketch: QuantileSketch::new(capacity),
             queue_wait_sketch: QuantileSketch::new(capacity),
             missed_wait_sketch: QuantileSketch::new(capacity),
+            stage_sketches: std::array::from_fn(|_| QuantileSketch::new(capacity)),
+            stage_totals: [Duration::ZERO; Stage::COUNT],
+        }
+    }
+
+    /// Folds one resolved request's per-stage breakdown into the stage
+    /// sketches. Stages with zero attributed time (untaken paths like
+    /// `Requeued` on a fault-free request) are skipped, so each stage's
+    /// sketch holds only requests that actually passed through it.
+    pub fn record_stages(&mut self, breakdown: &TraceBreakdown) {
+        for stage in Stage::ALL {
+            let d = breakdown.stage(stage);
+            if !d.is_zero() {
+                self.stage_sketches[stage.index()].observe(d);
+                self.stage_totals[stage.index()] += d;
+            }
         }
     }
 
@@ -444,6 +467,27 @@ impl ServeMetrics {
         self.missed_wait_sketch.percentile(p)
     }
 
+    /// Per-stage latency percentile over recently resolved requests that
+    /// passed through `stage` (sliding window, see [`QuantileSketch`]);
+    /// `None` before any such request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn stage_percentile(&self, stage: Stage, p: f64) -> Option<Duration> {
+        self.stage_sketches[stage.index()].percentile(p)
+    }
+
+    /// How many folded breakdowns passed through `stage`.
+    pub fn stage_count(&self, stage: Stage) -> u64 {
+        self.stage_sketches[stage.index()].count()
+    }
+
+    /// Total time attributed to `stage` across every folded breakdown.
+    pub fn stage_total(&self, stage: Stage) -> Duration {
+        self.stage_totals[stage.index()]
+    }
+
     /// Largest queue depth seen at dispatch time.
     pub fn peak_queue_depth(&self) -> usize {
         self.peak_queue_depth
@@ -465,6 +509,11 @@ impl ServeMetrics {
             + self.latency_sketch.approx_bytes()
             + self.queue_wait_sketch.approx_bytes()
             + self.missed_wait_sketch.approx_bytes()
+            + self
+                .stage_sketches
+                .iter()
+                .map(|s| s.approx_bytes())
+                .sum::<usize>()
             + self.per_bucket.len() * std::mem::size_of::<BucketStats>()
     }
 
@@ -510,6 +559,12 @@ impl ServeMetrics {
         self.latency_sketch.merge(&other.latency_sketch);
         self.queue_wait_sketch.merge(&other.queue_wait_sketch);
         self.missed_wait_sketch.merge(&other.missed_wait_sketch);
+        for (mine, theirs) in self.stage_sketches.iter_mut().zip(&other.stage_sketches) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.stage_totals.iter_mut().zip(other.stage_totals) {
+            *mine += theirs;
+        }
     }
 
     /// One-line human summary (the bench and the examples print this).
@@ -754,6 +809,39 @@ mod tests {
         a.observe(Duration::from_millis(9));
         a.observe(Duration::from_millis(9));
         assert_eq!(a.percentile(0.0), Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn stage_sketches_record_and_merge() {
+        let mut bd = TraceBreakdown {
+            id: 1,
+            stages: [Duration::ZERO; Stage::COUNT],
+            total: Duration::from_millis(30),
+            events: 3,
+        };
+        bd.stages[Stage::Queued.index()] = Duration::from_millis(10);
+        bd.stages[Stage::Encoded.index()] = Duration::from_millis(20);
+
+        let mut m = ServeMetrics::with_sketch_capacity(16);
+        let empty = m.approx_bytes();
+        m.record_stages(&bd);
+        m.record_stages(&bd);
+        assert_eq!(m.stage_count(Stage::Queued), 2);
+        assert_eq!(m.stage_total(Stage::Encoded), Duration::from_millis(40));
+        assert_eq!(
+            m.stage_percentile(Stage::Queued, 50.0),
+            Some(Duration::from_millis(10))
+        );
+        // Untaken stages record nothing.
+        assert_eq!(m.stage_count(Stage::Requeued), 0);
+        assert_eq!(m.stage_percentile(Stage::Requeued, 50.0), None);
+        // Still configuration-pure.
+        assert_eq!(m.approx_bytes(), empty);
+
+        let mut rollup = ServeMetrics::with_sketch_capacity(16);
+        rollup.merge(&m);
+        assert_eq!(rollup.stage_count(Stage::Encoded), 2);
+        assert_eq!(rollup.stage_total(Stage::Queued), Duration::from_millis(20));
     }
 
     #[test]

@@ -54,6 +54,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use nnlut_core::profile::{OpCounters, OpProfile};
 use nnlut_core::NnLutKit;
 use nnlut_transformer::{BertModel, Nonlinearity, TransformerConfig};
 
@@ -64,6 +65,7 @@ use crate::batcher::ServePolicy;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::ServeMetrics;
 use crate::server::{validate_request, RequestId};
+use crate::trace::{FlightEvent, FlightRecorder, RequestTrace, Stage};
 
 /// Construction knobs for the sharded server.
 #[derive(Debug, Clone)]
@@ -164,6 +166,10 @@ pub struct ReplicaStatus {
     /// Padded area (tokens) routed to this replica and not yet resolved —
     /// the join-shortest-queue signal.
     pub outstanding_tokens: usize,
+    /// Milliseconds since this replica's last health *transition*
+    /// (construction counts as one) — lets a probe distinguish a fresh
+    /// quarantine from a stuck one.
+    pub last_transition_ms: u64,
 }
 
 /// Shard-level counters — the failure-handling ledger `/metrics` reports
@@ -223,6 +229,8 @@ struct ReplicaCtl {
     next_probe_at: Option<Instant>,
     /// Current probe backoff (doubles per failed probe).
     backoff: Duration,
+    /// When the health state last *changed* (construction counts).
+    last_transition: Instant,
 }
 
 impl ReplicaCtl {
@@ -241,6 +249,7 @@ impl ReplicaCtl {
             outstanding_tokens: 0,
             next_probe_at: None,
             backoff,
+            last_transition: Instant::now(),
         }
     }
 
@@ -258,14 +267,18 @@ impl ReplicaCtl {
             readmissions: self.readmissions,
             probes_sent: self.probes_sent,
             outstanding_tokens: self.outstanding_tokens,
+            last_transition_ms: self.last_transition.elapsed().as_millis() as u64,
         }
     }
 
     /// A success (served attempt or probe) fully restores the replica.
-    fn on_success(&mut self) -> bool {
+    fn on_success(&mut self, now: Instant) -> bool {
         let readmitted = self.health == ReplicaHealth::Quarantined;
         if readmitted {
             self.readmissions += 1;
+        }
+        if self.health != ReplicaHealth::Healthy {
+            self.last_transition = now;
         }
         self.health = ReplicaHealth::Healthy;
         self.consecutive_failures = 0;
@@ -283,6 +296,7 @@ impl ReplicaCtl {
                 self.health = ReplicaHealth::Quarantined;
                 self.quarantines += 1;
                 self.backoff = config.probe_backoff;
+                self.last_transition = now;
             } else {
                 // A failed probe: back off harder.
                 self.backoff = (self.backoff * 2).min(config.max_probe_backoff);
@@ -290,8 +304,27 @@ impl ReplicaCtl {
             self.next_probe_at = Some(now + self.backoff);
             newly
         } else {
+            if self.health != ReplicaHealth::Degraded {
+                self.last_transition = now;
+            }
             self.health = ReplicaHealth::Degraded;
             false
+        }
+    }
+}
+
+/// Advances `replica`'s health machine after a failure, journaling any
+/// state transition and — per the incident contract — freezing the
+/// flight recorder on the edge itself, so the events *leading up to* the
+/// degradation survive the ring.
+fn fail_health(st: &mut ShardState, replica: usize, config: &SupervisorConfig, now: Instant) {
+    let before = st.replicas[replica].health;
+    st.replicas[replica].on_failure(config, now);
+    let after = st.replicas[replica].health;
+    if after != before {
+        if let Some(rec) = &config.recorder {
+            rec.record(after.as_str(), Some(replica), None, 0);
+            rec.snapshot_incident(after.as_str(), Some(replica));
         }
     }
 }
@@ -333,6 +366,7 @@ struct SupervisorConfig {
     probe_backoff: Duration,
     max_probe_backoff: Duration,
     fault_plan: Option<Arc<FaultPlan>>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// One request currently riding a replica.
@@ -373,6 +407,14 @@ pub struct ShardedServer {
     config: TransformerConfig,
     admission: ServePolicy,
     supervisor: Option<JoinHandle<()>>,
+    /// Fleet-wide flight recorder (one ring shared by every replica and
+    /// the supervisor); `None` when tracing is off.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Op-level profiling sink attached to the shared backend when
+    /// tracing is on; snapshot exposed over `/metrics`.
+    op_counters: Option<Arc<OpCounters>>,
+    /// When this shard came up — `/healthz` reports the elapsed time.
+    started: Instant,
 }
 
 impl ShardedServer {
@@ -388,6 +430,22 @@ impl ShardedServer {
     /// replicas cost one copy of the weights.
     pub fn with_backend(model: BertModel, nl: Nonlinearity, config: ShardConfig) -> Self {
         let model = Arc::new(model);
+        let trace_cfg = config.replica.trace;
+        // One fleet-wide recorder: replicas and the supervisor journal
+        // into the same ring, so an incident snapshot shows the whole
+        // shard's recent history, not one replica's.
+        let recorder = config.replica.recorder.clone().or_else(|| {
+            trace_cfg
+                .recorder
+                .then(|| Arc::new(FlightRecorder::new(trace_cfg.recorder_capacity)))
+        });
+        // Attach the op-profiling sink when tracing is on (and the caller
+        // didn't wire their own) — relaxed counters, read only by /metrics.
+        let mut nl = nl;
+        if recorder.is_some() && nl.profile().is_none() {
+            nl = nl.with_profile(Arc::new(OpCounters::new()));
+        }
+        let op_counters = nl.profile().cloned();
         let nl = Arc::new(nl);
         let model_config = model.config().clone();
         let replicas = config.replicas.max(1);
@@ -400,6 +458,8 @@ impl ShardedServer {
                     .fault_plan
                     .as_ref()
                     .map(|plan| FaultInjector::new(Arc::clone(plan), r));
+                rc.recorder = recorder.clone();
+                rc.replica_label = Some(r);
                 AsyncLutServer::with_shared(Arc::clone(&model), Arc::clone(&nl), rc)
             })
             .collect();
@@ -430,6 +490,7 @@ impl ShardedServer {
             probe_backoff: config.probe_backoff,
             max_probe_backoff: config.max_probe_backoff,
             fault_plan: config.fault_plan,
+            recorder: recorder.clone(),
         };
         let supervisor = std::thread::Builder::new()
             .name("nnlut-shard-supervisor".into())
@@ -441,6 +502,9 @@ impl ShardedServer {
             config: model_config,
             admission: config.admission,
             supervisor: Some(supervisor),
+            recorder,
+            op_counters,
+            started: Instant::now(),
         }
     }
 
@@ -474,18 +538,24 @@ impl ShardedServer {
     pub fn submit_with_deadline(&self, tokens: Vec<usize>, deadline: Option<Duration>) -> Ticket {
         validate_request(&self.config, &tokens);
         let now = Instant::now();
-        let state = Arc::new(TicketState::new());
-        let (id, rejected_at_depth) = {
+        let token_count = tokens.len();
+        let (id, state, rejected_at_depth) = {
             let mut st = lock(&self.shared.state);
             assert!(!st.shutdown, "cannot submit after shutdown");
             let id = st.next_id;
             st.next_id += 1;
+            // The trace is born inside the lock so its id matches the
+            // shard ticket; it rides the request across every failover.
+            let trace = Arc::new(RequestTrace::new(id));
+            trace.record(Stage::Admitted, None, None);
+            let state = Arc::new(TicketState::new(trace));
             let depth = st.pending.len() + st.outstanding;
             let area = st.pending_tokens + st.outstanding_tokens;
             if !self.admission.admits(depth + 1, area + tokens.len()) {
                 st.metrics.overload_rejections += 1;
-                (id, Some(depth))
+                (id, state, Some(depth))
             } else {
+                state.trace.record(Stage::Queued, None, None);
                 st.metrics.submitted += 1;
                 st.tickets.insert(id, Arc::clone(&state));
                 st.pending_tokens += tokens.len();
@@ -497,11 +567,15 @@ impl ShardedServer {
                     attempts: 0,
                     avoid: None,
                 });
-                (id, None)
+                (id, state, None)
             }
         };
         match rejected_at_depth {
             Some(queue_depth) => {
+                state.trace.record(Stage::Failed, None, Some("overloaded"));
+                if let Some(rec) = &self.recorder {
+                    rec.record("overload-rejection", None, Some(id), token_count as u64);
+                }
                 state.resolve(Err(ServeError::Overloaded { id, queue_depth }));
             }
             None => self.shared.work.notify_all(),
@@ -554,10 +628,23 @@ impl ShardedServer {
     /// `"127.0.0.1:0"` for an ephemeral port; the bound address is on the
     /// returned handle):
     ///
-    /// * `GET /healthz` — per-replica health JSON; status `200` while any
-    ///   replica is routable, `503` once the whole fleet is quarantined.
-    /// * `GET /metrics` — the merged [`ServeMetrics`] snapshot plus the
-    ///   [`ShardMetrics`] failure-handling counters, as JSON.
+    /// * `GET /healthz` — fleet health JSON: `uptime_ms`, crate
+    ///   `version`, and per-replica state including `last_transition_ms`;
+    ///   status `200` while any replica is routable, `503` once the whole
+    ///   fleet is quarantined.
+    /// * `GET /metrics` — Prometheus text exposition
+    ///   (`text/plain; version=0.0.4`): merged [`ServeMetrics`] counters
+    ///   and latency summaries, per-[`Stage`] breakdown summaries,
+    ///   [`ShardMetrics`] failure-handling counters, per-replica gauges,
+    ///   and (when tracing is on) op-level profile totals and recorder
+    ///   occupancy.
+    /// * `GET /metrics.json` — the same snapshot as compact JSON (the
+    ///   historical `/metrics` body, kept for scripts).
+    /// * `GET /trace` — the flight recorder's current ring, oldest
+    ///   event first; `{"enabled":false}` when tracing is off.
+    /// * `GET /incident` — the last [`crate::trace::IncidentReport`]
+    ///   frozen by a health transition, batch panic or stall trip;
+    ///   `{"incident":null}` if none has fired.
     ///
     /// The listener holds snapshots' sources (`Arc`s), not the server:
     /// dropping the [`HttpHandle`](crate::http::HttpHandle) stops it
@@ -570,6 +657,7 @@ impl ShardedServer {
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<crate::http::HttpHandle> {
         let health_shared = Arc::clone(&self.shared);
+        let health_started = self.started;
         let healthz: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
             Arc::new(move || {
                 let st = lock(&health_shared.state);
@@ -582,7 +670,8 @@ impl ShardedServer {
                             "{{\"replica\":{r},\"health\":\"{}\",\"consecutive_failures\":{},\
                              \"routed\":{},\"completed\":{},\"failures\":{},\"stalls\":{},\
                              \"rejections\":{},\"quarantines\":{},\"readmissions\":{},\
-                             \"probes_sent\":{},\"outstanding_tokens\":{}}}",
+                             \"probes_sent\":{},\"outstanding_tokens\":{},\
+                             \"last_transition_ms\":{}}}",
                             ctl.health.as_str(),
                             ctl.consecutive_failures,
                             ctl.routed,
@@ -594,6 +683,7 @@ impl ShardedServer {
                             ctl.readmissions,
                             ctl.probes_sent,
                             ctl.outstanding_tokens,
+                            ctl.last_transition.elapsed().as_millis(),
                         )
                     })
                     .collect();
@@ -603,15 +693,50 @@ impl ShardedServer {
                     .any(|c| c.health != ReplicaHealth::Quarantined);
                 let status = if any_routable { 200 } else { 503 };
                 let body = format!(
-                    "{{\"status\":\"{}\",\"replicas\":[{}]}}\n",
+                    "{{\"status\":\"{}\",\"uptime_ms\":{},\"version\":\"{}\",\"replicas\":[{}]}}\n",
                     if any_routable { "ok" } else { "quarantined" },
+                    health_started.elapsed().as_millis(),
+                    env!("CARGO_PKG_VERSION"),
                     replicas.join(",")
                 );
                 crate::http::HttpResponse::json_with_status(status, body)
             });
+
+        let prom_shared = Arc::clone(&self.shared);
+        let prom_servers = self.servers.clone();
+        let prom_op = self.op_counters.clone();
+        let prom_recorder = self.recorder.clone();
+        let prom_started = self.started;
+        let prometheus: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
+            Arc::new(move || {
+                let merged = match &prom_servers {
+                    Some(servers) => merged_metrics(servers),
+                    None => ServeMetrics::default(),
+                };
+                let (shard, replicas) = {
+                    let st = lock(&prom_shared.state);
+                    let replicas: Vec<ReplicaStatus> = st
+                        .replicas
+                        .iter()
+                        .enumerate()
+                        .map(|(r, ctl)| ctl.snapshot(r))
+                        .collect();
+                    (st.metrics, replicas)
+                };
+                let body = render_prometheus(
+                    &merged,
+                    &shard,
+                    &replicas,
+                    prom_op.as_deref().map(OpCounters::snapshot),
+                    prom_recorder.as_deref(),
+                    prom_started.elapsed(),
+                );
+                crate::http::HttpResponse::prometheus(body)
+            });
+
         let metrics_shared = Arc::clone(&self.shared);
         let metrics_servers = self.servers.clone();
-        let metrics: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
+        let metrics_json: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
             Arc::new(move || {
                 let merged = match &metrics_servers {
                     Some(servers) => merged_metrics(servers),
@@ -654,10 +779,67 @@ impl ShardedServer {
                 );
                 crate::http::HttpResponse::json(body)
             });
+
+        let trace_recorder = self.recorder.clone();
+        let trace_route: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
+            Arc::new(move || {
+                let body = match &trace_recorder {
+                    Some(rec) => format!(
+                        "{{\"enabled\":true,\"capacity\":{},\"recorded\":{},\
+                         \"approx_bytes\":{},\"events\":{}}}\n",
+                        rec.capacity(),
+                        rec.recorded(),
+                        rec.approx_bytes(),
+                        flight_events_json(&rec.snapshot()),
+                    ),
+                    None => "{\"enabled\":false,\"events\":[]}\n".to_string(),
+                };
+                crate::http::HttpResponse::json(body)
+            });
+
+        let incident_recorder = self.recorder.clone();
+        let incident_route: Arc<dyn Fn() -> crate::http::HttpResponse + Send + Sync> =
+            Arc::new(move || {
+                let body = match incident_recorder.as_ref().and_then(|r| r.last_incident()) {
+                    Some(incident) => format!(
+                        "{{\"incident\":{{\"trigger\":\"{}\",\"replica\":{},\"seq\":{},\
+                         \"at_ms\":{:.3},\"events\":{}}}}}\n",
+                        incident.trigger,
+                        incident
+                            .replica
+                            .map_or_else(|| "null".to_string(), |r| r.to_string()),
+                        incident.incident_seq,
+                        incident.at.as_secs_f64() * 1e3,
+                        flight_events_json(&incident.events),
+                    ),
+                    None => "{\"incident\":null}\n".to_string(),
+                };
+                crate::http::HttpResponse::json(body)
+            });
+
         crate::http::spawn(
             addr,
-            vec![("/healthz".into(), healthz), ("/metrics".into(), metrics)],
+            vec![
+                ("/healthz".into(), healthz),
+                ("/metrics".into(), prometheus),
+                ("/metrics.json".into(), metrics_json),
+                ("/trace".into(), trace_route),
+                ("/incident".into(), incident_route),
+            ],
         )
+    }
+
+    /// The fleet-wide flight recorder, when tracing is on (either
+    /// `NNLUT_TRACE=1` or an explicit recorder in the replica config).
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Snapshot of the op-level profile (baked-kernel call counts, rows
+    /// and elapsed time) accumulated by the shared backend since startup;
+    /// `None` when tracing is off and no sink was pre-attached.
+    pub fn op_profile(&self) -> Option<OpProfile> {
+        self.op_counters.as_deref().map(OpCounters::snapshot)
     }
 
     /// Stops admission, drains every pending and in-flight request
@@ -677,6 +859,9 @@ impl ShardedServer {
                 let orphaned: Vec<RequestId> = st.tickets.keys().copied().collect();
                 for id in orphaned {
                     if let Some(ticket) = st.tickets.remove(&id) {
+                        ticket
+                            .trace
+                            .record(Stage::Failed, None, Some("server-failed"));
                         ticket.resolve(Err(ServeError::ServerFailed { id }));
                     }
                 }
@@ -707,6 +892,337 @@ fn merged_metrics(servers: &[AsyncLutServer]) -> ServeMetrics {
         }
     }
     merged.unwrap_or_default()
+}
+
+/// Flight-recorder events as a JSON array (oldest first).
+fn flight_events_json(events: &[FlightEvent]) -> String {
+    let items: Vec<String> = events
+        .iter()
+        .map(|ev| {
+            format!(
+                "{{\"seq\":{},\"at_ms\":{:.3},\"kind\":\"{}\",\"replica\":{},\
+                 \"request\":{},\"value\":{}}}",
+                ev.seq,
+                ev.at.as_secs_f64() * 1e3,
+                ev.kind,
+                ev.replica
+                    .map_or_else(|| "null".to_string(), |r| r.to_string()),
+                ev.request
+                    .map_or_else(|| "null".to_string(), |id| id.to_string()),
+                ev.value,
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders the `/metrics` Prometheus text-exposition body. Metric names
+/// are a stability contract (`tests/serve_http.rs` parses and pins them):
+/// `nnlut_serve_*` for the merged serving layer, `nnlut_shard_*` for the
+/// failure-handling ledger, `nnlut_op_*` for the baked-kernel profile.
+fn render_prometheus(
+    merged: &ServeMetrics,
+    shard: &ShardMetrics,
+    replicas: &[ReplicaStatus],
+    op: Option<OpProfile>,
+    recorder: Option<&FlightRecorder>,
+    uptime: Duration,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+    fn head(out: &mut String, name: &str, kind: &str, help: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+    }
+
+    head(
+        &mut out,
+        "nnlut_serve_uptime_seconds",
+        "gauge",
+        "Seconds since the shard came up.",
+    );
+    let _ = writeln!(
+        out,
+        "nnlut_serve_uptime_seconds {:.3}",
+        uptime.as_secs_f64()
+    );
+
+    for (name, help, value) in [
+        (
+            "nnlut_serve_batches_total",
+            "Batches encoded across the fleet.",
+            merged.batches_served(),
+        ),
+        (
+            "nnlut_serve_sequences_total",
+            "Sequences served across the fleet.",
+            merged.total_sequences() as u64,
+        ),
+        (
+            "nnlut_serve_tokens_total",
+            "Real (unpadded) tokens served across the fleet.",
+            merged.total_tokens() as u64,
+        ),
+        (
+            "nnlut_serve_deadline_misses_total",
+            "Requests that expired before encoding.",
+            merged.deadline_misses() as u64,
+        ),
+        (
+            "nnlut_serve_overload_rejections_total",
+            "Requests rejected at an admission door.",
+            merged.overload_rejections() as u64,
+        ),
+    ] {
+        head(&mut out, name, "counter", help);
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    head(
+        &mut out,
+        "nnlut_serve_tokens_per_second",
+        "gauge",
+        "End-to-end token throughput since startup.",
+    );
+    let _ = writeln!(
+        out,
+        "nnlut_serve_tokens_per_second {:.3}",
+        merged.tokens_per_sec()
+    );
+    head(
+        &mut out,
+        "nnlut_serve_padding_efficiency",
+        "gauge",
+        "Real tokens / padded area, weighted across buckets.",
+    );
+    let _ = writeln!(
+        out,
+        "nnlut_serve_padding_efficiency {:.6}",
+        merged.padding_efficiency()
+    );
+
+    head(
+        &mut out,
+        "nnlut_serve_batch_latency_seconds",
+        "summary",
+        "Per-batch encode latency.",
+    );
+    for (q, p) in [("0.5", 50.0), ("0.95", 95.0)] {
+        let _ = writeln!(
+            out,
+            "nnlut_serve_batch_latency_seconds{{quantile=\"{q}\"}} {:.6}",
+            merged
+                .latency_percentile(p)
+                .unwrap_or_default()
+                .as_secs_f64()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "nnlut_serve_batch_latency_seconds_sum {:.6}",
+        merged.total_latency().as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "nnlut_serve_batch_latency_seconds_count {}",
+        merged.batches_served()
+    );
+
+    head(
+        &mut out,
+        "nnlut_serve_stage_seconds",
+        "summary",
+        "Per-request time spent in each lifecycle stage (from request traces).",
+    );
+    for stage in Stage::ALL {
+        let count = merged.stage_count(stage);
+        if count == 0 {
+            continue;
+        }
+        for (q, p) in [("0.5", 50.0), ("0.95", 95.0)] {
+            let _ = writeln!(
+                out,
+                "nnlut_serve_stage_seconds{{stage=\"{}\",quantile=\"{q}\"}} {:.6}",
+                stage.as_str(),
+                merged
+                    .stage_percentile(stage, p)
+                    .unwrap_or_default()
+                    .as_secs_f64()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "nnlut_serve_stage_seconds_sum{{stage=\"{}\"}} {:.6}",
+            stage.as_str(),
+            merged.stage_total(stage).as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "nnlut_serve_stage_seconds_count{{stage=\"{}\"}} {count}",
+            stage.as_str()
+        );
+    }
+
+    for (name, help, value) in [
+        (
+            "nnlut_shard_submitted_total",
+            "Requests admitted through the shard door.",
+            shard.submitted,
+        ),
+        (
+            "nnlut_shard_completed_total",
+            "Requests resolved successfully.",
+            shard.completed,
+        ),
+        (
+            "nnlut_shard_failovers_total",
+            "Failed attempts requeued onto another replica.",
+            shard.failovers,
+        ),
+        (
+            "nnlut_shard_retries_exhausted_total",
+            "Requests that ran out of retry budget.",
+            shard.retries_exhausted,
+        ),
+        (
+            "nnlut_shard_stalls_total",
+            "Attempts the stall watchdog requeued.",
+            shard.stalls,
+        ),
+        (
+            "nnlut_shard_probes_sent_total",
+            "Probe batches sent to quarantined replicas.",
+            shard.probes_sent,
+        ),
+        (
+            "nnlut_shard_readmissions_total",
+            "Quarantined replicas re-admitted by a probe.",
+            shard.readmissions,
+        ),
+        (
+            "nnlut_shard_overload_rejections_total",
+            "Requests rejected at the shard door.",
+            shard.overload_rejections,
+        ),
+        (
+            "nnlut_shard_deadline_misses_total",
+            "Requests that expired at their deadline.",
+            shard.deadline_misses,
+        ),
+    ] {
+        head(&mut out, name, "counter", help);
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    head(
+        &mut out,
+        "nnlut_serve_replica_health",
+        "gauge",
+        "Replica health state: 0 healthy, 1 degraded, 2 quarantined.",
+    );
+    for status in replicas {
+        let _ = writeln!(
+            out,
+            "nnlut_serve_replica_health{{replica=\"{}\"}} {}",
+            status.replica,
+            match status.health {
+                ReplicaHealth::Healthy => 0,
+                ReplicaHealth::Degraded => 1,
+                ReplicaHealth::Quarantined => 2,
+            }
+        );
+    }
+    head(
+        &mut out,
+        "nnlut_serve_replica_routed_total",
+        "counter",
+        "Requests routed to each replica (not bounced).",
+    );
+    for status in replicas {
+        let _ = writeln!(
+            out,
+            "nnlut_serve_replica_routed_total{{replica=\"{}\"}} {}",
+            status.replica, status.routed
+        );
+    }
+    head(
+        &mut out,
+        "nnlut_serve_replica_outstanding_tokens",
+        "gauge",
+        "Padded area routed-but-unresolved per replica (the JSQ signal).",
+    );
+    for status in replicas {
+        let _ = writeln!(
+            out,
+            "nnlut_serve_replica_outstanding_tokens{{replica=\"{}\"}} {}",
+            status.replica, status.outstanding_tokens
+        );
+    }
+
+    if let Some(profile) = op {
+        head(
+            &mut out,
+            "nnlut_op_calls_total",
+            "counter",
+            "Baked-kernel invocations by op.",
+        );
+        for stats in &profile.ops {
+            let _ = writeln!(
+                out,
+                "nnlut_op_calls_total{{op=\"{}\"}} {}",
+                stats.op.as_str(),
+                stats.calls
+            );
+        }
+        head(
+            &mut out,
+            "nnlut_op_rows_total",
+            "counter",
+            "Rows (elements for gelu) processed by op.",
+        );
+        for stats in &profile.ops {
+            let _ = writeln!(
+                out,
+                "nnlut_op_rows_total{{op=\"{}\"}} {}",
+                stats.op.as_str(),
+                stats.rows
+            );
+        }
+        head(
+            &mut out,
+            "nnlut_op_seconds_total",
+            "counter",
+            "Wall-clock seconds inside each op's kernel.",
+        );
+        for stats in &profile.ops {
+            let _ = writeln!(
+                out,
+                "nnlut_op_seconds_total{{op=\"{}\"}} {:.6}",
+                stats.op.as_str(),
+                stats.nanos as f64 / 1e9
+            );
+        }
+    }
+
+    if let Some(rec) = recorder {
+        head(
+            &mut out,
+            "nnlut_serve_recorder_events_total",
+            "counter",
+            "Events journaled by the flight recorder since startup.",
+        );
+        let _ = writeln!(out, "nnlut_serve_recorder_events_total {}", rec.recorded());
+        head(
+            &mut out,
+            "nnlut_serve_recorder_bytes",
+            "gauge",
+            "Fixed memory ceiling of the flight recorder.",
+        );
+        let _ = writeln!(out, "nnlut_serve_recorder_bytes {}", rec.approx_bytes());
+    }
+
+    out
 }
 
 /// How often the supervisor polls in-flight attempts. Replica tickets
@@ -773,7 +1289,7 @@ fn supervisor_loop(
                     // replica (or retry) produced it.
                     resp.id = req.id;
                     st.replicas[replica].completed += 1;
-                    st.replicas[replica].on_success();
+                    st.replicas[replica].on_success(now);
                     st.metrics.completed += 1;
                     if let Some(ticket) = st.tickets.remove(&req.id) {
                         ticket.resolve(Ok(resp));
@@ -792,10 +1308,11 @@ fn supervisor_loop(
                     // ServerFailed (a contained batch panic — possibly
                     // injected) or any other replica-side failure: the
                     // replica takes the health hit, the request fails
-                    // over.
+                    // over. (The replica's encoder already journaled the
+                    // panic and froze an incident snapshot.)
                     st.replicas[replica].failures += 1;
-                    st.replicas[replica].on_failure(&config, now);
-                    fail_over(&mut st, req, replica, &config);
+                    fail_health(&mut st, replica, &config, now);
+                    fail_over(&mut st, req, replica, &config, "panic");
                 }
             }
         }
@@ -806,9 +1323,18 @@ fn supervisor_loop(
             st.outstanding_tokens -= req.tokens.len();
             st.replicas[a.replica].outstanding_tokens -= req.tokens.len();
             st.replicas[a.replica].stalls += 1;
-            st.replicas[a.replica].on_failure(&config, now);
             st.metrics.stalls += 1;
-            fail_over(&mut st, req, a.replica, &config);
+            if let Some(rec) = &config.recorder {
+                rec.record(
+                    "stall",
+                    Some(a.replica),
+                    Some(req.id),
+                    req.attempts as u64 + 1,
+                );
+                rec.snapshot_incident("stall", Some(a.replica));
+            }
+            fail_health(&mut st, a.replica, &config, now);
+            fail_over(&mut st, req, a.replica, &config, "stall");
             // a.ticket drops here: when the wedged encode eventually
             // finishes, its result resolves into a slot nobody reads.
         }
@@ -816,12 +1342,15 @@ fn supervisor_loop(
         for (r, result) in probe_results {
             match result {
                 Ok(_) => {
-                    if st.replicas[r].on_success() {
+                    if st.replicas[r].on_success(now) {
                         st.metrics.readmissions += 1;
+                        if let Some(rec) = &config.recorder {
+                            rec.record("readmitted", Some(r), None, 0);
+                        }
                     }
                 }
                 Err(_) => {
-                    st.replicas[r].on_failure(&config, now);
+                    fail_health(&mut st, r, &config, now);
                 }
             }
         }
@@ -842,7 +1371,16 @@ fn supervisor_loop(
                 st.pending_tokens -= req.tokens.len();
                 st.metrics.deadline_misses += 1;
                 let waited = now.saturating_duration_since(req.queued_at);
+                if let Some(rec) = &config.recorder {
+                    rec.record(
+                        "deadline-miss",
+                        None,
+                        Some(req.id),
+                        waited.as_millis() as u64,
+                    );
+                }
                 if let Some(ticket) = st.tickets.remove(&req.id) {
+                    ticket.trace.record(Stage::Failed, None, Some("deadline"));
                     ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
                 }
             }
@@ -875,8 +1413,12 @@ fn supervisor_loop(
                     && ctl.next_probe_at.is_some_and(|at| now >= at)
                 {
                     ctl.probes_sent += 1;
+                    let sent = ctl.probes_sent;
                     ctl.next_probe_at = Some(now + ctl.backoff);
                     st.metrics.probes_sent += 1;
+                    if let Some(rec) = &config.recorder {
+                        rec.record("probe", Some(r), None, sent);
+                    }
                     // A minimal in-vocabulary batch; its result is only a
                     // health signal.
                     *slot = Some(servers[r].submit(vec![0]));
@@ -931,18 +1473,35 @@ fn fail_over(
     mut req: ShardRequest,
     failed_on: usize,
     config: &SupervisorConfig,
+    cause: &'static str,
 ) {
     req.attempts += 1;
     req.avoid = Some(failed_on);
+    if let Some(rec) = &config.recorder {
+        rec.record(
+            "failover",
+            Some(failed_on),
+            Some(req.id),
+            req.attempts as u64,
+        );
+    }
     if req.attempts > config.retry_budget {
         st.metrics.retries_exhausted += 1;
         if let Some(ticket) = st.tickets.remove(&req.id) {
+            ticket
+                .trace
+                .record(Stage::Failed, Some(failed_on), Some("retries-exhausted"));
             ticket.resolve(Err(ServeError::RetriesExhausted {
                 id: req.id,
                 attempts: req.attempts,
             }));
         }
     } else {
+        if let Some(ticket) = st.tickets.get(&req.id) {
+            ticket
+                .trace
+                .record(Stage::Requeued, Some(failed_on), Some(cause));
+        }
         st.metrics.failovers += 1;
         st.pending_tokens += req.tokens.len();
         st.pending.push_front(req);
@@ -975,7 +1534,16 @@ fn route(
         if expired(&req, now) {
             st.metrics.deadline_misses += 1;
             let waited = now.saturating_duration_since(req.queued_at);
+            if let Some(rec) = &config.recorder {
+                rec.record(
+                    "deadline-miss",
+                    None,
+                    Some(req.id),
+                    waited.as_millis() as u64,
+                );
+            }
             if let Some(ticket) = st.tickets.remove(&req.id) {
+                ticket.trace.record(Stage::Failed, None, Some("deadline"));
                 ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
             }
             return Routed::Resolved;
@@ -1009,12 +1577,18 @@ fn route(
             .is_some_and(|plan| plan.rejects_submission(target, submission));
         if bounced {
             st.replicas[target].rejections += 1;
-            st.replicas[target].on_failure(config, now);
+            fail_health(st, target, config, now);
             req.attempts += 1;
             req.avoid = Some(target);
+            if let Some(rec) = &config.recorder {
+                rec.record("bounce", Some(target), Some(req.id), submission);
+            }
             if req.attempts > config.retry_budget {
                 st.metrics.retries_exhausted += 1;
                 if let Some(ticket) = st.tickets.remove(&req.id) {
+                    ticket
+                        .trace
+                        .record(Stage::Failed, Some(target), Some("retries-exhausted"));
                     ticket.resolve(Err(ServeError::RetriesExhausted {
                         id: req.id,
                         attempts: req.attempts,
@@ -1022,11 +1596,28 @@ fn route(
                 }
                 return Routed::Resolved;
             }
+            if let Some(ticket) = st.tickets.get(&req.id) {
+                ticket
+                    .trace
+                    .record(Stage::Requeued, Some(target), Some("bounce"));
+            }
             st.metrics.failovers += 1;
             continue;
         }
         let remaining = req.deadline.map(|d| d.saturating_duration_since(now));
-        let ticket = servers[target].submit_with_deadline(req.tokens.clone(), remaining);
+        // The shard trace rides into the replica: the attempt's stage
+        // events (queued, assembled, dispatched, encoded, …) land on the
+        // same journal the shard has been writing since admission.
+        let trace = st.tickets.get(&req.id).map(|t| Arc::clone(&t.trace));
+        let ticket = match &trace {
+            Some(trace) => {
+                if req.attempts > 0 {
+                    trace.record(Stage::Retried, Some(target), None);
+                }
+                servers[target].submit_traced(req.tokens.clone(), remaining, Arc::clone(trace))
+            }
+            None => servers[target].submit_with_deadline(req.tokens.clone(), remaining),
+        };
         st.replicas[target].routed += 1;
         st.replicas[target].outstanding_tokens += req.tokens.len();
         st.outstanding += 1;

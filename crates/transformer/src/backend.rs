@@ -13,12 +13,33 @@
 //! This per-site independence is exactly what the "GELU only / Softmax
 //! only / LayerNorm only / Altogether" rows of Table 2(a) vary.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use nnlut_core::calibrate::ActivationCapture;
+use nnlut_core::profile::{OpCounters, OpKind};
 use nnlut_core::NnLutKit;
 use nnlut_ibert::layernorm::i_layernorm_f32;
 use nnlut_ibert::softmax::i_softmax_f32;
 use nnlut_ibert::{fixed::scale_16bit, fixed::Quantized, i_gelu};
 use nnlut_tensor::Matrix;
+
+/// Runs `f`, recording one `(op, rows, elapsed)` sample into `sink` when
+/// one is attached. The clock is read only when profiling is on; timing
+/// never feeds back into the math, so outputs are bit-identical either
+/// way.
+#[inline]
+fn profiled<T>(sink: Option<&OpCounters>, op: OpKind, rows: usize, f: impl FnOnce() -> T) -> T {
+    match sink {
+        Some(sink) => {
+            let start = Instant::now();
+            let out = f();
+            sink.record(op, rows as u64, start.elapsed());
+            out
+        }
+        None => f(),
+    }
+}
 
 /// Implementation choice for one non-linear operation site.
 // The kit variant inlines four tables (~a few hundred bytes); OpImpl values
@@ -48,6 +69,10 @@ pub struct Nonlinearity {
     pub softmax: OpImpl,
     /// Block normalization site.
     pub layernorm: OpImpl,
+    /// Optional op-profiling sink (see [`Nonlinearity::with_profile`]).
+    /// Private so the field can stay out of every construction site:
+    /// `None` — record nothing — is the default everywhere.
+    profile: Option<Arc<OpCounters>>,
 }
 
 impl Nonlinearity {
@@ -62,6 +87,7 @@ impl Nonlinearity {
             gelu: OpImpl::Lut(kit.clone()),
             softmax: OpImpl::Lut(kit.clone()),
             layernorm: OpImpl::Lut(kit.clone()),
+            ..Self::exact()
         }
     }
 
@@ -71,7 +97,25 @@ impl Nonlinearity {
             gelu: OpImpl::IBert,
             softmax: OpImpl::IBert,
             layernorm: OpImpl::IBert,
+            ..Self::exact()
         }
+    }
+
+    /// Attaches an op-profiling sink: every chunk-level kernel call
+    /// (masked softmax, GELU, LayerNorm) records its call count, rows and
+    /// elapsed nanoseconds into `sink`. Profiling is **passive** — the
+    /// sink never influences outputs, chunking or scheduling — and cheap:
+    /// one clock pair plus three relaxed atomic adds per chunk. The
+    /// serving layer shares one sink across a whole replica fleet to
+    /// attribute encode time per op site.
+    pub fn with_profile(mut self, sink: Arc<OpCounters>) -> Self {
+        self.profile = Some(sink);
+        self
+    }
+
+    /// The attached profiling sink, if any.
+    pub fn profile(&self) -> Option<&Arc<OpCounters>> {
+        self.profile.as_ref()
     }
 
     /// Replaces only the GELU site ("GELU only" row).
@@ -119,16 +163,24 @@ impl Nonlinearity {
     /// element-local and safe to run over disjoint chunks on any
     /// executor without changing a single output bit.
     pub fn gelu_kernel(&self, m: &Matrix) -> GeluKernel<'_> {
-        match &self.gelu {
-            OpImpl::Exact | OpImpl::Softermax => GeluKernel::Exact,
-            OpImpl::Lut(kit) => GeluKernel::Lut(kit),
-            OpImpl::IBert => GeluKernel::IBert {
+        let backend = match &self.gelu {
+            OpImpl::Exact | OpImpl::Softermax => GeluBackend::Exact,
+            OpImpl::Lut(kit) => GeluBackend::Lut(kit),
+            OpImpl::IBert => GeluBackend::IBert {
                 scale: scale_16bit(m.abs_max().max(1.0)),
             },
+        };
+        GeluKernel {
+            backend,
+            profile: self.profile.as_deref(),
         }
     }
 
     /// Applies the softmax-site op to one row.
+    ///
+    /// Deliberately unprofiled: attribution happens at chunk granularity
+    /// ([`Nonlinearity::softmax_chunk`] and friends) so a profiling sink
+    /// costs one clock pair per chunk, not per row.
     pub fn softmax_row(&self, row: &mut [f32]) {
         match &self.softmax {
             OpImpl::Exact => exact_softmax(row),
@@ -151,9 +203,12 @@ impl Nonlinearity {
     /// Panics if `data` is not a whole number of rows.
     pub fn softmax_chunk(&self, data: &mut [f32], cols: usize) {
         assert_eq!(data.len() % cols, 0, "chunk is not a whole number of rows");
-        for row in data.chunks_exact_mut(cols) {
-            self.softmax_row(row);
-        }
+        let rows = data.len() / cols;
+        profiled(self.profile.as_deref(), OpKind::Softmax, rows, || {
+            for row in data.chunks_exact_mut(cols) {
+                self.softmax_row(row);
+            }
+        });
     }
 
     /// Mask-aware softmax over a row chunk: row `i` of the chunk is
@@ -176,13 +231,20 @@ impl Nonlinearity {
             valid.len() * cols,
             "masked softmax valid-length count mismatch"
         );
-        for (row, &v) in data.chunks_exact_mut(cols).zip(valid) {
-            assert!(v <= cols, "valid length {v} exceeds row width {cols}");
-            if v > 0 {
-                self.softmax_row(&mut row[..v]);
-            }
-            row[v..].fill(0.0);
-        }
+        profiled(
+            self.profile.as_deref(),
+            OpKind::Softmax,
+            valid.len(),
+            || {
+                for (row, &v) in data.chunks_exact_mut(cols).zip(valid) {
+                    assert!(v <= cols, "valid length {v} exceeds row width {cols}");
+                    if v > 0 {
+                        self.softmax_row(&mut row[..v]);
+                    }
+                    row[v..].fill(0.0);
+                }
+            },
+        );
     }
 
     /// Mask-aware softmax over every row of `m` (see
@@ -216,40 +278,43 @@ impl Nonlinearity {
         }
         // Resolve the backend once, not per row: the row loop then runs
         // the selected batch kernel back-to-back over the matrix buffer.
-        match &self.layernorm {
-            OpImpl::Exact | OpImpl::Softermax => {
-                for row in m.rows_iter_mut() {
-                    let var = exact_layer_norm(row, eps);
-                    if let Some(cap) = capture.as_deref_mut() {
-                        cap.record(var);
+        let rows = m.rows();
+        profiled(self.profile.as_deref(), OpKind::LayerNorm, rows, || {
+            match &self.layernorm {
+                OpImpl::Exact | OpImpl::Softermax => {
+                    for row in m.rows_iter_mut() {
+                        let var = exact_layer_norm(row, eps);
+                        if let Some(cap) = capture.as_deref_mut() {
+                            cap.record(var);
+                        }
+                        affine_row(row, gamma, beta);
                     }
-                    affine_row(row, gamma, beta);
+                }
+                OpImpl::Lut(kit) => {
+                    for row in m.rows_iter_mut() {
+                        let var = kit.layer_norm(row, eps);
+                        if let Some(cap) = capture.as_deref_mut() {
+                            cap.record(var);
+                        }
+                        affine_row(row, gamma, beta);
+                    }
+                }
+                OpImpl::IBert => {
+                    for row in m.rows_iter_mut() {
+                        if let Some(cap) = capture.as_deref_mut() {
+                            // Record the same signal for parity even though the
+                            // I-BERT path is not calibratable.
+                            let n = row.len() as f32;
+                            let mean = row.iter().sum::<f32>() / n;
+                            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+                            cap.record(var + eps);
+                        }
+                        i_layernorm_f32(row);
+                        affine_row(row, gamma, beta);
+                    }
                 }
             }
-            OpImpl::Lut(kit) => {
-                for row in m.rows_iter_mut() {
-                    let var = kit.layer_norm(row, eps);
-                    if let Some(cap) = capture.as_deref_mut() {
-                        cap.record(var);
-                    }
-                    affine_row(row, gamma, beta);
-                }
-            }
-            OpImpl::IBert => {
-                for row in m.rows_iter_mut() {
-                    if let Some(cap) = capture.as_deref_mut() {
-                        // Record the same signal for parity even though the
-                        // I-BERT path is not calibratable.
-                        let n = row.len() as f32;
-                        let mean = row.iter().sum::<f32>() / n;
-                        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
-                        cap.record(var + eps);
-                    }
-                    i_layernorm_f32(row);
-                    affine_row(row, gamma, beta);
-                }
-            }
-        }
+        });
     }
 
     /// Row-chunk LayerNorm + affine, the capture-free batch-path kernel:
@@ -272,62 +337,77 @@ impl Nonlinearity {
         assert_eq!(gamma.len(), cols, "gamma length mismatch");
         assert_eq!(beta.len(), cols, "beta length mismatch");
         assert_eq!(data.len() % cols, 0, "chunk is not a whole number of rows");
-        match &self.layernorm {
-            OpImpl::Exact | OpImpl::Softermax => {
-                for row in data.chunks_exact_mut(cols) {
-                    exact_layer_norm(row, eps);
-                    affine_row(row, gamma, beta);
+        let rows = data.len() / cols;
+        profiled(
+            self.profile.as_deref(),
+            OpKind::LayerNorm,
+            rows,
+            || match &self.layernorm {
+                OpImpl::Exact | OpImpl::Softermax => {
+                    for row in data.chunks_exact_mut(cols) {
+                        exact_layer_norm(row, eps);
+                        affine_row(row, gamma, beta);
+                    }
                 }
-            }
-            OpImpl::Lut(kit) => {
-                for row in data.chunks_exact_mut(cols) {
-                    kit.layer_norm(row, eps);
-                    affine_row(row, gamma, beta);
+                OpImpl::Lut(kit) => {
+                    for row in data.chunks_exact_mut(cols) {
+                        kit.layer_norm(row, eps);
+                        affine_row(row, gamma, beta);
+                    }
                 }
-            }
-            OpImpl::IBert => {
-                for row in data.chunks_exact_mut(cols) {
-                    i_layernorm_f32(row);
-                    affine_row(row, gamma, beta);
+                OpImpl::IBert => {
+                    for row in data.chunks_exact_mut(cols) {
+                        i_layernorm_f32(row);
+                        affine_row(row, gamma, beta);
+                    }
                 }
-            }
-        }
+            },
+        );
     }
 }
 
 /// A GELU backend resolved against one activation matrix; see
 /// [`Nonlinearity::gelu_kernel`]. Element-local by construction, so it can
-/// be applied to disjoint chunks of the same buffer in any order.
+/// be applied to disjoint chunks of the same buffer in any order. Carries
+/// the owning [`Nonlinearity`]'s profiling sink, so chunk applications on
+/// worker threads record without touching the parent.
 #[derive(Debug, Clone, Copy)]
-pub enum GeluKernel<'a> {
+pub struct GeluKernel<'a> {
+    backend: GeluBackend<'a>,
+    profile: Option<&'a OpCounters>,
+}
+
+/// The resolved per-site backend inside a [`GeluKernel`].
+#[derive(Debug, Clone, Copy)]
+enum GeluBackend<'a> {
     /// Exact FP32 GELU.
     Exact,
     /// Batched LUT kernel.
     Lut(&'a NnLutKit),
-    /// I-BERT integer GELU with the pre-resolved quantization scale.
-    IBert {
-        /// Per-tensor 16-bit quantization scale, taken from the whole
-        /// matrix before chunking.
-        scale: f32,
-    },
+    /// I-BERT integer GELU with the pre-resolved quantization scale taken
+    /// from the whole matrix before chunking.
+    IBert { scale: f32 },
 }
 
 impl GeluKernel<'_> {
-    /// Applies the kernel to one chunk in place.
+    /// Applies the kernel to one chunk in place. The profiled "rows"
+    /// count is the element count — GELU is an element kernel, not a row
+    /// kernel.
     pub fn apply_chunk(&self, data: &mut [f32]) {
-        match self {
-            GeluKernel::Exact => {
+        let elems = data.len();
+        profiled(self.profile, OpKind::Gelu, elems, || match self.backend {
+            GeluBackend::Exact => {
                 for v in data {
                     *v = nnlut_core::funcs::gelu(*v);
                 }
             }
-            GeluKernel::Lut(kit) => kit.gelu_slice(data),
-            GeluKernel::IBert { scale } => {
+            GeluBackend::Lut(kit) => kit.gelu_slice(data),
+            GeluBackend::IBert { scale } => {
                 for v in data {
-                    *v = i_gelu(Quantized::quantize(*v, *scale)).real();
+                    *v = i_gelu(Quantized::quantize(*v, scale)).real();
                 }
             }
-        }
+        });
     }
 }
 

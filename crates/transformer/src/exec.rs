@@ -16,6 +16,12 @@
 //! output row depends only on its own input row plus shared read-only
 //! state). Together that makes the batch path **bit-identical across
 //! executors and lane counts**; `tests/serve_determinism.rs` asserts it.
+//!
+//! The op-profiling seam (`nnlut_core::profile`, attached via
+//! `Nonlinearity::with_profile`) is equally passive here: kernels record
+//! elapsed time *after* running, never consult the counters, and chunk
+//! assignment is computed before any kernel starts — so profiling cannot
+//! perturb which lane runs which rows, let alone the bits they produce.
 
 use std::ops::Range;
 use std::sync::Mutex;

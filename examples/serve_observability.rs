@@ -1,0 +1,115 @@
+//! Observability walk-through: turn on request-lifecycle tracing and the
+//! flight recorder, inject a seeded fault so something actually goes
+//! wrong, then read the story back three ways — the per-request
+//! [`TraceBreakdown`], the frozen incident snapshot, and the Prometheus
+//! `/metrics` exposition — all from the ops-plane HTTP endpoints.
+//!
+//! Run: `cargo run --release --example serve_observability`
+//!
+//! [`TraceBreakdown`]: nn_lut::serve::TraceBreakdown
+
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nn_lut::core::{train::TrainConfig, NnLutKit};
+use nn_lut::serve::{
+    http, AsyncServerConfig, FaultPlan, ShardConfig, ShardedServer, Stage, TraceConfig,
+    INJECTED_PANIC_PREFIX,
+};
+use nn_lut::transformer::{BertModel, TransformerConfig};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The injected panic below is supposed to fire; keep its default-hook
+    // stderr spew out of the demo output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !message.contains(INJECTED_PANIC_PREFIX) {
+            default_hook(info);
+        }
+    }));
+
+    // 1. A fleet with tracing ON (equivalently: run with NNLUT_TRACE=1
+    //    and leave the config at its default) and a seeded fault plan —
+    //    replica 0 panics its first batch, deterministically.
+    let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 42);
+    let kit = NnLutKit::train_with(16, 42, &TrainConfig::fast());
+    let mut config = ShardConfig {
+        replicas: 2,
+        replica: AsyncServerConfig {
+            threads: 2,
+            trace: TraceConfig::enabled(),
+            ..AsyncServerConfig::default()
+        },
+        quarantine_after: 1,
+        fault_plan: Some(Arc::new(FaultPlan::new().panic_at(0, 0))),
+        ..ShardConfig::default()
+    };
+    config.probe_backoff = Duration::from_secs(60); // keep the quarantine visible
+    let mut server = ShardedServer::new(model, kit, config);
+    let http_handle = server.serve_http("127.0.0.1:0")?;
+
+    // 2. Traffic. The first routed request dies on replica 0, fails over
+    //    to replica 1, and still resolves with the shard's id. Grab the
+    //    trace handle *before* wait() — the ticket is consumed by it.
+    let ticket = server.submit_with_deadline(vec![2; 8], Some(Duration::from_secs(30)));
+    let trace = ticket.trace_handle();
+    let response = ticket.wait()?;
+    println!("request {} served: {} tokens", response.id, response.tokens);
+
+    // 3. The request's own story: every stage event, then the exact
+    //    per-stage latency breakdown (stage durations sum to the total by
+    //    construction).
+    println!("\nlifecycle events:");
+    for ev in trace.events() {
+        println!(
+            "  {:>9.3} ms  {:<10} replica={:<8} {}",
+            ev.at.as_secs_f64() * 1e3,
+            ev.stage.to_string(),
+            ev.replica.map_or("-".into(), |r| r.to_string()),
+            ev.note.unwrap_or(""),
+        );
+    }
+    let breakdown = trace.breakdown();
+    println!("\nbreakdown: {breakdown}");
+    println!(
+        "time lost to the panicked attempt: {:.3} ms requeued + {:.3} ms retried",
+        breakdown.stage(Stage::Requeued).as_secs_f64() * 1e3,
+        breakdown.stage(Stage::Retried).as_secs_f64() * 1e3,
+    );
+
+    // 4. The fleet's story: the panic quarantined replica 0, which froze
+    //    the flight recorder into an incident snapshot — scrape it like a
+    //    runbook would.
+    let (status, incident) = http::get(http_handle.addr(), "/incident")?;
+    println!("\nGET /incident -> {status}\n  {}", incident.trim_end());
+    let (status, trace_body) = http::get(http_handle.addr(), "/trace")?;
+    println!(
+        "GET /trace -> {status} ({} bytes of journal)",
+        trace_body.len()
+    );
+
+    // 5. And the dashboard's story: Prometheus text exposition. Print the
+    //    stage-latency summary and the shard failure ledger.
+    let (_, metrics) = http::get(http_handle.addr(), "/metrics")?;
+    println!("\nGET /metrics (excerpt):");
+    for line in metrics.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("nnlut_serve_stage_seconds")
+                || l.starts_with("nnlut_shard_")
+                || l.starts_with("nnlut_op_calls_total")
+                || l.starts_with("nnlut_serve_replica_health"))
+    }) {
+        println!("  {line}");
+    }
+
+    drop(http_handle);
+    server.shutdown();
+    Ok(())
+}

@@ -228,10 +228,17 @@ fn wait_timeout_bounds_blocking_with_a_typed_error() {
     let id = stuck.id();
     let start = std::time::Instant::now();
     match stuck.wait_timeout(Duration::from_millis(30)) {
-        Err(ServeError::WaitTimeout { id: got, waited }) => {
+        Err(ServeError::WaitTimeout {
+            id: got,
+            waited,
+            last_stage,
+        }) => {
             assert_eq!(got, id);
             assert!(waited >= Duration::from_millis(30));
             assert!(start.elapsed() >= Duration::from_millis(30));
+            // The request was admitted and queued but its batch never
+            // closed — the error names the stage it is stuck behind.
+            assert_eq!(last_stage, Some(nnlut_serve::Stage::Queued));
         }
         other => panic!("an hour-long batch age cannot resolve in 30 ms: {other:?}"),
     }

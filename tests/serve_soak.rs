@@ -18,6 +18,7 @@ use nn_lut::core::train::TrainConfig;
 use nn_lut::core::NnLutKit;
 use nn_lut::serve::{
     AsyncLutServer, AsyncServerConfig, BatchPolicy, ClosePolicy, ServeError, ServePolicy,
+    TraceConfig,
 };
 use nn_lut::transformer::{BertModel, TransformerConfig};
 
@@ -49,6 +50,9 @@ fn soak(requests: usize, sketch_capacity: usize) {
             },
             admission: ServePolicy::with_max_queue_depth(256),
             sketch_capacity,
+            // The flight recorder rides the whole soak: its footprint is
+            // asserted flat below, alongside the metrics'.
+            trace: TraceConfig::enabled(),
             ..AsyncServerConfig::default()
         },
     );
@@ -98,6 +102,16 @@ fn soak(requests: usize, sketch_capacity: usize) {
     // phase 2 pushes hundreds more requests through.
     let m = server.metrics();
     let steady_bytes = m.approx_bytes();
+    let recorder = server.recorder().expect("tracing enabled above");
+    let recorder_bytes = recorder.approx_bytes();
+    assert!(
+        recorder.snapshot().len() <= recorder.capacity(),
+        "the ring never holds more than its capacity"
+    );
+    assert!(
+        recorder.recorded() > 0,
+        "a soak with batches and rejections must journal something"
+    );
     assert!(
         m.per_bucket().len() <= 3,
         "the policy has 3 buckets; metrics must not grow past them"
@@ -132,6 +146,15 @@ fn soak(requests: usize, sketch_capacity: usize) {
         recovered.approx_bytes(),
         steady_bytes,
         "metrics footprint grew with load"
+    );
+    assert_eq!(
+        recorder.approx_bytes(),
+        recorder_bytes,
+        "recorder footprint is a function of capacity, not of events"
+    );
+    assert!(
+        recorder.snapshot().len() <= recorder.capacity(),
+        "the ring stays bounded after recovery traffic"
     );
 }
 
