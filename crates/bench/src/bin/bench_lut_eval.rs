@@ -6,13 +6,30 @@
 //! then writes the measurements to `BENCH_lut_eval.json` so the perf
 //! trajectory of the repo is recorded run over run.
 //!
+//! A second part measures the **`simd` section** of the ledger
+//! (`docs/PERFORMANCE.md` explains how to read it):
+//!
+//! * kernel rows — the baked *scalar oracle* (`eval_slice_scalar`)
+//!   against whatever `eval_slice` dispatches to at the recorded
+//!   `simd.level` (AVX2 / SSE2 / scalar, stamped at bake time), on the
+//!   same tables and shapes as the trajectory rows. With
+//!   `--no-default-features` both sides are the same kernel and the
+//!   speedups sit at ~1.0 by construction.
+//! * fused rows — the unfused softmax / LayerNorm+affine op sequences
+//!   against their fused single-sweep counterparts, per encoder row
+//!   (attention row = seq, LayerNorm row = hidden), with the row-pass
+//!   counts that explain the delta.
+//!
+//! `bench_check` requires the section and, when the level is `avx2`,
+//! gates the 64k-element gelu/exp kernel rows at a ≥ 1.5× floor.
+//!
 //! Run: `cargo run --release -p nnlut-bench --bin bench_lut_eval`
 
 use std::time::Instant;
 
-use nnlut_bench::{exp_inputs, gelu_inputs, paper_kit};
+use nnlut_bench::{exp_inputs, gelu_inputs, paper_kit, roberta_bench_config, ROBERTA_BENCH_SEQ};
 use nnlut_core::engine::BakedLut;
-use nnlut_core::LookupTable;
+use nnlut_core::{LookupTable, NnLutKit};
 use nnlut_npu::{transformer_workload, ModelShape};
 
 /// Median ns/element of `f` applied to a fresh copy of `xs`, over
@@ -63,6 +80,134 @@ fn measure(table: &'static str, lut: &LookupTable, xs: &[f32]) -> Row {
     }
 }
 
+/// One `simd.kernels` row: the baked scalar oracle against the dispatched
+/// kernel on the same inputs. Distinct from [`Row`], which times the
+/// *reference table* against the baked engine — this one isolates the
+/// vectorization win inside the baked tier.
+struct SimdRow {
+    table: &'static str,
+    n: usize,
+    scalar_kernel_ns: f64,
+    simd_ns: f64,
+}
+
+impl SimdRow {
+    fn speedup(&self) -> f64 {
+        self.scalar_kernel_ns / self.simd_ns
+    }
+}
+
+/// Best-of-N ns/element of `f` applied **in place** — no per-rep input
+/// copy, unlike [`time_ns_per_elem`]. The baked kernels are branchless
+/// and constant-time in their input distribution, so re-evaluating the
+/// evolving buffer times the identical instruction stream while keeping
+/// a 256 KiB memcpy out of the measured loop: the `simd` section gates
+/// on kernel-vs-kernel *ratios*, and an additive copy term would
+/// compress them. Best-of rather than median because scheduler noise on
+/// a shared benchmark host is strictly additive.
+fn time_kernel_ns_per_elem<F: FnMut(&mut [f32])>(xs: &[f32], samples: usize, mut f: F) -> f64 {
+    let mut buf = xs.to_vec();
+    let start = Instant::now();
+    f(&mut buf);
+    let once = start.elapsed().as_nanos().max(1) as f64;
+    let reps = ((2e6 / once) as usize).clamp(1, 1_000_000);
+    (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                f(std::hint::black_box(&mut buf));
+            }
+            start.elapsed().as_nanos() as f64 / (reps * xs.len()) as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn measure_simd(table: &'static str, lut: &LookupTable, xs: &[f32]) -> SimdRow {
+    let baked = BakedLut::new(lut.clone());
+    let scalar_kernel_ns = time_kernel_ns_per_elem(xs, 9, |buf| baked.eval_slice_scalar(buf));
+    let simd_ns = time_kernel_ns_per_elem(xs, 9, |buf| baked.eval_slice(buf));
+    SimdRow {
+        table,
+        n: xs.len(),
+        scalar_kernel_ns,
+        simd_ns,
+    }
+}
+
+/// One `simd.fused` row: the unfused op sequence against its fused
+/// counterpart, timed over a buffer of encoder-shaped rows and reported
+/// per row.
+struct FusedRow {
+    op: &'static str,
+    row_len: usize,
+    rows: usize,
+    unfused_ns_per_row: f64,
+    fused_ns_per_row: f64,
+    passes_unfused: u32,
+    passes_fused: u32,
+}
+
+impl FusedRow {
+    fn speedup(&self) -> f64 {
+        self.unfused_ns_per_row / self.fused_ns_per_row
+    }
+}
+
+fn measure_fused_softmax(kit: &NnLutKit, row_len: usize, rows: usize) -> FusedRow {
+    let xs = gelu_inputs(row_len * rows);
+    let unfused = time_ns_per_elem(&xs, 7, |buf| {
+        for row in buf.chunks_exact_mut(row_len) {
+            kit.softmax(row);
+        }
+    });
+    let fused = time_ns_per_elem(&xs, 7, |buf| {
+        for row in buf.chunks_exact_mut(row_len) {
+            kit.softmax_fused(row);
+        }
+    });
+    FusedRow {
+        op: "softmax",
+        row_len,
+        rows,
+        unfused_ns_per_row: unfused * row_len as f64,
+        fused_ns_per_row: fused * row_len as f64,
+        // max, subtract, EXP LUT, clamp+sum, scale — vs — max, one tiled
+        // subtract·LUT·clamp+sum sweep, scale.
+        passes_unfused: 5,
+        passes_fused: 3,
+    }
+}
+
+fn measure_fused_layernorm(kit: &NnLutKit, row_len: usize, rows: usize) -> FusedRow {
+    let xs = gelu_inputs(row_len * rows);
+    let gamma: Vec<f32> = (0..row_len).map(|i| 0.9 + (i as f32) * 0.0002).collect();
+    let beta: Vec<f32> = (0..row_len).map(|i| (i as f32) * 0.0005 - 0.2).collect();
+    let unfused = time_ns_per_elem(&xs, 7, |buf| {
+        for row in buf.chunks_exact_mut(row_len) {
+            kit.layer_norm(row, 1e-5);
+            for ((v, &g), &b) in row.iter_mut().zip(&gamma).zip(&beta) {
+                *v = *v * g + b;
+            }
+        }
+    });
+    let fused = time_ns_per_elem(&xs, 7, |buf| {
+        for row in buf.chunks_exact_mut(row_len) {
+            kit.layer_norm_fused_affine(row, 1e-5, &gamma, &beta);
+        }
+    });
+    FusedRow {
+        op: "layernorm",
+        row_len,
+        rows,
+        unfused_ns_per_row: unfused * row_len as f64,
+        fused_ns_per_row: fused * row_len as f64,
+        // mean, variance, subtract, scale, affine — vs — mean, variance,
+        // one normalize·affine sweep.
+        passes_unfused: 5,
+        passes_fused: 3,
+    }
+}
+
 fn main() {
     println!("training the paper-config 16-entry kit …");
     let kit = paper_kit();
@@ -70,10 +215,10 @@ fn main() {
     let exp = &kit.tables().exp;
 
     // Fixed sizes for the trajectory, plus the per-layer batch shapes an
-    // encoder actually evaluates (RoBERTa-base at seq 128): every GELU
-    // element of one layer, and one attention softmax row.
+    // encoder actually evaluates (RoBERTa-base at the shared bench seq):
+    // every GELU element of one layer, and one attention softmax row.
     let shape = ModelShape::roberta_base();
-    let layer = transformer_workload(&shape, 128).layer;
+    let layer = transformer_workload(&shape, ROBERTA_BENCH_SEQ).layer;
     let gelu_layer_elems = layer.gelu_elems as usize;
     let softmax_row_len = layer.softmax_row_len as usize;
 
@@ -121,10 +266,94 @@ fn main() {
         ));
     }
     results.push_str("  ]");
+    // Part 2: the `simd` section — dispatched kernel vs scalar oracle,
+    // and fused vs unfused row ops, at the shared RoBERTa bench shapes.
+    let level = nnlut_core::engine::simd::detect();
+    println!("\nsimd level: {} (stamped at bake time)", level.name());
+    let mut simd_rows = Vec::new();
+    for n in [4096usize, 65536] {
+        simd_rows.push(measure_simd("gelu", gelu, &gelu_inputs(n)));
+        simd_rows.push(measure_simd("exp", exp, &exp_inputs(n)));
+    }
+    simd_rows.push(measure_simd(
+        "gelu_layer",
+        gelu,
+        &gelu_inputs(gelu_layer_elems),
+    ));
+    println!(
+        "{:<18}{:>10}{:>16}{:>16}{:>10}",
+        "table", "elems", "oracle ns/el", "simd ns/el", "speedup"
+    );
+    for r in &simd_rows {
+        println!(
+            "{:<18}{:>10}{:>16.3}{:>16.3}{:>9.2}x",
+            r.table,
+            r.n,
+            r.scalar_kernel_ns,
+            r.simd_ns,
+            r.speedup()
+        );
+    }
+
+    let hidden = roberta_bench_config().hidden;
+    let fused_rows = [
+        measure_fused_softmax(&kit, softmax_row_len, 64),
+        measure_fused_layernorm(&kit, hidden, 16),
+    ];
+    println!(
+        "{:<18}{:>10}{:>16}{:>16}{:>10}",
+        "fused op", "row len", "unfused ns/row", "fused ns/row", "speedup"
+    );
+    for r in &fused_rows {
+        println!(
+            "{:<18}{:>10}{:>16.1}{:>16.1}{:>9.2}x  ({} -> {} row passes)",
+            r.op,
+            r.row_len,
+            r.unfused_ns_per_row,
+            r.fused_ns_per_row,
+            r.speedup(),
+            r.passes_unfused,
+            r.passes_fused
+        );
+    }
+
+    let mut simd_section = format!(
+        "{{\n    \"level\": \"{}\",\n    \"kernels\": [\n",
+        level.name()
+    );
+    for (i, r) in simd_rows.iter().enumerate() {
+        simd_section.push_str(&format!(
+            "      {{\"table\": \"{}\", \"elems\": {}, \"scalar_kernel_ns_per_elem\": {:.4}, \"simd_ns_per_elem\": {:.4}, \"speedup\": {:.4}}}{}\n",
+            r.table,
+            r.n,
+            r.scalar_kernel_ns,
+            r.simd_ns,
+            r.speedup(),
+            if i + 1 == simd_rows.len() { "" } else { "," }
+        ));
+    }
+    simd_section.push_str("    ],\n    \"fused\": {\n");
+    for (i, r) in fused_rows.iter().enumerate() {
+        simd_section.push_str(&format!(
+            "      \"{}\": {{\"row_len\": {}, \"rows\": {}, \"unfused_ns_per_row\": {:.1}, \"fused_ns_per_row\": {:.1}, \"speedup\": {:.4}, \"row_passes_unfused\": {}, \"row_passes_fused\": {}}}{}\n",
+            r.op,
+            r.row_len,
+            r.rows,
+            r.unfused_ns_per_row,
+            r.fused_ns_per_row,
+            r.speedup(),
+            r.passes_unfused,
+            r.passes_fused,
+            if i + 1 == fused_rows.len() { "" } else { "," }
+        ));
+    }
+    simd_section.push_str("    }\n  }");
+
     let existing = std::fs::read_to_string("BENCH_lut_eval.json").unwrap_or_default();
     let mut json = nnlut_bench::upsert_json_key(&existing, "bench", "\"lut_eval\"");
     json = nnlut_bench::upsert_json_key(&json, "entries", "16");
     json = nnlut_bench::upsert_json_key(&json, "results", &results);
+    json = nnlut_bench::upsert_json_key(&json, "simd", &simd_section);
     std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
     println!("\nwrote BENCH_lut_eval.json");
 

@@ -96,15 +96,12 @@ fn quick_config() -> Config {
 }
 
 fn full_config() -> Config {
-    // RoBERTa-base shapes, depth cut to 2 (see module docs).
-    let model = TransformerConfig {
-        layers: 2,
-        max_seq: 128,
-        ..TransformerConfig::roberta_base()
-    };
+    // RoBERTa-base shapes, depth cut to 2 (see module docs) — shared
+    // with bench_lut_eval's layer shapes via nnlut_bench so the `serve`
+    // and `simd` ledger sections can't drift apart.
     Config {
         label: "roberta_base shapes × 2 layers",
-        model,
+        model: nnlut_bench::roberta_bench_config(),
         requests: 32,
         lengths: &[16, 32, 48, 64, 96, 128],
         threads: &[1, 2, 4],

@@ -11,12 +11,37 @@
 use nnlut_core::linear_lut::BreakpointMode;
 use nnlut_core::train::TrainConfig;
 use nnlut_core::NnLutKit;
+use nnlut_transformer::TransformerConfig;
 
 pub mod json;
 pub use json::Json;
 
 /// The seed all reproduction binaries use for kit training.
 pub const KIT_SEED: u64 = 20220712;
+
+/// Encoder depth of the RoBERTa-shaped serving benchmark: base shapes
+/// with the layer count cut to 2, so a full sweep finishes in well under
+/// a minute on one core. Tokens/sec scales ~1/layers and every gated
+/// quantity is a ratio, so depth doesn't move the numbers under test.
+pub const ROBERTA_BENCH_LAYERS: usize = 2;
+
+/// Sequence length shared by every RoBERTa-shaped bench workload: the
+/// serve sweep's `max_seq`, the lut-eval layer shapes and the `simd`
+/// section's fused softmax row all derive from this one constant.
+pub const ROBERTA_BENCH_SEQ: usize = 128;
+
+/// The single source of the benches' RoBERTa-base model shapes
+/// ([`ROBERTA_BENCH_LAYERS`] deep, [`ROBERTA_BENCH_SEQ`] tokens).
+/// `bench_serve` and `bench_lut_eval` used to derive these independently
+/// (and could silently drift apart); both now call this, so the `serve`
+/// and `simd` ledger sections always describe the same model.
+pub fn roberta_bench_config() -> TransformerConfig {
+    TransformerConfig {
+        layers: ROBERTA_BENCH_LAYERS,
+        max_seq: ROBERTA_BENCH_SEQ,
+        ..TransformerConfig::roberta_base()
+    }
+}
 
 /// Trains the standard 16-entry NN-LUT kit with the paper's full training
 /// configuration (100 K samples, Adam @ 1e-3 multi-step, L1).

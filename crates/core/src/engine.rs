@@ -32,6 +32,19 @@
 //! quantization steps, so the vectorized two-pass kernel — and the
 //! measured multi-× speedup — is specific to the FP32 tier.
 //!
+//! # SIMD dispatch (the third tier)
+//!
+//! On top of reference → baked-scalar there is a third level: explicit
+//! `core::arch` batch kernels in the [`simd`] submodule (AVX2 with an
+//! SSE2 fallback, behind the `simd` cargo feature). [`BakedLut::new`]
+//! detects the strongest supported tier **once, at bake time** and
+//! [`BakedLut::eval_slice`] dispatches on the stored
+//! [`simd::SimdLevel`]; the scalar kernel stays in every build as
+//! [`BakedLut::eval_slice_scalar`] — the **bitwise** oracle the vector
+//! kernels must match on every input (ULP-exact is not enough), and the
+//! tail / non-x86 fallback. See `docs/PERFORMANCE.md` for the kernel
+//! matrix and the rules that keep the bits identical.
+//!
 //! # Profiling
 //!
 //! The engines themselves carry no instrumentation — per-element hooks
@@ -42,6 +55,8 @@
 //! engines and bump relaxed atomic totals when a sink is attached.
 //! Nothing here (or there) feeds timing back into the math or the chunk
 //! map, so the bit-identity contract above is untouched.
+
+pub mod simd;
 
 use crate::lut::LookupTable;
 use crate::precision::{f16_round, F16Lut, Int32Lut};
@@ -137,8 +152,68 @@ const MAX_CELLS: usize = 1 << 14;
 /// (round-to-nearest) in the mantissa bits.
 const MANTISSA_MAGIC: f32 = 8_388_608.0;
 
+/// Chunk length of the two-pass scalar/SSE2 kernels: the cell-index
+/// buffer stays a 512-byte stack array, and both passes touch at most a
+/// few cache lines of the input per chunk.
+const SCALAR_CHUNK: usize = 128;
+
+/// Pass 2 of the chunked kernel over the fused layout: load each
+/// element's cell record and apply the selected `(slope, intercept)`
+/// pair. `cell_idx[..chunk.len()]` must hold cell-map outputs for
+/// `chunk` — the map clamps them to `fused.len() − 1`, which is what the
+/// unchecked index relies on. Shared by the scalar oracle and the SSE2
+/// kernel (whose pass 1 differs but whose gather side is this exact
+/// loop, keeping the two trivially bit-identical).
+#[inline(always)]
+fn gather_chunk_fused(fused: &[FusedCell], chunk: &mut [f32], cell_idx: &[u32]) {
+    for (o, &c) in chunk.iter_mut().zip(cell_idx) {
+        let x = *o;
+        // SAFETY: pass 1 clamps `c ≤ fused.len() − 1`.
+        let cell = unsafe { fused.get_unchecked(c as usize) };
+        let p = if cell.key <= x { cell.hi } else { cell.lo };
+        *o = p[0] * x + p[1];
+    }
+}
+
+/// Pass 2 of the chunked kernel over the general layout: cell base →
+/// fixed `scan`-wide comparison window → parameter pair → MAC. Same
+/// clamped-`cell_idx` contract and scalar/SSE2 sharing as
+/// [`gather_chunk_fused`].
+#[inline(always)]
+fn gather_chunk_general(
+    cells: &[Cell],
+    padded: &[f32],
+    params: &[[f32; 2]],
+    scan: usize,
+    chunk: &mut [f32],
+    cell_idx: &[u32],
+) {
+    for (o, &c) in chunk.iter_mut().zip(cell_idx) {
+        let x = *o;
+        // SAFETY: pass 1 clamps `c ≤ cells.len() − 1`.
+        let base = unsafe { cells.get_unchecked(c as usize) }.base as usize;
+        let mut idx = base;
+        for j in 0..scan {
+            // SAFETY: `base + j < base + scan_len ≤
+            // padded_breakpoints.len()` (bake pads the array with
+            // `scan_len` NaN sentinels past the last breakpoint, and
+            // `base ≤ breakpoints.len()`).
+            idx += (unsafe { *padded.get_unchecked(base + j) } <= x) as usize;
+        }
+        // SAFETY: `idx ≤ breakpoints.len() = params.len() − 1` (at most
+        // `count ≤ scan_len` in-cell comparisons can succeed, and NaN /
+        // later-cell entries never do).
+        let p = unsafe { *params.get_unchecked(idx) };
+        *o = p[0] * x + p[1];
+    }
+}
+
 /// One uniform-grid cell: the segment index at the cell's left edge and
 /// how many breakpoints fall inside the cell.
+///
+/// `repr(C)` pins the field order so the AVX2 kernel can gather `base`
+/// as the i32 at element offset `2·c` of the cell array.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Cell {
     /// Number of breakpoints mapped to cells strictly left of this one —
@@ -302,12 +377,55 @@ pub struct BakedLut {
     /// cells (compares false against every input, selecting `lo`, and
     /// `hi` duplicates `lo`).
     fused: Option<Vec<FusedCell>>,
+    /// Register-resident parameter store, baked whenever the table has at
+    /// most [`REG_MAX_SEGMENTS`] segments (every paper-config 16-entry
+    /// table qualifies). The AVX2 kernel then needs **no gathers at all**:
+    /// the segment index is the global count of `breakpoint ≤ x`
+    /// (bit-identical to the grid path — see [`Grid`]'s exactness
+    /// argument), computed with broadcast compares, and the `(slope,
+    /// intercept)` pair is selected from four in-register vectors with
+    /// `vpermd` + blend. Hardware gathers are microcoded on several x86
+    /// families and can lose to the scalar kernel; this path is fast
+    /// everywhere.
+    reg: Option<RegParams>,
     grid: Grid,
+    /// Strongest batch-kernel tier the running CPU supports, detected
+    /// once by [`BakedLut::new`]; [`BakedLut::eval_slice`] dispatches on
+    /// it without any per-call probing.
+    simd: simd::SimdLevel,
+}
+
+/// Largest segment count the register-resident AVX2 kernel covers: 16
+/// slopes + 16 intercepts is exactly two 8-lane vectors per array, one
+/// `vpermd` pair + blend to select. Larger tables fall back to the
+/// gather kernels.
+const REG_MAX_SEGMENTS: usize = 16;
+
+/// See [`BakedLut::reg`]: the per-segment `(slope, intercept)` pairs
+/// split into SoA arrays and zero-padded to [`REG_MAX_SEGMENTS`], so the
+/// AVX2 kernel can hold the entire parameter store in four vector
+/// registers.
+#[derive(Debug, Clone, Copy)]
+struct RegParams {
+    slopes: [f32; REG_MAX_SEGMENTS],
+    intercepts: [f32; REG_MAX_SEGMENTS],
+    /// The table's breakpoints NaN-padded to a fixed width, so the
+    /// kernel's compare-count loop has a compile-time trip count (fully
+    /// unrolled, broadcasts hoisted). The NaN padding compares false
+    /// against every input under the ordered `≤`, contributing zero to
+    /// the count — bit-identical to not comparing at all.
+    breakpoints: [f32; REG_MAX_SEGMENTS],
 }
 
 /// See [`BakedLut::fused`]: one grid cell with its in-cell breakpoint key
 /// and the `(slope, intercept)` pairs of the segments below (`lo`) and at
 /// or above (`hi`) that breakpoint.
+///
+/// `repr(C)` pins the layout to five contiguous f32s
+/// `[key, lo_s, lo_t, hi_s, hi_t]` (20 bytes, no padding), which is what
+/// lets the AVX2 kernel fetch all five fields with stride-5 gathers off
+/// one index vector.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct FusedCell {
     key: f32,
@@ -349,14 +467,39 @@ impl BakedLut {
                 })
                 .collect()
         });
+        let reg = (params.len() <= REG_MAX_SEGMENTS).then(|| {
+            let mut slopes = [0.0f32; REG_MAX_SEGMENTS];
+            let mut intercepts = [0.0f32; REG_MAX_SEGMENTS];
+            let mut bps = [f32::NAN; REG_MAX_SEGMENTS];
+            for (i, &[s, t]) in params.iter().enumerate() {
+                slopes[i] = s;
+                intercepts[i] = t;
+            }
+            for (slot, &b) in bps.iter_mut().zip(breakpoints) {
+                *slot = b;
+            }
+            RegParams {
+                slopes,
+                intercepts,
+                breakpoints: bps,
+            }
+        });
         Self {
             table,
             padded_breakpoints,
             scan_len,
             params,
             fused,
+            reg,
             grid,
+            simd: simd::detect(),
         }
+    }
+
+    /// The batch-kernel tier [`BakedLut::eval_slice`] dispatches to,
+    /// stamped at bake time by [`simd::detect`].
+    pub fn simd_level(&self) -> simd::SimdLevel {
+        self.simd
     }
 
     /// The breakpoints (the sentinel-free prefix of the padded array).
@@ -397,7 +540,64 @@ impl BakedLut {
         self.params[i][0] * x + self.params[i][1]
     }
 
-    /// Batched in-place evaluation over a slice (row, matrix buffer, …).
+    /// Batched in-place evaluation over a slice (row, matrix buffer, …),
+    /// dispatched to the kernel tier stamped at bake time
+    /// ([`BakedLut::simd_level`]): the explicit AVX2 or SSE2 kernel from
+    /// [`simd`] when the `simd` feature is compiled in on x86-64, the
+    /// scalar oracle otherwise. Every tier is **bit-identical** to
+    /// [`BakedLut::eval_slice_scalar`] for every input — NaN payloads,
+    /// infinities, breakpoint-exact values — so dispatch can never change
+    /// an output bit (property-tested in `tests/engine_equivalence.rs`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nnlut_core::engine::BakedLut;
+    /// use nnlut_core::{LookupTable, Segment};
+    ///
+    /// let baked = BakedLut::new(LookupTable::new(
+    ///     vec![0.0],
+    ///     vec![Segment::new(-1.0, 0.0), Segment::new(1.0, 0.0)],
+    /// )?);
+    /// let xs = [-2.0f32, 0.5, f32::NAN, f32::NEG_INFINITY, 9.0];
+    /// let (mut fast, mut oracle) = (xs.to_vec(), xs.to_vec());
+    /// baked.eval_slice(&mut fast);
+    /// baked.eval_slice_scalar(&mut oracle);
+    /// for (f, o) in fast.iter().zip(&oracle) {
+    ///     assert_eq!(f.to_bits(), o.to_bits());
+    /// }
+    /// # Ok::<(), nnlut_core::CoreError>(())
+    /// ```
+    pub fn eval_slice(&self, xs: &mut [f32]) {
+        // Single-segment tables are a pure affine map (`scan_len == 0`
+        // exactly when the table has no breakpoints); LLVM already turns
+        // this loop into packed mul+add, so every tier shares it and the
+        // vector kernels can assume `scan_len > 0`.
+        if self.scan_len == 0 {
+            let [s, t] = self.params[0];
+            for x in xs {
+                *x = s * *x + t;
+            }
+            return;
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        match self.simd {
+            // SAFETY: the bake stamped Avx2 only after
+            // `is_x86_feature_detected!("avx2")`, Sse2 is the x86-64
+            // baseline ISA, and `scan_len > 0` was handled above.
+            simd::SimdLevel::Avx2 => return unsafe { simd::eval_slice_avx2(self, xs) },
+            simd::SimdLevel::Sse2 => return unsafe { simd::eval_slice_sse2(self, xs) },
+            simd::SimdLevel::Scalar => {}
+        }
+        self.eval_slice_scalar(xs);
+    }
+
+    /// The scalar batch kernel — the **bitwise oracle** every SIMD tier
+    /// in [`simd`] is tested against, and the fallback for non-x86
+    /// targets, `--no-default-features` builds and non-lane-multiple
+    /// tails. Kept public precisely so callers (tests, benches) can pin
+    /// the reference behaviour regardless of what
+    /// [`BakedLut::eval_slice`] dispatches to.
     ///
     /// All grid state is hoisted into locals, and the gathers skip bounds
     /// checks: every index the grid produces is `base + k` with
@@ -405,9 +605,9 @@ impl BakedLut {
     /// breakpoints.len() < params.len()`, so the accesses are always in
     /// range (the equivalence property tests exercise exactly this
     /// invariant across adversarial tables).
-    pub fn eval_slice(&self, xs: &mut [f32]) {
-        // Single-segment tables are a pure affine map (`scan_len == 0`
-        // exactly when the table has no breakpoints).
+    pub fn eval_slice_scalar(&self, xs: &mut [f32]) {
+        // Same affine fast path as `eval_slice`, so this entry point is
+        // complete on its own.
         if self.scan_len == 0 {
             let [s, t] = self.params[0];
             for x in xs {
@@ -419,65 +619,43 @@ impl BakedLut {
         let inv_w = self.grid.inv_w;
         let mask = (self.grid.cells.len() - 1) as u32;
         let mask_f = mask as f32;
-        let params: &[[f32; 2]] = &self.params;
         // Chunked two-pass kernel. Pass 1 is the cell map — a pure
         // elementwise sub·mul·clamp·cast that LLVM autovectorizes
         // (clamping in float space first keeps the cast's input in range,
         // so no scalar saturation fixups survive). Pass 2 is the gather
         // side: cell record → segment index → parameter pair → MAC, with
         // no data-dependent branches.
-        const CHUNK: usize = 128;
-        let mut cell_idx = [0u32; CHUNK];
+        let mut cell_idx = [0u32; SCALAR_CHUNK];
         if let Some(fused) = &self.fused {
             // Dominant case: at most one breakpoint per cell (trained
             // tables, 8× oversampling). The cell record carries both
             // candidate parameter pairs, so the whole gather side is one
             // cell load plus a branchless select.
-            let fused: &[FusedCell] = fused;
-            for chunk in xs.chunks_mut(CHUNK) {
+            for chunk in xs.chunks_mut(SCALAR_CHUNK) {
                 for (slot, &x) in cell_idx.iter_mut().zip(chunk.iter()) {
                     let t = ((x - lo) * inv_w).max(0.0).min(mask_f);
                     *slot = (t + MANTISSA_MAGIC).to_bits() & mask;
                 }
-                for (o, &c) in chunk.iter_mut().zip(&cell_idx) {
-                    let x = *o;
-                    // SAFETY: pass 1 clamps `c ≤ fused.len() − 1`.
-                    let cell = unsafe { fused.get_unchecked(c as usize) };
-                    let p = if cell.key <= x { cell.hi } else { cell.lo };
-                    *o = p[0] * x + p[1];
-                }
+                gather_chunk_fused(fused, chunk, &cell_idx);
             }
             return;
         }
         // General path: several breakpoints may share a cell; compare a
         // fixed `scan_len` window from the cell base (NaN sentinels and
         // later-cell breakpoints contribute 0), still branch-free.
-        let cells: &[Cell] = &self.grid.cells;
-        let padded: &[f32] = &self.padded_breakpoints;
-        let scan = self.scan_len as usize;
-        for chunk in xs.chunks_mut(CHUNK) {
+        for chunk in xs.chunks_mut(SCALAR_CHUNK) {
             for (slot, &x) in cell_idx.iter_mut().zip(chunk.iter()) {
                 let t = ((x - lo) * inv_w).max(0.0).min(mask_f);
                 *slot = (t + MANTISSA_MAGIC).to_bits() & mask;
             }
-            for (o, &c) in chunk.iter_mut().zip(&cell_idx) {
-                let x = *o;
-                // SAFETY: pass 1 clamps `c ≤ cells.len() − 1`.
-                let base = unsafe { cells.get_unchecked(c as usize) }.base as usize;
-                let mut idx = base;
-                for j in 0..scan {
-                    // SAFETY: `base + j < base + scan_len ≤
-                    // padded_breakpoints.len()` (bake pads the array with
-                    // `scan_len` NaN sentinels past the last breakpoint,
-                    // and `base ≤ breakpoints.len()`).
-                    idx += (unsafe { *padded.get_unchecked(base + j) } <= x) as usize;
-                }
-                // SAFETY: `idx ≤ breakpoints.len() = params.len() − 1`
-                // (at most `count ≤ scan_len` in-cell comparisons can
-                // succeed, and NaN / later-cell entries never do).
-                let p = unsafe { *params.get_unchecked(idx) };
-                *o = p[0] * x + p[1];
-            }
+            gather_chunk_general(
+                &self.grid.cells,
+                &self.padded_breakpoints,
+                &self.params,
+                self.scan_len as usize,
+                chunk,
+                &cell_idx,
+            );
         }
     }
 

@@ -413,6 +413,138 @@ impl NnLutKit {
         var + eps
     }
 
+    /// Fused in-place Softmax over one row — same result as
+    /// [`NnLutKit::softmax`], **bit for bit**, in fewer row-sized memory
+    /// sweeps.
+    ///
+    /// The unfused op walks the whole row five times (max, subtract,
+    /// EXP-LUT batch, clamp+sum, scale). Here the middle three are tiled:
+    /// each 64-element tile is max-subtracted, pushed through the EXP LUT
+    /// and clamp-summed while still L1-resident, cutting the row sweeps
+    /// from five to three. Bit-identity holds at all three precisions
+    /// because every per-element op is unchanged and order-preserving:
+    /// the LUT batch kernel is chunk-independent (an element's result
+    /// never depends on its neighbours), and the running sum still adds
+    /// the clamped terms strictly left to right, so every intermediate
+    /// rounds exactly as in the unfused op.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nnlut_core::NnLutKit;
+    ///
+    /// let kit = NnLutKit::linear_baseline(16);
+    /// let row = [0.5f32, -2.0, 1.5, 0.0, -0.7, 2.2];
+    /// let (mut fused, mut unfused) = (row.to_vec(), row.to_vec());
+    /// kit.softmax_fused(&mut fused);
+    /// kit.softmax(&mut unfused);
+    /// for (f, u) in fused.iter().zip(&unfused) {
+    ///     assert_eq!(f.to_bits(), u.to_bits());
+    /// }
+    /// ```
+    pub fn softmax_fused(&self, xs: &mut [f32]) {
+        if xs.is_empty() {
+            return;
+        }
+        // One tile of f32s is 256 bytes — a few cache lines, so the
+        // subtract → LUT → clamp+sum sub-passes all hit L1.
+        const TILE: usize = 64;
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for tile in xs.chunks_mut(TILE) {
+            for x in tile.iter_mut() {
+                *x -= max;
+            }
+            self.exp_op.eval_slice(tile);
+            for x in tile.iter_mut() {
+                *x = x.max(0.0);
+                sum += *x;
+            }
+        }
+        let inv = self.recip(sum).max(0.0);
+        self.scale_slice(xs, inv);
+    }
+
+    /// Fused in-place LayerNorm **with affine** over one row — bit for
+    /// bit the result of [`NnLutKit::layer_norm`] followed by the
+    /// elementwise `x·γ + β` the transformer backend applies, in fewer
+    /// row passes.
+    ///
+    /// The unfused sequence needs three read-write sweeps after the two
+    /// statistics passes (subtract mean, scale by 1/σ, affine); here they
+    /// collapse into one sweep whose per-element op chain —
+    /// `((x − mean) · inv_std) · γ + β`, with the kit's precision
+    /// semantics on the first two steps — is the unfused chain verbatim,
+    /// so every intermediate rounds identically. Five row passes become
+    /// three.
+    ///
+    /// Returns the variance fed to the 1/SQRT LUT (`var + eps`), exactly
+    /// like [`NnLutKit::layer_norm`], so calibration capture can use
+    /// either entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` or `beta` length differs from `xs`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nnlut_core::NnLutKit;
+    ///
+    /// let kit = NnLutKit::linear_baseline(16);
+    /// let row = [1.0f32, 4.0, -2.5, 0.5];
+    /// let gamma = [1.1f32, 0.9, 1.0, 1.2];
+    /// let beta = [0.0f32, -0.1, 0.2, 0.0];
+    /// let mut fused = row.to_vec();
+    /// let fed = kit.layer_norm_fused_affine(&mut fused, 1e-5, &gamma, &beta);
+    ///
+    /// let mut unfused = row.to_vec();
+    /// assert_eq!(fed, kit.layer_norm(&mut unfused, 1e-5));
+    /// for ((u, &g), &b) in unfused.iter_mut().zip(&gamma).zip(&beta) {
+    ///     *u = *u * g + b;
+    /// }
+    /// for (f, u) in fused.iter().zip(&unfused) {
+    ///     assert_eq!(f.to_bits(), u.to_bits());
+    /// }
+    /// ```
+    pub fn layer_norm_fused_affine(
+        &self,
+        xs: &mut [f32],
+        eps: f32,
+        gamma: &[f32],
+        beta: &[f32],
+    ) -> f32 {
+        assert_eq!(xs.len(), gamma.len(), "gamma length mismatch");
+        assert_eq!(xs.len(), beta.len(), "beta length mismatch");
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let n = xs.len() as f32;
+        let mean = xs.iter().sum::<f32>() / n;
+        // Two-pass Σ(x − mean)², NOT Σx² − mean²: reassociating the
+        // variance would change its bits and, through the 1/SQRT LUT,
+        // every output bit.
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let inv_std = self.inv_sqrt(var + eps);
+        match self.precision {
+            Precision::F16 => {
+                // The unfused chain is: subtract, then `scale_slice`'s
+                // f16-rounded multiply, then the backend's plain-f32
+                // affine. Reproduced verbatim.
+                let f16_factor = f16_round(inv_std);
+                for ((x, &g), &b) in xs.iter_mut().zip(gamma).zip(beta) {
+                    *x = f16_round(f16_round(*x - mean) * f16_factor) * g + b;
+                }
+            }
+            _ => {
+                for ((x, &g), &b) in xs.iter_mut().zip(gamma).zip(beta) {
+                    *x = (*x - mean) * inv_std * g + b;
+                }
+            }
+        }
+        var + eps
+    }
+
     /// Re-calibrates one of the kit's approximators on captured activation
     /// inputs and re-converts it to LUT form (paper §3.3.3). The paper
     /// calibrates the LayerNorm op, i.e. `func = Rsqrt`.
@@ -677,6 +809,79 @@ mod tests {
         let mut empty: Vec<f32> = vec![];
         kit.softmax(&mut empty);
         kit.layer_norm(&mut empty, 1e-5);
+        kit.softmax_fused(&mut empty);
+        kit.layer_norm_fused_affine(&mut empty, 1e-5, &[], &[]);
         assert!(empty.is_empty());
+    }
+
+    /// Rows whose lengths straddle the fused tile size, plus specials.
+    fn fusion_rows() -> Vec<Vec<f32>> {
+        let mut rows: Vec<Vec<f32>> = [1usize, 3, 63, 64, 65, 128, 200]
+            .iter()
+            .map(|&n| {
+                (0..n)
+                    .map(|i| ((i as f32) * 0.37 - (n as f32) * 0.11).sin() * 4.0)
+                    .collect()
+            })
+            .collect();
+        rows.push(vec![f32::NEG_INFINITY, 0.0, 1.0, f32::NAN, 2.0]);
+        rows
+    }
+
+    #[test]
+    fn softmax_fused_is_bit_identical_at_all_precisions() {
+        let f32_kit = fast_kit();
+        for kit in [
+            f32_kit.with_precision(Precision::F16).unwrap(),
+            f32_kit.with_precision(Precision::Int32).unwrap(),
+            f32_kit,
+        ] {
+            for row in fusion_rows() {
+                let (mut fused, mut unfused) = (row.clone(), row.clone());
+                kit.softmax_fused(&mut fused);
+                kit.softmax(&mut unfused);
+                for (i, (f, u)) in fused.iter().zip(&unfused).enumerate() {
+                    assert_eq!(
+                        f.to_bits(),
+                        u.to_bits(),
+                        "{:?} softmax diverged at index {i} of row len {}",
+                        kit.precision(),
+                        row.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_norm_fused_affine_is_bit_identical_at_all_precisions() {
+        let f32_kit = fast_kit();
+        for kit in [
+            f32_kit.with_precision(Precision::F16).unwrap(),
+            f32_kit.with_precision(Precision::Int32).unwrap(),
+            f32_kit,
+        ] {
+            for row in fusion_rows() {
+                let n = row.len();
+                let gamma: Vec<f32> = (0..n).map(|i| 0.8 + (i as f32) * 0.01).collect();
+                let beta: Vec<f32> = (0..n).map(|i| (i as f32) * 0.02 - 0.3).collect();
+                let mut fused = row.clone();
+                let fed_fused = kit.layer_norm_fused_affine(&mut fused, 1e-5, &gamma, &beta);
+                let mut unfused = row.clone();
+                let fed_unfused = kit.layer_norm(&mut unfused, 1e-5);
+                for ((u, &g), &b) in unfused.iter_mut().zip(&gamma).zip(&beta) {
+                    *u = *u * g + b;
+                }
+                assert_eq!(fed_fused.to_bits(), fed_unfused.to_bits());
+                for (i, (f, u)) in fused.iter().zip(&unfused).enumerate() {
+                    assert_eq!(
+                        f.to_bits(),
+                        u.to_bits(),
+                        "{:?} layer_norm diverged at index {i} of row len {n}",
+                        kit.precision()
+                    );
+                }
+            }
+        }
     }
 }

@@ -181,10 +181,17 @@ impl Nonlinearity {
     /// Deliberately unprofiled: attribution happens at chunk granularity
     /// ([`Nonlinearity::softmax_chunk`] and friends) so a profiling sink
     /// costs one clock pair per chunk, not per row.
+    ///
+    /// The LUT arm runs the *fused* kernel
+    /// ([`NnLutKit::softmax_fused`]) unconditionally: it is bit-identical
+    /// to [`NnLutKit::softmax`] at every precision, so the masked path
+    /// built on top of this (which trims each row to its valid prefix
+    /// before calling here) keeps its exact semantics, and the serve
+    /// determinism matrix holds unchanged.
     pub fn softmax_row(&self, row: &mut [f32]) {
         match &self.softmax {
             OpImpl::Exact => exact_softmax(row),
-            OpImpl::Lut(kit) => kit.softmax(row),
+            OpImpl::Lut(kit) => kit.softmax_fused(row),
             OpImpl::IBert => i_softmax_f32(row),
             OpImpl::Softermax => crate::softermax::softermax(row),
         }
@@ -350,9 +357,14 @@ impl Nonlinearity {
                     }
                 }
                 OpImpl::Lut(kit) => {
+                    // Fused norm+affine: bit-identical to the
+                    // `layer_norm` + `affine_row` pair in fewer row
+                    // passes. The capture path above keeps the unfused
+                    // pair (it needs nothing the fused kernel lacks, but
+                    // staying split keeps `kit.layer_norm` integration-
+                    // exercised on a real serving path).
                     for row in data.chunks_exact_mut(cols) {
-                        kit.layer_norm(row, eps);
-                        affine_row(row, gamma, beta);
+                        kit.layer_norm_fused_affine(row, eps, gamma, beta);
                     }
                 }
                 OpImpl::IBert => {

@@ -144,6 +144,46 @@ proptest! {
         }
     }
 
+    /// SIMD dispatch: whatever kernel tier the bake detected (AVX2, SSE2
+    /// or scalar — [`nn_lut::core::engine::simd::detect`]), `eval_slice`
+    /// must equal the scalar oracle `eval_slice_scalar` **bit for bit**
+    /// on every input class — NaN payloads, infinities, breakpoint-exact
+    /// and ±1-ulp values, duplicate-breakpoint tables (which force the
+    /// general scan layout) — and on every tail length, so the
+    /// non-multiple-of-lane-width remainder handling is covered too.
+    /// With `--no-default-features` this degenerates to scalar-vs-scalar
+    /// and stays trivially green; the CI `simd` legs are where it bites.
+    #[test]
+    fn simd_dispatch_is_bit_identical_to_scalar_oracle(
+        lut in arb_table(),
+        random in proptest::collection::vec(-200.0f32..200.0, 1..200),
+    ) {
+        let baked = BakedLut::new(lut.clone());
+        prop_assert_eq!(baked.simd_level(), nn_lut::core::engine::simd::detect());
+        let xs = probes(&lut, random);
+        // Cut the batch to assorted lengths: exercises full 8-lane AVX2
+        // blocks, 4-lane SSE2 blocks, and every scalar-tail remainder
+        // 0..=7 as the random length varies.
+        for cut in [0usize, 1, 2, 3, 5, 7, 8, 13] {
+            if cut > xs.len() {
+                break;
+            }
+            let slice = &xs[..xs.len() - cut];
+            let mut fast = slice.to_vec();
+            let mut oracle = slice.to_vec();
+            baked.eval_slice(&mut fast);
+            baked.eval_slice_scalar(&mut oracle);
+            for (i, (&f, &o)) in fast.iter().zip(&oracle).enumerate() {
+                prop_assert_eq!(
+                    f.to_bits(),
+                    o.to_bits(),
+                    "SIMD kernel ({:?}) diverged from scalar oracle at x = {} (len {})",
+                    baked.simd_level(), slice[i], slice.len()
+                );
+            }
+        }
+    }
+
     /// FP16: the baked half-precision engine equals `F16Lut::eval` bit for
     /// bit (same rounding at every step, same segment select).
     #[test]

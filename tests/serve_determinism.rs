@@ -267,6 +267,72 @@ fn bucketed_pooled_server_matches_serial_fifo_at_all_precisions() {
     }
 }
 
+/// The serving backend's LUT arms now run the *fused* softmax and
+/// LayerNorm+affine kernels; this pins the fusion side of the contract at
+/// all three kit precisions, through the same backend seams the servers
+/// above exercise:
+///
+/// * `softmax_chunk_masked` (fused underneath) must equal trimming each
+///   row to its valid prefix and running the **unfused** `kit.softmax`,
+///   with zeros past the prefix — i.e. fusion preserves the masked
+///   semantics exactly;
+/// * `layer_norm_chunk` (fused underneath) must equal the unfused
+///   `kit.layer_norm` followed by the affine `γ∘x + β`, bit for bit.
+#[test]
+fn fused_backend_kernels_match_unfused_reference_at_all_precisions() {
+    let base = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+    let cols = 29; // never a lane multiple: SIMD tails + fusion tiles both hit
+    let rows = 7;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i as f32) * 0.23 - 20.0).sin() * 5.0)
+        .collect();
+    let valid: Vec<usize> = (0..rows).map(|r| (r * 11) % (cols + 1)).collect();
+    let gamma: Vec<f32> = (0..cols).map(|i| 0.9 + (i as f32) * 0.01).collect();
+    let beta: Vec<f32> = (0..cols).map(|i| (i as f32) * 0.03 - 0.4).collect();
+    for precision in [Precision::F32, Precision::F16, Precision::Int32] {
+        let kit = base.with_precision(precision).expect("kit converts");
+        let nl = Nonlinearity::all_lut(&kit);
+
+        // Masked softmax through the (fused) backend…
+        let mut got = data.clone();
+        nl.softmax_chunk_masked(&mut got, cols, &valid);
+        // …versus the unfused per-row reference.
+        let mut want = data.clone();
+        for (row, &v) in want.chunks_exact_mut(cols).zip(&valid) {
+            if v > 0 {
+                kit.softmax(&mut row[..v]);
+            }
+            row[v..].fill(0.0);
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{precision:?} fused masked softmax diverged at flat index {i}"
+            );
+        }
+
+        // LayerNorm+affine through the (fused) backend…
+        let mut got = data.clone();
+        nl.layer_norm_chunk(&mut got, cols, &gamma, &beta, 1e-5);
+        // …versus the unfused norm-then-affine reference.
+        let mut want = data.clone();
+        for row in want.chunks_exact_mut(cols) {
+            kit.layer_norm(row, 1e-5);
+            for ((v, &g), &b) in row.iter_mut().zip(&gamma).zip(&beta) {
+                *v = *v * g + b;
+            }
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{precision:?} fused layer_norm+affine diverged at flat index {i}"
+            );
+        }
+    }
+}
+
 /// The full-body GEMM modes keep the pooled == serial guarantee too (INT8
 /// keeps its per-tensor quantizer serial; FP16 rounds inside row chunks).
 #[test]
