@@ -5,7 +5,8 @@
 //! 1. **Ledger integrity** — the committed `BENCH_lut_eval.json` must
 //!    still carry every section the repo's trajectory claims (`results`,
 //!    `serve.configs`, `serve.admission`, `serve.sustained`,
-//!    `serve.sharded`, `serve.trace_overhead`, `simd`); a PR that drops
+//!    `serve.sharded`, `serve.decode`, `serve.trace_overhead`, `simd`);
+//!    a PR that drops
 //!    or mangles a section fails here, not months later. The
 //!    trace-overhead section is additionally gated at a fixed ≤ 5%
 //!    ceiling — tracing must stay passive in cost — and the `simd`
@@ -199,7 +200,48 @@ fn check_ledger(gate: &mut Gate, ledger: &Json) {
         }
     }
     gate.require_num(ledger, "serve.trace_overhead.recorder_bytes", "ledger");
+    check_decode_section(gate, ledger, "serve.decode", "ledger");
     check_simd_section(gate, ledger);
+}
+
+/// The `serve.decode` section (bench_serve part 6): the KV-cache context
+/// sweep must carry positive generated-tokens/sec and ordered inter-token
+/// percentiles per context, and the prefill:decode mix sweep must be
+/// present. All checks are within-run (percentile ordering, positivity) —
+/// absolute decode throughput is machine-shaped and not gated.
+fn check_decode_section(gate: &mut Gate, doc: &Json, prefix: &str, label: &str) {
+    let contexts = match doc
+        .path(&format!("{prefix}.contexts"))
+        .and_then(Json::as_array)
+    {
+        Some(rows) if !rows.is_empty() => {
+            gate.pass(format!("{prefix}.contexts: {} rows", rows.len()));
+            rows
+        }
+        _ => {
+            gate.fail(format!("{prefix}.contexts: missing or empty"));
+            return;
+        }
+    };
+    for (i, row) in contexts.iter().enumerate() {
+        let tps = row.get("tokens_per_sec").and_then(Json::as_f64);
+        let p50 = row.get("inter_token_p50_ms").and_then(Json::as_f64);
+        let p95 = row.get("inter_token_p95_ms").and_then(Json::as_f64);
+        match (tps, p50, p95) {
+            (Some(t), Some(p50), Some(p95)) if t > 0.0 && p50 > 0.0 && p95 >= p50 => {
+                gate.pass(format!(
+                    "{prefix}.contexts[{i}]: {t:.1} tok/s · inter-token p50 {p50:.3} ms ≤ p95 {p95:.3} ms"
+                ));
+            }
+            _ => gate.fail(format!(
+                "{label}: {prefix}.contexts[{i}] lacks positive tokens_per_sec / ordered inter-token percentiles"
+            )),
+        }
+    }
+    match doc.path(&format!("{prefix}.mix")).and_then(Json::as_array) {
+        Some(rows) if !rows.is_empty() => gate.pass(format!("{prefix}.mix: {} rows", rows.len())),
+        _ => gate.fail(format!("{prefix}.mix: missing or empty")),
+    }
 }
 
 /// The `simd` section of the ledger (written by `bench_lut_eval`,
@@ -347,6 +389,9 @@ fn check_regression(gate: &mut Gate, fresh: &Json, baseline: &Json, tol: f64, tp
         }
         _ => gate.fail("sharded.failover: fresh run's replica never re-admitted".into()),
     }
+    // Decode plane: gate the fresh run's section shape and within-run
+    // invariants only — inter-token walls are machine-shaped.
+    check_decode_section(gate, fresh, "decode", "fresh");
     // Trace overhead: gate the fresh run at the same ceiling as the
     // ledger — a quick run's absolute walls are noisy, but the overhead
     // is a *ratio* of interleaved same-machine runs, so it transfers.

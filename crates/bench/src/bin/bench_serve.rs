@@ -37,6 +37,15 @@
 //! reported as a median overhead percentage in `serve.trace_overhead` —
 //! `bench_check` fails the build past 5%.
 //!
+//! A sixth part measures **autoregressive decoding** through the
+//! continuous-batching plane: concurrent generations at growing KV-cache
+//! contexts (the model is rebuilt with `max_seq` stretched to hold the
+//! longest), reporting generated tokens/sec, decode-plane steps/sec,
+//! mean decode batch width and inter-token latency p50/p95 per context,
+//! plus a prefill:decode request-mix sweep — encode traffic and
+//! generations sharing one queue — in `serve.decode`, gated by
+//! `bench_check`.
+//!
 //! Run: `cargo run --release -p nnlut-bench --bin bench_serve`
 //! Smoke: `cargo run --release -p nnlut-bench --bin bench_serve -- --quick`
 //! (tiny model, `BENCH_lut_eval.json` untouched — CI keeps the path alive
@@ -73,6 +82,14 @@ struct Config {
     sustained_requests: usize,
     /// Queue-depth watermark of the sustained overload burst.
     overload_watermark: usize,
+    /// KV-cache contexts (prompt lengths) of the decode sweep.
+    decode_contexts: &'static [usize],
+    /// Concurrent generations per decode-sweep leg.
+    decode_streams: usize,
+    /// Tokens generated per stream in the decode sweep.
+    decode_max_new: usize,
+    /// The prefill:decode mix sweep: `(encodes, generations)` per leg.
+    decode_mixes: &'static [(usize, usize)],
     write_json: bool,
 }
 
@@ -91,6 +108,10 @@ fn quick_config() -> Config {
         bucket_edges: &[8, 16, 32],
         sustained_requests: 24,
         overload_watermark: 4,
+        decode_contexts: &[16, 32],
+        decode_streams: 2,
+        decode_max_new: 4,
+        decode_mixes: &[(6, 2), (4, 4), (2, 6)],
         write_json: false,
     }
 }
@@ -113,6 +134,10 @@ fn full_config() -> Config {
         bucket_edges: &[16, 32, 64],
         sustained_requests: 48,
         overload_watermark: 8,
+        decode_contexts: &[64, 256, 1024],
+        decode_streams: 2,
+        decode_max_new: 8,
+        decode_mixes: &[(12, 4), (8, 8), (4, 12)],
         write_json: true,
     }
 }
@@ -499,6 +524,165 @@ fn run_sharded(cfg: &Config, model: &BertModel, kit: &NnLutKit) -> ShardedRun {
     }
 }
 
+struct DecodeRun {
+    context: usize,
+    tokens_per_sec: f64,
+    steps_per_sec: f64,
+    inter_p50_ms: f64,
+    inter_p95_ms: f64,
+    batch_width: f64,
+    wall_s: f64,
+}
+
+struct MixRun {
+    encodes: usize,
+    generations: usize,
+    tokens_per_sec: f64,
+    steps_per_sec: f64,
+    wall_s: f64,
+}
+
+/// The model of part 6: the bench shapes with `max_seq` stretched to
+/// hold the longest decode context plus its token budget, so the KV
+/// cache genuinely reaches the swept depths.
+fn decode_model(cfg: &Config) -> BertModel {
+    let longest = cfg.decode_contexts.iter().max().expect("non-empty sweep");
+    let model_cfg = TransformerConfig {
+        // Never below the base shapes' max_seq: the mix leg still pushes
+        // the ordinary encode workload through this model.
+        max_seq: (longest + cfg.decode_max_new).max(cfg.model.max_seq),
+        ..cfg.model.clone()
+    };
+    BertModel::new_synthetic(model_cfg, nnlut_bench::KIT_SEED)
+}
+
+/// One decode-sweep leg: `decode_streams` concurrent generations, each
+/// prefilling a `context`-token prompt and decoding `decode_max_new`
+/// tokens through the continuous-batching plane. A fresh server per leg
+/// keeps the inter-token sketch scoped to this context depth.
+fn run_decode_context(
+    cfg: &Config,
+    model: &BertModel,
+    kit: &NnLutKit,
+    context: usize,
+) -> DecodeRun {
+    let server = AsyncLutServer::new(
+        model.clone(),
+        kit.clone(),
+        AsyncServerConfig {
+            threads: 1,
+            max_in_flight: 2,
+            policy: BatchPolicy {
+                max_batch: cfg.decode_streams.max(2),
+                max_padded_tokens: context * cfg.decode_streams + 64,
+                bucket_edges: Vec::new(),
+            },
+            close: ClosePolicy {
+                max_batch_age: Duration::from_millis(2),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let tickets: Vec<_> = (0..cfg.decode_streams)
+        .map(|s| {
+            let prompt: Vec<usize> = (0..context)
+                .map(|i| (i * 31 + s * 97) % cfg.model.vocab)
+                .collect();
+            server.submit_generate(prompt, cfg.decode_max_new, None)
+        })
+        .collect();
+    let mut generated = 0usize;
+    for t in tickets {
+        generated += t.wait().expect("no deadlines in play").tokens.len();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let m = server.metrics();
+    DecodeRun {
+        context,
+        tokens_per_sec: generated as f64 / wall,
+        steps_per_sec: m.decode_steps_per_sec(),
+        inter_p50_ms: m
+            .inter_token_percentile(50.0)
+            .unwrap_or_default()
+            .as_secs_f64()
+            * 1e3,
+        inter_p95_ms: m
+            .inter_token_percentile(95.0)
+            .unwrap_or_default()
+            .as_secs_f64()
+            * 1e3,
+        batch_width: m.decode_batch_width(),
+        wall_s: wall,
+    }
+}
+
+/// One prefill:decode mix leg: `encodes` whole-sequence requests and
+/// `generations` streams interleaved into one queue — the number under
+/// test is how much encode traffic and the decode plane cost each other.
+fn run_decode_mix(
+    cfg: &Config,
+    model: &BertModel,
+    kit: &NnLutKit,
+    encodes: usize,
+    generations: usize,
+) -> MixRun {
+    let context = cfg.decode_contexts[0];
+    let server = AsyncLutServer::new(
+        model.clone(),
+        kit.clone(),
+        AsyncServerConfig {
+            threads: 1,
+            max_in_flight: 2,
+            policy: cfg.policy.clone().with_buckets(cfg.bucket_edges.to_vec()),
+            close: ClosePolicy {
+                max_batch_age: Duration::from_millis(2),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let mut enc_tickets = Vec::with_capacity(encodes);
+    let mut gen_tickets = Vec::with_capacity(generations);
+    for r in 0..encodes.max(generations) {
+        if r < encodes {
+            let len = cfg.lengths[r % cfg.lengths.len()];
+            enc_tickets.push(
+                server.submit(
+                    (0..len)
+                        .map(|i| (i * 31 + r * 7) % cfg.model.vocab)
+                        .collect(),
+                ),
+            );
+        }
+        if r < generations {
+            let prompt: Vec<usize> = (0..context)
+                .map(|i| (i * 13 + r * 5) % cfg.model.vocab)
+                .collect();
+            gen_tickets.push(server.submit_generate(prompt, cfg.decode_max_new, None));
+        }
+    }
+    let mut tokens = 0usize;
+    for t in enc_tickets {
+        tokens += t.wait().expect("no deadlines in play").tokens;
+    }
+    for t in gen_tickets {
+        let r = t.wait().expect("no deadlines in play");
+        tokens += context + r.tokens.len();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let m = server.metrics();
+    MixRun {
+        encodes,
+        generations,
+        tokens_per_sec: tokens as f64 / wall,
+        steps_per_sec: m.decode_steps_per_sec(),
+        wall_s: wall,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -625,6 +809,44 @@ fn main() {
         sharded.recovery_ms, sharded.all_served, sharded.recovered
     );
 
+    // Part 6: autoregressive decoding through the continuous-batching
+    // plane — context sweep, then the prefill:decode mix.
+    let dmodel = decode_model(&cfg);
+    println!(
+        "  decode ({} streams × {} tokens, contexts {:?}):",
+        cfg.decode_streams, cfg.decode_max_new, cfg.decode_contexts
+    );
+    let decode_runs: Vec<DecodeRun> = cfg
+        .decode_contexts
+        .iter()
+        .map(|&context| {
+            let run = run_decode_context(&cfg, &dmodel, &kit, context);
+            println!(
+                "    context {:>5}: {:>8.1} tok/s · steps {:>8.1}/s · inter-token p50 {:>8.2} ms · p95 {:>8.2} ms · width {:.2} · wall {:>6.2} s",
+                run.context,
+                run.tokens_per_sec,
+                run.steps_per_sec,
+                run.inter_p50_ms,
+                run.inter_p95_ms,
+                run.batch_width,
+                run.wall_s
+            );
+            run
+        })
+        .collect();
+    let mix_runs: Vec<MixRun> = cfg
+        .decode_mixes
+        .iter()
+        .map(|&(encodes, generations)| {
+            let run = run_decode_mix(&cfg, &dmodel, &kit, encodes, generations);
+            println!(
+                "    mix {:>2}:{:<2}   : {:>8.1} tok/s · decode steps {:>8.1}/s · wall {:>6.2} s",
+                run.encodes, run.generations, run.tokens_per_sec, run.steps_per_sec, run.wall_s
+            );
+            run
+        })
+        .collect();
+
     let mcfg = &cfg.model;
     {
         let mut section = format!(
@@ -689,6 +911,39 @@ fn main() {
             sharded.recovered,
         ));
         section.push_str(&format!(
+            "    \"decode\": {{\n      \"streams\": {},\n      \"max_new\": {},\n      \"max_seq\": {},\n      \"contexts\": [\n",
+            cfg.decode_streams,
+            cfg.decode_max_new,
+            (cfg.decode_contexts.iter().max().expect("non-empty sweep") + cfg.decode_max_new)
+                .max(cfg.model.max_seq),
+        ));
+        for (i, run) in decode_runs.iter().enumerate() {
+            section.push_str(&format!(
+                "        {{\"context\": {}, \"tokens_per_sec\": {:.1}, \"decode_steps_per_sec\": {:.1}, \"inter_token_p50_ms\": {:.3}, \"inter_token_p95_ms\": {:.3}, \"batch_width\": {:.2}, \"wall_s\": {:.3}}}{}\n",
+                run.context,
+                run.tokens_per_sec,
+                run.steps_per_sec,
+                run.inter_p50_ms,
+                run.inter_p95_ms,
+                run.batch_width,
+                run.wall_s,
+                if i + 1 == decode_runs.len() { "" } else { "," }
+            ));
+        }
+        section.push_str("      ],\n      \"mix\": [\n");
+        for (i, run) in mix_runs.iter().enumerate() {
+            section.push_str(&format!(
+                "        {{\"encodes\": {}, \"generations\": {}, \"tokens_per_sec\": {:.1}, \"decode_steps_per_sec\": {:.1}, \"wall_s\": {:.3}}}{}\n",
+                run.encodes,
+                run.generations,
+                run.tokens_per_sec,
+                run.steps_per_sec,
+                run.wall_s,
+                if i + 1 == mix_runs.len() { "" } else { "," }
+            ));
+        }
+        section.push_str("      ]\n    },\n");
+        section.push_str(&format!(
             "    \"trace_overhead\": {{\n      \"runs\": {},\n      \"requests\": {},\n      \"tokens_per_sec_off\": {:.1},\n      \"tokens_per_sec_on\": {:.1},\n      \"overhead_pct\": {:.2},\n      \"recorder_capacity\": {},\n      \"recorder_bytes\": {}\n    }}\n  }}",
             trace_overhead.runs,
             cfg.sustained_requests,
@@ -720,4 +975,18 @@ fn main() {
         "bucketed admission must not pad more than FIFO on the mixed workload \
          (bucketed {bucketed_eff:.3} < fifo {fifo_eff:.3})"
     );
+    for run in &decode_runs {
+        assert!(
+            run.tokens_per_sec > 0.0 && run.inter_p50_ms > 0.0,
+            "decode @ context {}: degenerate measurement",
+            run.context
+        );
+        assert!(
+            run.inter_p95_ms >= run.inter_p50_ms,
+            "decode @ context {}: p95 {:.3} ms below p50 {:.3} ms",
+            run.context,
+            run.inter_p95_ms,
+            run.inter_p50_ms
+        );
+    }
 }

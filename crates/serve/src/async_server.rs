@@ -48,6 +48,33 @@
 //! Dropping the server (or calling [`AsyncLutServer::shutdown`]) flushes:
 //! the dispatcher drains every queued request and waits out every
 //! in-flight batch before exiting, so no ticket is left unresolved.
+//!
+//! # Continuous batching
+//!
+//! [`AsyncLutServer::submit_generate`] admits an autoregressive
+//! generation. Its prompt enters the length-bucketed queue as a
+//! **prefill**; once prefilled (KV cache populated, first token read
+//! greedily), the sequence rejoins the batcher's **decode plane** after
+//! every emitted token, so many generations advance one token per batch
+//! while prefills keep streaming in. The dispatcher mixes wide decode
+//! batches with prefill/encode batches under the same padded-area
+//! budget: decode-priority closes keep inter-token latency flat, and
+//! [`ClosePolicy::max_prefill_wait`] bounds how long a queued prefill
+//! can be deferred (the starvation guard). Tokens stream to the caller
+//! through a [`GenerateTicket`] as each step resolves; a deadline covers
+//! the **whole** generation (a lapsed deadline culls the sequence from
+//! whichever plane holds it and frees its KV cache), shutdown *finishes*
+//! in-flight generations (the token budget bounds the drain), and a
+//! panic mid-step fails the generation with [`ServeError::ServerFailed`]
+//! — its cache is lost, and the sharded layer rebuilds it on a healthy
+//! replica by re-prefilling the prompt plus the tokens already emitted.
+//!
+//! Because every decode step is row-local in the token dimension
+//! (masked attention over a per-sequence cache, per-row quantization on
+//! the INT8 paths), a continuously-batched generation is **bit-identical
+//! to serial step-at-a-time decoding** at all three precisions, any
+//! thread count and any in-flight depth — `tests/serve_decode.rs` pins
+//! the claim.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -56,9 +83,14 @@ use std::time::{Duration, Instant};
 
 use nnlut_core::NnLutKit;
 use nnlut_tensor::Matrix;
-use nnlut_transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
+use nnlut_transformer::{
+    BertModel, KvCache, MatmulMode, Nonlinearity, PaddedBatch, TransformerConfig,
+};
 
-use crate::batcher::{BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, ServePolicy};
+use crate::batcher::{
+    BatchPolicy, Batcher, ClosePolicy, CloseReason, CloseTarget, ClosedBatch, ClosedDecodeBatch,
+    ServePolicy,
+};
 use crate::fault::FaultInjector;
 use crate::metrics::{BatchRecord, ServeMetrics, DEFAULT_SKETCH_CAPACITY};
 use crate::pool::ThreadPool;
@@ -350,29 +382,332 @@ impl Ticket {
     }
 }
 
+/// The streaming inner state of one generation: tokens appended as the
+/// worker emits them, plus the terminal outcome slot.
+#[derive(Debug)]
+struct GenInner {
+    tokens: Vec<usize>,
+    done: Option<Result<(), ServeError>>,
+}
+
+/// A pending generation's streaming slot, shared between the submitter's
+/// [`GenerateTicket`] and the worker (and, in the sharded layer, read by
+/// the supervisor to harvest tokens across failover attempts).
+#[derive(Debug)]
+pub(crate) struct GenTicketState {
+    inner: Mutex<GenInner>,
+    ready: Condvar,
+    /// The generation's lifecycle journal — one trace per *request*,
+    /// accumulating `decoded` events across every step (and, sharded,
+    /// across failover attempts).
+    pub(crate) trace: Arc<RequestTrace>,
+}
+
+impl GenTicketState {
+    pub(crate) fn new(trace: Arc<RequestTrace>) -> Self {
+        Self {
+            inner: Mutex::new(GenInner {
+                tokens: Vec::new(),
+                done: None,
+            }),
+            ready: Condvar::new(),
+            trace,
+        }
+    }
+
+    /// Appends one emitted token and wakes streaming readers.
+    pub(crate) fn push_token(&self, token: usize) {
+        let mut inner = lock(&self.inner);
+        debug_assert!(inner.done.is_none(), "token emitted after completion");
+        inner.tokens.push(token);
+        self.ready.notify_all();
+    }
+
+    /// Terminates the stream. Exactly-once per generation.
+    pub(crate) fn finish(&self, result: Result<(), ServeError>) {
+        let mut inner = lock(&self.inner);
+        debug_assert!(inner.done.is_none(), "generation finished twice");
+        inner.done = Some(result);
+        self.ready.notify_all();
+    }
+
+    /// Tokens emitted at or past `cursor`, plus the terminal outcome if
+    /// the stream has ended — the sharded supervisor's non-blocking
+    /// harvest (failover needs the emitted prefix to rebuild the cache).
+    pub(crate) fn snapshot_from(
+        &self,
+        cursor: usize,
+    ) -> (Vec<usize>, Option<Result<(), ServeError>>) {
+        let inner = lock(&self.inner);
+        let fresh = inner.tokens.get(cursor..).unwrap_or_default().to_vec();
+        (fresh, inner.done.clone())
+    }
+}
+
+/// A completed generation: the full emitted token sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateResponse {
+    /// The generation request's id.
+    pub id: RequestId,
+    /// Every generated token, in emission order (never the prompt).
+    pub tokens: Vec<usize>,
+}
+
+/// Handle to one in-flight generation, streaming tokens as the worker
+/// resolves each decode step. Obtained from
+/// [`AsyncLutServer::submit_generate`].
+///
+/// Consume it either as a stream ([`GenerateTicket::next`] per token) or
+/// in one blocking call ([`GenerateTicket::wait`] for the whole
+/// sequence). Like [`Ticket`], every generation resolves — completion,
+/// deadline expiry, overload rejection or worker failure — so neither
+/// call can hang.
+#[derive(Debug)]
+pub struct GenerateTicket {
+    id: RequestId,
+    state: Arc<GenTicketState>,
+    /// Tokens already yielded through [`GenerateTicket::next`].
+    cursor: usize,
+    /// The terminal error was already yielded; the stream is exhausted.
+    error_yielded: bool,
+}
+
+impl GenerateTicket {
+    pub(crate) fn from_state(id: RequestId, state: Arc<GenTicketState>) -> Self {
+        Self {
+            id,
+            state,
+            cursor: 0,
+            error_yielded: false,
+        }
+    }
+
+    /// The shared stream state — the sharded supervisor harvests a
+    /// replica attempt's tokens through this handle (via
+    /// [`GenTicketState::snapshot_from`]) without consuming the ticket.
+    pub(crate) fn state_handle(&self) -> Arc<GenTicketState> {
+        Arc::clone(&self.state)
+    }
+
+    /// The generation request's id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The generation's lifecycle trace (`decoded` events accumulate as
+    /// tokens resolve).
+    pub fn trace(&self) -> &RequestTrace {
+        &self.state.trace
+    }
+
+    /// A shared handle to the trace that survives [`GenerateTicket::wait`].
+    pub fn trace_handle(&self) -> Arc<RequestTrace> {
+        Arc::clone(&self.state.trace)
+    }
+
+    /// The generation's per-stage latency breakdown so far.
+    pub fn breakdown(&self) -> TraceBreakdown {
+        self.state.trace.breakdown()
+    }
+
+    /// The most recently recorded lifecycle stage.
+    pub fn last_stage(&self) -> Option<Stage> {
+        self.state.trace.last_stage()
+    }
+
+    /// True once the generation has terminated (successfully or not);
+    /// [`GenerateTicket::wait`] will not block.
+    pub fn is_done(&self) -> bool {
+        lock(&self.state.inner).done.is_some()
+    }
+
+    /// Tokens emitted so far (a snapshot; the stream may still be live).
+    pub fn tokens_so_far(&self) -> Vec<usize> {
+        lock(&self.state.inner).tokens.clone()
+    }
+
+    /// Blocks until the generation terminates and returns the full token
+    /// sequence (or the terminal error — tokens emitted before a failure
+    /// are observable through [`GenerateTicket::next`] /
+    /// [`GenerateTicket::tokens_so_far`] before waiting).
+    pub fn wait(self) -> Result<GenerateResponse, ServeError> {
+        let mut inner = lock(&self.state.inner);
+        loop {
+            if let Some(done) = &inner.done {
+                return match done {
+                    Ok(()) => Ok(GenerateResponse {
+                        id: self.id,
+                        tokens: inner.tokens.clone(),
+                    }),
+                    Err(e) => Err(e.clone()),
+                };
+            }
+            inner = self
+                .state
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`GenerateTicket::wait`], but gives up after `timeout` with
+    /// [`ServeError::WaitTimeout`]. Bounds only the caller's blocking —
+    /// the generation stays in flight and still resolves.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<GenerateResponse, ServeError> {
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let mut inner = lock(&self.state.inner);
+        loop {
+            if let Some(done) = &inner.done {
+                return match done {
+                    Ok(()) => Ok(GenerateResponse {
+                        id: self.id,
+                        tokens: inner.tokens.clone(),
+                    }),
+                    Err(e) => Err(e.clone()),
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::WaitTimeout {
+                    id: self.id,
+                    waited: now.saturating_duration_since(start),
+                    last_stage: self.state.trace.last_stage(),
+                });
+            }
+            inner = self
+                .state
+                .ready
+                .wait_timeout(inner, deadline.saturating_duration_since(now))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// Blocking token stream: each `next` call blocks for the next token.
+/// Yields `Some(Ok(token))` per emitted token in order; after the last
+/// token of a successful generation, `None`. A failed generation yields
+/// its tokens, then the error once (`Some(Err(_))`), then `None`.
+impl Iterator for GenerateTicket {
+    type Item = Result<usize, ServeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut inner = lock(&self.state.inner);
+        loop {
+            if self.cursor < inner.tokens.len() {
+                let token = inner.tokens[self.cursor];
+                self.cursor += 1;
+                return Some(Ok(token));
+            }
+            match &inner.done {
+                Some(Ok(())) => return None,
+                Some(Err(e)) => {
+                    if self.error_yielded {
+                        return None;
+                    }
+                    self.error_yielded = true;
+                    return Some(Err(e.clone()));
+                }
+                None => {
+                    inner = self
+                        .state
+                        .ready
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+/// Worker-side bookkeeping of one live generation. The KV cache parks
+/// here between steps and **moves into the decode job** while a step is
+/// in flight — one step per sequence at a time, by construction.
+#[derive(Debug)]
+struct GenState {
+    /// Tokens emitted so far.
+    emitted: usize,
+    /// Total tokens to generate.
+    max_new: usize,
+    /// The sequence's KV cache; `None` while a step is in flight.
+    cache: Option<KvCache>,
+    /// Token the next decode step feeds (the last emitted token).
+    next_token: usize,
+    /// Absolute deadline for the whole generation, if any.
+    deadline: Option<Instant>,
+    /// The streaming slot tokens are pushed into.
+    ticket: Arc<GenTicketState>,
+    /// When the previous token was emitted (inter-token gap metrics).
+    last_emit: Option<Instant>,
+}
+
+/// What a dispatched batch actually runs: a length-bucket batch (pure
+/// encodes, or encodes mixed with generation prefills) or a decode-plane
+/// batch advancing many generations one token each.
+#[derive(Debug)]
+enum JobWork {
+    /// A closed length-bucket batch. `is_gen[i]` marks member `i` as a
+    /// generation prefill (its id lives in the `gens` map, not the
+    /// ticket map).
+    Bucket {
+        closed: ClosedBatch,
+        is_gen: Vec<bool>,
+    },
+    /// A closed decode batch: each member's cache and input token, moved
+    /// out of its [`GenState`] for the duration of the step.
+    Decode {
+        closed: ClosedDecodeBatch,
+        steps: Vec<(KvCache, usize)>,
+    },
+}
+
+/// Per-member result of a bucket batch.
+#[derive(Debug)]
+enum MemberResult {
+    /// An encode member's hidden states.
+    Encoded(Matrix),
+    /// A generation prefill: populated cache + greedily-read first token.
+    Prefilled { cache: KvCache, token: usize },
+}
+
+/// The outcome side of [`JobWork`], parked in the ordered completion
+/// queue. `Err(())` = the encode panicked (contained); members fail (a
+/// decode batch's caches are lost in the unwind — the generation cannot
+/// continue here; the sharded layer rebuilds).
+#[derive(Debug)]
+enum DoneWork {
+    Bucket {
+        closed: ClosedBatch,
+        outcome: Result<Vec<MemberResult>, ()>,
+    },
+    Decode {
+        closed: ClosedDecodeBatch,
+        outcome: Result<Vec<(KvCache, usize)>, ()>,
+    },
+}
+
 /// One closed batch on its way to an encoder thread.
 #[derive(Debug)]
 struct EncodeJob {
     /// Dispatch sequence number — the ordered-completion key.
     seq: u64,
-    closed: ClosedBatch,
+    work: JobWork,
     /// Queue depth at close time (metrics bookkeeping).
     depth: usize,
-    /// Member traces, parallel to `closed.ids`, cloned under the lock at
-    /// dispatch so the encoder records `Encoded` without touching the
-    /// ticket map.
+    /// Member traces, parallel to the work's member ids, cloned under
+    /// the lock at dispatch so the encoder records `Encoded` without
+    /// touching the ticket map.
     traces: Vec<Arc<RequestTrace>>,
 }
 
 /// One encoded batch waiting in the ordered completion queue.
 #[derive(Debug)]
 struct Completion {
-    closed: ClosedBatch,
+    work: DoneWork,
     depth: usize,
-    /// `Err(())` = the encode panicked (contained); tickets fail.
-    outcome: Result<Vec<Matrix>, ()>,
     latency: Duration,
-    /// Member traces, parallel to `closed.ids`.
+    /// Member traces, parallel to the work's member ids.
     traces: Vec<Arc<RequestTrace>>,
 }
 
@@ -382,6 +717,11 @@ struct Completion {
 struct State {
     batcher: Batcher,
     tickets: HashMap<RequestId, Arc<TicketState>>,
+    /// Live generations, keyed by request id. Insertion at
+    /// `submit_generate`; removal on completion, expiry or failure — and
+    /// removal drops the KV cache, so "no residual allocation after
+    /// eviction" is structural.
+    gens: HashMap<RequestId, GenState>,
     metrics: ServeMetrics,
     next_id: RequestId,
     shutdown: bool,
@@ -480,6 +820,7 @@ impl AsyncLutServer {
             state: Mutex::new(State {
                 batcher: Batcher::new(config.policy.clone()),
                 tickets: HashMap::new(),
+                gens: HashMap::new(),
                 metrics: ServeMetrics::with_sketch_capacity(config.sketch_capacity),
                 next_id: 0,
                 shutdown: false,
@@ -648,6 +989,155 @@ impl AsyncLutServer {
         Ticket { id, state }
     }
 
+    /// Enqueues an autoregressive generation: prefill the prompt, then
+    /// emit `max_new` greedy tokens, one continuous-batched decode step
+    /// at a time. Returns a streaming [`GenerateTicket`] immediately;
+    /// tokens become readable as each step resolves.
+    ///
+    /// `deadline` (measured from now) bounds the **whole generation**: a
+    /// sequence still queued — on either the prefill or the decode plane
+    /// — when it lapses is culled, its KV cache freed, and the ticket
+    /// resolves [`ServeError::DeadlineExceeded`] after yielding whatever
+    /// tokens it had emitted. Admission charges the prompt length
+    /// against the [`ServePolicy`] door watermarks once, at submit;
+    /// per-token rejoins are never re-checked (the generation was
+    /// already admitted).
+    ///
+    /// The emitted sequence is **bit-identical to
+    /// [`BertModel::generate`]** — serial, step-at-a-time greedy
+    /// decoding — at every precision, thread count and in-flight depth,
+    /// whatever else is batched alongside (`tests/serve_decode.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty, out-of-vocabulary, `max_new` is
+    /// zero, `prompt.len() + max_new` exceeds the model's `max_seq`
+    /// (every generated position must fit the KV cache), or the server
+    /// is shut down.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nnlut_core::{train::TrainConfig, NnLutKit};
+    /// use nnlut_serve::{AsyncLutServer, AsyncServerConfig};
+    /// use nnlut_transformer::{BertModel, TransformerConfig};
+    ///
+    /// let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 3);
+    /// let kit = NnLutKit::train_with(16, 3, &TrainConfig::fast());
+    /// let server = AsyncLutServer::new(model, kit, AsyncServerConfig::default());
+    ///
+    /// let ticket = server.submit_generate(vec![5, 6, 7], 4, None);
+    /// let mut tokens = Vec::new();
+    /// for token in ticket {
+    ///     tokens.push(token.expect("no deadline, cannot expire"));
+    /// }
+    /// assert_eq!(tokens.len(), 4);
+    /// assert!(server.metrics().generations_completed() >= 1);
+    /// ```
+    pub fn submit_generate(
+        &self,
+        prompt: Vec<usize>,
+        max_new: usize,
+        deadline: Option<Duration>,
+    ) -> GenerateTicket {
+        self.submit_generate_inner(prompt, max_new, deadline, None)
+    }
+
+    /// [`AsyncLutServer::submit_generate`] continuing an existing trace —
+    /// the sharded layer's failover seam (one trace per shard request,
+    /// across every rebuild attempt).
+    pub(crate) fn submit_generate_traced(
+        &self,
+        prompt: Vec<usize>,
+        max_new: usize,
+        deadline: Option<Duration>,
+        trace: Arc<RequestTrace>,
+    ) -> GenerateTicket {
+        self.submit_generate_inner(prompt, max_new, deadline, Some(trace))
+    }
+
+    fn submit_generate_inner(
+        &self,
+        prompt: Vec<usize>,
+        max_new: usize,
+        deadline: Option<Duration>,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> GenerateTicket {
+        validate_request(&self.config, &prompt);
+        assert!(max_new > 0, "must generate at least one token");
+        assert!(
+            prompt.len() + max_new <= self.config.max_seq,
+            "prompt ({}) + max_new ({max_new}) exceeds max_seq {}",
+            prompt.len(),
+            self.config.max_seq
+        );
+        let now = Instant::now();
+        let (id, state, rejected_at_depth) = {
+            let mut st = lock(&self.shared.state);
+            assert!(!st.shutdown, "cannot submit after shutdown");
+            let id = st.next_id;
+            st.next_id += 1;
+            let trace = trace.unwrap_or_else(|| {
+                let t = Arc::new(RequestTrace::new(id));
+                t.record(Stage::Admitted, self.replica_label, None);
+                t
+            });
+            let state = Arc::new(GenTicketState::new(trace));
+            let depth = st.batcher.queue_depth();
+            if !self
+                .admission
+                .admits(depth + 1, st.batcher.queued_tokens() + prompt.len())
+            {
+                st.metrics.record_overload_rejection();
+                (id, state, Some(depth))
+            } else {
+                state.trace.record(Stage::Queued, self.replica_label, None);
+                st.gens.insert(
+                    id,
+                    GenState {
+                        emitted: 0,
+                        max_new,
+                        cache: None,
+                        next_token: 0,
+                        deadline: deadline.map(|d| now + d),
+                        ticket: Arc::clone(&state),
+                        last_emit: None,
+                    },
+                );
+                st.batcher
+                    .push_at(id, prompt, now, deadline.map(|d| now + d));
+                (id, state, None)
+            }
+        };
+        match rejected_at_depth {
+            Some(queue_depth) => {
+                state
+                    .trace
+                    .record(Stage::Failed, self.replica_label, Some("overloaded"));
+                if let Some(rec) = &self.recorder {
+                    rec.record(
+                        "overload-rejection",
+                        self.replica_label,
+                        Some(id),
+                        queue_depth as u64,
+                    );
+                }
+                state.finish(Err(ServeError::Overloaded { id, queue_depth }));
+            }
+            None => self.shared.work.notify_one(),
+        }
+        GenerateTicket::from_state(id, state)
+    }
+
+    /// Generations currently live on this server (admitted, not yet
+    /// completed/expired/failed). Each holds one KV cache — this is the
+    /// cache-residency gauge, and it returns to zero when the last
+    /// generation resolves (eviction is structural: the cache drops with
+    /// the bookkeeping entry).
+    pub fn active_generations(&self) -> usize {
+        lock(&self.shared.state).gens.len()
+    }
+
     /// Requests currently waiting in the queue (not yet dispatched).
     pub fn queue_depth(&self) -> usize {
         lock(&self.shared.state).batcher.queue_depth()
@@ -694,6 +1184,15 @@ impl AsyncLutServer {
                         ticket.resolve(Err(ServeError::ServerFailed { id }));
                     }
                 }
+                let orphaned_gens: Vec<RequestId> = st.gens.keys().copied().collect();
+                for id in orphaned_gens {
+                    if let Some(gen) = st.gens.remove(&id) {
+                        gen.ticket
+                            .trace
+                            .record(Stage::Failed, None, Some("server-failed"));
+                        gen.ticket.finish(Err(ServeError::ServerFailed { id }));
+                    }
+                }
             }
         }
     }
@@ -705,6 +1204,65 @@ impl Drop for AsyncLutServer {
     }
 }
 
+/// Terminates one live generation with `err`: records the failure stage,
+/// folds its stage breakdown into the metrics, resolves its streaming
+/// ticket and drops its [`GenState`] (KV cache included). Called under
+/// the shared lock; a no-op if the generation already resolved.
+fn fail_generation(
+    st: &mut State,
+    id: RequestId,
+    replica: Option<usize>,
+    note: &'static str,
+    err: ServeError,
+) {
+    if let Some(gen) = st.gens.remove(&id) {
+        gen.ticket.trace.record(Stage::Failed, replica, Some(note));
+        let breakdown = gen.ticket.trace.breakdown();
+        st.metrics.record_stages(&breakdown);
+        gen.ticket.finish(Err(err));
+    }
+}
+
+/// Advances one generation by its freshly emitted token: streams the
+/// token to the ticket, records the `decoded` stage and the inter-token
+/// gap, then either finishes the generation (dropping its cache) or
+/// parks the cache and rejoins the decode plane. Called under the shared
+/// lock.
+fn advance_generation(
+    st: &mut State,
+    id: RequestId,
+    cache: KvCache,
+    token: usize,
+    replica: Option<usize>,
+) {
+    let now = Instant::now();
+    let Some(gen) = st.gens.get_mut(&id) else {
+        // The generation resolved while its step was in flight (only the
+        // worker-death sweep can do that); drop the cache and move on.
+        return;
+    };
+    let gap = gen.last_emit.map(|t| now.saturating_duration_since(t));
+    st.metrics.record_token_emitted(gap);
+    gen.last_emit = Some(now);
+    gen.emitted += 1;
+    gen.next_token = token;
+    gen.ticket.trace.record(Stage::Decoded, replica, None);
+    gen.ticket.push_token(token);
+    if gen.emitted >= gen.max_new {
+        let gen = st.gens.remove(&id).expect("looked up above");
+        gen.ticket.trace.record(Stage::Resolved, replica, None);
+        let breakdown = gen.ticket.trace.breakdown();
+        st.metrics.record_stages(&breakdown);
+        st.metrics.record_generation_complete();
+        gen.ticket.finish(Ok(()));
+        // `gen` (and the cache) drop here — eviction on completion.
+    } else {
+        let context = cache.len();
+        gen.cache = Some(cache);
+        st.batcher.push_decode(id, context, now, gen.deadline);
+    }
+}
+
 /// Resolves the in-order prefix of the completion queue: records metrics
 /// and resolves tickets strictly in dispatch-sequence order, freeing one
 /// in-flight slot per batch. Called under the shared lock.
@@ -713,51 +1271,189 @@ fn resolve_ready_completions(st: &mut State, replica: Option<usize>) {
         st.next_resolve += 1;
         st.in_flight -= 1;
         let Completion {
-            closed,
+            work,
             depth,
-            outcome,
             latency,
             traces,
         } = done;
-        let hidden = match outcome {
-            Ok(hidden) => hidden,
-            Err(()) => {
+        match work {
+            DoneWork::Bucket {
+                closed,
+                outcome: Err(()),
+            } => {
                 for (id, trace) in closed.ids.iter().zip(&traces) {
-                    trace.record(Stage::Failed, replica, Some("panic"));
-                    let breakdown = trace.breakdown();
-                    st.metrics.record_stages(&breakdown);
-                    if let Some(ticket) = st.tickets.remove(id) {
-                        ticket.resolve(Err(ServeError::ServerFailed { id: *id }));
+                    if st.gens.contains_key(id) {
+                        fail_generation(
+                            st,
+                            *id,
+                            replica,
+                            "panic",
+                            ServeError::ServerFailed { id: *id },
+                        );
+                    } else {
+                        trace.record(Stage::Failed, replica, Some("panic"));
+                        let breakdown = trace.breakdown();
+                        st.metrics.record_stages(&breakdown);
+                        if let Some(ticket) = st.tickets.remove(id) {
+                            ticket.resolve(Err(ServeError::ServerFailed { id: *id }));
+                        }
                     }
                 }
-                continue;
             }
-        };
-        st.metrics.record(BatchRecord {
-            sequences: closed.batch.sequences(),
-            tokens: closed.batch.tokens(),
-            padded_tokens: closed.batch.padded_tokens(),
-            queue_depth: depth,
-            latency,
-            bucket: closed.bucket,
-            reason: closed.reason,
-            queue_waits: closed.queue_waits,
-        });
-        for ((id, hidden), trace) in closed.ids.iter().zip(hidden).zip(&traces) {
-            trace.record(Stage::Reordered, replica, None);
-            trace.record(Stage::Resolved, replica, None);
-            let breakdown = trace.breakdown();
-            st.metrics.record_stages(&breakdown);
-            if let Some(ticket) = st.tickets.remove(id) {
-                ticket.resolve(Ok(EncodeResponse {
-                    id: *id,
-                    tokens: hidden.rows(),
-                    hidden,
+            DoneWork::Bucket {
+                closed,
+                outcome: Ok(results),
+            } => {
+                st.metrics.record(BatchRecord {
+                    sequences: closed.batch.sequences(),
+                    tokens: closed.batch.tokens(),
+                    padded_tokens: closed.batch.padded_tokens(),
+                    queue_depth: depth,
                     latency,
-                }));
+                    bucket: closed.bucket,
+                    reason: closed.reason,
+                    queue_waits: closed.queue_waits,
+                });
+                for ((id, result), trace) in closed.ids.iter().zip(results).zip(&traces) {
+                    trace.record(Stage::Reordered, replica, None);
+                    match result {
+                        MemberResult::Encoded(hidden) => {
+                            trace.record(Stage::Resolved, replica, None);
+                            let breakdown = trace.breakdown();
+                            st.metrics.record_stages(&breakdown);
+                            if let Some(ticket) = st.tickets.remove(id) {
+                                ticket.resolve(Ok(EncodeResponse {
+                                    id: *id,
+                                    tokens: hidden.rows(),
+                                    hidden,
+                                    latency,
+                                }));
+                            }
+                        }
+                        MemberResult::Prefilled { cache, token } => {
+                            advance_generation(st, *id, cache, token, replica);
+                        }
+                    }
+                }
+            }
+            DoneWork::Decode {
+                closed,
+                outcome: Err(()),
+            } => {
+                // The unwind consumed the members' caches: these
+                // generations cannot continue on this server.
+                for id in &closed.ids {
+                    fail_generation(
+                        st,
+                        *id,
+                        replica,
+                        "panic",
+                        ServeError::ServerFailed { id: *id },
+                    );
+                }
+            }
+            DoneWork::Decode {
+                closed,
+                outcome: Ok(stepped),
+            } => {
+                st.metrics.record_decode_batch(
+                    closed.ids.len(),
+                    closed.context_tokens,
+                    latency,
+                    closed.reason,
+                );
+                for (id, (cache, token)) in closed.ids.iter().zip(stepped) {
+                    advance_generation(st, *id, cache, token, replica);
+                }
             }
         }
     }
+}
+
+/// Runs one closed bucket batch: the pure-encode fast path is the
+/// original [`BertModel::encode_batch`] call; a batch with generation
+/// prefills splits by member kind — encodes re-pack and run wide,
+/// prefills run through [`BertModel::prefill_batch`] (per-sequence
+/// serial inside its lane, so results are composition-independent
+/// bitwise) with the first token read greedily. Results return in member
+/// order.
+fn run_bucket(
+    model: &BertModel,
+    closed: &ClosedBatch,
+    is_gen: &[bool],
+    nl: &Nonlinearity,
+    mode: MatmulMode,
+    pool: &ThreadPool,
+) -> Vec<MemberResult> {
+    if !is_gen.contains(&true) {
+        return model
+            .encode_batch(&closed.batch, nl, mode, pool)
+            .into_iter()
+            .map(MemberResult::Encoded)
+            .collect();
+    }
+    // Recover each member's tokens from the padded storage (the batcher
+    // does not keep the originals past packing).
+    let ids = closed.batch.ids();
+    let max_len = closed.batch.max_len();
+    let seqs: Vec<Vec<usize>> = closed
+        .batch
+        .lens()
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| ids[i * max_len..i * max_len + len].to_vec())
+        .collect();
+    let mut out: Vec<Option<MemberResult>> = (0..seqs.len()).map(|_| None).collect();
+    let enc_idx: Vec<usize> = (0..seqs.len()).filter(|&i| !is_gen[i]).collect();
+    if !enc_idx.is_empty() {
+        let enc_seqs: Vec<Vec<usize>> = enc_idx.iter().map(|&i| seqs[i].clone()).collect();
+        let batch = PaddedBatch::pack(&enc_seqs);
+        for (&i, hidden) in enc_idx
+            .iter()
+            .zip(model.encode_batch(&batch, nl, mode, pool))
+        {
+            out[i] = Some(MemberResult::Encoded(hidden));
+        }
+    }
+    let pre_idx: Vec<usize> = (0..seqs.len()).filter(|&i| is_gen[i]).collect();
+    if !pre_idx.is_empty() {
+        let pre_seqs: Vec<Vec<usize>> = pre_idx.iter().map(|&i| seqs[i].clone()).collect();
+        for (&i, (cache, hidden)) in pre_idx
+            .iter()
+            .zip(model.prefill_batch(&pre_seqs, nl, mode, pool))
+        {
+            let token = model.greedy_token(&hidden);
+            out[i] = Some(MemberResult::Prefilled { cache, token });
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every member computed"))
+        .collect()
+}
+
+/// Runs one closed decode batch: every sequence advances one token
+/// ([`BertModel::decode_batch`], lane-split, bit-identical to stepping
+/// alone) and its next token is read greedily. Caches return with their
+/// new K/V rows appended.
+fn run_decode(
+    model: &BertModel,
+    mut steps: Vec<(KvCache, usize)>,
+    nl: &Nonlinearity,
+    mode: MatmulMode,
+    pool: &ThreadPool,
+) -> Vec<(KvCache, usize)> {
+    let hiddens = {
+        let mut refs: Vec<(&mut KvCache, usize)> = steps.iter_mut().map(|(c, t)| (c, *t)).collect();
+        model.decode_batch(&mut refs, nl, mode, pool)
+    };
+    steps
+        .into_iter()
+        .zip(hiddens)
+        .map(|((cache, _), hidden)| {
+            let token = model.greedy_token(&hidden);
+            (cache, token)
+        })
+        .collect()
 }
 
 /// One encoder thread: pop a job, encode it (the only expensive step —
@@ -803,38 +1499,63 @@ fn encoder_loop(
         // coordinate) — so a chaos plan exercises the exact same failure
         // path a real encode panic takes.
         let start = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if let Some(injector) = &fault {
-                injector.before_encode(job.seq);
+        let seq = job.seq;
+        let work = match job.work {
+            JobWork::Bucket { closed, is_gen } => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(injector) = &fault {
+                        injector.before_encode(seq);
+                    }
+                    run_bucket(&model, &closed, &is_gen, &nl, mode, &pool)
+                }));
+                DoneWork::Bucket {
+                    closed,
+                    outcome: outcome.map_err(|_| ()),
+                }
             }
-            model.encode_batch(&job.closed.batch, &nl, mode, &pool)
-        }));
+            JobWork::Decode { closed, steps } => {
+                // `steps` moves into the closure: a panic consumes the
+                // caches in the unwind, which is exactly the failure
+                // contract (the generations cannot continue here).
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(injector) = &fault {
+                        injector.before_encode(seq);
+                    }
+                    run_decode(&model, steps, &nl, mode, &pool)
+                }));
+                DoneWork::Decode {
+                    closed,
+                    outcome: outcome.map_err(|_| ()),
+                }
+            }
+        };
         let latency = start.elapsed();
         // Stage recording and journaling happen outside the lock — the
         // traces were cloned into the job at dispatch.
-        let panicked = outcome.is_err();
+        let (panicked, members) = match &work {
+            DoneWork::Bucket { closed, outcome } => (outcome.is_err(), closed.ids.len()),
+            DoneWork::Decode { closed, outcome } => (outcome.is_err(), closed.ids.len()),
+        };
         let note = panicked.then_some("panic");
         for trace in &job.traces {
             trace.record(Stage::Encoded, replica, note);
         }
         if let Some(rec) = &recorder {
-            let members = job.closed.ids.len() as u64;
             if panicked {
-                rec.record("batch-panic", replica, None, members);
+                rec.record("batch-panic", replica, None, members as u64);
                 // The incident freezes the ring *as of the panic* —
                 // before later traffic wraps past the lead-up events.
                 rec.snapshot_incident("batch-panic", replica);
             } else {
-                rec.record("batch-encoded", replica, None, members);
+                rec.record("batch-encoded", replica, None, members as u64);
             }
         }
         let mut st = lock(&shared.state);
         st.completions.insert(
-            job.seq,
+            seq,
             Completion {
-                closed: job.closed,
+                work,
                 depth: job.depth,
-                outcome: outcome.map_err(|_| ()),
                 latency,
                 traces: job.traces,
             },
@@ -891,9 +1612,12 @@ fn dispatcher_loop(
     loop {
         let now = Instant::now();
         // Expire deadlines first — an expired request must never be
-        // packed, whatever else this wakeup does.
+        // packed, whatever else this wakeup does. Both planes: a queued
+        // prefill (generation or encode) and a queued decode step die
+        // the same way.
         let expired = st.batcher.take_expired(now);
-        if !expired.is_empty() {
+        let expired_decode = st.batcher.take_expired_decode(now);
+        if !expired.is_empty() || !expired_decode.is_empty() {
             for req in expired {
                 let waited = now.saturating_duration_since(req.queued_at);
                 st.metrics.record_deadline_miss(waited);
@@ -905,7 +1629,15 @@ fn dispatcher_loop(
                         waited.as_millis() as u64,
                     );
                 }
-                if let Some(ticket) = st.tickets.remove(&req.id) {
+                if st.gens.contains_key(&req.id) {
+                    fail_generation(
+                        &mut st,
+                        req.id,
+                        replica,
+                        "deadline",
+                        ServeError::DeadlineExceeded { id: req.id, waited },
+                    );
+                } else if let Some(ticket) = st.tickets.remove(&req.id) {
                     ticket
                         .trace
                         .record(Stage::Failed, replica, Some("deadline"));
@@ -914,39 +1646,113 @@ fn dispatcher_loop(
                     ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
                 }
             }
+            for step in expired_decode {
+                let waited = now.saturating_duration_since(step.queued_at);
+                st.metrics.record_deadline_miss(waited);
+                if let Some(rec) = &recorder {
+                    rec.record(
+                        "deadline-miss",
+                        replica,
+                        Some(step.id),
+                        waited.as_millis() as u64,
+                    );
+                }
+                fail_generation(
+                    &mut st,
+                    step.id,
+                    replica,
+                    "deadline",
+                    ServeError::DeadlineExceeded {
+                        id: step.id,
+                        waited,
+                    },
+                );
+            }
             continue; // re-plan against the culled queue
         }
         // Dispatch while an in-flight slot is free and a close fires.
         if st.in_flight < max_in_flight {
             let plan = if st.shutdown {
-                // Flush: ignore timers, drain oldest-front first.
-                st.batcher.plan_drain().map(|b| (b, CloseReason::Drain))
+                // Flush: ignore timers. The decode plane drains first —
+                // in-flight generations *finish* under shutdown (their
+                // token budget bounds the drain), and their steps are
+                // the cheapest way to retire queued work.
+                if st.batcher.decode_depth() > 0 {
+                    Some((CloseTarget::Decode, CloseReason::Drain))
+                } else {
+                    st.batcher
+                        .plan_drain()
+                        .map(|b| (CloseTarget::Bucket(b), CloseReason::Drain))
+                }
             } else {
                 st.batcher.plan_close(now, &close)
             };
-            if let Some((bucket, reason)) = plan {
+            if let Some((target, reason)) = plan {
                 let depth = st.batcher.queue_depth();
-                let closed = st.batcher.close_bucket(bucket, now, reason);
+                let (work, member_ids) = match target {
+                    CloseTarget::Bucket(bucket) => {
+                        let closed = st.batcher.close_bucket(bucket, now, reason);
+                        let is_gen: Vec<bool> = closed
+                            .ids
+                            .iter()
+                            .map(|id| st.gens.contains_key(id))
+                            .collect();
+                        let ids = closed.ids.clone();
+                        (JobWork::Bucket { closed, is_gen }, ids)
+                    }
+                    CloseTarget::Decode => {
+                        let closed = st.batcher.close_decode(now, reason);
+                        let steps: Vec<(KvCache, usize)> = closed
+                            .ids
+                            .iter()
+                            .map(|id| {
+                                let gen = st
+                                    .gens
+                                    .get_mut(id)
+                                    .expect("queued decode step belongs to a live generation");
+                                let cache = gen
+                                    .cache
+                                    .take()
+                                    .expect("cache parked while the step queued");
+                                (cache, gen.next_token)
+                            })
+                            .collect();
+                        let ids = closed.ids.clone();
+                        (JobWork::Decode { closed, steps }, ids)
+                    }
+                };
                 let seq = st.next_seq;
                 st.next_seq += 1;
                 st.in_flight += 1;
                 // Clone the members' traces now, under the lock: the
-                // encoder then records on them lock-free.
-                let traces: Vec<Arc<RequestTrace>> = closed
-                    .ids
+                // encoder then records on them lock-free. Encode members
+                // live in the ticket map, generations in the gens map.
+                let traces: Vec<Arc<RequestTrace>> = member_ids
                     .iter()
-                    .filter_map(|id| st.tickets.get(id).map(|t| Arc::clone(&t.trace)))
+                    .map(|id| {
+                        st.tickets
+                            .get(id)
+                            .map(|t| Arc::clone(&t.trace))
+                            .or_else(|| st.gens.get(id).map(|g| Arc::clone(&g.ticket.trace)))
+                            .unwrap_or_else(|| Arc::new(RequestTrace::new(*id)))
+                    })
                     .collect();
+                let is_decode = matches!(work, JobWork::Decode { .. });
                 for trace in &traces {
-                    trace.record(Stage::Assembled, None, None);
+                    // A decode step skips `Assembled` — there is no
+                    // packing phase; it keeps per-token event volume down
+                    // (traces cap at `RequestTrace::MAX_EVENTS`).
+                    if !is_decode {
+                        trace.record(Stage::Assembled, None, None);
+                    }
                     trace.record(Stage::Dispatched, replica, None);
                 }
                 if let Some(rec) = &recorder {
-                    rec.record("batch-dispatched", replica, None, closed.ids.len() as u64);
+                    rec.record("batch-dispatched", replica, None, member_ids.len() as u64);
                 }
                 st.encode_queue.push_back(EncodeJob {
                     seq,
-                    closed,
+                    work,
                     depth,
                     traces,
                 });
@@ -955,8 +1761,21 @@ fn dispatcher_loop(
             }
         }
         if st.shutdown && st.batcher.is_empty() && st.in_flight == 0 {
-            // Queue drained, every batch resolved, admission closed: tell
-            // the idle encoders to exit and join them.
+            // Queue drained, every batch resolved, admission closed. No
+            // generation can be live here (each is always either queued,
+            // in flight, or resolved) — but a sweep costs nothing and
+            // guarantees no streaming ticket is ever left hanging.
+            let leftover: Vec<RequestId> = st.gens.keys().copied().collect();
+            for id in leftover {
+                fail_generation(
+                    &mut st,
+                    id,
+                    replica,
+                    "server-failed",
+                    ServeError::ServerFailed { id },
+                );
+            }
+            // Tell the idle encoders to exit and join them.
             st.encoders_exit = true;
             drop(st);
             shared.encode.notify_all();
@@ -1112,6 +1931,104 @@ mod tests {
         assert_eq!(server.queued_tokens(), 10);
         drop(server); // shutdown drain serves the admitted requests
         assert_eq!(small.wait().unwrap().tokens, 2);
+    }
+
+    #[test]
+    fn generate_streams_tokens_matching_the_serial_oracle() {
+        // The same synthetic weights + kit, once for the server and once
+        // for the serial step-at-a-time oracle.
+        let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        let nl = Nonlinearity::all_lut(&kit);
+        let oracle = model.generate(&[3, 1, 4, 1, 5], 6, &nl, MatmulMode::F32);
+
+        let server = tiny_async(AsyncServerConfig::default());
+        let ticket = server.submit_generate(vec![3, 1, 4, 1, 5], 6, None);
+        let mut streamed = Vec::new();
+        for token in ticket {
+            streamed.push(token.expect("no deadline, cannot expire"));
+        }
+        assert_eq!(streamed, oracle, "continuous batching changed a token");
+
+        let m = server.metrics();
+        assert_eq!(m.generated_tokens(), 6);
+        assert_eq!(m.generations_completed(), 1);
+        assert_eq!(m.decode_steps(), 5, "first token comes from the prefill");
+        assert!(m.decode_batches() >= 1);
+        // Inter-token gaps exist once two tokens are out.
+        assert!(m.inter_token_percentile(50.0).is_some());
+        // Eviction on completion: no residual generation state or cache.
+        assert_eq!(server.active_generations(), 0);
+    }
+
+    #[test]
+    fn mixed_encodes_and_generations_share_batches() {
+        let server = tiny_async(AsyncServerConfig {
+            threads: 2,
+            max_in_flight: 2,
+            ..AsyncServerConfig::default()
+        });
+        let gens: Vec<GenerateTicket> = (0..3)
+            .map(|i| server.submit_generate(vec![1 + i, 2, 3], 4, None))
+            .collect();
+        let encodes: Vec<Ticket> = (0..4).map(|n| server.submit(vec![2; 3 + n])).collect();
+        for t in encodes {
+            let r = t.wait().expect("no deadline set");
+            assert_eq!(r.hidden.rows(), r.tokens);
+        }
+        for g in gens {
+            let r = g.wait().expect("no deadline set");
+            assert_eq!(r.tokens.len(), 4);
+        }
+        let m = server.metrics();
+        assert_eq!(m.generations_completed(), 3);
+        assert_eq!(m.generated_tokens(), 12);
+        assert_eq!(server.active_generations(), 0);
+    }
+
+    #[test]
+    fn generation_deadline_expires_cleanly() {
+        let server = tiny_async(AsyncServerConfig {
+            close: ClosePolicy {
+                // Nothing closes on age: the prefill sits queued until
+                // its deadline lapses.
+                max_batch_age: Duration::from_secs(3600),
+                deadline_slack: Duration::ZERO,
+            },
+            ..AsyncServerConfig::default()
+        });
+        let ticket = server.submit_generate(vec![1, 2], 4, Some(Duration::from_millis(1)));
+        match ticket.wait() {
+            Err(ServeError::DeadlineExceeded { id, .. }) => assert_eq!(id, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(server.active_generations(), 0, "expiry freed the cache");
+        assert_eq!(server.metrics().deadline_misses(), 1);
+    }
+
+    #[test]
+    fn shutdown_finishes_in_flight_generations() {
+        let mut server = tiny_async(AsyncServerConfig {
+            close: ClosePolicy {
+                // Only the shutdown drain can run the prefill.
+                max_batch_age: Duration::from_secs(3600),
+                deadline_slack: Duration::from_millis(1),
+            },
+            ..AsyncServerConfig::default()
+        });
+        let g = server.submit_generate(vec![7, 8, 9], 5, None);
+        let e = server.submit(vec![1; 4]);
+        server.shutdown();
+        assert!(g.is_done(), "shutdown drains generations to completion");
+        assert_eq!(g.wait().expect("drained, not dropped").tokens.len(), 5);
+        assert_eq!(e.wait().expect("drained").tokens, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn submit_generate_validates_the_token_budget() {
+        // roberta_tiny max_seq = 64: 60 prompt + 5 new cannot fit.
+        tiny_async(AsyncServerConfig::default()).submit_generate(vec![1; 60], 5, None);
     }
 
     #[test]

@@ -129,6 +129,18 @@ impl ClosePolicy {
             deadline_slack: Duration::from_millis(5),
         }
     }
+
+    /// The prefill-starvation bound: under continuous decode pressure
+    /// (decode-priority closes firing back to back), a queued
+    /// encode/prefill request still closes once its bucket's front has
+    /// waited this long — `3 × max_batch_age`. Without decode pressure
+    /// the ordinary [`ClosePolicy::max_batch_age`] close fires first, so
+    /// this bound is only visible when a generation stream would
+    /// otherwise monopolize the worker (the starvation regression test
+    /// pins it).
+    pub fn max_prefill_wait(&self) -> Duration {
+        self.max_batch_age * 3
+    }
 }
 
 impl Default for ClosePolicy {
@@ -223,6 +235,10 @@ pub enum CloseReason {
     /// Unconditional flush: a synchronous `drain`/`step`, or the
     /// asynchronous server shutting down.
     Drain,
+    /// A decode-priority close: generation steps were waiting and inter-
+    /// token latency outranks packing density, so the decode plane closed
+    /// as soon as the worker could take it.
+    Decode,
 }
 
 impl std::fmt::Display for CloseReason {
@@ -232,6 +248,7 @@ impl std::fmt::Display for CloseReason {
             CloseReason::Aged => "aged",
             CloseReason::Deadline => "deadline",
             CloseReason::Drain => "drain",
+            CloseReason::Decode => "decode",
         })
     }
 }
@@ -249,6 +266,52 @@ pub struct PendingRequest {
     /// Absolute completion deadline, if the submitter set one. Expired
     /// requests are culled by [`Batcher::take_expired`], never encoded.
     pub deadline: Option<Instant>,
+}
+
+/// One queued single-token decode step — the scheduling record of a
+/// generation rejoining the queue after emitting a token. The serving
+/// layer owns the sequence's KV cache and next token; the batcher only
+/// decides *when* the step runs and with which batch-mates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeStep {
+    /// The generation request this step advances.
+    pub id: RequestId,
+    /// Cached positions the step's attention spans — its compute-cost
+    /// signal. The step contributes `context_len + 1` to the decode
+    /// batch's area (the new row attends over the context plus itself).
+    pub context_len: usize,
+    /// When the step rejoined the queue (inter-token latency runs off
+    /// this).
+    pub queued_at: Instant,
+    /// The generation's absolute deadline, if any. A lapsed deadline
+    /// culls the step via [`Batcher::take_expired_decode`].
+    pub deadline: Option<Instant>,
+}
+
+/// One closed batch of decode steps, as produced by
+/// [`Batcher::close_decode`]. Parallel arrays in FIFO (rejoin) order.
+#[derive(Debug, Clone)]
+pub struct ClosedDecodeBatch {
+    /// Member generation ids.
+    pub ids: Vec<RequestId>,
+    /// Member deadlines, parallel to `ids`.
+    pub deadlines: Vec<Option<Instant>>,
+    /// Queue wait of each step at close time, parallel to `ids`.
+    pub queue_waits: Vec<Duration>,
+    /// Total attention area of the batch: `Σ (context_len + 1)` — the
+    /// analog of a padded batch's `sequences × max_len`.
+    pub context_tokens: usize,
+    /// Why the batch closed.
+    pub reason: CloseReason,
+}
+
+/// Which plane [`Batcher::plan_close`] decided to close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseTarget {
+    /// Close length bucket `i` via [`Batcher::close_bucket`].
+    Bucket(usize),
+    /// Close the decode plane via [`Batcher::close_decode`].
+    Decode,
 }
 
 /// One packed batch plus its admission bookkeeping, as produced by
@@ -300,6 +363,11 @@ pub struct Batcher {
     /// Sum of queued requests' token lengths, maintained O(1) on
     /// push/pop so the backpressure check never walks the queue.
     queued_tokens: usize,
+    /// The decode plane: FIFO of single-token generation steps, separate
+    /// from the length buckets because a decode step's cost profile is a
+    /// different shape (one new row, attention over a cached context) and
+    /// its latency target is per-token, not per-request.
+    decode: VecDeque<DecodeStep>,
 }
 
 impl Batcher {
@@ -333,6 +401,7 @@ impl Batcher {
             policy,
             buckets,
             queued_tokens: 0,
+            decode: VecDeque::new(),
         }
     }
 
@@ -391,9 +460,33 @@ impl Batcher {
         self.buckets.iter().map(VecDeque::len).collect()
     }
 
-    /// True when nothing is queued.
+    /// Enqueues one generation decode step (the sequence rejoining the
+    /// queue after a token). Decode steps never count against the
+    /// [`ServePolicy`] door watermarks — the generation was admitted
+    /// once, at submit time.
+    pub fn push_decode(
+        &mut self,
+        id: RequestId,
+        context_len: usize,
+        queued_at: Instant,
+        deadline: Option<Instant>,
+    ) {
+        self.decode.push_back(DecodeStep {
+            id,
+            context_len,
+            queued_at,
+            deadline,
+        });
+    }
+
+    /// Decode steps waiting in the decode plane.
+    pub fn decode_depth(&self) -> usize {
+        self.decode.len()
+    }
+
+    /// True when nothing is queued on either plane.
     pub fn is_empty(&self) -> bool {
-        self.buckets.iter().all(VecDeque::is_empty)
+        self.buckets.iter().all(VecDeque::is_empty) && self.decode.is_empty()
     }
 
     /// Removes and returns every queued request whose deadline is at or
@@ -402,7 +495,13 @@ impl Batcher {
     pub fn take_expired(&mut self, now: Instant) -> Vec<PendingRequest> {
         // Fast path: the worker calls this on every wakeup, so a queue
         // with no lapsed deadline must not pay the rebuild below.
-        if self.earliest_deadline().is_none_or(|d| d > now) {
+        let bucket_earliest = self
+            .buckets
+            .iter()
+            .flatten()
+            .filter_map(|r| r.deadline)
+            .min();
+        if bucket_earliest.is_none_or(|d| d > now) {
             return Vec::new();
         }
         let mut expired = Vec::new();
@@ -421,12 +520,41 @@ impl Batcher {
         expired
     }
 
-    /// The earliest deadline among queued requests.
+    /// Removes and returns every queued decode step whose generation
+    /// deadline is at or before `now`, in rejoin order. The caller
+    /// resolves the generation with a timeout error (and frees its KV
+    /// cache); the step is never run.
+    pub fn take_expired_decode(&mut self, now: Instant) -> Vec<DecodeStep> {
+        if self
+            .decode
+            .iter()
+            .filter_map(|s| s.deadline)
+            .min()
+            .is_none_or(|d| d > now)
+        {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.decode.len());
+        for step in self.decode.drain(..) {
+            match step.deadline {
+                Some(d) if d <= now => expired.push(step),
+                _ => keep.push_back(step),
+            }
+        }
+        self.decode = keep;
+        expired
+    }
+
+    /// The earliest deadline among queued requests — both planes, so a
+    /// deadline riding a decode step shapes close planning and worker
+    /// wakeups exactly like one riding a queued prefill.
     pub fn earliest_deadline(&self) -> Option<Instant> {
         self.buckets
             .iter()
             .flatten()
             .filter_map(|r| r.deadline)
+            .chain(self.decode.iter().filter_map(|s| s.deadline))
             .min()
     }
 
@@ -473,14 +601,21 @@ impl Batcher {
     }
 
     /// Decides whether an asynchronous worker should close a batch *now*,
-    /// and from which bucket. Checks, in priority order:
+    /// and from which plane/bucket. Checks, in priority order:
     ///
-    /// 1. any queued deadline within `close.deadline_slack`
-    ///    ([`CloseReason::Deadline`] — closing the bucket *containing*
-    ///    the pressured request);
-    /// 2. the oldest front request exceeding `close.max_batch_age`
+    /// 1. any queued deadline within `close.deadline_slack`, on either
+    ///    plane ([`CloseReason::Deadline`] — closing the plane or bucket
+    ///    *containing* the pressured request);
+    /// 2. a bucket front that has waited past
+    ///    [`ClosePolicy::max_prefill_wait`] ([`CloseReason::Aged`]) — the
+    ///    anti-starvation guard that lets a queued prefill preempt an
+    ///    otherwise-endless stream of decode-priority closes;
+    /// 3. a non-empty decode plane ([`CloseReason::Decode`]) — generation
+    ///    steps close as soon as the worker can take them, keeping
+    ///    inter-token latency flat while prefills stream in;
+    /// 4. the oldest front request exceeding `close.max_batch_age`
     ///    ([`CloseReason::Aged`]);
-    /// 3. a bucket whose greedy pack is budget-limited
+    /// 5. a bucket whose greedy pack is budget-limited
     ///    ([`CloseReason::Full`]).
     ///
     /// Urgency outranks throughput on purpose: under sustained arrivals
@@ -488,28 +623,56 @@ impl Batcher {
     /// starve deadline-pressured or aged requests sitting in *other*
     /// buckets until they expire. (Under that same overload the aged
     /// bucket is deep, so its close still packs a full batch — the
-    /// ordering costs essentially no padding efficiency.) Returns `None`
-    /// when no condition fires (the worker should sleep until
+    /// ordering costs essentially no padding efficiency.) Decode sits
+    /// between the urgency closes and the throughput closes for the same
+    /// reason in mirror image: it wins the common race against `Aged`
+    /// so token cadence never stalls behind a filling prefill batch, but
+    /// rule 2 bounds how long it can keep winning. Returns `None` when no
+    /// condition fires (the worker should sleep until
     /// [`Batcher::next_event`]).
-    pub fn plan_close(&self, now: Instant, close: &ClosePolicy) -> Option<(usize, CloseReason)> {
-        // Deadline pressure: some queued request (anywhere in its bucket)
-        // is within slack of its deadline; close that request's bucket.
-        let pressured = self
+    pub fn plan_close(
+        &self,
+        now: Instant,
+        close: &ClosePolicy,
+    ) -> Option<(CloseTarget, CloseReason)> {
+        // Deadline pressure: some queued request (anywhere on either
+        // plane) is within slack of its deadline; close what holds it.
+        let bucket_pressured = self
             .buckets
             .iter()
             .enumerate()
             .flat_map(|(b, q)| q.iter().map(move |r| (r, b)))
-            .filter_map(|(r, b)| r.deadline.map(|d| (d, r.id, b)))
-            .min();
-        if let Some((deadline, _, bucket)) = pressured {
+            .filter_map(|(r, b)| r.deadline.map(|d| (d, r.id, CloseTarget::Bucket(b))))
+            .min_by_key(|&(d, id, _)| (d, id));
+        let decode_pressured = self
+            .decode
+            .iter()
+            .filter_map(|s| s.deadline.map(|d| (d, s.id, CloseTarget::Decode)))
+            .min_by_key(|&(d, id, _)| (d, id));
+        let pressured = match (bucket_pressured, decode_pressured) {
+            (Some(a), Some(b)) => Some(if (a.0, a.1) <= (b.0, b.1) { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        if let Some((deadline, _, target)) = pressured {
             if deadline.saturating_duration_since(now) <= close.deadline_slack {
-                return Some((bucket, CloseReason::Deadline));
+                return Some((target, CloseReason::Deadline));
             }
+        }
+        // Anti-starvation: a bucket front that has out-waited even the
+        // prefill bound preempts the decode plane.
+        if let Some((queued_at, _, bucket)) = self.front_keys().min() {
+            if now.saturating_duration_since(queued_at) >= close.max_prefill_wait() {
+                return Some((CloseTarget::Bucket(bucket), CloseReason::Aged));
+            }
+        }
+        // Decode priority: waiting generation steps go next.
+        if !self.decode.is_empty() {
+            return Some((CloseTarget::Decode, CloseReason::Decode));
         }
         // Aged: the globally oldest front has waited long enough.
         if let Some((queued_at, _, bucket)) = self.front_keys().min() {
             if now.saturating_duration_since(queued_at) >= close.max_batch_age {
-                return Some((bucket, CloseReason::Aged));
+                return Some((CloseTarget::Bucket(bucket), CloseReason::Aged));
             }
         }
         // Full: among budget-limited buckets, pick the oldest front.
@@ -518,15 +681,18 @@ impl Batcher {
             .filter(|&(_, _, b)| self.pack_plan(b).1)
             .min();
         if let Some((_, _, bucket)) = full {
-            return Some((bucket, CloseReason::Full));
+            return Some((CloseTarget::Bucket(bucket), CloseReason::Full));
         }
         None
     }
 
     /// The next instant at which [`Batcher::plan_close`] could start
     /// firing without a new arrival: the earlier of the oldest front
-    /// aging out and the earliest deadline entering its slack window.
-    /// `None` when the queue is empty (sleep until woken).
+    /// aging out and the earliest deadline (either plane) entering its
+    /// slack window. `None` when the queue is empty (sleep until woken).
+    /// A non-empty decode plane never needs a timer — `plan_close` fires
+    /// for it immediately, so the worker only consults this after a
+    /// `None` plan, which implies the decode plane is empty.
     pub fn next_event(&self, close: &ClosePolicy) -> Option<Instant> {
         let aged = self.oldest_front().map(|at| at + close.max_batch_age);
         let pressured = self
@@ -575,6 +741,66 @@ impl Batcher {
             queue_waits,
             batch: PaddedBatch::pack(&seqs),
             bucket,
+            reason: if budget_limited {
+                CloseReason::Full
+            } else {
+                fallback
+            },
+        }
+    }
+
+    /// Greedy pack size of the decode plane under the policy:
+    /// `(count, budget_limited)`. A decode step's area is
+    /// `context_len + 1`; the batch packs from the front while the
+    /// running area total stays within `max_padded_tokens` and the count
+    /// within `max_batch` (the first step is always admitted).
+    fn decode_pack_plan(&self) -> (usize, bool) {
+        let mut count = 0usize;
+        let mut area = 0usize;
+        for step in &self.decode {
+            let candidate_area = area + step.context_len + 1;
+            let fits = count < self.policy.max_batch
+                && (count == 0 || candidate_area <= self.policy.max_padded_tokens);
+            if !fits {
+                return (count, true);
+            }
+            count += 1;
+            area = candidate_area;
+        }
+        (count, count == self.policy.max_batch && count > 0)
+    }
+
+    /// Packs and removes the next batch of decode steps (FIFO from the
+    /// decode plane, under the same count/area budget as
+    /// [`Batcher::close_bucket`] — see [`Batcher::decode_pack_plan`]).
+    /// The recorded reason upgrades to [`CloseReason::Full`] when the
+    /// budget was the binding constraint, mirroring the bucket close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decode plane is empty.
+    pub fn close_decode(&mut self, now: Instant, fallback: CloseReason) -> ClosedDecodeBatch {
+        let (count, budget_limited) = self.decode_pack_plan();
+        assert!(count > 0, "cannot close an empty decode plane");
+        let mut ids = Vec::with_capacity(count);
+        let mut deadlines = Vec::with_capacity(count);
+        let mut queue_waits = Vec::with_capacity(count);
+        let mut context_tokens = 0usize;
+        for _ in 0..count {
+            let step = self
+                .decode
+                .pop_front()
+                .expect("decode_pack_plan counted it");
+            context_tokens += step.context_len + 1;
+            ids.push(step.id);
+            deadlines.push(step.deadline);
+            queue_waits.push(now.saturating_duration_since(step.queued_at));
+        }
+        ClosedDecodeBatch {
+            ids,
+            deadlines,
+            queue_waits,
+            context_tokens,
             reason: if budget_limited {
                 CloseReason::Full
             } else {
@@ -732,7 +958,10 @@ mod tests {
         b.push_at(0, vec![1; 2], t0, None);
         assert_eq!(b.plan_close(t0, &close), None);
         b.push_at(1, vec![1; 2], t0, None);
-        assert_eq!(b.plan_close(t0, &close), Some((0, CloseReason::Full)));
+        assert_eq!(
+            b.plan_close(t0, &close),
+            Some((CloseTarget::Bucket(0), CloseReason::Full))
+        );
 
         // An under-filled batch closes once its front ages out…
         let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
@@ -740,7 +969,7 @@ mod tests {
         assert_eq!(b.plan_close(t0 + Duration::from_millis(5), &close), None);
         assert_eq!(
             b.plan_close(t0 + Duration::from_millis(10), &close),
-            Some((0, CloseReason::Aged))
+            Some((CloseTarget::Bucket(0), CloseReason::Aged))
         );
         assert_eq!(b.next_event(&close), Some(t0 + close.max_batch_age));
 
@@ -753,7 +982,7 @@ mod tests {
         assert_eq!(b.plan_close(t0 + Duration::from_millis(3), &close), None);
         assert_eq!(
             b.plan_close(t0 + Duration::from_millis(4), &close),
-            Some((1, CloseReason::Deadline))
+            Some((CloseTarget::Bucket(1), CloseReason::Deadline))
         );
         assert_eq!(
             b.next_event(&close),
@@ -781,7 +1010,10 @@ mod tests {
         b.push_at(1, vec![1; 2], t0 + Duration::from_millis(9), None);
         b.push_at(2, vec![1; 2], t0 + Duration::from_millis(9), None);
         let late = t0 + Duration::from_millis(12);
-        assert_eq!(b.plan_close(late, &close), Some((1, CloseReason::Aged)));
+        assert_eq!(
+            b.plan_close(late, &close),
+            Some((CloseTarget::Bucket(1), CloseReason::Aged))
+        );
         // A deadline inside its slack outranks both.
         let mut b = Batcher::new(BatchPolicy {
             max_batch: 2,
@@ -791,7 +1023,10 @@ mod tests {
         b.push_at(0, vec![1; 2], t0, None);
         b.push_at(1, vec![1; 2], t0, None);
         b.push_at(2, vec![1; 8], t0, Some(late + Duration::from_millis(1)));
-        assert_eq!(b.plan_close(late, &close), Some((1, CloseReason::Deadline)));
+        assert_eq!(
+            b.plan_close(late, &close),
+            Some((CloseTarget::Bucket(1), CloseReason::Deadline))
+        );
     }
 
     #[test]
@@ -845,6 +1080,134 @@ mod tests {
         assert!(area.admits(usize::MAX, 100));
         assert!(!area.admits(0, 101));
         assert_eq!(ServePolicy::default(), ServePolicy::unbounded());
+    }
+
+    #[test]
+    fn decode_plane_closes_with_priority_over_aged() {
+        let close = ClosePolicy {
+            max_batch_age: Duration::from_millis(10),
+            deadline_slack: Duration::from_millis(2),
+        };
+        let t0 = Instant::now();
+        let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        // An aged prefill is waiting, but a decode step is too: decode
+        // wins (token cadence outranks a filling prefill batch)…
+        b.push_at(0, vec![1; 2], t0, None);
+        b.push_decode(100, 7, t0 + Duration::from_millis(11), None);
+        let now = t0 + Duration::from_millis(12);
+        assert_eq!(
+            b.plan_close(now, &close),
+            Some((CloseTarget::Decode, CloseReason::Decode))
+        );
+        let closed = b.close_decode(now, CloseReason::Decode);
+        assert_eq!(closed.ids, vec![100]);
+        assert_eq!(closed.context_tokens, 8, "context 7 + the new row");
+        assert_eq!(closed.reason, CloseReason::Decode);
+        assert_eq!(b.decode_depth(), 0);
+        // …after which the aged prefill close fires as usual.
+        assert_eq!(
+            b.plan_close(now, &close),
+            Some((CloseTarget::Bucket(0), CloseReason::Aged))
+        );
+    }
+
+    /// The ISSUE's starvation regression: a continuous stream of cheap
+    /// decode steps must not starve a queued prefill forever. Once the
+    /// prefill's wait crosses `max_prefill_wait`, it preempts the decode
+    /// plane even though decode steps are still queued.
+    #[test]
+    fn continuous_decode_stream_cannot_starve_queued_prefills() {
+        let close = ClosePolicy {
+            max_batch_age: Duration::from_millis(10),
+            deadline_slack: Duration::from_millis(2),
+        };
+        let t0 = Instant::now();
+        let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        b.push_at(0, vec![1; 3], t0, None); // the prefill that must not starve
+        let mut now = t0;
+        let mut decode_closes = 0usize;
+        // Simulate the worker loop: every time a decode batch closes, the
+        // generating sequences immediately rejoin — the decode plane is
+        // never empty.
+        b.push_decode(100, 5, now, None);
+        loop {
+            now += Duration::from_millis(5);
+            let (target, reason) = b.plan_close(now, &close).expect("work is queued");
+            match target {
+                CloseTarget::Decode => {
+                    b.close_decode(now, reason);
+                    decode_closes += 1;
+                    assert!(decode_closes < 50, "prefill starved behind decode closes");
+                    b.push_decode(100, 5, now, None); // continuous generation
+                }
+                CloseTarget::Bucket(bucket) => {
+                    // The anti-starvation close: the prefill got through
+                    // while decode steps were still queued.
+                    assert_eq!(reason, CloseReason::Aged);
+                    assert!(b.decode_depth() > 0, "decode pressure was continuous");
+                    let closed = b.close_bucket(bucket, now, reason);
+                    assert_eq!(closed.ids, vec![0]);
+                    assert!(
+                        now.saturating_duration_since(t0)
+                            <= close.max_prefill_wait() + Duration::from_millis(5),
+                        "prefill waited past the starvation bound"
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_close_respects_count_and_area_budget() {
+        let t0 = Instant::now();
+        // Area budget 20: steps with context 8 cost 9 each → two fit.
+        let mut b = Batcher::new(fifo_policy(16, 20));
+        for id in 0..3 {
+            b.push_decode(id, 8, t0, None);
+        }
+        let closed = b.close_decode(t0, CloseReason::Decode);
+        assert_eq!(closed.ids, vec![0, 1]);
+        assert_eq!(closed.context_tokens, 18);
+        assert_eq!(closed.reason, CloseReason::Full, "budget-limited ⇒ Full");
+        let closed = b.close_decode(t0, CloseReason::Decode);
+        assert_eq!(closed.ids, vec![2]);
+        assert_eq!(closed.reason, CloseReason::Decode);
+        // Count budget binds too.
+        let mut b = Batcher::new(fifo_policy(2, usize::MAX));
+        for id in 0..5 {
+            b.push_decode(id, 0, t0, None);
+        }
+        assert_eq!(b.close_decode(t0, CloseReason::Decode).ids, vec![0, 1]);
+        assert_eq!(b.decode_depth(), 3);
+    }
+
+    #[test]
+    fn decode_deadlines_shape_planning_and_expiry() {
+        let close = ClosePolicy {
+            max_batch_age: Duration::from_millis(10),
+            deadline_slack: Duration::from_millis(2),
+        };
+        let t0 = Instant::now();
+        let mut b = Batcher::new(BatchPolicy::bucketed(vec![4]));
+        let deadline = t0 + Duration::from_millis(6);
+        b.push_decode(100, 3, t0, Some(deadline));
+        // The decode deadline is visible to the shared planning signals…
+        assert_eq!(b.earliest_deadline(), Some(deadline));
+        assert_eq!(
+            b.plan_close(t0 + Duration::from_millis(4), &close),
+            Some((CloseTarget::Decode, CloseReason::Deadline)),
+            "a decode deadline inside slack closes with Deadline, not Decode"
+        );
+        // …and a lapsed deadline culls the step without running it.
+        let expired = b.take_expired_decode(t0 + Duration::from_millis(7));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, 100);
+        assert_eq!(b.decode_depth(), 0);
+        assert!(b.is_empty());
+        assert!(b
+            .take_expired_decode(t0 + Duration::from_secs(1))
+            .is_empty());
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //! * [`batcher`] — **length-bucketed admission**: one FIFO queue per
 //!   length bucket, packed/padded into fixed-shape
 //!   [`nnlut_transformer::PaddedBatch`]es under a [`BatchPolicy`] budget,
-//!   with deadline-aware batch-close planning ([`ClosePolicy`]).
+//!   with deadline-aware batch-close planning ([`ClosePolicy`]) — plus a
+//!   dedicated **decode plane**: live generations' single-token steps
+//!   queue separately and close into wide [`ClosedDecodeBatch`]es under
+//!   the same area budget, decode-priority but with prefill
+//!   anti-starvation.
 //! * [`server`] — the synchronous [`LutServer`] front door: the caller's
 //!   thread drives `submit`/`step`/`drain`; `try_submit` honors the
 //!   [`ServePolicy`] backpressure watermark.
@@ -116,9 +120,12 @@ pub mod server;
 pub mod shard;
 pub mod trace;
 
-pub use async_server::{AsyncLutServer, AsyncServerConfig, ServeError, Ticket};
+pub use async_server::{
+    AsyncLutServer, AsyncServerConfig, GenerateResponse, GenerateTicket, ServeError, Ticket,
+};
 pub use batcher::{
-    BatchPolicy, Batcher, ClosePolicy, CloseReason, ClosedBatch, PendingRequest, ServePolicy,
+    BatchPolicy, Batcher, ClosePolicy, CloseReason, CloseTarget, ClosedBatch, ClosedDecodeBatch,
+    DecodeStep, PendingRequest, ServePolicy,
 };
 pub use fault::{BatchFault, Fault, FaultInjector, FaultPlan, INJECTED_PANIC_PREFIX};
 pub use http::{HttpHandle, HttpResponse};

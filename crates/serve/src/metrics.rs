@@ -225,6 +225,7 @@ fn reason_index(reason: CloseReason) -> usize {
         CloseReason::Aged => 1,
         CloseReason::Deadline => 2,
         CloseReason::Drain => 3,
+        CloseReason::Decode => 4,
     }
 }
 
@@ -243,7 +244,7 @@ pub struct ServeMetrics {
     min_latency: Option<Duration>,
     max_latency: Option<Duration>,
     peak_queue_depth: usize,
-    close_counts: [u64; 4],
+    close_counts: [u64; 5],
     /// Indexed by bucket; extends to the highest bucket that has
     /// dispatched a batch (bounded by the policy's bucket count).
     per_bucket: Vec<BucketStats>,
@@ -258,6 +259,22 @@ pub struct ServeMetrics {
     /// Total time attributed to each stage across every folded
     /// breakdown (the Prometheus `_sum` series).
     stage_totals: [Duration; Stage::COUNT],
+    /// Decode batches dispatched (generation steps, not encodes).
+    decode_batches: u64,
+    /// Single-token decode steps run across every decode batch.
+    decode_steps: u64,
+    /// Total attention area of decode batches (`Σ context_len + 1`).
+    decode_context_tokens: u64,
+    /// Wall-clock time spent running decode batches.
+    decode_latency: Duration,
+    /// Tokens emitted to generation tickets (including each prefill's
+    /// first token).
+    generated_tokens: u64,
+    /// Generations that ran to completion (emitted their full budget).
+    generations_completed: u64,
+    /// Gap between consecutive token emissions of a sequence — the
+    /// inter-token latency the decode-priority close policy protects.
+    inter_token_sketch: QuantileSketch,
 }
 
 impl Default for ServeMetrics {
@@ -284,7 +301,7 @@ impl ServeMetrics {
             min_latency: None,
             max_latency: None,
             peak_queue_depth: 0,
-            close_counts: [0; 4],
+            close_counts: [0; 5],
             per_bucket: Vec::new(),
             deadline_misses: 0,
             overload_rejections: 0,
@@ -293,7 +310,46 @@ impl ServeMetrics {
             missed_wait_sketch: QuantileSketch::new(capacity),
             stage_sketches: std::array::from_fn(|_| QuantileSketch::new(capacity)),
             stage_totals: [Duration::ZERO; Stage::COUNT],
+            decode_batches: 0,
+            decode_steps: 0,
+            decode_context_tokens: 0,
+            decode_latency: Duration::ZERO,
+            generated_tokens: 0,
+            generations_completed: 0,
+            inter_token_sketch: QuantileSketch::new(capacity),
         }
+    }
+
+    /// Folds one dispatched decode batch into the aggregates: `steps`
+    /// sequences advanced one token each over a total attention area of
+    /// `context_tokens`, in `latency` wall-clock, closed for `reason`.
+    pub fn record_decode_batch(
+        &mut self,
+        steps: usize,
+        context_tokens: usize,
+        latency: Duration,
+        reason: CloseReason,
+    ) {
+        self.decode_batches += 1;
+        self.decode_steps += steps as u64;
+        self.decode_context_tokens += context_tokens as u64;
+        self.decode_latency += latency;
+        self.close_counts[reason_index(reason)] += 1;
+    }
+
+    /// Records one token emitted to a generation ticket. `gap` is the
+    /// time since the same sequence's previous token (`None` for its
+    /// first token, which has no predecessor).
+    pub fn record_token_emitted(&mut self, gap: Option<Duration>) {
+        self.generated_tokens += 1;
+        if let Some(g) = gap {
+            self.inter_token_sketch.observe(g);
+        }
+    }
+
+    /// Records one generation that emitted its full token budget.
+    pub fn record_generation_complete(&mut self) {
+        self.generations_completed += 1;
     }
 
     /// Folds one resolved request's per-stage breakdown into the stage
@@ -493,6 +549,55 @@ impl ServeMetrics {
         self.peak_queue_depth
     }
 
+    /// Decode batches dispatched so far.
+    pub fn decode_batches(&self) -> u64 {
+        self.decode_batches
+    }
+
+    /// Single-token decode steps run so far.
+    pub fn decode_steps(&self) -> u64 {
+        self.decode_steps
+    }
+
+    /// Mean decode batch width (steps per decode batch; 0 before any).
+    pub fn decode_batch_width(&self) -> f64 {
+        if self.decode_batches == 0 {
+            return 0.0;
+        }
+        self.decode_steps as f64 / self.decode_batches as f64
+    }
+
+    /// Generation throughput in decode steps per second of decode
+    /// wall-clock (0 before any decode batch has run).
+    pub fn decode_steps_per_sec(&self) -> f64 {
+        let secs = self.decode_latency.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.decode_steps as f64 / secs
+    }
+
+    /// Tokens emitted to generation tickets so far.
+    pub fn generated_tokens(&self) -> u64 {
+        self.generated_tokens
+    }
+
+    /// Generations that emitted their full token budget.
+    pub fn generations_completed(&self) -> u64 {
+        self.generations_completed
+    }
+
+    /// Inter-token latency percentile over recently emitted tokens
+    /// (sliding window, see [`QuantileSketch`]); `None` until some
+    /// sequence has emitted at least two tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn inter_token_percentile(&self, p: f64) -> Option<Duration> {
+        self.inter_token_sketch.percentile(p)
+    }
+
     /// The retention capacity of each percentile sketch.
     pub fn sketch_capacity(&self) -> usize {
         self.latency_sketch.capacity()
@@ -509,6 +614,7 @@ impl ServeMetrics {
             + self.latency_sketch.approx_bytes()
             + self.queue_wait_sketch.approx_bytes()
             + self.missed_wait_sketch.approx_bytes()
+            + self.inter_token_sketch.approx_bytes()
             + self
                 .stage_sketches
                 .iter()
@@ -565,6 +671,13 @@ impl ServeMetrics {
         for (mine, theirs) in self.stage_totals.iter_mut().zip(other.stage_totals) {
             *mine += theirs;
         }
+        self.decode_batches += other.decode_batches;
+        self.decode_steps += other.decode_steps;
+        self.decode_context_tokens += other.decode_context_tokens;
+        self.decode_latency += other.decode_latency;
+        self.generated_tokens += other.generated_tokens;
+        self.generations_completed += other.generations_completed;
+        self.inter_token_sketch.merge(&other.inter_token_sketch);
     }
 
     /// One-line human summary (the bench and the examples print this).

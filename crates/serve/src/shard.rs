@@ -29,6 +29,17 @@
 //!   to [`ServeError::RetriesExhausted`]. A stalled attempt's original
 //!   replica ticket is simply dropped — when the wedged encode eventually
 //!   finishes, its result resolves into a slot nobody reads.
+//! * **Generation failover rebuilds the KV cache**: a generation
+//!   ([`ShardedServer::submit_generate`]) lives on one replica as a
+//!   prefill plus a stream of decode steps, its KV cache held in that
+//!   replica's memory. The supervisor harvests emitted tokens every tick
+//!   (via the replica ticket's shared stream state), so when the replica
+//!   panics or stalls mid-generation the shard re-submits
+//!   `prompt ++ tokens-emitted-so-far` with the *remaining* token budget
+//!   to a healthy replica — the retry's prefill rebuilds the cache from
+//!   the harvested prefix, and because decoding is deterministic the
+//!   continuation is bit-identical to one that never failed over. Each
+//!   such rebuild is counted in [`ShardMetrics::cache_rebuilds`].
 //!
 //! # Determinism across the shard
 //!
@@ -59,12 +70,13 @@ use nnlut_core::NnLutKit;
 use nnlut_transformer::{BertModel, Nonlinearity, TransformerConfig};
 
 use crate::async_server::{
-    lock, AsyncLutServer, AsyncServerConfig, ServeError, Ticket, TicketState,
+    lock, AsyncLutServer, AsyncServerConfig, GenTicketState, GenerateTicket, ServeError, Ticket,
+    TicketState,
 };
 use crate::batcher::ServePolicy;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::ServeMetrics;
-use crate::server::{validate_request, RequestId};
+use crate::server::{validate_request, EncodeResponse, RequestId};
 use crate::trace::{FlightEvent, FlightRecorder, RequestTrace, Stage};
 
 /// Construction knobs for the sharded server.
@@ -195,6 +207,27 @@ pub struct ShardMetrics {
     /// Requests that expired at their deadline (queued at the shard or
     /// inside a replica).
     pub deadline_misses: u64,
+    /// Generation requests admitted through the shard door (a subset of
+    /// `submitted`).
+    pub generations: u64,
+    /// Generation failovers that re-prefilled their harvested prefix on
+    /// another replica — each one is a KV-cache rebuild.
+    pub cache_rebuilds: u64,
+}
+
+/// What an admitted request wants from its replica.
+#[derive(Debug)]
+enum ReqKind {
+    /// A whole-sequence encode ([`ShardedServer::submit`]).
+    Encode,
+    /// An autoregressive generation. Across failovers `tokens` holds
+    /// `prompt ++ every-token-harvested-so-far` and `max_new` the
+    /// *remaining* budget, so a retry rebuilds the KV cache by
+    /// re-prefilling exactly the prefix the caller already streamed.
+    Generate {
+        /// Tokens still to generate (shrinks as the supervisor harvests).
+        max_new: usize,
+    },
 }
 
 /// One admitted request waiting to be routed (or re-routed).
@@ -209,6 +242,21 @@ struct ShardRequest {
     /// The replica that just failed this request — avoided on the next
     /// route when any alternative exists.
     avoid: Option<usize>,
+    kind: ReqKind,
+}
+
+impl ShardRequest {
+    /// The padded-area charge this request puts on the door and the JSQ
+    /// signal: its current tokens, plus — for a generation — the decode
+    /// budget it has reserved. Symmetric on admit/route/resolve as long
+    /// as callers charge and discharge through the same call.
+    fn area(&self) -> usize {
+        self.tokens.len()
+            + match self.kind {
+                ReqKind::Encode => 0,
+                ReqKind::Generate { max_new } => max_new,
+            }
+    }
 }
 
 /// Internal per-replica bookkeeping (the mutable side of [`ReplicaStatus`]).
@@ -339,6 +387,11 @@ struct ShardState {
     outstanding: usize,
     outstanding_tokens: usize,
     tickets: HashMap<RequestId, Arc<TicketState>>,
+    /// Shard-owned streaming sinks for in-flight generations — the state
+    /// behind the [`GenerateTicket`]s callers hold. Tokens harvested from
+    /// whichever replica attempt is current are spliced in here, so the
+    /// caller's stream is seamless across failovers.
+    gens: HashMap<RequestId, Arc<GenTicketState>>,
     next_id: RequestId,
     shutdown: bool,
     replicas: Vec<ReplicaCtl>,
@@ -369,13 +422,43 @@ struct SupervisorConfig {
     recorder: Option<Arc<FlightRecorder>>,
 }
 
+/// The replica-side handle of one in-flight attempt.
+#[derive(Debug)]
+enum AttemptTicket {
+    /// An encode attempt: resolves once, harvested with `wait()`.
+    Encode(Ticket),
+    /// A generation attempt: a token stream the supervisor polls.
+    Generate {
+        /// The replica ticket's shared stream (tokens land here as the
+        /// replica decodes).
+        replica_state: Arc<GenTicketState>,
+        /// The shard-owned sink the caller's [`GenerateTicket`] reads.
+        sink: Arc<GenTicketState>,
+        /// Tokens already forwarded from `replica_state` to `sink`.
+        harvested: usize,
+    },
+}
+
+/// What a finished attempt produced.
+enum AttemptOutcome {
+    Encode(Result<EncodeResponse, ServeError>),
+    Generate(Result<(), ServeError>),
+}
+
 /// One request currently riding a replica.
 #[derive(Debug)]
 struct Attempt {
     req: ShardRequest,
     replica: usize,
-    ticket: Ticket,
-    started: Instant,
+    ticket: AttemptTicket,
+    /// The padded-area charge recorded when this attempt was routed —
+    /// discharged verbatim on resolution (the request's own area may have
+    /// grown since, as harvested tokens fold into `req.tokens`).
+    area: usize,
+    /// Last sign of life: resolution progress for encodes is binary, but
+    /// a generation resets this on every harvested token, so the stall
+    /// watchdog measures time-without-progress, not total runtime.
+    last_progress: Instant,
 }
 
 /// N async replicas over one copy of the weights, one submit API, one
@@ -471,6 +554,7 @@ impl ShardedServer {
                 outstanding: 0,
                 outstanding_tokens: 0,
                 tickets: HashMap::new(),
+                gens: HashMap::new(),
                 next_id: 0,
                 shutdown: false,
                 replicas: (0..replicas)
@@ -566,6 +650,7 @@ impl ShardedServer {
                     queued_at: now,
                     attempts: 0,
                     avoid: None,
+                    kind: ReqKind::Encode,
                 });
                 (id, state, None)
             }
@@ -581,6 +666,98 @@ impl ShardedServer {
             None => self.shared.work.notify_all(),
         }
         Ticket::from_state(id, state)
+    }
+
+    /// Enqueues an autoregressive generation: `max_new` greedy tokens
+    /// continuing `prompt`, streamed through the returned
+    /// [`GenerateTicket`] as some replica decodes them.
+    ///
+    /// The generation rides one replica as a prefill plus per-token
+    /// decode steps (continuous batching — see
+    /// [`AsyncLutServer::submit_generate`]). The supervisor harvests
+    /// emitted tokens every tick, so if the replica panics or stalls
+    /// mid-generation the shard re-submits `prompt ++ harvested-tokens`
+    /// with the remaining budget to a healthy replica: the retry's
+    /// prefill **rebuilds the KV cache** from the harvested prefix and,
+    /// decoding being deterministic, the caller's stream continues
+    /// bit-identically to a fault-free run. Retries consume the same
+    /// [`ShardConfig::retry_budget`] as encodes; past it the ticket
+    /// fails with [`ServeError::RetriesExhausted`].
+    ///
+    /// `deadline` bounds the *whole* generation (measured from now); the
+    /// shard door charges `prompt.len() + max_new` padded area against
+    /// its [`ServePolicy`], reserving the decode budget up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty, out-of-vocabulary, `max_new` is 0,
+    /// `prompt.len() + max_new` exceeds the model's `max_seq`, or the
+    /// shard is shut down.
+    pub fn submit_generate(
+        &self,
+        prompt: Vec<usize>,
+        max_new: usize,
+        deadline: Option<Duration>,
+    ) -> GenerateTicket {
+        validate_request(&self.config, &prompt);
+        assert!(max_new > 0, "must generate at least one token");
+        assert!(
+            prompt.len() + max_new <= self.config.max_seq,
+            "prompt ({}) + max_new ({max_new}) exceeds max_seq ({})",
+            prompt.len(),
+            self.config.max_seq,
+        );
+        let now = Instant::now();
+        let prompt_len = prompt.len();
+        let (id, state, rejected_at_depth) = {
+            let mut st = lock(&self.shared.state);
+            assert!(!st.shutdown, "cannot submit after shutdown");
+            let id = st.next_id;
+            st.next_id += 1;
+            let trace = Arc::new(RequestTrace::new(id));
+            trace.record(Stage::Admitted, None, None);
+            let state = Arc::new(GenTicketState::new(trace));
+            let depth = st.pending.len() + st.outstanding;
+            let area = st.pending_tokens + st.outstanding_tokens;
+            let charge = prompt_len + max_new;
+            if !self.admission.admits(depth + 1, area + charge) {
+                st.metrics.overload_rejections += 1;
+                (id, state, Some(depth))
+            } else {
+                state.trace.record(Stage::Queued, None, None);
+                st.metrics.submitted += 1;
+                st.metrics.generations += 1;
+                st.gens.insert(id, Arc::clone(&state));
+                st.pending_tokens += charge;
+                st.pending.push_back(ShardRequest {
+                    id,
+                    tokens: prompt,
+                    deadline: deadline.map(|d| now + d),
+                    queued_at: now,
+                    attempts: 0,
+                    avoid: None,
+                    kind: ReqKind::Generate { max_new },
+                });
+                (id, state, None)
+            }
+        };
+        match rejected_at_depth {
+            Some(queue_depth) => {
+                state.trace.record(Stage::Failed, None, Some("overloaded"));
+                if let Some(rec) = &self.recorder {
+                    rec.record("overload-rejection", None, Some(id), prompt_len as u64);
+                }
+                state.finish(Err(ServeError::Overloaded { id, queue_depth }));
+            }
+            None => self.shared.work.notify_all(),
+        }
+        GenerateTicket::from_state(id, state)
+    }
+
+    /// Generations admitted and not yet finished (their KV caches are
+    /// resident on some replica, or about to be rebuilt on one).
+    pub fn active_generations(&self) -> usize {
+        lock(&self.shared.state).gens.len()
     }
 
     /// Requests admitted but not yet routed to a replica.
@@ -865,6 +1042,14 @@ impl ShardedServer {
                         ticket.resolve(Err(ServeError::ServerFailed { id }));
                     }
                 }
+                let orphaned_gens: Vec<RequestId> = st.gens.keys().copied().collect();
+                for id in orphaned_gens {
+                    if let Some(sink) = st.gens.remove(&id) {
+                        sink.trace
+                            .record(Stage::Failed, None, Some("server-failed"));
+                        sink.finish(Err(ServeError::ServerFailed { id }));
+                    }
+                }
             }
         }
         if let Some(servers) = self.servers.take() {
@@ -974,9 +1159,57 @@ fn render_prometheus(
             "Requests rejected at an admission door.",
             merged.overload_rejections() as u64,
         ),
+        (
+            "nnlut_serve_decode_batches_total",
+            "Continuous-batching decode batches run across the fleet.",
+            merged.decode_batches(),
+        ),
+        (
+            "nnlut_serve_decode_steps_total",
+            "Single-token decode steps run across the fleet.",
+            merged.decode_steps(),
+        ),
+        (
+            "nnlut_serve_generated_tokens_total",
+            "Tokens emitted by generations across the fleet.",
+            merged.generated_tokens(),
+        ),
+        (
+            "nnlut_serve_generations_completed_total",
+            "Generations that emitted their full token budget.",
+            merged.generations_completed(),
+        ),
     ] {
         head(&mut out, name, "counter", help);
         let _ = writeln!(out, "{name} {value}");
+    }
+
+    head(
+        &mut out,
+        "nnlut_serve_decode_batch_width",
+        "gauge",
+        "Mean decode steps per decode batch (continuous-batching width).",
+    );
+    let _ = writeln!(
+        out,
+        "nnlut_serve_decode_batch_width {:.3}",
+        merged.decode_batch_width()
+    );
+    head(
+        &mut out,
+        "nnlut_serve_inter_token_seconds",
+        "summary",
+        "Gap between consecutive tokens of a generation.",
+    );
+    for (q, p) in [("0.5", 50.0), ("0.95", 95.0)] {
+        let _ = writeln!(
+            out,
+            "nnlut_serve_inter_token_seconds{{quantile=\"{q}\"}} {:.6}",
+            merged
+                .inter_token_percentile(p)
+                .unwrap_or_default()
+                .as_secs_f64()
+        );
     }
 
     head(
@@ -1109,6 +1342,16 @@ fn render_prometheus(
             "nnlut_shard_deadline_misses_total",
             "Requests that expired at their deadline.",
             shard.deadline_misses,
+        ),
+        (
+            "nnlut_shard_generations_total",
+            "Generation requests admitted through the shard door.",
+            shard.generations,
+        ),
+        (
+            "nnlut_shard_cache_rebuilds_total",
+            "Generation failovers that re-prefilled on another replica.",
+            shard.cache_rebuilds,
         ),
     ] {
         head(&mut out, name, "counter", help);
@@ -1252,18 +1495,52 @@ fn supervisor_loop(
         let now = Instant::now();
 
         // Harvest outside the lock: `wait()` on a ready ticket cannot
-        // block, and collecting first keeps the locked section short.
+        // block, generation polling is a snapshot, and collecting first
+        // keeps the locked section short.
         let mut finished = Vec::new();
         let mut stalled = Vec::new();
         let mut i = 0;
         while i < attempts.len() {
-            if attempts[i].ticket.is_ready() {
+            // Poll for progress; fold any freshly decoded tokens into the
+            // caller's stream *and* the request's failover state before
+            // deciding the attempt's fate, so a failure observed in the
+            // same snapshot still rebuilds from the full emitted prefix.
+            let (ready, fresh) = match &mut attempts[i].ticket {
+                AttemptTicket::Encode(t) => (t.is_ready(), Vec::new()),
+                AttemptTicket::Generate {
+                    replica_state,
+                    sink,
+                    harvested,
+                } => {
+                    let (fresh, done) = replica_state.snapshot_from(*harvested);
+                    *harvested += fresh.len();
+                    for &token in &fresh {
+                        sink.push_token(token);
+                    }
+                    (done.is_some(), fresh)
+                }
+            };
+            if !fresh.is_empty() {
+                let a = &mut attempts[i];
+                a.last_progress = now;
+                if let ReqKind::Generate { max_new } = &mut a.req.kind {
+                    *max_new = max_new.saturating_sub(fresh.len());
+                }
+                a.req.tokens.extend(fresh);
+            }
+            if ready {
                 let a = attempts.swap_remove(i);
-                let replica = a.replica;
-                let req = a.req;
-                let result = a.ticket.wait();
-                finished.push((req, replica, result));
-            } else if now.saturating_duration_since(attempts[i].started) >= config.stall_timeout {
+                let outcome = match a.ticket {
+                    AttemptTicket::Encode(t) => AttemptOutcome::Encode(t.wait()),
+                    AttemptTicket::Generate { replica_state, .. } => {
+                        let (_, done) = replica_state.snapshot_from(usize::MAX);
+                        AttemptOutcome::Generate(done.expect("polled done above"))
+                    }
+                };
+                finished.push((a.req, a.replica, a.area, outcome));
+            } else if now.saturating_duration_since(attempts[i].last_progress)
+                >= config.stall_timeout
+            {
                 stalled.push(attempts.swap_remove(i));
             } else {
                 i += 1;
@@ -1279,12 +1556,12 @@ fn supervisor_loop(
 
         let mut st = lock(&shared.state);
 
-        for (req, replica, result) in finished {
+        for (req, replica, area, outcome) in finished {
             st.outstanding -= 1;
-            st.outstanding_tokens -= req.tokens.len();
-            st.replicas[replica].outstanding_tokens -= req.tokens.len();
-            match result {
-                Ok(mut resp) => {
+            st.outstanding_tokens -= area;
+            st.replicas[replica].outstanding_tokens -= area;
+            match outcome {
+                AttemptOutcome::Encode(Ok(mut resp)) => {
                     // Response identity is the shard's: same id whichever
                     // replica (or retry) produced it.
                     resp.id = req.id;
@@ -1295,21 +1572,37 @@ fn supervisor_loop(
                         ticket.resolve(Ok(resp));
                     }
                 }
-                Err(ServeError::DeadlineExceeded { .. }) => {
+                AttemptOutcome::Generate(Ok(())) => {
+                    // Every token was already harvested into the caller's
+                    // stream; ending it is all that's left.
+                    st.replicas[replica].completed += 1;
+                    st.replicas[replica].on_success(now);
+                    st.metrics.completed += 1;
+                    if let Some(sink) = st.gens.remove(&req.id) {
+                        sink.finish(Ok(()));
+                    }
+                }
+                AttemptOutcome::Encode(Err(ServeError::DeadlineExceeded { .. }))
+                | AttemptOutcome::Generate(Err(ServeError::DeadlineExceeded { .. })) => {
                     // Expired inside the replica: terminal, not a replica
                     // fault — the request was simply too old.
                     st.metrics.deadline_misses += 1;
                     let waited = now.saturating_duration_since(req.queued_at);
+                    let err = ServeError::DeadlineExceeded { id: req.id, waited };
                     if let Some(ticket) = st.tickets.remove(&req.id) {
-                        ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
+                        ticket.resolve(Err(err));
+                    } else if let Some(sink) = st.gens.remove(&req.id) {
+                        sink.finish(Err(err));
                     }
                 }
-                Err(_) => {
+                AttemptOutcome::Encode(Err(_)) | AttemptOutcome::Generate(Err(_)) => {
                     // ServerFailed (a contained batch panic — possibly
                     // injected) or any other replica-side failure: the
                     // replica takes the health hit, the request fails
                     // over. (The replica's encoder already journaled the
-                    // panic and froze an incident snapshot.)
+                    // panic and froze an incident snapshot.) A failed
+                    // generation requeues with its harvested prefix — the
+                    // retry re-prefills it, rebuilding the KV cache.
                     st.replicas[replica].failures += 1;
                     fail_health(&mut st, replica, &config, now);
                     fail_over(&mut st, req, replica, &config, "panic");
@@ -1320,8 +1613,8 @@ fn supervisor_loop(
         for a in stalled {
             let req = a.req;
             st.outstanding -= 1;
-            st.outstanding_tokens -= req.tokens.len();
-            st.replicas[a.replica].outstanding_tokens -= req.tokens.len();
+            st.outstanding_tokens -= a.area;
+            st.replicas[a.replica].outstanding_tokens -= a.area;
             st.replicas[a.replica].stalls += 1;
             st.metrics.stalls += 1;
             if let Some(rec) = &config.recorder {
@@ -1368,7 +1661,7 @@ fn supervisor_loop(
             }
             st.pending = keep;
             for req in culled {
-                st.pending_tokens -= req.tokens.len();
+                st.pending_tokens -= req.area();
                 st.metrics.deadline_misses += 1;
                 let waited = now.saturating_duration_since(req.queued_at);
                 if let Some(rec) = &config.recorder {
@@ -1379,23 +1672,26 @@ fn supervisor_loop(
                         waited.as_millis() as u64,
                     );
                 }
-                if let Some(ticket) = st.tickets.remove(&req.id) {
-                    ticket.trace.record(Stage::Failed, None, Some("deadline"));
-                    ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
-                }
+                fail_terminal(
+                    &mut st,
+                    req.id,
+                    None,
+                    "deadline",
+                    ServeError::DeadlineExceeded { id: req.id, waited },
+                );
             }
         }
 
         // Route as much of the pending queue as current health allows.
         while let Some(req) = st.pending.pop_front() {
-            st.pending_tokens -= req.tokens.len();
+            st.pending_tokens -= req.area();
             match route(&mut st, &servers, &mut routed_to, &config, req, now) {
                 Routed::Attempt(a) => attempts.push(a),
                 Routed::Resolved => {}
                 Routed::NoCandidate(req) => {
                     // Every replica quarantined (and not draining): park
                     // the request; probes are the way back.
-                    st.pending_tokens += req.tokens.len();
+                    st.pending_tokens += req.area();
                     st.pending.push_front(req);
                     break;
                 }
@@ -1431,6 +1727,10 @@ fn supervisor_loop(
                 st.tickets.is_empty(),
                 "drained shard still holds unresolved tickets"
             );
+            debug_assert!(
+                st.gens.is_empty(),
+                "drained shard still holds unresolved generations"
+            );
             break;
             // In-flight probes (if any) are dropped with `probes`; their
             // results resolve into slots nobody reads when the replicas
@@ -1465,9 +1765,37 @@ fn expired(req: &ShardRequest, now: Instant) -> bool {
     req.deadline.is_some_and(|d| now >= d)
 }
 
+/// The trace of an unresolved request, whichever kind it is.
+fn trace_of(st: &ShardState, id: RequestId) -> Option<Arc<RequestTrace>> {
+    st.tickets
+        .get(&id)
+        .map(|t| Arc::clone(&t.trace))
+        .or_else(|| st.gens.get(&id).map(|g| Arc::clone(&g.trace)))
+}
+
+/// Terminally fails an unresolved request — encode tickets resolve,
+/// generation sinks finish — recording the failure on its trace.
+fn fail_terminal(
+    st: &mut ShardState,
+    id: RequestId,
+    replica: Option<usize>,
+    note: &'static str,
+    err: ServeError,
+) {
+    if let Some(ticket) = st.tickets.remove(&id) {
+        ticket.trace.record(Stage::Failed, replica, Some(note));
+        ticket.resolve(Err(err));
+    } else if let Some(sink) = st.gens.remove(&id) {
+        sink.trace.record(Stage::Failed, replica, Some(note));
+        sink.finish(Err(err));
+    }
+}
+
 /// Requeues a failed attempt at the front of the pending queue (retry
 /// priority — a victim of a fault should not also lose its place), or
-/// resolves [`ServeError::RetriesExhausted`] past the budget.
+/// resolves [`ServeError::RetriesExhausted`] past the budget. A
+/// generation requeues with its harvested prefix folded into `tokens`,
+/// so the retry rebuilds the KV cache by re-prefilling it.
 fn fail_over(
     st: &mut ShardState,
     mut req: ShardRequest,
@@ -1487,23 +1815,33 @@ fn fail_over(
     }
     if req.attempts > config.retry_budget {
         st.metrics.retries_exhausted += 1;
-        if let Some(ticket) = st.tickets.remove(&req.id) {
-            ticket
-                .trace
-                .record(Stage::Failed, Some(failed_on), Some("retries-exhausted"));
-            ticket.resolve(Err(ServeError::RetriesExhausted {
+        fail_terminal(
+            st,
+            req.id,
+            Some(failed_on),
+            "retries-exhausted",
+            ServeError::RetriesExhausted {
                 id: req.id,
                 attempts: req.attempts,
-            }));
-        }
+            },
+        );
     } else {
-        if let Some(ticket) = st.tickets.get(&req.id) {
-            ticket
-                .trace
-                .record(Stage::Requeued, Some(failed_on), Some(cause));
+        if let Some(trace) = trace_of(st, req.id) {
+            trace.record(Stage::Requeued, Some(failed_on), Some(cause));
+        }
+        if let ReqKind::Generate { .. } = req.kind {
+            st.metrics.cache_rebuilds += 1;
+            if let Some(rec) = &config.recorder {
+                rec.record(
+                    "cache-rebuild",
+                    Some(failed_on),
+                    Some(req.id),
+                    req.tokens.len() as u64,
+                );
+            }
         }
         st.metrics.failovers += 1;
-        st.pending_tokens += req.tokens.len();
+        st.pending_tokens += req.area();
         st.pending.push_front(req);
     }
 }
@@ -1542,10 +1880,13 @@ fn route(
                     waited.as_millis() as u64,
                 );
             }
-            if let Some(ticket) = st.tickets.remove(&req.id) {
-                ticket.trace.record(Stage::Failed, None, Some("deadline"));
-                ticket.resolve(Err(ServeError::DeadlineExceeded { id: req.id, waited }));
-            }
+            fail_terminal(
+                st,
+                req.id,
+                None,
+                "deadline",
+                ServeError::DeadlineExceeded { id: req.id, waited },
+            );
             return Routed::Resolved;
         }
         let candidates: Vec<usize> = (0..servers.len())
@@ -1585,48 +1926,90 @@ fn route(
             }
             if req.attempts > config.retry_budget {
                 st.metrics.retries_exhausted += 1;
-                if let Some(ticket) = st.tickets.remove(&req.id) {
-                    ticket
-                        .trace
-                        .record(Stage::Failed, Some(target), Some("retries-exhausted"));
-                    ticket.resolve(Err(ServeError::RetriesExhausted {
+                fail_terminal(
+                    st,
+                    req.id,
+                    Some(target),
+                    "retries-exhausted",
+                    ServeError::RetriesExhausted {
                         id: req.id,
                         attempts: req.attempts,
-                    }));
-                }
+                    },
+                );
                 return Routed::Resolved;
             }
-            if let Some(ticket) = st.tickets.get(&req.id) {
-                ticket
-                    .trace
-                    .record(Stage::Requeued, Some(target), Some("bounce"));
+            if let Some(trace) = trace_of(st, req.id) {
+                trace.record(Stage::Requeued, Some(target), Some("bounce"));
             }
             st.metrics.failovers += 1;
             continue;
         }
         let remaining = req.deadline.map(|d| d.saturating_duration_since(now));
-        // The shard trace rides into the replica: the attempt's stage
-        // events (queued, assembled, dispatched, encoded, …) land on the
-        // same journal the shard has been writing since admission.
-        let trace = st.tickets.get(&req.id).map(|t| Arc::clone(&t.trace));
-        let ticket = match &trace {
-            Some(trace) => {
-                if req.attempts > 0 {
-                    trace.record(Stage::Retried, Some(target), None);
-                }
-                servers[target].submit_traced(req.tokens.clone(), remaining, Arc::clone(trace))
+        let area = req.area();
+        let ticket = match req.kind {
+            ReqKind::Encode => {
+                // The shard trace rides into the replica: the attempt's
+                // stage events (queued, assembled, dispatched, encoded, …)
+                // land on the same journal the shard has been writing
+                // since admission.
+                let trace = st.tickets.get(&req.id).map(|t| Arc::clone(&t.trace));
+                AttemptTicket::Encode(match &trace {
+                    Some(trace) => {
+                        if req.attempts > 0 {
+                            trace.record(Stage::Retried, Some(target), None);
+                        }
+                        servers[target].submit_traced(
+                            req.tokens.clone(),
+                            remaining,
+                            Arc::clone(trace),
+                        )
+                    }
+                    None => servers[target].submit_with_deadline(req.tokens.clone(), remaining),
+                })
             }
-            None => servers[target].submit_with_deadline(req.tokens.clone(), remaining),
+            ReqKind::Generate { max_new } => {
+                let Some(sink) = st.gens.get(&req.id).map(Arc::clone) else {
+                    // Already resolved terminally (caller raced a
+                    // deadline cull) — nothing left to route.
+                    return Routed::Resolved;
+                };
+                if max_new == 0 {
+                    // Every budgeted token was harvested before the
+                    // failed attempt died; the stream just needs its end.
+                    st.gens.remove(&req.id);
+                    st.metrics.completed += 1;
+                    sink.trace.record(Stage::Resolved, None, None);
+                    sink.finish(Ok(()));
+                    return Routed::Resolved;
+                }
+                if req.attempts > 0 {
+                    sink.trace.record(Stage::Retried, Some(target), None);
+                }
+                // Resubmitting prompt ++ harvested prefix re-prefills it
+                // on the target — the KV-cache rebuild.
+                let replica_ticket = servers[target].submit_generate_traced(
+                    req.tokens.clone(),
+                    max_new,
+                    remaining,
+                    Arc::clone(&sink.trace),
+                );
+                AttemptTicket::Generate {
+                    replica_state: replica_ticket.state_handle(),
+                    sink,
+                    harvested: 0,
+                }
+            }
         };
         st.replicas[target].routed += 1;
-        st.replicas[target].outstanding_tokens += req.tokens.len();
+        st.replicas[target].outstanding_tokens += area;
         st.outstanding += 1;
-        st.outstanding_tokens += req.tokens.len();
+        st.outstanding_tokens += area;
         return Routed::Attempt(Attempt {
             req,
             replica: target,
             ticket,
-            started: now,
+            area,
+            last_progress: now,
         });
     }
 }
@@ -1635,6 +2018,7 @@ fn route(
 mod tests {
     use super::*;
     use nnlut_core::train::TrainConfig;
+    use nnlut_transformer::MatmulMode;
 
     fn tiny_sharded(config: ShardConfig) -> ShardedServer {
         let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
@@ -1696,6 +2080,69 @@ mod tests {
         }
         // Metrics survive shutdown (frozen snapshot).
         assert_eq!(server.metrics().total_sequences(), 6);
+    }
+
+    #[test]
+    fn generation_streams_across_the_shard() {
+        let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        let nl = Nonlinearity::all_lut(&kit);
+        let oracle = model.generate(&[3, 1, 4, 1, 5], 6, &nl, MatmulMode::F32);
+        let server = ShardedServer::new(
+            model,
+            kit,
+            ShardConfig {
+                replicas: 2,
+                ..ShardConfig::default()
+            },
+        );
+        let ticket = server.submit_generate(vec![3, 1, 4, 1, 5], 6, None);
+        let response = ticket.wait().expect("no faults, no deadline");
+        assert_eq!(response.tokens, oracle, "shard serves the serial decode");
+        let m = server.shard_metrics();
+        assert_eq!(m.submitted, 1);
+        assert_eq!(m.generations, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.cache_rebuilds, 0);
+        assert_eq!(
+            server.active_generations(),
+            0,
+            "cache evicted on completion"
+        );
+        assert_eq!(server.metrics().generations_completed(), 1);
+    }
+
+    #[test]
+    fn replica_panic_mid_generation_rebuilds_the_cache() {
+        let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        let nl = Nonlinearity::all_lut(&kit);
+        let oracle = model.generate(&[2, 7, 1], 8, &nl, MatmulMode::F32);
+        // The lone generation JSQ-routes to replica 0 (tie → lowest
+        // index); its prefill is that replica's batch 0 and decode steps
+        // follow, so a panic at batch 2 lands mid-generation with tokens
+        // already streamed.
+        let plan = Arc::new(FaultPlan::new().panic_at(0, 2));
+        let server = ShardedServer::new(
+            model,
+            kit,
+            ShardConfig {
+                replicas: 2,
+                fault_plan: Some(plan),
+                ..ShardConfig::default()
+            },
+        );
+        let ticket = server.submit_generate(vec![2, 7, 1], 8, None);
+        let response = ticket.wait().expect("failover absorbs the panic");
+        assert_eq!(
+            response.tokens, oracle,
+            "the rebuilt cache continues the stream bit-identically"
+        );
+        let m = server.shard_metrics();
+        assert_eq!(m.completed, 1);
+        assert!(m.failovers >= 1, "the panic must have failed over");
+        assert!(m.cache_rebuilds >= 1, "the failover re-prefilled");
+        assert_eq!(server.active_generations(), 0);
     }
 
     #[test]

@@ -66,12 +66,17 @@ pub enum Stage {
     Requeued,
     /// Re-routed to a replica after a requeue.
     Retried,
+    /// One generated token emitted to a streaming ticket (recorded once
+    /// per decode step, including the prefill's first token; long
+    /// generations saturate the [`RequestTrace::MAX_EVENTS`] cap and
+    /// further events are counted-by-omission).
+    Decoded,
 }
 
 impl Stage {
     /// Every stage, in lifecycle order — the index order used by the
     /// per-stage sketches in `ServeMetrics`.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Admitted,
         Stage::Queued,
         Stage::Assembled,
@@ -82,6 +87,7 @@ impl Stage {
         Stage::Failed,
         Stage::Requeued,
         Stage::Retried,
+        Stage::Decoded,
     ];
 
     /// Number of stages (the per-stage sketch array length).
@@ -101,6 +107,7 @@ impl Stage {
             Stage::Failed => "failed",
             Stage::Requeued => "requeued",
             Stage::Retried => "retried",
+            Stage::Decoded => "decoded",
         }
     }
 
@@ -630,7 +637,7 @@ mod tests {
 
     #[test]
     fn stage_names_and_order_are_stable() {
-        assert_eq!(Stage::COUNT, 10);
+        assert_eq!(Stage::COUNT, 11);
         for (i, s) in Stage::ALL.iter().enumerate() {
             assert_eq!(s.index(), i);
         }

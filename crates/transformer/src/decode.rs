@@ -1,0 +1,816 @@
+//! Incremental (KV-cached) autoregressive decoding.
+//!
+//! The encoder path ([`BertModel::encode_batch`]) recomputes every
+//! position's keys and values on every call — the right shape for one-shot
+//! encodes, and quadratically wasteful for generation, where each new
+//! token only needs its *own* query against the keys/values of everything
+//! before it. This module adds the decoder-serving shape the repo's
+//! `ext_decoder` analysis models: a per-sequence [`KvCache`] holding each
+//! layer's appended K/V rows, a causal [`BertModel::prefill`] that
+//! populates the cache from a prompt in wide row-parallel passes, and a
+//! single-token [`BertModel::decode_step`] that attends over the cached
+//! context — all through the same baked LUT kernels and the
+//! [`BatchExecutor`](crate::exec::BatchExecutor) seam the serving layer
+//! already drives.
+//!
+//! # Determinism contract (extended to decode)
+//!
+//! The serving layer's bit-identity guarantee extends to generation
+//! because every op on the decode path is **token-row-local**:
+//!
+//! * projections run one token row at a time in a fixed k-order
+//!   ([`nnlut_tensor::Matrix::matmul_rows_into`] semantics), so row `r`
+//!   of a wide prefill GEMM equals the same row computed alone;
+//! * the causal softmax evaluates exactly the `p + 1` cached scores with
+//!   the same per-row kernel as the masked batch path
+//!   ([`Nonlinearity::softmax_chunk_masked`]'s valid-prefix property);
+//! * context accumulation sums cached V rows in ascending position order,
+//!   identical for the wide and incremental paths;
+//! * per-tensor reductions that would couple rows — the INT8 activation
+//!   quantizer and the I-BERT GELU scale — are taken **per token row** on
+//!   this path (exactly what a step-at-a-time decoder does on real
+//!   hardware), never over a batch or a whole prompt.
+//!
+//! Consequences, each pinned by tests here and in `tests/serve_decode.rs`:
+//!
+//! 1. `prefill(prompt)` produces bit-identical hidden states and cache
+//!    contents to feeding the prompt through [`BertModel::decode_step`]
+//!    one token at a time (cached attention == full recompute);
+//! 2. [`BertModel::decode_batch`] over any mix of sequences equals each
+//!    sequence decoded alone, at any lane count — continuous batching
+//!    never changes a generated token;
+//! 3. rebuilding a lost cache by re-prefilling `prompt ++ generated` and
+//!    continuing yields the same remaining tokens as the uninterrupted
+//!    run (the sharded layer's failover-with-cache-rebuild leans on 1).
+
+use nnlut_tensor::Matrix;
+
+use crate::backend::Nonlinearity;
+use crate::config::{Activation, NormKind};
+use crate::exec::{run_row_chunks, BatchExecutor, SerialExecutor};
+use crate::model::{Affine, BertModel, EncoderLayer};
+use crate::quant::{Linear, MatmulMode};
+
+/// One sequence's appended K/V rows for every layer — the state a
+/// generation carries between decode steps.
+///
+/// Append-only: position `p`'s K/V rows are written once (by
+/// [`BertModel::prefill`] or [`BertModel::decode_step`]) and never
+/// mutated. Buffers are reserved to `capacity` rows up front, so the heap
+/// footprint is a function of `(layers, hidden, capacity)` from the first
+/// token — [`KvCache::approx_bytes`] reports that bound and the unit
+/// tests pin that it never moves as the cache grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCache {
+    /// Per layer: appended key rows, `len × hidden` row-major.
+    k: Vec<Vec<f32>>,
+    /// Per layer: appended value rows, `len × hidden` row-major.
+    v: Vec<Vec<f32>>,
+    /// Cached positions so far (every layer holds exactly this many rows).
+    len: usize,
+    /// Hidden width of each cached row.
+    hidden: usize,
+    /// Maximum positions the cache will ever hold (the model's `max_seq`).
+    capacity: usize,
+}
+
+impl KvCache {
+    /// An empty cache for `layers` layers of `hidden`-wide rows, reserved
+    /// to `capacity` positions.
+    pub(crate) fn new(layers: usize, hidden: usize, capacity: usize) -> Self {
+        Self {
+            k: (0..layers)
+                .map(|_| Vec::with_capacity(capacity * hidden))
+                .collect(),
+            v: (0..layers)
+                .map(|_| Vec::with_capacity(capacity * hidden))
+                .collect(),
+            len: 0,
+            hidden,
+            capacity,
+        }
+    }
+
+    /// Cached positions (tokens whose K/V every layer holds).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before any token has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum positions this cache can hold (the model's `max_seq`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True once the cache holds `capacity` positions — the next decode
+    /// step would have nowhere to sit.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// Layers this cache spans.
+    pub fn layers(&self) -> usize {
+        self.k.len()
+    }
+
+    /// The heap bound this cache can ever occupy: every layer's K and V
+    /// buffer at full *capacity* (reserved at construction), independent
+    /// of how many positions are currently cached.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.k.len() * 2 * (std::mem::size_of::<Vec<f32>>())
+            + self.k.len() * 2 * self.capacity * self.hidden * std::mem::size_of::<f32>()
+    }
+
+    /// Appends one position's K/V rows for `layer`.
+    fn push(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
+        debug_assert_eq!(k_row.len(), self.hidden);
+        debug_assert_eq!(v_row.len(), self.hidden);
+        self.k[layer].extend_from_slice(k_row);
+        self.v[layer].extend_from_slice(v_row);
+    }
+
+    /// Copies the `[0, rows) × [c0, c1)` block of `layer`'s cached keys
+    /// into a fresh matrix (the per-head view attention works on).
+    fn k_block(&self, layer: usize, rows: usize, c0: usize, c1: usize) -> Matrix {
+        block_of(&self.k[layer], self.hidden, rows, c0, c1)
+    }
+
+    /// Copies the `[0, rows) × [c0, c1)` block of `layer`'s cached values.
+    fn v_block(&self, layer: usize, rows: usize, c0: usize, c1: usize) -> Matrix {
+        block_of(&self.v[layer], self.hidden, rows, c0, c1)
+    }
+}
+
+/// Copies the `[0, rows) × [c0, c1)` sub-block of a `… × hidden` row-major
+/// buffer into a fresh matrix.
+fn block_of(flat: &[f32], hidden: usize, rows: usize, c0: usize, c1: usize) -> Matrix {
+    let mut out = Matrix::zeros(rows, c1 - c0);
+    for r in 0..rows {
+        out.row_mut(r)
+            .copy_from_slice(&flat[r * hidden + c0..r * hidden + c1]);
+    }
+    out
+}
+
+/// A projection whose per-row bits are independent of its row-mates:
+/// F32/F16 use the row-split GEMM (bit-equal to `apply` row by row), INT8
+/// quantizes each token row independently — so a wide prefill row equals
+/// the same row pushed through a single-token decode step.
+fn project_rows(layer: &Linear, x: &Matrix, mode: MatmulMode, exec: &dyn BatchExecutor) -> Matrix {
+    match mode {
+        MatmulMode::F32 | MatmulMode::F16 => layer.apply_exec(x, mode, exec),
+        MatmulMode::Int8 => {
+            let (rows, in_dim) = x.shape();
+            let cols = layer.out_dim();
+            let mut out = Matrix::zeros(rows, cols);
+            run_row_chunks(exec, out.as_mut_slice(), rows, cols, &|first_row, chunk| {
+                for (i, out_row) in chunk.chunks_exact_mut(cols).enumerate() {
+                    let r = first_row + i;
+                    let row = Matrix::from_vec(1, in_dim, x.row(r).to_vec());
+                    out_row.copy_from_slice(layer.apply(&row, MatmulMode::Int8).row(0));
+                }
+            });
+            out
+        }
+    }
+}
+
+/// The GELU/ReLU activation applied with **per-token-row** semantics: the
+/// I-BERT arm's quantization scale is resolved from each row alone, so a
+/// prefill row equals the same row in a decode step. (LUT and exact arms
+/// are element-local; for them this is just the batch kernel.)
+fn activate_rows(
+    config_act: Activation,
+    nl: &Nonlinearity,
+    m: &mut Matrix,
+    exec: &dyn BatchExecutor,
+) {
+    let cols = m.cols();
+    let rows = m.rows();
+    match config_act {
+        Activation::Gelu => {
+            run_row_chunks(exec, m.as_mut_slice(), rows, cols, &|_, chunk| {
+                for row in chunk.chunks_exact_mut(cols) {
+                    let row_m = Matrix::from_vec(1, cols, row.to_vec());
+                    nl.gelu_kernel(&row_m).apply_chunk(row);
+                }
+            });
+        }
+        Activation::Relu => {
+            run_row_chunks(exec, m.as_mut_slice(), rows, cols, &|_, chunk| {
+                for v in chunk {
+                    *v = v.max(0.0);
+                }
+            });
+        }
+    }
+}
+
+fn norm_rows(
+    kind: NormKind,
+    affine: &Affine,
+    nl: &Nonlinearity,
+    m: &mut Matrix,
+    eps: f32,
+    exec: &dyn BatchExecutor,
+) {
+    let cols = m.cols();
+    let rows = m.rows();
+    match kind {
+        NormKind::LayerNorm => {
+            run_row_chunks(exec, m.as_mut_slice(), rows, cols, &|_, chunk| {
+                nl.layer_norm_chunk(chunk, cols, &affine.gamma, &affine.beta, eps);
+            });
+        }
+        NormKind::NoNorm => {
+            run_row_chunks(exec, m.as_mut_slice(), rows, cols, &|_, chunk| {
+                affine.apply_chunk(chunk, cols);
+            });
+        }
+    }
+}
+
+impl BertModel {
+    /// An empty [`KvCache`] shaped for this model (one K/V plane per
+    /// layer, reserved to `max_seq` positions).
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.layers.len(), self.config.hidden, self.config.max_seq)
+    }
+
+    /// Causal prefill: runs the prompt through the decoder-mode body in
+    /// wide row-parallel passes, populates `cache` with every layer's K/V
+    /// rows, and returns the final hidden state of the **last** prompt
+    /// position — the row the first generated token is read from.
+    ///
+    /// Bit-identical to feeding the prompt through
+    /// [`BertModel::decode_step`] one token at a time (see the module
+    /// docs), at every [`MatmulMode`] and every `exec` lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, longer than `max_seq`, or contains an
+    /// id outside the vocabulary; or if `cache` is non-empty or shaped for
+    /// a different model.
+    pub fn prefill(
+        &self,
+        tokens: &[usize],
+        cache: &mut KvCache,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        exec: &dyn BatchExecutor,
+    ) -> Vec<f32> {
+        let n = tokens.len();
+        assert!(n > 0, "cannot prefill an empty prompt");
+        assert!(
+            n <= self.config.max_seq,
+            "prompt length {n} exceeds max_seq {}",
+            self.config.max_seq
+        );
+        assert!(cache.is_empty(), "prefill requires an empty cache");
+        assert_eq!(
+            cache.layers(),
+            self.layers.len(),
+            "cache/model layer mismatch"
+        );
+        assert_eq!(
+            cache.hidden, self.config.hidden,
+            "cache/model width mismatch"
+        );
+        let d = self.config.hidden;
+        let heads = self.config.heads;
+        let dh = self.config.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Embedding: row-local (token + position).
+        let mut x = Matrix::zeros(n, d);
+        for (p, &t) in tokens.iter().enumerate() {
+            assert!(t < self.config.vocab, "token id {t} out of vocabulary");
+            for (c, v) in x.row_mut(p).iter_mut().enumerate() {
+                *v = self.token_embedding[(t, c)] + self.pos_embedding[(p, c)];
+            }
+        }
+
+        for (l, layer) in self.layers.iter().enumerate() {
+            let q = project_rows(&layer.wq, &x, mode, exec);
+            let k = project_rows(&layer.wk, &x, mode, exec);
+            let v = project_rows(&layer.wv, &x, mode, exec);
+            for p in 0..n {
+                cache.push(l, k.row(p), v.row(p));
+            }
+
+            // Causal attention, parallel over heads. Each query row `p`
+            // sees keys `0..=p`: the masked softmax evaluates exactly that
+            // prefix, and the context row is accumulated over the prefix
+            // only — both identical to what the incremental step computes.
+            let slots: Vec<std::sync::Mutex<Option<Matrix>>> =
+                (0..heads).map(|_| std::sync::Mutex::new(None)).collect();
+            let ranges = nnlut_core::engine::chunk_ranges(heads, exec.lanes());
+            exec.run_n(ranges.len(), &|lane| {
+                let Some(range) = ranges.get(lane) else {
+                    return;
+                };
+                for h in range.clone() {
+                    let (lo, hi) = (h * dh, (h + 1) * dh);
+                    let qh = q.col_slice(lo, hi);
+                    let kh = k.col_slice(lo, hi);
+                    let vh = v.col_slice(lo, hi);
+                    let mut scores = qh.matmul_transpose(&kh);
+                    scores.scale(scale);
+                    let valid: Vec<usize> = (0..n).map(|p| p + 1).collect();
+                    nl.apply_softmax_rows_masked(&mut scores, &valid);
+                    // Per-row prefix context: row p's probs over positions
+                    // 0..=p times the V prefix, in the same shape (and the
+                    // same per-row quantization, for INT8) as a decode
+                    // step's 1 × (p+1) product.
+                    let mut ctx_h = Matrix::zeros(n, dh);
+                    for p in 0..n {
+                        let probs = Matrix::from_vec(1, p + 1, scores.row(p)[..p + 1].to_vec());
+                        let vh_pre = block_of(vh.as_slice(), dh, p + 1, 0, dh);
+                        let row = crate::quant::matmul(&probs, &vh_pre, mode);
+                        ctx_h.row_mut(p).copy_from_slice(row.row(0));
+                    }
+                    *slots[h].lock().expect("attention slot poisoned") = Some(ctx_h);
+                }
+            });
+            let mut ctx = Matrix::zeros(n, d);
+            for (h, slot) in slots.iter().enumerate() {
+                let ctx_h = slot
+                    .lock()
+                    .expect("attention slot poisoned")
+                    .take()
+                    .expect("every head was computed");
+                let (lo, hi) = (h * dh, (h + 1) * dh);
+                for p in 0..n {
+                    ctx.row_mut(p)[lo..hi].copy_from_slice(ctx_h.row(p));
+                }
+            }
+
+            x = self.decoder_block_tail(layer, &x, &ctx, nl, mode, exec);
+        }
+        cache.len = n;
+        x.row(n - 1).to_vec()
+    }
+
+    /// One incremental decode step: embeds `token` at position
+    /// `cache.len()`, appends its K/V rows to every layer, attends over
+    /// the cached context, and returns the new position's final hidden
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is full or shaped for a different model, or if
+    /// `token` is outside the vocabulary.
+    pub fn decode_step(
+        &self,
+        cache: &mut KvCache,
+        token: usize,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+    ) -> Vec<f32> {
+        assert!(
+            !cache.is_full(),
+            "KV cache is full ({} positions)",
+            cache.capacity
+        );
+        assert_eq!(
+            cache.layers(),
+            self.layers.len(),
+            "cache/model layer mismatch"
+        );
+        assert_eq!(
+            cache.hidden, self.config.hidden,
+            "cache/model width mismatch"
+        );
+        assert!(
+            token < self.config.vocab,
+            "token id {token} out of vocabulary"
+        );
+        let p = cache.len;
+        let d = self.config.hidden;
+        let heads = self.config.heads;
+        let dh = self.config.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let exec = &SerialExecutor;
+
+        let mut x = Matrix::zeros(1, d);
+        for (c, v) in x.row_mut(0).iter_mut().enumerate() {
+            *v = self.token_embedding[(token, c)] + self.pos_embedding[(p, c)];
+        }
+
+        for (l, layer) in self.layers.iter().enumerate() {
+            let q = layer.wq.apply(&x, mode);
+            let k = layer.wk.apply(&x, mode);
+            let v = layer.wv.apply(&x, mode);
+            cache.push(l, k.row(0), v.row(0));
+
+            let mut ctx = Matrix::zeros(1, d);
+            for h in 0..heads {
+                let (lo, hi) = (h * dh, (h + 1) * dh);
+                let qh = q.col_slice(lo, hi);
+                let kh = cache.k_block(l, p + 1, lo, hi);
+                let vh = cache.v_block(l, p + 1, lo, hi);
+                let mut scores = qh.matmul_transpose(&kh);
+                scores.scale(scale);
+                nl.apply_softmax_rows_masked(&mut scores, &[p + 1]);
+                let ctx_h = crate::quant::matmul(&scores, &vh, mode);
+                ctx.row_mut(0)[lo..hi].copy_from_slice(ctx_h.row(0));
+            }
+
+            x = self.decoder_block_tail(layer, &x, &ctx, nl, mode, exec);
+        }
+        cache.len = p + 1;
+        x.into_vec()
+    }
+
+    /// The post-attention half of a decoder block (shared by prefill and
+    /// the incremental step): output projection, residual, norm,
+    /// feed-forward with per-row activation, residual, norm. Every op is
+    /// token-row-local.
+    fn decoder_block_tail(
+        &self,
+        layer: &EncoderLayer,
+        x: &Matrix,
+        ctx: &Matrix,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        exec: &dyn BatchExecutor,
+    ) -> Matrix {
+        let (rows, d) = x.shape();
+        let attn_out = project_rows(&layer.wo, ctx, mode, exec);
+        let mut x1 = Matrix::zeros(rows, d);
+        run_row_chunks(exec, x1.as_mut_slice(), rows, d, &|first_row, chunk| {
+            let base = first_row * d;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = x.as_slice()[base + i] + attn_out.as_slice()[base + i];
+            }
+        });
+        norm_rows(self.config.norm, &layer.norm1, nl, &mut x1, self.eps, exec);
+
+        let mut hmid = project_rows(&layer.ff1, &x1, mode, exec);
+        activate_rows(self.config.activation, nl, &mut hmid, exec);
+        let ff_out = project_rows(&layer.ff2, &hmid, mode, exec);
+        let mut x2 = Matrix::zeros(rows, d);
+        run_row_chunks(exec, x2.as_mut_slice(), rows, d, &|first_row, chunk| {
+            let base = first_row * d;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = x1.as_slice()[base + i] + ff_out.as_slice()[base + i];
+            }
+        });
+        norm_rows(self.config.norm, &layer.norm2, nl, &mut x2, self.eps, exec);
+        x2
+    }
+
+    /// Greedy next-token readout: logits are the dot of the hidden row
+    /// with every (tied) token embedding, computed in FP32 in a fixed
+    /// order; ties break to the lowest id. Deterministic and row-local —
+    /// batch composition can never change the chosen token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not `hidden`-dim wide.
+    pub fn greedy_token(&self, hidden: &[f32]) -> usize {
+        assert_eq!(hidden.len(), self.config.hidden, "hidden width mismatch");
+        let mut best = 0usize;
+        let mut best_logit = f32::NEG_INFINITY;
+        for t in 0..self.config.vocab {
+            let mut logit = 0.0f32;
+            for (c, &h) in hidden.iter().enumerate() {
+                logit += h * self.token_embedding[(t, c)];
+            }
+            if logit > best_logit {
+                best_logit = logit;
+                best = t;
+            }
+        }
+        best
+    }
+
+    /// Prefills many prompts concurrently — one fresh cache per prompt,
+    /// sequences split across `exec` lanes, each prefilled serially inside
+    /// its lane. Returns `(cache, last hidden)` per prompt in input order.
+    ///
+    /// Per-sequence results are bit-identical to [`BertModel::prefill`]
+    /// called alone: nothing about a sequence's math depends on its
+    /// batch-mates.
+    pub fn prefill_batch(
+        &self,
+        prompts: &[Vec<usize>],
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        exec: &dyn BatchExecutor,
+    ) -> Vec<(KvCache, Vec<f32>)> {
+        type PrefillSlot = std::sync::Mutex<Option<(KvCache, Vec<f32>)>>;
+        let n = prompts.len();
+        assert!(n > 0, "cannot prefill an empty batch");
+        let slots: Vec<PrefillSlot> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let ranges = nnlut_core::engine::chunk_ranges(n, exec.lanes());
+        exec.run_n(ranges.len(), &|lane| {
+            let Some(range) = ranges.get(lane) else {
+                return;
+            };
+            for i in range.clone() {
+                let mut cache = self.new_cache();
+                let hidden = self.prefill(&prompts[i], &mut cache, nl, mode, &SerialExecutor);
+                *slots[i].lock().expect("prefill slot poisoned") = Some((cache, hidden));
+            }
+        });
+        slots
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("prefill slot poisoned")
+                    .take()
+                    .expect("every prompt was prefilled")
+            })
+            .collect()
+    }
+
+    /// Advances many sequences by one token each — the continuous-batching
+    /// workhorse. `steps` pairs each sequence's cache with the token to
+    /// feed it; sequences are split across `exec` lanes
+    /// ([`nnlut_core::engine::chunk_ranges`] assignment) and each step
+    /// runs the serial [`BertModel::decode_step`] inside its lane.
+    /// Returns each sequence's new hidden row, in input order.
+    ///
+    /// Bit-identical to stepping each sequence alone, at any lane count
+    /// and under any batch composition — the property
+    /// `tests/serve_decode.rs` pins across precisions and thread counts.
+    pub fn decode_batch(
+        &self,
+        steps: &mut [(&mut KvCache, usize)],
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+        exec: &dyn BatchExecutor,
+    ) -> Vec<Vec<f32>> {
+        let n = steps.len();
+        assert!(n > 0, "cannot decode an empty batch");
+        let slots: Vec<std::sync::Mutex<Option<(&mut KvCache, usize)>>> = steps
+            .iter_mut()
+            .map(|(cache, token)| std::sync::Mutex::new(Some((&mut **cache, *token))))
+            .collect();
+        let outputs: Vec<std::sync::Mutex<Option<Vec<f32>>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let ranges = nnlut_core::engine::chunk_ranges(n, exec.lanes());
+        exec.run_n(ranges.len(), &|lane| {
+            let Some(range) = ranges.get(lane) else {
+                return;
+            };
+            for i in range.clone() {
+                let (cache, token) = slots[i]
+                    .lock()
+                    .expect("decode slot poisoned")
+                    .take()
+                    .expect("each step is taken once");
+                let hidden = self.decode_step(cache, token, nl, mode);
+                *outputs[i].lock().expect("decode output poisoned") = Some(hidden);
+            }
+        });
+        outputs
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("decode output poisoned")
+                    .take()
+                    .expect("every step was computed")
+            })
+            .collect()
+    }
+
+    /// Serial greedy generation — the step-at-a-time oracle the serving
+    /// layer's continuous batching is proven against. Prefills `prompt`,
+    /// reads the first token greedily, then decodes one position at a
+    /// time until `max_new` tokens exist. Returns the generated tokens
+    /// (never the prompt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt.len() + max_new` exceeds `max_seq` (every
+    /// generated position must fit the cache), on an empty prompt, or if
+    /// `max_new` is zero.
+    pub fn generate(
+        &self,
+        prompt: &[usize],
+        max_new: usize,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
+    ) -> Vec<usize> {
+        assert!(max_new > 0, "must generate at least one token");
+        assert!(
+            prompt.len() + max_new <= self.config.max_seq,
+            "prompt ({}) + max_new ({max_new}) exceeds max_seq {}",
+            prompt.len(),
+            self.config.max_seq
+        );
+        let mut cache = self.new_cache();
+        let mut hidden = self.prefill(prompt, &mut cache, nl, mode, &SerialExecutor);
+        let mut out = Vec::with_capacity(max_new);
+        out.push(self.greedy_token(&hidden));
+        while out.len() < max_new {
+            let last = *out.last().expect("just pushed");
+            hidden = self.decode_step(&mut cache, last, nl, mode);
+            out.push(self.greedy_token(&hidden));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use nnlut_core::train::TrainConfig;
+    use nnlut_core::NnLutKit;
+
+    fn tiny_model() -> BertModel {
+        BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9)
+    }
+
+    fn backends() -> Vec<Nonlinearity> {
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        vec![
+            Nonlinearity::exact(),
+            Nonlinearity::all_lut(&kit),
+            Nonlinearity::all_ibert(),
+        ]
+    }
+
+    fn prompt(len: usize, salt: usize) -> Vec<usize> {
+        (0..len).map(|i| (i * 7 + salt) % 128).collect()
+    }
+
+    /// Cached attention == full recompute, at every step, for every
+    /// backend and matmul mode: prefilling a prefix yields bit-identical
+    /// hidden states and cache contents to stepping token by token.
+    #[test]
+    fn prefill_matches_step_by_step_bitwise() {
+        let m = tiny_model();
+        let tokens = prompt(13, 3);
+        for nl in backends() {
+            for mode in [MatmulMode::F32, MatmulMode::F16, MatmulMode::Int8] {
+                // Incremental: one decode_step per token.
+                let mut inc = m.new_cache();
+                let mut inc_hidden = Vec::new();
+                for &t in &tokens {
+                    inc_hidden = m.decode_step(&mut inc, t, &nl, mode);
+                }
+                for t in 1..=tokens.len() {
+                    // Wide prefill of every prefix matches the incremental
+                    // cache bit for bit up to that prefix.
+                    let mut pre = m.new_cache();
+                    let hidden = m.prefill(&tokens[..t], &mut pre, &nl, mode, &SerialExecutor);
+                    assert_eq!(pre.len(), t);
+                    for l in 0..pre.layers() {
+                        assert_eq!(
+                            pre.k[l].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            inc.k[l][..t * 64]
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect::<Vec<_>>(),
+                            "{mode} K cache diverged at layer {l} prefix {t}"
+                        );
+                        assert_eq!(
+                            pre.v[l].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            inc.v[l][..t * 64]
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect::<Vec<_>>(),
+                            "{mode} V cache diverged at layer {l} prefix {t}"
+                        );
+                    }
+                    if t == tokens.len() {
+                        let want: Vec<u32> = inc_hidden.iter().map(|v| v.to_bits()).collect();
+                        let got: Vec<u32> = hidden.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(got, want, "{mode} final hidden diverged");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The causal path really is causal: extending the prompt never
+    /// changes an earlier position's cached K/V.
+    #[test]
+    fn prefix_rows_are_independent_of_suffix() {
+        let m = tiny_model();
+        let nl = Nonlinearity::exact();
+        let mut short = m.new_cache();
+        m.prefill(
+            &prompt(6, 0),
+            &mut short,
+            &nl,
+            MatmulMode::F32,
+            &SerialExecutor,
+        );
+        let mut long = m.new_cache();
+        let mut extended = prompt(6, 0);
+        extended.extend(prompt(5, 40));
+        m.prefill(&extended, &mut long, &nl, MatmulMode::F32, &SerialExecutor);
+        for l in 0..short.layers() {
+            assert_eq!(
+                short.k[l],
+                long.k[l][..short.k[l].len()],
+                "suffix tokens leaked into prefix keys at layer {l}"
+            );
+        }
+    }
+
+    /// Growth bounds: the cache's reported footprint is a constant of its
+    /// configuration (never of fill level), `len` tracks positions
+    /// exactly, and a full cache refuses another step.
+    #[test]
+    fn cache_growth_is_bounded_and_tracked() {
+        let m = tiny_model();
+        let nl = Nonlinearity::exact();
+        let mut cache = m.new_cache();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 64);
+        let bound = cache.approx_bytes();
+        for (i, t) in prompt(64, 1).into_iter().enumerate() {
+            m.decode_step(&mut cache, t, &nl, MatmulMode::F32);
+            assert_eq!(cache.len(), i + 1);
+            assert_eq!(cache.approx_bytes(), bound, "footprint moved at step {i}");
+        }
+        assert!(cache.is_full());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.decode_step(&mut cache, 1, &nl, MatmulMode::F32)
+        }));
+        assert!(r.is_err(), "a full cache must refuse another step");
+    }
+
+    /// decode_batch == each sequence stepped alone, at several lane
+    /// counts, with a non-dividing sequence count.
+    #[test]
+    fn decode_batch_matches_serial_per_sequence() {
+        let m = tiny_model();
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        let nl = Nonlinearity::all_lut(&kit);
+        let prompts: Vec<Vec<usize>> = (0..5).map(|s| prompt(3 + s * 2, s)).collect();
+        // Oracle: each sequence alone.
+        let mut want = Vec::new();
+        for p in &prompts {
+            let mut cache = m.new_cache();
+            m.prefill(p, &mut cache, &nl, MatmulMode::F32, &SerialExecutor);
+            let h = m.decode_step(&mut cache, 7, &nl, MatmulMode::F32);
+            want.push(h.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        }
+        // Batched: prefill_batch + one decode_batch.
+        let mut states = m.prefill_batch(&prompts, &nl, MatmulMode::F32, &SerialExecutor);
+        let mut steps: Vec<(&mut KvCache, usize)> = states
+            .iter_mut()
+            .map(|(cache, _)| (cache, 7usize))
+            .collect();
+        let got = m.decode_batch(&mut steps, &nl, MatmulMode::F32, &SerialExecutor);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(&g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), w);
+        }
+    }
+
+    /// Greedy generation is deterministic, prompt-sensitive, and length-
+    /// capped exactly as documented.
+    #[test]
+    fn generate_is_deterministic_and_bounded() {
+        let m = tiny_model();
+        let nl = Nonlinearity::exact();
+        let a = m.generate(&prompt(8, 2), 6, &nl, MatmulMode::F32);
+        let b = m.generate(&prompt(8, 2), 6, &nl, MatmulMode::F32);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let c = m.generate(&prompt(8, 5), 6, &nl, MatmulMode::F32);
+        assert_ne!(a, c, "different prompts should usually diverge");
+        assert!(a.iter().all(|&t| t < 128), "tokens stay in vocabulary");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn generate_rejects_overlong_budget() {
+        let m = tiny_model();
+        m.generate(&prompt(60, 0), 8, &Nonlinearity::exact(), MatmulMode::F32);
+    }
+
+    /// Failover semantics: re-prefilling `prompt ++ generated` rebuilds a
+    /// cache bit-identical to the uninterrupted incremental one, so
+    /// generation continues with identical tokens.
+    #[test]
+    fn cache_rebuild_resumes_identically() {
+        let m = tiny_model();
+        let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+        let nl = Nonlinearity::all_lut(&kit);
+        let p = prompt(9, 4);
+        let want = m.generate(&p, 8, &nl, MatmulMode::F32);
+
+        // Interrupted run: 3 tokens in, the replica (and its cache) dies.
+        let survived = &want[..3];
+        // Rebuild: prefill prompt ++ survivors, continue for the rest.
+        let mut rebuilt: Vec<usize> = p.clone();
+        rebuilt.extend(survived);
+        let tail = m.generate(&rebuilt, 8 - 3, &nl, MatmulMode::F32);
+        let mut resumed = survived.to_vec();
+        resumed.extend(tail);
+        assert_eq!(resumed, want, "rebuilt cache diverged from fault-free run");
+    }
+}

@@ -19,6 +19,10 @@
 //!   single-sequence [`model::BertModel::encode`], the serving-oriented
 //!   [`model::BertModel::encode_batch`] runs a whole padded
 //!   [`model::PaddedBatch`] with mask-aware softmax.
+//! * [`decode`] — incremental autoregressive decoding: per-sequence
+//!   [`decode::KvCache`], causal [`model::BertModel::prefill`], single-token
+//!   [`model::BertModel::decode_step`], and the batched forms continuous
+//!   batching drives — all bit-identical to step-at-a-time serial decoding.
 //! * [`exec`] — the [`exec::BatchExecutor`] seam the batched path is
 //!   parallelized through (serial here; `nnlut-serve` provides the
 //!   scoped-thread pool), with the determinism contract that makes pooled
@@ -39,6 +43,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod decode;
 pub mod eval;
 pub mod exec;
 pub mod head;
@@ -50,6 +55,7 @@ pub mod tasks;
 
 pub use backend::{Nonlinearity, OpImpl};
 pub use config::TransformerConfig;
+pub use decode::KvCache;
 pub use eval::TaskBench;
 pub use exec::{BatchExecutor, SerialExecutor};
 pub use model::{BertModel, PaddedBatch};

@@ -133,14 +133,14 @@ impl PaddedBatch {
 /// post-norm residuals (BERT layout).
 #[derive(Debug, Clone)]
 pub struct EncoderLayer {
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    ff1: Linear,
-    ff2: Linear,
-    norm1: Affine,
-    norm2: Affine,
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) ff1: Linear,
+    pub(crate) ff2: Linear,
+    pub(crate) norm1: Affine,
+    pub(crate) norm2: Affine,
 }
 
 /// A BERT-style encoder with embeddings.
@@ -157,11 +157,11 @@ pub struct EncoderLayer {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BertModel {
-    config: TransformerConfig,
-    token_embedding: Matrix,
-    pos_embedding: Matrix,
-    layers: Vec<EncoderLayer>,
-    eps: f32,
+    pub(crate) config: TransformerConfig,
+    pub(crate) token_embedding: Matrix,
+    pub(crate) pos_embedding: Matrix,
+    pub(crate) layers: Vec<EncoderLayer>,
+    pub(crate) eps: f32,
 }
 
 impl BertModel {

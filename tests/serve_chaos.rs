@@ -10,7 +10,11 @@
 //!   FP32/FP16/INT32 kit precisions across the `NNLUT_THREADS` matrix;
 //! * **quarantine and re-admission** — a replica that keeps failing
 //!   leaves the rotation, and probe batches under exponential backoff
-//!   bring it back.
+//!   bring it back;
+//! * **generation failover rebuilds the cache** — a replica panic
+//!   mid-generation re-prefills prompt + already-streamed tokens on a
+//!   survivor, and the continued stream is bit-identical to a
+//!   fault-free serial decode.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,7 +26,7 @@ use nn_lut::serve::{
     AsyncServerConfig, BatchPolicy, ClosePolicy, FaultPlan, LutServer, ReplicaHealth, ServeError,
     ServerConfig, ShardConfig, ShardedServer, INJECTED_PANIC_PREFIX,
 };
-use nn_lut::transformer::{BertModel, TransformerConfig};
+use nn_lut::transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
 
 mod common;
 use common::thread_counts;
@@ -398,5 +402,79 @@ fn seeded_chaos_never_abandons_and_survivors_match_serial() {
             17,
             "seed {seed}: shard ledger accounts for every admitted request: {m:?}"
         );
+    }
+}
+
+/// Generation-only workload: varied prompts and budgets, all within
+/// `roberta_tiny`'s `max_seq` of 64.
+fn gen_workload() -> Vec<(Vec<usize>, usize)> {
+    (0..5u64)
+        .map(|r| {
+            let len = 2 + ((r * 7 + 1) % 9) as usize;
+            let prompt: Vec<usize> = (0..len).map(|i| (i * 3 + r as usize * 5) % 128).collect();
+            (prompt, 4 + (r as usize % 5))
+        })
+        .collect()
+}
+
+/// Replica 0 dies mid-decode (its batch 1 and 2 — with a generation-only
+/// workload those are decode or prefill batches of live generations).
+/// The supervisor harvests the tokens streamed so far, re-prefills
+/// `prompt ++ harvested` on the survivor — a full KV-cache rebuild — and
+/// because decoding is deterministic the continued stream is
+/// bit-identical to a fault-free serial [`BertModel::generate`] run.
+#[test]
+fn replica_panic_mid_generation_rebuilds_cache_bit_identically() {
+    quiet_injected_panics();
+    let base_kit = tiny_kit();
+    let model = tiny_model();
+    let nl = Nonlinearity::all_lut(&base_kit);
+    let want: Vec<Vec<usize>> = gen_workload()
+        .iter()
+        .map(|(p, n)| model.generate(p, *n, &nl, MatmulMode::F32))
+        .collect();
+
+    for threads in thread_counts() {
+        let plan = FaultPlan::new().panic_at(0, 1).panic_at(0, 2);
+        let server = ShardedServer::new(
+            tiny_model(),
+            base_kit.clone(),
+            ShardConfig {
+                replicas: 2,
+                replica: replica_config(threads),
+                retry_budget: 3,
+                stall_timeout: Duration::from_secs(10),
+                fault_plan: Some(Arc::new(plan)),
+                ..ShardConfig::default()
+            },
+        );
+        let tickets: Vec<_> = gen_workload()
+            .into_iter()
+            .map(|(p, n)| server.submit_generate(p, n, None))
+            .collect();
+        for (g, (ticket, want)) in tickets.into_iter().zip(&want).enumerate() {
+            match ticket.wait_timeout(Duration::from_secs(120)) {
+                Ok(got) => assert_eq!(
+                    &got.tokens, want,
+                    "{threads} threads: generation {g} diverged after cache rebuild"
+                ),
+                Err(ServeError::WaitTimeout { id, .. }) => {
+                    panic!("{threads} threads: generation ticket {id} abandoned")
+                }
+                Err(e) => panic!("{threads} threads: generation {g} failed: {e}"),
+            }
+        }
+        let m = server.shard_metrics();
+        assert_eq!(m.generations, 5, "{threads} threads: ledger: {m:?}");
+        assert_eq!(m.completed, 5, "{threads} threads: ledger: {m:?}");
+        assert!(
+            m.failovers >= 1,
+            "{threads} threads: panics must have triggered failover: {m:?}"
+        );
+        assert!(
+            m.cache_rebuilds >= 1,
+            "{threads} threads: generation failover must rebuild the cache: {m:?}"
+        );
+        assert_eq!(server.active_generations(), 0);
     }
 }

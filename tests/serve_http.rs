@@ -154,6 +154,10 @@ fn prometheus_exposition_is_well_formed_and_consistent_with_json() {
     for t in tickets {
         t.wait().expect("no faults, no deadline");
     }
+    // One generation, so the decode-plane families carry real traffic.
+    let gen = server.submit_generate(vec![3, 1, 4], 4, None);
+    let generated = gen.wait().expect("no faults, no deadline");
+    assert_eq!(generated.tokens.len(), 4);
     let handle = server.serve_http("127.0.0.1:0").expect("ephemeral bind");
 
     // --- /metrics: Prometheus text exposition ---
@@ -171,14 +175,40 @@ fn prometheus_exposition_is_well_formed_and_consistent_with_json() {
         "nnlut_serve_padding_efficiency",
         "nnlut_serve_batch_latency_seconds",
         "nnlut_serve_stage_seconds",
+        "nnlut_serve_decode_batches_total",
+        "nnlut_serve_decode_steps_total",
+        "nnlut_serve_generated_tokens_total",
+        "nnlut_serve_generations_completed_total",
+        "nnlut_serve_decode_batch_width",
+        "nnlut_serve_inter_token_seconds",
         "nnlut_shard_submitted_total",
         "nnlut_shard_completed_total",
+        "nnlut_shard_generations_total",
+        "nnlut_shard_cache_rebuilds_total",
         "nnlut_serve_replica_health",
         "nnlut_op_calls_total",
         "nnlut_serve_recorder_events_total",
     ] {
         assert!(types.contains_key(name), "missing metric family {name}");
     }
+    // The generation's traffic shows up in the decode families.
+    assert_eq!(
+        sample(&samples, "nnlut_serve_generated_tokens_total", "") as u64,
+        4
+    );
+    assert_eq!(
+        sample(&samples, "nnlut_serve_generations_completed_total", "") as u64,
+        1
+    );
+    assert!(sample(&samples, "nnlut_serve_decode_steps_total", "") >= 3.0);
+    assert_eq!(
+        sample(&samples, "nnlut_shard_generations_total", "") as u64,
+        1
+    );
+    assert_eq!(
+        sample(&samples, "nnlut_shard_cache_rebuilds_total", "") as u64,
+        0
+    );
     assert_eq!(types["nnlut_serve_batches_total"], "counter");
     assert_eq!(types["nnlut_serve_stage_seconds"], "summary");
     // Per-replica gauges: both replicas healthy (0).
@@ -198,13 +228,22 @@ fn prometheus_exposition_is_well_formed_and_consistent_with_json() {
             "stage=\"resolved\",quantile=\"0.5\""
         ) >= 0.0
     );
+    // 6 encodes + 1 generation all resolved.
     assert_eq!(
         sample(
             &samples,
             "nnlut_serve_stage_seconds_count",
             "stage=\"resolved\""
         ) as u64,
-        6
+        7
+    );
+    // The generation's per-token events use the decoded stage.
+    assert!(
+        sample(
+            &samples,
+            "nnlut_serve_stage_seconds_count",
+            "stage=\"decoded\""
+        ) >= 1.0
     );
     // The op profile saw real kernel traffic.
     assert!(sample(&samples, "nnlut_op_calls_total", "op=\"softmax\"") > 0.0);
@@ -223,10 +262,10 @@ fn prometheus_exposition_is_well_formed_and_consistent_with_json() {
     );
     assert_eq!(
         sample(&samples, "nnlut_shard_submitted_total", "") as u64,
-        6
+        7
     );
-    assert_eq!(json_u64(&json, "submitted"), 6);
-    assert_eq!(json_u64(&json, "completed"), 6);
+    assert_eq!(json_u64(&json, "submitted"), 7);
+    assert_eq!(json_u64(&json, "completed"), 7);
 
     // --- /healthz: uptime, version, per-replica transitions ---
     let (status, healthz) = http::get(handle.addr(), "/healthz").expect("GET /healthz");

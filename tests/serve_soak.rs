@@ -1,11 +1,17 @@
 //! Sustained-load soak of the asynchronous front door: many requests
-//! under mixed lengths, deadlines and a backpressure watermark, with the
-//! long-lived-server invariants asserted at the end —
+//! under mixed lengths, deadlines and a backpressure watermark — with
+//! generation traffic woven through the encode stream so prefill chunks,
+//! decode steps and whole-sequence encodes all share the same queue —
+//! and the long-lived-server invariants asserted at the end:
 //!
 //! * **bounded metrics memory**: the snapshot footprint is a function of
 //!   sketch capacity, not of requests served;
-//! * **zero abandoned tickets**: every submission resolves (`Ok`,
-//!   `DeadlineExceeded` or `Overloaded`) — nothing hangs, nothing leaks;
+//! * **zero abandoned tickets**: every submission — encode *and*
+//!   streaming generation — resolves (`Ok`, `DeadlineExceeded` or
+//!   `Overloaded`); nothing hangs, nothing leaks;
+//! * **mid-generation expiry is clean**: a deadline that lands between
+//!   decode steps resolves the ticket as `DeadlineExceeded` and evicts
+//!   the cache entry — no half-dead generations linger;
 //! * **overload recovery**: rejections stop once the burst drains.
 //!
 //! The in-tree run is sized to finish in seconds under `cargo test`
@@ -64,12 +70,28 @@ fn soak(requests: usize, sketch_capacity: usize) {
     // rejections. Mixed lengths across all three buckets; every tenth
     // request carries a generous deadline, every tenth a hopeless one.
     let mut tally = Tally::default();
+    let mut gen_tally = Tally::default();
+    let mut gens_submitted = 0usize;
     let mut pending = std::collections::VecDeque::new();
+    let mut gen_pending = std::collections::VecDeque::new();
     let settle = |t: nn_lut::serve::Ticket, tally: &mut Tally| match t.wait() {
         Ok(_) => tally.ok += 1,
         Err(ServeError::DeadlineExceeded { .. }) => tally.deadline += 1,
         Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
         Err(e) => panic!("soak must not fail: {e}"),
+    };
+    // A streaming ticket that cannot resolve inside a minute is exactly
+    // the "abandoned generation" the suite forbids.
+    let settle_gen = |t: nn_lut::serve::GenerateTicket, tally: &mut Tally| match t
+        .wait_timeout(Duration::from_secs(60))
+    {
+        Ok(_) => tally.ok += 1,
+        Err(ServeError::DeadlineExceeded { .. }) => tally.deadline += 1,
+        Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
+        Err(ServeError::WaitTimeout { id, .. }) => {
+            panic!("abandoned streaming ticket {id}: generation hung for a minute")
+        }
+        Err(e) => panic!("soak generation must not fail: {e}"),
     };
     for r in 0..requests {
         let len = 1 + (r * 7) % 12;
@@ -79,6 +101,25 @@ fn soak(requests: usize, sketch_capacity: usize) {
             5 => Some(Duration::ZERO),          // hopeless: must expire
             _ => None,
         };
+        // Every 6th request drags a generation along: prefill chunks and
+        // decode steps interleave with the encode stream in the same
+        // buckets and under the same watermark.
+        if r % 6 == 3 {
+            let prompt: Vec<usize> = (0..1 + r % 8).map(|i| (i * 11 + r) % 128).collect();
+            let gen_deadline = if gens_submitted % 5 == 4 {
+                // Tight enough to expire between decode steps (debug
+                // builds take ≫8 ms per step), long enough to prefill.
+                Some(Duration::from_millis(8))
+            } else {
+                None
+            };
+            gen_pending.push_back(server.submit_generate(prompt, 2 + r % 3, gen_deadline));
+            gens_submitted += 1;
+            if gen_pending.len() > 32 {
+                let oldest = gen_pending.pop_front().expect("just checked");
+                settle_gen(oldest, &mut gen_tally);
+            }
+        }
         pending.push_back(server.submit_with_deadline(tokens, deadline));
         if pending.len() > 512 {
             let oldest = pending.pop_front().expect("just checked");
@@ -89,12 +130,29 @@ fn soak(requests: usize, sketch_capacity: usize) {
     for t in pending {
         settle(t, &mut tally);
     }
+    for t in gen_pending {
+        settle_gen(t, &mut gen_tally);
+    }
     assert_eq!(
         tally.ok + tally.deadline + tally.overloaded,
         requests,
         "every ticket resolved exactly once: {tally:?}"
     );
     assert!(tally.ok > 0, "the burst must serve something: {tally:?}");
+    assert_eq!(
+        gen_tally.ok + gen_tally.deadline + gen_tally.overloaded,
+        gens_submitted,
+        "every streaming ticket resolved exactly once: {gen_tally:?}"
+    );
+    assert!(
+        gen_tally.ok > 0,
+        "the soak must complete some generations: {gen_tally:?}"
+    );
+    assert_eq!(
+        server.active_generations(),
+        0,
+        "resolved generations must evict their cache entries"
+    );
 
     // Bounded metrics memory: once every bucket has dispatched, the
     // footprint is a function of configuration alone — O(sketch capacity
@@ -117,12 +175,24 @@ fn soak(requests: usize, sketch_capacity: usize) {
         "the policy has 3 buckets; metrics must not grow past them"
     );
     assert_eq!(m.sketch_capacity(), sketch_capacity);
-    assert_eq!(m.overload_rejections(), tally.overloaded);
-    assert_eq!(m.deadline_misses(), tally.deadline);
     assert_eq!(
+        m.overload_rejections(),
+        tally.overloaded + gen_tally.overloaded
+    );
+    assert_eq!(m.deadline_misses(), tally.deadline + gen_tally.deadline);
+    assert_eq!(m.generations_completed(), gen_tally.ok as u64);
+    // Each Ok generation contributes exactly one prefill sequence on top
+    // of the encodes; an expired generation contributes one iff it
+    // prefilled before the deadline hit.
+    assert!(
+        m.total_sequences() >= tally.ok + gen_tally.ok
+            && m.total_sequences() <= tally.ok + gens_submitted,
+        "served sequences ({}) must be encodes ({}) plus prefills (Ok \
+         generations {} ..= submitted {})",
         m.total_sequences(),
         tally.ok,
-        "served sequences must match Ok tickets"
+        gen_tally.ok,
+        gens_submitted
     );
 
     // Phase 2: recovery. The burst is fully drained (every ticket above
