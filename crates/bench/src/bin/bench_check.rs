@@ -5,14 +5,19 @@
 //! 1. **Ledger integrity** — the committed `BENCH_lut_eval.json` must
 //!    still carry every section the repo's trajectory claims (`results`,
 //!    `serve.configs`, `serve.admission`, `serve.sustained`,
-//!    `serve.sharded`, `serve.decode`, `serve.trace_overhead`, `simd`);
+//!    `serve.sharded`, `serve.decode`, `serve.codebook`,
+//!    `serve.trace_overhead`, `simd`, `codebook`);
 //!    a PR that drops
 //!    or mangles a section fails here, not months later. The
 //!    trace-overhead section is additionally gated at a fixed ≤ 5%
 //!    ceiling — tracing must stay passive in cost — and the `simd`
 //!    kernel rows at a ≥ 1.5× scalar→AVX2 floor on the 64k-element
 //!    gelu/exp workloads (skipped with a note when the recording
-//!    machine's kernel tier wasn't AVX2).
+//!    machine's kernel tier wasn't AVX2). The `codebook` section gets
+//!    the same treatment: every row's relative error vs the exact FP32
+//!    GEMM is capped, the accuracy-per-table-size frontier must slope
+//!    the right way, and the FFN-shape speedup floor carries the same
+//!    recorded-level caveat as the SIMD gate.
 //! 2. **Quick-run regression** — a fresh `bench_serve --quick --out …`
 //!    run is compared against the committed `BENCH_serve_quick.json`
 //!    baseline with a relative tolerance (default 10%): padding
@@ -201,7 +206,132 @@ fn check_ledger(gate: &mut Gate, ledger: &Json) {
     }
     gate.require_num(ledger, "serve.trace_overhead.recorder_bytes", "ledger");
     check_decode_section(gate, ledger, "serve.decode", "ledger");
+    check_serve_codebook(gate, ledger, "serve.codebook", "ledger");
     check_simd_section(gate, ledger);
+    check_codebook_section(gate, ledger);
+}
+
+/// The `serve.codebook` subsection (bench_serve part 7): codebook serving
+/// must be measured, its end-to-end relative error against the F32-served
+/// hidden states must sit under [`CODEBOOK_SERVE_REL_ERR_CEILING`], and
+/// the throughput ratio must be a positive number. The ratio itself is
+/// machine-shaped (one thread on an arbitrary runner) and not floored.
+fn check_serve_codebook(gate: &mut Gate, doc: &Json, prefix: &str, label: &str) {
+    if let Some(err) = gate.require_num(doc, &format!("{prefix}.rel_err_vs_f32"), label) {
+        if err.is_finite() && err <= CODEBOOK_SERVE_REL_ERR_CEILING {
+            gate.pass(format!(
+                "{prefix}.rel_err_vs_f32: {err:.4} ≤ {CODEBOOK_SERVE_REL_ERR_CEILING}"
+            ));
+        } else {
+            gate.fail(format!(
+                "{prefix}.rel_err_vs_f32: {err:.4} exceeds the {CODEBOOK_SERVE_REL_ERR_CEILING} ceiling — \
+                 codebook serving drifted from the F32 reference"
+            ));
+        }
+    }
+    match gate.require_num(doc, &format!("{prefix}.speedup_vs_f32"), label) {
+        Some(s) if s > 0.0 => gate.pass(format!("{prefix}.speedup_vs_f32: {s:.2}x recorded")),
+        Some(s) => gate.fail(format!("{prefix}.speedup_vs_f32: {s} is not positive")),
+        None => {}
+    }
+    gate.require_num(doc, &format!("{prefix}.bake_s"), label);
+    gate.require_num(doc, &format!("{prefix}.table_mib"), label);
+}
+
+/// The `codebook` section of the ledger (written by `bench_lut_eval`):
+/// the centroid-codebook amortized GEMM against FP32/INT8 GEMM on the
+/// frozen RoBERTa-base linear shapes.
+///
+/// Three gates:
+/// * every row's relative error vs the exact FP32 product must sit under
+///   [`CODEBOOK_REL_ERR_CEILING`];
+/// * within each shape, growing the centroid count may not *increase*
+///   the recorded error — the accuracy-per-table-size frontier must
+///   slope the right way (the sweep is deterministic: seeded k-means on
+///   seeded data);
+/// * like the `simd` gate, the [`CODEBOOK_SPEEDUP_FLOOR`] on the
+///   FFN-shape (`768x3072`, k=16) codebook-vs-F32 speedup only applies
+///   when the recording machine's kernel tier was AVX2 — a scalar
+///   recording passes with a skip note, since the gather kernel *is*
+///   the oracle there.
+fn check_codebook_section(gate: &mut Gate, ledger: &Json) {
+    let level = match ledger.path("codebook.level").and_then(Json::as_str) {
+        Some(l) => {
+            gate.pass(format!("codebook.level: {l}"));
+            l.to_string()
+        }
+        None => {
+            gate.fail("codebook.level: missing string".into());
+            return;
+        }
+    };
+    let rows = match ledger.path("codebook.rows").and_then(Json::as_array) {
+        Some(rows) if !rows.is_empty() => {
+            gate.pass(format!("codebook.rows: {} rows", rows.len()));
+            rows
+        }
+        _ => {
+            gate.fail("codebook.rows: missing or empty".into());
+            return;
+        }
+    };
+    let mut last: Option<(String, f64)> = None;
+    for (i, row) in rows.iter().enumerate() {
+        let shape = row.get("shape").and_then(Json::as_str).unwrap_or("?");
+        let k = row.get("k").and_then(Json::as_f64).unwrap_or(0.0);
+        match row.get("rel_err_vs_f32").and_then(Json::as_f64) {
+            Some(e) if e.is_finite() && e <= CODEBOOK_REL_ERR_CEILING => {
+                gate.pass(format!(
+                    "codebook.rows[{shape} k={k}]: rel err {e:.4} ≤ {CODEBOOK_REL_ERR_CEILING}"
+                ));
+                if let Some((ref prev_shape, prev_err)) = last {
+                    if prev_shape == shape && e > prev_err {
+                        gate.fail(format!(
+                            "codebook.rows[{shape} k={k}]: rel err {e:.4} above the smaller-k row's \
+                             {prev_err:.4} — the accuracy-per-table-size frontier slopes the wrong way"
+                        ));
+                    }
+                }
+                last = Some((shape.to_string(), e));
+            }
+            Some(e) => gate.fail(format!(
+                "codebook.rows[{shape} k={k}]: rel err {e:.4} exceeds the \
+                 {CODEBOOK_REL_ERR_CEILING} ceiling"
+            )),
+            None => gate.fail(format!(
+                "codebook.rows[{i}]: missing numeric `rel_err_vs_f32`"
+            )),
+        }
+        match row.get("table_bytes").and_then(Json::as_f64) {
+            Some(b) if b > 0.0 => {}
+            _ => gate.fail(format!(
+                "codebook.rows[{i}]: missing positive `table_bytes`"
+            )),
+        }
+    }
+    let ffn_speedup = rows.iter().find_map(|row| {
+        let s = row.get("shape").and_then(Json::as_str)?;
+        let k = row.get("k").and_then(Json::as_f64)?;
+        (s == "768x3072" && k == 16.0).then(|| row.get("speedup_vs_f32").and_then(Json::as_f64))?
+    });
+    match ffn_speedup {
+        Some(s) if level == "avx2" => {
+            if s >= CODEBOOK_SPEEDUP_FLOOR {
+                gate.pass(format!(
+                    "codebook.rows[768x3072 k=16]: {s:.2}x ≥ {CODEBOOK_SPEEDUP_FLOOR}x vs f32"
+                ));
+            } else {
+                gate.fail(format!(
+                    "codebook.rows[768x3072 k=16]: {s:.2}x below the {CODEBOOK_SPEEDUP_FLOOR}x \
+                     avx2 floor vs f32"
+                ));
+            }
+        }
+        Some(s) => gate.pass(format!(
+            "codebook.rows[768x3072 k=16]: {s:.2}x (floor skipped — level is `{level}`, not avx2)"
+        )),
+        None => gate.fail("codebook.rows: no `768x3072` k=16 row".into()),
+    }
 }
 
 /// The `serve.decode` section (bench_serve part 6): the KV-cache context
@@ -325,6 +455,27 @@ const SIMD_KERNEL_FLOOR: f64 = 1.5;
 /// runs, measured by `bench_serve` part 5).
 const TRACE_OVERHEAD_CEILING_PCT: f64 = 5.0;
 
+/// Maximum relative (Frobenius) error any `codebook.rows` entry may
+/// record against the exact FP32 product. The k=8 end of the recorded
+/// sweep sits at ~0.65 on the synthetic activations; 0.8 leaves margin
+/// without tolerating a calibration regression (an unbaked or mis-seeded
+/// codebook lands well above 1.0).
+const CODEBOOK_REL_ERR_CEILING: f64 = 0.8;
+
+/// End-to-end ceiling for `serve.codebook.rel_err_vs_f32`. On the
+/// synthetic-weight bench models the recorded drift is ~0.79 (quick,
+/// 4-layer) to ~1.01 (full, 12-layer) — random weights give LayerNorm
+/// no real signal to re-center around, so deep stacks drift more than a
+/// trained model would. The gate is a sanity bound, not an accuracy
+/// claim: a broken bake (wrong site seeds, stale tables) lands at 1.4+.
+const CODEBOOK_SERVE_REL_ERR_CEILING: f64 = 1.5;
+
+/// Minimum codebook-vs-F32 GEMM speedup the FFN-shape (`768x3072`, k=16)
+/// ledger row must record when the recording machine's kernel tier was
+/// AVX2. Recorded ~2.1x; 1.2x leaves the same kind of shared-host margin
+/// as [`SIMD_KERNEL_FLOOR`].
+const CODEBOOK_SPEEDUP_FLOOR: f64 = 1.2;
+
 /// Tolerance comparison of a fresh quick run against the committed quick
 /// baseline.
 ///
@@ -392,6 +543,11 @@ fn check_regression(gate: &mut Gate, fresh: &Json, baseline: &Json, tol: f64, tp
     // Decode plane: gate the fresh run's section shape and within-run
     // invariants only — inter-token walls are machine-shaped.
     check_decode_section(gate, fresh, "decode", "fresh");
+    // Codebook serving: the fresh run must measure it, and its end-to-end
+    // error is deterministic (seeded bake on a seeded workload), so the
+    // same ceiling as the ledger applies; the throughput ratio is
+    // machine-shaped and only checked for positivity.
+    check_serve_codebook(gate, fresh, "codebook", "fresh");
     // Trace overhead: gate the fresh run at the same ceiling as the
     // ledger — a quick run's absolute walls are noisy, but the overhead
     // is a *ratio* of interleaved same-machine runs, so it transfers.

@@ -28,9 +28,13 @@
 use std::time::Instant;
 
 use nnlut_bench::{exp_inputs, gelu_inputs, paper_kit, roberta_bench_config, ROBERTA_BENCH_SEQ};
+use nnlut_core::calibrate::RowCapture;
+use nnlut_core::codebook::CodebookSpec;
 use nnlut_core::engine::BakedLut;
 use nnlut_core::{LookupTable, NnLutKit};
 use nnlut_npu::{transformer_workload, ModelShape};
+use nnlut_tensor::Matrix;
+use nnlut_transformer::{Linear, MatmulMode};
 
 /// Median ns/element of `f` applied to a fresh copy of `xs`, over
 /// `samples` timed repetitions (each long enough to dominate timer noise).
@@ -208,6 +212,117 @@ fn measure_fused_layernorm(kit: &NnLutKit, row_len: usize, rows: usize) -> Fused
     }
 }
 
+/// One `codebook` section row: a frozen-weight linear layer of RoBERTa-base
+/// shape applied to a seq-length batch of activation rows, timed as FP32
+/// GEMM, INT8 GEMM and the centroid-codebook amortized GEMM, with the
+/// codebook's relative (Frobenius) error against the exact FP32 product
+/// and the bytes its partial-product tables occupy — the accuracy-per-
+/// table-size frontier of `docs/ARCHITECTURE.md`.
+struct CodebookRow {
+    shape: String,
+    k: usize,
+    f32_ns_per_row: f64,
+    int8_ns_per_row: f64,
+    codebook_ns_per_row: f64,
+    rel_err: f64,
+    table_bytes: usize,
+}
+
+impl CodebookRow {
+    fn speedup_vs_f32(&self) -> f64 {
+        self.f32_ns_per_row / self.codebook_ns_per_row
+    }
+
+    fn speedup_vs_int8(&self) -> f64 {
+        self.int8_ns_per_row / self.codebook_ns_per_row
+    }
+}
+
+/// Deterministic synthetic activations/weights for the codebook GEMM
+/// comparison (SplitMix64-mixed, roughly centered, ±3 range).
+fn codebook_synth(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            ((z >> 40) as f32 / 16_777_216.0 - 0.5) * 6.0
+        })
+        .collect()
+}
+
+/// Median ns/row of `f` over `samples` timed repetitions.
+fn time_ns_per_row<F: FnMut()>(rows: usize, samples: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_nanos().max(1) as f64;
+    let reps = ((5e6 / once) as usize).clamp(1, 10_000);
+    let mut results: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / (reps * rows) as f64
+        })
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    results[results.len() / 2]
+}
+
+fn measure_codebook(in_dim: usize, out_dim: usize, k: usize, rows: usize) -> CodebookRow {
+    let weight = Matrix::from_vec(
+        in_dim,
+        out_dim,
+        codebook_synth(
+            in_dim * out_dim,
+            0xC0DE ^ ((in_dim as u64) << 20) ^ out_dim as u64,
+        ),
+    );
+    let bias = codebook_synth(out_dim, 0xB1A5);
+    let mut lin = Linear::new(weight, bias);
+    let spec = CodebookSpec {
+        centroids: k,
+        ..CodebookSpec::default()
+    };
+    let mut calib = RowCapture::new(in_dim, 256, 7);
+    calib.record_rows(&codebook_synth(in_dim * 256, 0xCA11B));
+    lin.bake_codebook(&calib, &spec, 0);
+
+    let x = Matrix::from_vec(
+        rows,
+        in_dim,
+        codebook_synth(rows * in_dim, 0xAC7 ^ k as u64),
+    );
+    let exact = lin.apply(&x, MatmulMode::F32);
+    let approx = lin.apply(&x, MatmulMode::Codebook);
+    let mut err = 0.0f64;
+    let mut norm = 0.0f64;
+    for (a, e) in approx.as_slice().iter().zip(exact.as_slice()) {
+        err += ((a - e) as f64).powi(2);
+        norm += (*e as f64).powi(2);
+    }
+    let rel_err = (err / norm.max(f64::MIN_POSITIVE)).sqrt();
+
+    let f32_ns = time_ns_per_row(rows, 5, || {
+        std::hint::black_box(lin.apply(std::hint::black_box(&x), MatmulMode::F32));
+    });
+    let int8_ns = time_ns_per_row(rows, 5, || {
+        std::hint::black_box(lin.apply(std::hint::black_box(&x), MatmulMode::Int8));
+    });
+    let codebook_ns = time_ns_per_row(rows, 5, || {
+        std::hint::black_box(lin.apply(std::hint::black_box(&x), MatmulMode::Codebook));
+    });
+    CodebookRow {
+        shape: format!("{in_dim}x{out_dim}"),
+        k,
+        f32_ns_per_row: f32_ns,
+        int8_ns_per_row: int8_ns,
+        codebook_ns_per_row: codebook_ns,
+        rel_err,
+        table_bytes: lin.codebook().expect("codebook just baked").table_bytes(),
+    }
+}
+
 fn main() {
     println!("training the paper-config 16-entry kit …");
     let kit = paper_kit();
@@ -349,11 +464,65 @@ fn main() {
     }
     simd_section.push_str("    }\n  }");
 
+    // Part 3: the `codebook` section — centroid-codebook amortized GEMM
+    // vs FP32/INT8 GEMM on the frozen RoBERTa-base linear shapes
+    // (attention projection hidden×hidden, FFN expand hidden×ffn), across
+    // the centroid-count sweep that traces the accuracy-per-table-size
+    // frontier. `bench_check` requires the section, gates every row's
+    // relative error, and — at a recorded avx2 level — floors the large
+    // shape's codebook-vs-F32 speedup.
+    let ffn = roberta_bench_config().ffn;
+    println!(
+        "\ncodebook amortized GEMM ({} rows per apply):",
+        ROBERTA_BENCH_SEQ
+    );
+    let mut codebook_rows = Vec::new();
+    for (in_dim, out_dim) in [(hidden, hidden), (hidden, ffn)] {
+        for k in [8usize, 16, 32] {
+            let r = measure_codebook(in_dim, out_dim, k, ROBERTA_BENCH_SEQ);
+            println!(
+                "  {:<10} k={:<3} f32 {:>9.1} ns/row · int8 {:>9.1} ns/row · codebook {:>9.1} ns/row · {:>5.2}x vs f32 · rel err {:.4} · tables {} KiB",
+                r.shape,
+                r.k,
+                r.f32_ns_per_row,
+                r.int8_ns_per_row,
+                r.codebook_ns_per_row,
+                r.speedup_vs_f32(),
+                r.rel_err,
+                r.table_bytes / 1024
+            );
+            codebook_rows.push(r);
+        }
+    }
+    let mut codebook_section = format!(
+        "{{\n    \"level\": \"{}\",\n    \"sub_len\": {},\n    \"batch_rows\": {},\n    \"rows\": [\n",
+        level.name(),
+        CodebookSpec::default().sub_len,
+        ROBERTA_BENCH_SEQ
+    );
+    for (i, r) in codebook_rows.iter().enumerate() {
+        codebook_section.push_str(&format!(
+            "      {{\"shape\": \"{}\", \"k\": {}, \"f32_ns_per_row\": {:.1}, \"int8_ns_per_row\": {:.1}, \"codebook_ns_per_row\": {:.1}, \"speedup_vs_f32\": {:.4}, \"speedup_vs_int8\": {:.4}, \"rel_err_vs_f32\": {:.5}, \"table_bytes\": {}}}{}\n",
+            r.shape,
+            r.k,
+            r.f32_ns_per_row,
+            r.int8_ns_per_row,
+            r.codebook_ns_per_row,
+            r.speedup_vs_f32(),
+            r.speedup_vs_int8(),
+            r.rel_err,
+            r.table_bytes,
+            if i + 1 == codebook_rows.len() { "" } else { "," }
+        ));
+    }
+    codebook_section.push_str("    ]\n  }");
+
     let existing = std::fs::read_to_string("BENCH_lut_eval.json").unwrap_or_default();
     let mut json = nnlut_bench::upsert_json_key(&existing, "bench", "\"lut_eval\"");
     json = nnlut_bench::upsert_json_key(&json, "entries", "16");
     json = nnlut_bench::upsert_json_key(&json, "results", &results);
     json = nnlut_bench::upsert_json_key(&json, "simd", &simd_section);
+    json = nnlut_bench::upsert_json_key(&json, "codebook", &codebook_section);
     std::fs::write("BENCH_lut_eval.json", &json).expect("write BENCH_lut_eval.json");
     println!("\nwrote BENCH_lut_eval.json");
 

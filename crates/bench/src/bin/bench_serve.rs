@@ -46,6 +46,13 @@
 //! generations sharing one queue — in `serve.decode`, gated by
 //! `bench_check`.
 //!
+//! A seventh part measures **codebook serving**: centroid codebooks are
+//! baked onto the bench model (calibrated on the serve workload), and the
+//! same workload is served in `MatmulMode::Codebook` vs `F32` on one
+//! thread — throughput ratio, end-to-end relative error of the served
+//! hidden states, table memory and one-time bake cost land in
+//! `serve.codebook`, gated by `bench_check`.
+//!
 //! Run: `cargo run --release -p nnlut-bench --bin bench_serve`
 //! Smoke: `cargo run --release -p nnlut-bench --bin bench_serve -- --quick`
 //! (tiny model, `BENCH_lut_eval.json` untouched — CI keeps the path alive
@@ -58,6 +65,7 @@ use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use nnlut_bench::upsert_json_key;
+use nnlut_core::codebook::CodebookSpec;
 use nnlut_core::train::TrainConfig;
 use nnlut_core::NnLutKit;
 use nnlut_serve::{
@@ -65,6 +73,7 @@ use nnlut_serve::{
     ReplicaHealth, ServeError, ServePolicy, ServerConfig, ShardConfig, ShardedServer, TraceConfig,
     INJECTED_PANIC_PREFIX,
 };
+use nnlut_transformer::Nonlinearity;
 use nnlut_transformer::{BertModel, MatmulMode, TransformerConfig};
 
 struct Config {
@@ -524,6 +533,69 @@ fn run_sharded(cfg: &Config, model: &BertModel, kit: &NnLutKit) -> ShardedRun {
     }
 }
 
+struct CodebookRun {
+    bake_s: f64,
+    table_mib: f64,
+    tokens_per_sec_f32: f64,
+    tokens_per_sec: f64,
+    speedup_vs_f32: f64,
+    rel_err_vs_f32: f64,
+}
+
+/// Part 7: codebook serving. Bakes centroid codebooks onto the bench
+/// model (calibrated on the serve workload itself), then pushes the same
+/// workload through `LutServer` in `MatmulMode::Codebook` vs `F32` on one
+/// pool thread, reporting the throughput ratio, the end-to-end relative
+/// (Frobenius) error of the served hidden states, and the one-time bake
+/// cost. The speedup is recorded-level context like the `simd` section:
+/// on a scalar build the gather kernel is the oracle and the ratio mostly
+/// reflects arithmetic savings alone.
+fn run_codebook(cfg: &Config, model: &BertModel, kit: &NnLutKit) -> CodebookRun {
+    let bake_start = Instant::now();
+    let mut baked = model.clone();
+    baked.bake_codebooks(
+        &CodebookSpec::default(),
+        &workload(cfg),
+        &Nonlinearity::exact(),
+        256,
+    );
+    let bake_s = bake_start.elapsed().as_secs_f64();
+    let table_mib = baked.codebook_table_bytes() as f64 / (1024.0 * 1024.0);
+
+    let serve = |mode: MatmulMode| {
+        let mut server = LutServer::new(
+            baked.clone(),
+            kit.clone(),
+            ServerConfig {
+                threads: 1,
+                policy: cfg.policy.clone(),
+                mode,
+                ..ServerConfig::default()
+            },
+        );
+        let responses = server.serve(workload(cfg));
+        (responses, server.metrics().tokens_per_sec())
+    };
+    let (exact, f32_tps) = serve(MatmulMode::F32);
+    let (approx, cb_tps) = serve(MatmulMode::Codebook);
+    let mut err = 0.0f64;
+    let mut norm = 0.0f64;
+    for (a, e) in approx.iter().zip(&exact) {
+        for (x, y) in a.hidden.as_slice().iter().zip(e.hidden.as_slice()) {
+            err += ((x - y) as f64).powi(2);
+            norm += (*y as f64).powi(2);
+        }
+    }
+    CodebookRun {
+        bake_s,
+        table_mib,
+        tokens_per_sec_f32: f32_tps,
+        tokens_per_sec: cb_tps,
+        speedup_vs_f32: cb_tps / f32_tps,
+        rel_err_vs_f32: (err / norm.max(f64::MIN_POSITIVE)).sqrt(),
+    }
+}
+
 struct DecodeRun {
     context: usize,
     tokens_per_sec: f64,
@@ -809,6 +881,20 @@ fn main() {
         sharded.recovery_ms, sharded.all_served, sharded.recovered
     );
 
+    // Part 7: codebook serving — measured before part 6 spins up the
+    // stretched decode model; printout order follows the ledger.
+    let codebook = run_codebook(&cfg, &model, &kit);
+    println!("  codebook (1 thread, same workload):");
+    println!(
+        "    bake {:.2} s · tables {:.2} MiB · f32 {:>9.1} tok/s · codebook {:>9.1} tok/s · {:.2}x · rel err {:.4}",
+        codebook.bake_s,
+        codebook.table_mib,
+        codebook.tokens_per_sec_f32,
+        codebook.tokens_per_sec,
+        codebook.speedup_vs_f32,
+        codebook.rel_err_vs_f32
+    );
+
     // Part 6: autoregressive decoding through the continuous-batching
     // plane — context sweep, then the prefill:decode mix.
     let dmodel = decode_model(&cfg);
@@ -943,6 +1029,15 @@ fn main() {
             ));
         }
         section.push_str("      ]\n    },\n");
+        section.push_str(&format!(
+            "    \"codebook\": {{\n      \"bake_s\": {:.3},\n      \"table_mib\": {:.3},\n      \"tokens_per_sec_f32\": {:.1},\n      \"tokens_per_sec\": {:.1},\n      \"speedup_vs_f32\": {:.4},\n      \"rel_err_vs_f32\": {:.5}\n    }},\n",
+            codebook.bake_s,
+            codebook.table_mib,
+            codebook.tokens_per_sec_f32,
+            codebook.tokens_per_sec,
+            codebook.speedup_vs_f32,
+            codebook.rel_err_vs_f32,
+        ));
         section.push_str(&format!(
             "    \"trace_overhead\": {{\n      \"runs\": {},\n      \"requests\": {},\n      \"tokens_per_sec_off\": {:.1},\n      \"tokens_per_sec_on\": {:.1},\n      \"overhead_pct\": {:.2},\n      \"recorder_capacity\": {},\n      \"recorder_bytes\": {}\n    }}\n  }}",
             trace_overhead.runs,

@@ -107,6 +107,123 @@ impl ActivationCapture {
     }
 }
 
+/// Reservoir sampler for whole activation *rows* (fixed-width vectors).
+///
+/// The codebook calibration pass ([`crate::codebook`]) needs the joint
+/// distribution of the vectors entering each linear layer, not the
+/// marginal of individual scalars — sub-vector k-means is only meaningful
+/// on intact rows. This is the row-shaped sibling of
+/// [`ActivationCapture`]: same O(cap) reservoir scheme, same seeded
+/// vendored [`StdRng`], one slot per row.
+///
+/// Rows containing a non-finite value are skipped entirely (k-means over
+/// NaN is undefined), mirroring [`ActivationCapture::record`].
+///
+/// # Examples
+///
+/// ```
+/// use nnlut_core::calibrate::RowCapture;
+///
+/// let mut cap = RowCapture::new(4, 16, 7);
+/// for i in 0..1_000 {
+///     let row: Vec<f32> = (0..4).map(|j| (i * 4 + j) as f32).collect();
+///     cap.record_row(&row);
+/// }
+/// assert_eq!(cap.n_rows(), 16);
+/// assert_eq!(cap.rows().len(), 16 * 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowCapture {
+    rows: Vec<f32>,
+    width: usize,
+    cap: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl RowCapture {
+    /// Creates a capture buffer for `width`-component rows holding at most
+    /// `cap` of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `cap == 0`.
+    pub fn new(width: usize, cap: usize, seed: u64) -> Self {
+        assert!(width > 0, "row capture width must be positive");
+        assert!(cap > 0, "capture capacity must be positive");
+        Self {
+            rows: Vec::with_capacity(cap * width),
+            width,
+            cap,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Records one activation row (reservoir sampling; non-finite rows are
+    /// skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != width`.
+    pub fn record_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        if row.iter().any(|v| !v.is_finite()) {
+            return;
+        }
+        self.seen += 1;
+        if self.rows.len() < self.cap * self.width {
+            self.rows.extend_from_slice(row);
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.cap {
+                let at = j as usize * self.width;
+                self.rows[at..at + self.width].copy_from_slice(row);
+            }
+        }
+    }
+
+    /// Records every `width`-sized row of a packed row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the row width.
+    pub fn record_rows(&mut self, data: &[f32]) {
+        assert!(
+            data.len().is_multiple_of(self.width),
+            "packed buffer is not a whole number of rows"
+        );
+        for row in data.chunks_exact(self.width) {
+            self.record_row(row);
+        }
+    }
+
+    /// The retained rows, packed row-major (`n_rows × width`).
+    pub fn rows(&self) -> &[f32] {
+        &self.rows
+    }
+
+    /// Row width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of retained rows (≤ capacity).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len() / self.width
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total number of (finite) rows offered to the reservoir.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
 /// Calibration hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationConfig {

@@ -89,6 +89,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod codebook;
 pub mod convert;
 pub mod engine;
 pub mod error;
@@ -106,6 +107,7 @@ pub mod recipe;
 pub mod scaling;
 pub mod train;
 
+pub use codebook::{BakedCodebook, CodebookSpec};
 pub use convert::nn_to_lut;
 pub use engine::{BakedF16Lut, BakedInt32Lut, BakedLut};
 pub use error::CoreError;

@@ -815,6 +815,7 @@ impl AsyncLutServer {
         nl: Arc<Nonlinearity>,
         config: AsyncServerConfig,
     ) -> Self {
+        crate::check_codebook_mode(&model, config.mode);
         let model_config = model.config().clone();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {

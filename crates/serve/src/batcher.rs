@@ -772,7 +772,7 @@ impl Batcher {
 
     /// Packs and removes the next batch of decode steps (FIFO from the
     /// decode plane, under the same count/area budget as
-    /// [`Batcher::close_bucket`] — see [`Batcher::decode_pack_plan`]).
+    /// [`Batcher::close_bucket`] — see the private `decode_pack_plan`).
     /// The recorded reason upgrades to [`CloseReason::Full`] when the
     /// budget was the binding constraint, mirroring the bucket close.
     ///

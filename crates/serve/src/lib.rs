@@ -139,3 +139,22 @@ pub use trace::{
     FlightEvent, FlightRecorder, IncidentReport, RequestTrace, Stage, TraceBreakdown, TraceConfig,
     TraceEvent, DEFAULT_RECORDER_CAPACITY,
 };
+
+/// Front-door guard every server constructor runs: a config asking for
+/// [`nnlut_transformer::MatmulMode::Codebook`] against a model whose
+/// linears were never baked is a deployment error — fail at construction
+/// with an actionable message, not mid-batch inside a worker thread.
+///
+/// # Panics
+///
+/// Panics if `mode` is `Codebook` and `model.has_codebooks()` is false.
+pub(crate) fn check_codebook_mode(
+    model: &nnlut_transformer::BertModel,
+    mode: nnlut_transformer::MatmulMode,
+) {
+    assert!(
+        mode != nnlut_transformer::MatmulMode::Codebook || model.has_codebooks(),
+        "ServerConfig.mode = Codebook but the model has no baked codebooks — \
+         call BertModel::bake_codebooks before constructing the server",
+    );
+}

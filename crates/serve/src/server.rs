@@ -140,7 +140,14 @@ impl LutServer {
 
     /// Builds a server with an explicit per-site backend selection (e.g.
     /// the exact-FP32 baseline for accuracy A/B serving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.mode` is [`MatmulMode::Codebook`] and the model
+    /// has no baked codebooks — rejecting the misconfiguration at the
+    /// door instead of mid-batch.
     pub fn with_backend(model: BertModel, nl: Nonlinearity, config: ServerConfig) -> Self {
+        crate::check_codebook_mode(&model, config.mode);
         Self {
             model,
             nl,

@@ -96,7 +96,23 @@ pub struct ShardConfig {
     pub retry_budget: u32,
     /// How long an attempt may sit unresolved on a replica before the
     /// stall watchdog requeues it elsewhere.
+    ///
+    /// **Footgun:** this must comfortably exceed a real batch encode, or
+    /// healthy replicas get their work yanked mid-encode, stall strikes
+    /// accumulate, and the fleet quarantines itself under pure load (no
+    /// fault anywhere). Big models, deep contexts, or heavier matmul
+    /// modes (e.g. a first-bake [`nnlut_transformer::MatmulMode::Codebook`]
+    /// bench) can silently cross a default that was fine before. Debug
+    /// builds warn once when an attempt completes slower than
+    /// `stall_timeout / stall_warn_multiple`; see
+    /// [`ShardConfig::stall_warn_multiple`].
     pub stall_timeout: Duration,
+    /// Headroom factor for the debug-build stall-margin warning: warn
+    /// when an attempt's observed completion time exceeds
+    /// `stall_timeout / stall_warn_multiple` (i.e. the timeout is less
+    /// than `stall_warn_multiple ×` observed encode time). `0` disables
+    /// the check. Default `4`.
+    pub stall_warn_multiple: u32,
     /// Consecutive failures (batch panics, stalls, admission bounces)
     /// that quarantine a replica. `1` quarantines on the first failure;
     /// below that is clamped to `1`.
@@ -118,6 +134,7 @@ impl Default for ShardConfig {
             admission: ServePolicy::unbounded(),
             retry_budget: 2,
             stall_timeout: Duration::from_secs(2),
+            stall_warn_multiple: 4,
             quarantine_after: 2,
             probe_backoff: Duration::from_millis(25),
             max_probe_backoff: Duration::from_secs(2),
@@ -415,6 +432,9 @@ struct ShardShared {
 struct SupervisorConfig {
     retry_budget: u32,
     stall_timeout: Duration,
+    // Only read by the debug-build stall-margin warning.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    stall_warn_multiple: u32,
     quarantine_after: u32,
     probe_backoff: Duration,
     max_probe_backoff: Duration,
@@ -570,6 +590,7 @@ impl ShardedServer {
         let sup_config = SupervisorConfig {
             retry_budget: config.retry_budget,
             stall_timeout: config.stall_timeout,
+            stall_warn_multiple: config.stall_warn_multiple,
             quarantine_after: config.quarantine_after.max(1),
             probe_backoff: config.probe_backoff,
             max_probe_backoff: config.max_probe_backoff,
@@ -1485,6 +1506,10 @@ fn supervisor_loop(
 ) {
     let n = servers.len();
     let mut attempts: Vec<Attempt> = Vec::new();
+    // One-shot latch for the debug-build stall-margin warning (see
+    // `ShardConfig::stall_warn_multiple`).
+    #[cfg(debug_assertions)]
+    let mut stall_margin_warned = false;
     // In-flight probe tickets, by replica.
     let mut probes: Vec<Option<Ticket>> = (0..n).map(|_| None).collect();
     // Routing decisions targeting each replica, including bounced ones —
@@ -1529,6 +1554,24 @@ fn supervisor_loop(
                 a.req.tokens.extend(fresh);
             }
             if ready {
+                // Stall-margin check (debug builds, once): an attempt
+                // that *completed* after `stall_timeout / multiple` means
+                // the watchdog is within one bad batch of requeueing
+                // healthy work — a config footgun, not a replica fault.
+                #[cfg(debug_assertions)]
+                if !stall_margin_warned && config.stall_warn_multiple > 0 {
+                    let took = now.saturating_duration_since(attempts[i].last_progress);
+                    if config.stall_timeout < took * config.stall_warn_multiple {
+                        stall_margin_warned = true;
+                        eprintln!(
+                            "nnlut-shard warning: an attempt completed in {took:?} but \
+                             stall_timeout is only {:?} (< {}x observed) — raise \
+                             ShardConfig::stall_timeout or spurious stall requeues and \
+                             quarantines will follow under load",
+                            config.stall_timeout, config.stall_warn_multiple,
+                        );
+                    }
+                }
                 let a = attempts.swap_remove(i);
                 let outcome = match a.ticket {
                     AttemptTicket::Encode(t) => AttemptOutcome::Encode(t.wait()),

@@ -10,7 +10,7 @@
 //! populates the cache from a prompt in wide row-parallel passes, and a
 //! single-token [`BertModel::decode_step`] that attends over the cached
 //! context — all through the same baked LUT kernels and the
-//! [`BatchExecutor`](crate::exec::BatchExecutor) seam the serving layer
+//! [`BatchExecutor`] seam the serving layer
 //! already drives.
 //!
 //! # Determinism contract (extended to decode)
@@ -158,12 +158,13 @@ fn block_of(flat: &[f32], hidden: usize, rows: usize, c0: usize, c1: usize) -> M
 }
 
 /// A projection whose per-row bits are independent of its row-mates:
-/// F32/F16 use the row-split GEMM (bit-equal to `apply` row by row), INT8
+/// F32/F16 use the row-split GEMM (bit-equal to `apply` row by row),
+/// Codebook's assignment + gather is row-local by construction, and INT8
 /// quantizes each token row independently — so a wide prefill row equals
 /// the same row pushed through a single-token decode step.
 fn project_rows(layer: &Linear, x: &Matrix, mode: MatmulMode, exec: &dyn BatchExecutor) -> Matrix {
     match mode {
-        MatmulMode::F32 | MatmulMode::F16 => layer.apply_exec(x, mode, exec),
+        MatmulMode::F32 | MatmulMode::F16 | MatmulMode::Codebook => layer.apply_exec(x, mode, exec),
         MatmulMode::Int8 => {
             let (rows, in_dim) = x.shape();
             let cols = layer.out_dim();

@@ -59,4 +59,4 @@ pub use decode::KvCache;
 pub use eval::TaskBench;
 pub use exec::{BatchExecutor, SerialExecutor};
 pub use model::{BertModel, PaddedBatch};
-pub use quant::MatmulMode;
+pub use quant::{Linear, MatmulMode};

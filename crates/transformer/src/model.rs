@@ -7,7 +7,8 @@
 //! log-uniformly, so the variances feeding 1/√x span from ≪1 to ≫1
 //! (the regime paper §3.3.2 motivates input scaling with).
 
-use nnlut_core::calibrate::ActivationCapture;
+use nnlut_core::calibrate::{ActivationCapture, RowCapture};
+use nnlut_core::codebook::CodebookSpec;
 use nnlut_tensor::init::{normal_matrix, xavier_matrix};
 use nnlut_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -17,6 +18,27 @@ use crate::backend::Nonlinearity;
 use crate::config::{Activation, NormKind, TransformerConfig};
 use crate::exec::{run_row_chunks, BatchExecutor};
 use crate::quant::{Linear, MatmulMode};
+
+/// One encoder layer's codebook-calibration taps: a [`RowCapture`]
+/// reservoir per distinct activation stream entering a linear site
+/// (q/k/v share their input; wo, ff1 and ff2 each see their own).
+struct LayerTaps {
+    attn_in: RowCapture,
+    ctx: RowCapture,
+    ffn_in: RowCapture,
+    ffn_mid: RowCapture,
+}
+
+impl LayerTaps {
+    fn new(hidden: usize, ffn: usize, cap: usize, seed: u64) -> Self {
+        Self {
+            attn_in: RowCapture::new(hidden, cap, seed ^ 1),
+            ctx: RowCapture::new(hidden, cap, seed ^ 2),
+            ffn_in: RowCapture::new(hidden, cap, seed ^ 3),
+            ffn_mid: RowCapture::new(ffn, cap, seed ^ 4),
+        }
+    }
+}
 
 /// Per-channel affine parameters of a normalization site (`γ`, `β`).
 #[derive(Debug, Clone, PartialEq)]
@@ -304,6 +326,103 @@ impl BertModel {
         x
     }
 
+    /// Calibrates and bakes a centroid codebook onto **every** linear
+    /// layer of the body (wq/wk/wv/wo/ff1/ff2 of each encoder layer),
+    /// enabling [`MatmulMode::Codebook`].
+    ///
+    /// Runs each `calib` token sequence through an FP32 forward pass with
+    /// per-site [`RowCapture`] reservoir taps on the rows entering each
+    /// linear (the §3.3.3 capture machinery, row-shaped), then k-means +
+    /// partial-product bake per site. The q/k/v projections share one
+    /// activation stream (they read the same rows) but draw distinct
+    /// per-site k-means seeds, so their codebooks are independent.
+    ///
+    /// `capture_rows` bounds the reservoir per site (256–1024 is plenty;
+    /// the reservoir makes cost O(cap), not O(tokens)). Deterministic:
+    /// same model, spec, and calibration set → bitwise-identical
+    /// codebooks, so replicas baked independently still agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty (or holds only sequences whose
+    /// activations are non-finite — nothing to calibrate on), or if any
+    /// sequence violates [`BertModel::encode`]'s preconditions.
+    pub fn bake_codebooks(
+        &mut self,
+        spec: &CodebookSpec,
+        calib: &[Vec<usize>],
+        nl: &Nonlinearity,
+        capture_rows: usize,
+    ) {
+        assert!(!calib.is_empty(), "codebook calibration needs sequences");
+        let d = self.config.hidden;
+        let ffn = self.config.ffn;
+        let mut taps: Vec<LayerTaps> = (0..self.layers.len())
+            .map(|l| LayerTaps::new(d, ffn, capture_rows, spec.seed ^ ((l as u64) << 32)))
+            .collect();
+
+        // Capture pass: the FP32 forward, with taps on.
+        for tokens in calib {
+            let seq = tokens.len();
+            assert!(seq > 0, "cannot calibrate on an empty sequence");
+            assert!(
+                seq <= self.config.max_seq,
+                "sequence length {seq} exceeds max_seq {}",
+                self.config.max_seq
+            );
+            let mut x = Matrix::zeros(seq, d);
+            for (i, &t) in tokens.iter().enumerate() {
+                assert!(t < self.config.vocab, "token id {t} out of vocabulary");
+                for c in 0..d {
+                    x[(i, c)] = self.token_embedding[(t, c)] + self.pos_embedding[(i, c)];
+                }
+            }
+            for (layer, tap) in self.layers.iter().zip(taps.iter_mut()) {
+                x = self.encode_layer_tapped(layer, &x, nl, MatmulMode::F32, None, Some(tap));
+            }
+        }
+
+        // Bake pass: k-means + partial-product tables per linear site.
+        for (l, (layer, tap)) in self.layers.iter_mut().zip(taps.iter()).enumerate() {
+            let site = |s: u64| (l as u64) * 6 + s;
+            layer.wq.bake_codebook(&tap.attn_in, spec, site(0));
+            layer.wk.bake_codebook(&tap.attn_in, spec, site(1));
+            layer.wv.bake_codebook(&tap.attn_in, spec, site(2));
+            layer.wo.bake_codebook(&tap.ctx, spec, site(3));
+            layer.ff1.bake_codebook(&tap.ffn_in, spec, site(4));
+            layer.ff2.bake_codebook(&tap.ffn_mid, spec, site(5));
+        }
+    }
+
+    /// True once every linear layer carries a baked codebook — the
+    /// precondition the serving front doors check before accepting
+    /// [`MatmulMode::Codebook`] traffic.
+    pub fn has_codebooks(&self) -> bool {
+        self.layers.iter().all(|layer| {
+            layer.wq.has_codebook()
+                && layer.wk.has_codebook()
+                && layer.wv.has_codebook()
+                && layer.wo.has_codebook()
+                && layer.ff1.has_codebook()
+                && layer.ff2.has_codebook()
+        })
+    }
+
+    /// Total bytes held by every baked partial-product table across the
+    /// model — the memory side of the accuracy-per-table-size frontier
+    /// the bench ledger records. Unbaked linears contribute zero.
+    pub fn codebook_table_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|layer| {
+                [
+                    &layer.wq, &layer.wk, &layer.wv, &layer.wo, &layer.ff1, &layer.ff2,
+                ]
+            })
+            .filter_map(|lin| lin.codebook().map(|cb| cb.table_bytes()))
+            .sum()
+    }
+
     /// Runs the encoder over a whole padded batch, returning one
     /// `(len × d)` hidden-state matrix per sequence (pad rows stripped).
     ///
@@ -518,13 +637,32 @@ impl BertModel {
         x: &Matrix,
         nl: &Nonlinearity,
         mode: MatmulMode,
+        capture: Option<&mut ActivationCapture>,
+    ) -> Matrix {
+        self.encode_layer_tapped(layer, x, nl, mode, capture, None)
+    }
+
+    /// [`BertModel::encode_layer`] with optional codebook-calibration taps
+    /// recording the rows entering each linear site (see
+    /// [`BertModel::bake_codebooks`]). The taps are passive: the returned
+    /// activations are bit-identical with them on or off.
+    fn encode_layer_tapped(
+        &self,
+        layer: &EncoderLayer,
+        x: &Matrix,
+        nl: &Nonlinearity,
+        mode: MatmulMode,
         mut capture: Option<&mut ActivationCapture>,
+        mut taps: Option<&mut LayerTaps>,
     ) -> Matrix {
         let heads = self.config.heads;
         let dh = self.config.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
 
         // Multi-head self-attention.
+        if let Some(t) = taps.as_deref_mut() {
+            t.attn_in.record_rows(x.as_slice());
+        }
         let q = layer.wq.apply(x, mode);
         let k = layer.wk.apply(x, mode);
         let v = layer.wv.apply(x, mode);
@@ -540,16 +678,25 @@ impl BertModel {
             let ctx_h = crate::quant::matmul(&scores, &vh, mode);
             ctx = if h == 0 { ctx_h } else { ctx.hcat(&ctx_h) };
         }
+        if let Some(t) = taps.as_deref_mut() {
+            t.ctx.record_rows(ctx.as_slice());
+        }
         let attn_out = layer.wo.apply(&ctx, mode);
         let mut x1 = x + &attn_out;
         self.apply_norm(&layer.norm1, &mut x1, nl, capture.as_deref_mut());
 
         // Feed-forward.
+        if let Some(t) = taps.as_deref_mut() {
+            t.ffn_in.record_rows(x1.as_slice());
+        }
         let mut hmid = layer.ff1.apply(&x1, mode);
         match self.config.activation {
             Activation::Gelu => nl.apply_gelu(&mut hmid),
             // ReLU is piecewise linear — computed exactly on any hardware.
             Activation::Relu => hmid.map_inplace(|v| v.max(0.0)),
+        }
+        if let Some(t) = taps {
+            t.ffn_mid.record_rows(hmid.as_slice());
         }
         let ff_out = layer.ff2.apply(&hmid, mode);
         let mut x2 = &x1 + &ff_out;
@@ -627,6 +774,59 @@ mod tests {
         let b = m.encode(&tokens, &Nonlinearity::exact(), MatmulMode::F32, None);
         assert_eq!(a.shape(), (5, 64));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn codebook_bake_enables_codebook_mode_end_to_end() {
+        let mut m = tiny_model();
+        assert!(!m.has_codebooks());
+        let nl = Nonlinearity::exact();
+        let calib: Vec<Vec<usize>> = (0..6)
+            .map(|s| (0..10).map(|i| (s * 13 + i * 7) % 100).collect())
+            .collect();
+        m.bake_codebooks(&CodebookSpec::default(), &calib, &nl, 256);
+        assert!(m.has_codebooks());
+
+        let tokens = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
+        let approx = m.encode(&tokens, &nl, MatmulMode::Codebook, None);
+        let again = m.encode(&tokens, &nl, MatmulMode::Codebook, None);
+        assert_eq!(approx, again, "codebook encode must be deterministic");
+        assert_eq!(approx.shape(), (8, 64));
+        assert!(approx.as_slice().iter().all(|v| v.is_finite()));
+
+        // The approximation should stay in the same ballpark as FP32 —
+        // LayerNorm after every block keeps scales comparable, so a loose
+        // relative bound is meaningful without being flaky.
+        let exact = m.encode(&tokens, &nl, MatmulMode::F32, None);
+        let rel = (&exact - &approx).frobenius_norm() / exact.frobenius_norm();
+        assert!(rel < 1.0, "codebook body drifted unreasonably: rel {rel}");
+
+        // Batched == serial, bitwise, sequence by sequence.
+        use crate::exec::SerialExecutor;
+        let seqs = vec![tokens.clone(), vec![7usize, 7, 7], vec![50usize; 12]];
+        let batch = PaddedBatch::pack(&seqs);
+        let batched = m.encode_batch(&batch, &nl, MatmulMode::Codebook, &SerialExecutor);
+        for (seq, got) in seqs.iter().zip(&batched) {
+            let want = m.encode(seq, &nl, MatmulMode::Codebook, None);
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "batch diverged from serial");
+            }
+        }
+    }
+
+    #[test]
+    fn codebook_bake_is_deterministic_across_replicas() {
+        let nl = Nonlinearity::exact();
+        let calib: Vec<Vec<usize>> = vec![vec![1, 2, 3, 4, 5], vec![9, 8, 7]];
+        let bake = || {
+            let mut m = tiny_model();
+            m.bake_codebooks(&CodebookSpec::default(), &calib, &nl, 128);
+            m.encode(&[2usize, 4, 8], &nl, MatmulMode::Codebook, None)
+        };
+        let (a, b) = (bake(), bake());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "independent bakes diverged");
+        }
     }
 
     #[test]

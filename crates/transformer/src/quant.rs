@@ -5,6 +5,10 @@
 //!   multiplication and FP32 non-linear operations").
 //! * Table 3: FP16 body ("in all the cases, MatMul is computed in FP16").
 
+use std::sync::Arc;
+
+use nnlut_core::calibrate::RowCapture;
+use nnlut_core::codebook::{BakedCodebook, CodebookSpec};
 use nnlut_core::precision::f16_round;
 use nnlut_tensor::quant::quantized_matmul;
 use nnlut_tensor::Matrix;
@@ -23,6 +27,20 @@ pub enum MatmulMode {
     /// Binary16 GEMM: operands rounded to half, FP32 accumulation, result
     /// rounded to half (tensor-core semantics).
     F16,
+    /// Centroid-codebook amortized GEMM (LUT-NN / TableNet direction):
+    /// every *weight-stationary* linear layer evaluates by nearest-
+    /// centroid assignment + partial-product table gather
+    /// ([`nnlut_core::codebook::BakedCodebook`]). The codebook geometry
+    /// and learned artifacts live on the model, stamped by
+    /// [`crate::model::BertModel::bake_codebooks`] — this variant is only
+    /// the selector. Dynamic activation·activation matmuls (attention
+    /// `Q·Kᵀ` and `scores·V`) have no frozen operand to bake a table
+    /// against and run exact FP32, matching the related work's scope.
+    ///
+    /// Applying this mode to an unbaked layer panics: serving a codebook
+    /// model without its calibration artifacts is a deployment error, not
+    /// a silent fallback.
+    Codebook,
 }
 
 impl std::fmt::Display for MatmulMode {
@@ -31,14 +49,20 @@ impl std::fmt::Display for MatmulMode {
             MatmulMode::F32 => "FP32",
             MatmulMode::Int8 => "INT8",
             MatmulMode::F16 => "FP16",
+            MatmulMode::Codebook => "CODEBOOK",
         })
     }
 }
 
 /// `a × b` under the selected precision mode.
+///
+/// This is the *dynamic* matmul entry point (both operands are
+/// activations). [`MatmulMode::Codebook`] has nothing to amortize here —
+/// codebook tables are baked against frozen weights — so it evaluates
+/// exact FP32; the codebook path lives in [`Linear::apply`].
 pub fn matmul(a: &Matrix, b: &Matrix, mode: MatmulMode) -> Matrix {
     match mode {
-        MatmulMode::F32 => a.matmul(b),
+        MatmulMode::F32 | MatmulMode::Codebook => a.matmul(b),
         MatmulMode::Int8 => quantized_matmul(a, b),
         MatmulMode::F16 => {
             let ah = a.map(f16_round);
@@ -60,9 +84,15 @@ pub struct Linear {
     /// copy only removes a per-call O(in·out) pass from the serving hot
     /// path — it cannot change a bit of any result.
     weight_f16: std::sync::OnceLock<Matrix>,
+    /// The baked centroid-codebook engine, stamped by
+    /// [`Linear::bake_codebook`] (usually via
+    /// [`crate::model::BertModel::bake_codebooks`]). `Arc`-shared so
+    /// cloning a baked model never copies the tables.
+    codebook: Option<Arc<BakedCodebook>>,
 }
 
-/// The cache is derived state; layer identity is weights + bias.
+/// The f16 cache and the codebook are derived state; layer identity is
+/// weights + bias.
 impl PartialEq for Linear {
     fn eq(&self, other: &Self) -> bool {
         self.weight == other.weight && self.bias == other.bias
@@ -81,7 +111,51 @@ impl Linear {
             weight,
             bias,
             weight_f16: std::sync::OnceLock::new(),
+            codebook: None,
         }
+    }
+
+    /// Learns and stamps this layer's centroid codebook from captured
+    /// activation rows (see [`nnlut_core::codebook::BakedCodebook::bake`]).
+    /// `site` disambiguates the k-means RNG stream between layers sharing
+    /// one spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` holds no rows or its width is not `in_dim` (the
+    /// bake validates shapes).
+    pub fn bake_codebook(&mut self, calib: &RowCapture, spec: &CodebookSpec, site: u64) {
+        assert_eq!(calib.width(), self.in_dim(), "calibration row width");
+        let sited = CodebookSpec {
+            seed: spec.site_seed(site),
+            ..*spec
+        };
+        self.codebook = Some(Arc::new(BakedCodebook::bake(
+            self.weight.as_slice(),
+            self.in_dim(),
+            self.out_dim(),
+            &self.bias,
+            calib.rows(),
+            &sited,
+        )));
+    }
+
+    /// The baked codebook engine, if [`Linear::bake_codebook`] ran.
+    pub fn codebook(&self) -> Option<&Arc<BakedCodebook>> {
+        self.codebook.as_ref()
+    }
+
+    /// True once this layer can serve [`MatmulMode::Codebook`].
+    pub fn has_codebook(&self) -> bool {
+        self.codebook.is_some()
+    }
+
+    /// The stamped codebook, or a loud deployment-error panic.
+    fn codebook_or_panic(&self) -> &BakedCodebook {
+        self.codebook.as_deref().expect(
+            "MatmulMode::Codebook selected but this layer has no baked codebook — \
+             run BertModel::bake_codebooks (or Linear::bake_codebook) before serving",
+        )
     }
 
     /// The f16-rounded weight (computed once, then cached).
@@ -100,6 +174,10 @@ impl Linear {
     }
 
     /// Applies the layer to a `(seq × in)` activation matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`MatmulMode::Codebook`] if no codebook was baked.
     pub fn apply(&self, x: &Matrix, mode: MatmulMode) -> Matrix {
         let mut out = match mode {
             // Same op order as `matmul(x, w, F16)`, but with the rounded
@@ -109,6 +187,15 @@ impl Linear {
                 let mut out = xh.matmul(self.rounded_weight());
                 out.map_inplace(f16_round);
                 out
+            }
+            // Assignment + gather + add; the baked engine owns the bias
+            // (outputs start from it), so return before the bias add.
+            MatmulMode::Codebook => {
+                let cb = self.codebook_or_panic();
+                let rows = x.rows();
+                let mut out = Matrix::zeros(rows, cb.out_dim());
+                cb.apply_rows(x.as_slice(), rows, out.as_mut_slice());
+                return out;
             }
             _ => matmul(x, &self.weight, mode),
         };
@@ -130,6 +217,10 @@ impl Linear {
     ///   (and the determinism contract forbids concurrent reductions), so
     ///   INT8 bodies parallelize at the attention/non-linearity stages
     ///   only.
+    /// * `Codebook`: assignment and gather-accumulate are row-local by
+    ///   construction, so each lane runs the baked kernel on its own row
+    ///   range — bit-identical to the serial [`Linear::apply`] at every
+    ///   lane count.
     pub fn apply_exec(&self, x: &Matrix, mode: MatmulMode, exec: &dyn BatchExecutor) -> Matrix {
         match mode {
             MatmulMode::F32 => self.row_split_gemm(x, &self.weight, exec, false),
@@ -138,6 +229,19 @@ impl Linear {
                 self.row_split_gemm(&xh, self.rounded_weight(), exec, true)
             }
             MatmulMode::Int8 => self.apply(x, mode),
+            MatmulMode::Codebook => {
+                let cb = self.codebook_or_panic();
+                let in_dim = cb.in_dim();
+                let cols = cb.out_dim();
+                let rows = x.rows();
+                let mut out = Matrix::zeros(rows, cols);
+                run_row_chunks(exec, out.as_mut_slice(), rows, cols, &|first_row, chunk| {
+                    let n = chunk.len() / cols;
+                    let x_rows = &x.as_slice()[first_row * in_dim..(first_row + n) * in_dim];
+                    cb.apply_rows(x_rows, n, chunk);
+                });
+                out
+            }
         }
     }
 
@@ -229,14 +333,52 @@ mod tests {
         use crate::exec::SerialExecutor;
         let w = normal_matrix(16, 9, 0.8, 7);
         let bias: Vec<f32> = (0..9).map(|i| 0.1 * i as f32 - 0.3).collect();
-        let layer = Linear::new(w, bias);
+        let mut layer = Linear::new(w, bias);
+        let mut cap = RowCapture::new(16, 64, 3);
+        cap.record_rows(normal_matrix(40, 16, 1.2, 9).as_slice());
+        layer.bake_codebook(&cap, &CodebookSpec::default(), 0);
         let x = normal_matrix(5, 16, 1.3, 8);
-        for mode in [MatmulMode::F32, MatmulMode::F16, MatmulMode::Int8] {
+        for mode in [
+            MatmulMode::F32,
+            MatmulMode::F16,
+            MatmulMode::Int8,
+            MatmulMode::Codebook,
+        ] {
             let want = layer.apply(&x, mode);
             let got = layer.apply_exec(&x, mode, &SerialExecutor);
             for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
                 assert_eq!(g.to_bits(), w.to_bits(), "{mode} diverged");
             }
         }
+    }
+
+    #[test]
+    fn codebook_apply_is_close_to_f32() {
+        let w = normal_matrix(12, 8, 0.5, 17);
+        let bias: Vec<f32> = (0..8).map(|i| 0.05 * i as f32).collect();
+        let mut layer = Linear::new(w, bias);
+        let calib = normal_matrix(300, 12, 1.0, 18);
+        let mut cap = RowCapture::new(12, 256, 4);
+        cap.record_rows(calib.as_slice());
+        let spec = CodebookSpec {
+            sub_len: 2,
+            centroids: 32,
+            iters: 10,
+            seed: 12,
+        };
+        layer.bake_codebook(&cap, &spec, 0);
+        let x = normal_matrix(20, 12, 1.0, 19);
+        let exact = layer.apply(&x, MatmulMode::F32);
+        let approx = layer.apply(&x, MatmulMode::Codebook);
+        let rel = (&exact - &approx).frobenius_norm() / exact.frobenius_norm();
+        assert!(rel < 0.5, "codebook relative error {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no baked codebook")]
+    fn codebook_mode_without_bake_panics() {
+        let layer = Linear::new(Matrix::identity(3), vec![0.0; 3]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let _ = layer.apply(&x, MatmulMode::Codebook);
     }
 }

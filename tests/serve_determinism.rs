@@ -8,12 +8,17 @@
 //!   serial server's responses bit for bit at FP32/FP16/INT32 kit
 //!   precisions.
 
+use std::time::Duration;
+
+use nn_lut::core::codebook::CodebookSpec;
 use nn_lut::core::engine::{chunk_ranges, BakedF16Lut, BakedInt32Lut, BakedLut};
 use nn_lut::core::lut::{LookupTable, Segment};
 use nn_lut::core::precision::{input_scale_for_domain, F16Lut, Int32Lut, Precision};
 use nn_lut::core::train::TrainConfig;
 use nn_lut::core::NnLutKit;
-use nn_lut::serve::{BatchPolicy, LutServer, ServerConfig};
+use nn_lut::serve::{
+    AsyncServerConfig, BatchPolicy, LutServer, ServerConfig, ShardConfig, ShardedServer,
+};
 use nn_lut::transformer::{BertModel, MatmulMode, Nonlinearity, TransformerConfig};
 use proptest::prelude::*;
 
@@ -333,13 +338,34 @@ fn fused_backend_kernels_match_unfused_reference_at_all_precisions() {
     }
 }
 
+/// A `roberta_tiny` body with codebooks calibrated on the serve workload
+/// itself — the model every codebook serving test runs. Cloning it is
+/// cheap (tables are `Arc`-shared), and the bake is deterministic, so
+/// every caller sees the same artifacts.
+fn baked_model() -> BertModel {
+    let mut model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
+    model.bake_codebooks(
+        &CodebookSpec::default(),
+        &serve_workload(),
+        &Nonlinearity::exact(),
+        256,
+    );
+    model
+}
+
 /// The full-body GEMM modes keep the pooled == serial guarantee too (INT8
-/// keeps its per-tensor quantizer serial; FP16 rounds inside row chunks).
+/// keeps its per-tensor quantizer serial; FP16 rounds inside row chunks;
+/// Codebook's assignment + gather is row-local by construction).
 #[test]
 fn pooled_server_matches_serial_in_every_matmul_mode() {
     let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
-    let model = BertModel::new_synthetic(TransformerConfig::roberta_tiny(), 9);
-    for mode in [MatmulMode::F32, MatmulMode::F16, MatmulMode::Int8] {
+    let model = baked_model();
+    for mode in [
+        MatmulMode::F32,
+        MatmulMode::F16,
+        MatmulMode::Int8,
+        MatmulMode::Codebook,
+    ] {
         let make = |threads: usize| {
             LutServer::new(
                 model.clone(),
@@ -358,6 +384,105 @@ fn pooled_server_matches_serial_in_every_matmul_mode() {
         for (g, w) in got.iter().zip(&want) {
             for (a, b) in g.hidden.as_slice().iter().zip(w.hidden.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{mode} pooled diverged");
+            }
+        }
+    }
+}
+
+/// Dedicated codebook leg of the acceptance property: a pooled server in
+/// `MatmulMode::Codebook` reproduces the serial server bit for bit at
+/// every thread count — the amortized-GEMM gather is row-local, chunk
+/// boundaries are schedule-independent, and the baked tables are
+/// `Arc`-shared so every replica reads the identical artifact.
+#[test]
+fn pooled_codebook_server_matches_serial_bitwise() {
+    let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+    let model = baked_model();
+    let make = |threads: usize| {
+        LutServer::new(
+            model.clone(),
+            kit.clone(),
+            ServerConfig {
+                threads,
+                policy: BatchPolicy {
+                    max_batch: 5,
+                    max_padded_tokens: 120,
+                    bucket_edges: vec![8, 16, 24],
+                },
+                mode: MatmulMode::Codebook,
+                ..ServerConfig::default()
+            },
+        )
+        .serve(serve_workload())
+    };
+    let want = make(1);
+    for threads in thread_counts() {
+        let got = make(threads);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, w.id);
+            for (a, b) in g.hidden.as_slice().iter().zip(w.hidden.as_slice()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "codebook pooled ({threads} threads) diverged on request {}",
+                    g.id
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end codebook serving through the replicated front door: a
+/// 2-replica `ShardedServer` (each replica an `AsyncLutServer` with a
+/// pooled encode pool) in `MatmulMode::Codebook` must reproduce the
+/// serial `LutServer` bit for bit at threads 1/2/4 — JSQ routing and
+/// concurrent encoders change *where* a request runs, never its bits.
+#[test]
+fn sharded_codebook_server_matches_serial_bitwise() {
+    let kit = NnLutKit::train_with(16, 9, &TrainConfig::fast());
+    let model = baked_model();
+    let want = LutServer::new(
+        model.clone(),
+        kit.clone(),
+        ServerConfig {
+            threads: 1,
+            policy: BatchPolicy::default_policy(),
+            mode: MatmulMode::Codebook,
+            ..ServerConfig::default()
+        },
+    )
+    .serve(serve_workload());
+    for threads in thread_counts() {
+        let server = ShardedServer::new(
+            model.clone(),
+            kit.clone(),
+            ShardConfig {
+                replicas: 2,
+                replica: AsyncServerConfig {
+                    threads,
+                    max_in_flight: 2,
+                    mode: MatmulMode::Codebook,
+                    ..AsyncServerConfig::default()
+                },
+                stall_timeout: Duration::from_secs(30),
+                ..ShardConfig::default()
+            },
+        );
+        let tickets: Vec<_> = serve_workload()
+            .into_iter()
+            .map(|t| server.submit(t))
+            .collect();
+        for (ticket, w) in tickets.into_iter().zip(&want) {
+            let got = ticket
+                .wait_timeout(Duration::from_secs(60))
+                .expect("sharded codebook encode completes");
+            for (a, b) in got.hidden.as_slice().iter().zip(w.hidden.as_slice()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "sharded codebook ({threads} threads) diverged"
+                );
             }
         }
     }
